@@ -1,0 +1,63 @@
+// Ablation: why the spanning-tree switchlet (paper switchlet #3) is
+// mandatory on looped topologies. One broadcast frame is injected into a
+// three-bridge ring; we count frames on the wire over the following
+// simulated second, with and without STP.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/netsim/trace.h"
+
+using namespace ab;
+
+namespace {
+
+std::size_t storm_frames(bool with_stp) {
+  netsim::Network net;
+  std::vector<netsim::LanSegment*> lans;
+  netsim::FrameTrace trace;
+  for (int i = 0; i < 3; ++i) {
+    lans.push_back(&net.add_segment("lan" + std::to_string(i)));
+    trace.watch(*lans.back());
+  }
+  std::vector<std::unique_ptr<bridge::BridgeNode>> bridges;
+  for (int i = 0; i < 3; ++i) {
+    bridge::BridgeNodeConfig cfg;
+    cfg.name = "bridge" + std::to_string(i);
+    bridges.push_back(std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg));
+    auto& b = *bridges.back();
+    b.add_port(net.add_nic(cfg.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
+    b.add_port(
+        net.add_nic(cfg.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % 3)]));
+    b.load_dumb();
+    b.load_learning();
+    if (with_stp) b.load_ieee();
+  }
+  if (with_stp) net.scheduler().run_for(netsim::seconds(45));  // converge
+
+  trace.clear();
+  auto& probe = net.add_nic("probe", *lans[0]);
+  probe.transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(), probe.mac(),
+                                         ether::EtherType::kExperimental, {1}));
+  net.scheduler().run_for(netsim::seconds(1));
+  return trace.size();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ablation: one broadcast injected into a 3-bridge ring, frames on "
+              "the wire within 1 s\n");
+  const std::size_t with = storm_frames(true);
+  std::printf("%-34s %10zu frames (spanning tree prunes the loop)\n",
+              "with the spanning-tree switchlet", with);
+  const std::size_t without = storm_frames(false);
+  std::printf("%-34s %10zu frames (unbounded growth: \"network collapse\")\n",
+              "without it", without);
+  std::printf("\nthe paper: \"since a bridge that receives one packet may generate "
+              "several packets,\na loop can cause unbounded growth in the number of "
+              "packets on the network.\"\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Scenario builders shared by the paper-reproduction benches: the three
+// configurations of Figures 9 and 10 (direct connection, C buffered
+// repeater, active bridge), each with the calibrated 1997 cost models.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/apps/ping.h"
+#include "src/apps/repeater.h"
+#include "src/apps/ttcp.h"
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/netsim/trace.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::bench {
+
+enum class Config { kDirect, kRepeater, kActiveBridge };
+
+inline const char* to_string(Config c) {
+  switch (c) {
+    case Config::kDirect:
+      return "direct connection";
+    case Config::kRepeater:
+      return "C buffered repeater";
+    case Config::kActiveBridge:
+      return "active bridge";
+  }
+  return "?";
+}
+
+/// hostA -- lan1 -- [element?] -- lan2 -- hostB   (direct: one shared LAN).
+/// Hosts carry the calibrated Linux-host send cost. The bridge element
+/// carries the Caml cost model; `latency_path` selects the paper's
+/// ping-path calibration instead of the ttcp-path one.
+struct Scenario {
+  netsim::Network net;
+  netsim::LanSegment* lan1 = nullptr;
+  netsim::LanSegment* lan2 = nullptr;  ///< == lan1 for kDirect
+  std::unique_ptr<bridge::BridgeNode> bridge;
+  std::unique_ptr<apps::BufferedRepeater> repeater;
+  std::unique_ptr<stack::HostStack> host_a;
+  std::unique_ptr<stack::HostStack> host_b;
+
+  explicit Scenario(Config config, bool latency_path = false,
+                    bool with_spanning_tree = true) {
+    lan1 = &net.add_segment("lan1");
+    lan2 = (config == Config::kDirect) ? lan1 : &net.add_segment("lan2");
+
+    if (config == Config::kRepeater) {
+      auto& r0 = net.add_nic("rep0", *lan1);
+      auto& r1 = net.add_nic("rep1", *lan2);
+      repeater = std::make_unique<apps::BufferedRepeater>(net.scheduler(), r0, r1);
+    } else if (config == Config::kActiveBridge) {
+      bridge::BridgeNodeConfig cfg;
+      cfg.name = "bridge";
+      cfg.cost = latency_path ? netsim::CostModel::caml_bridge_latency_path()
+                              : netsim::CostModel::caml_bridge();
+      bridge = std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg);
+      bridge->add_port(net.add_nic("eth0", *lan1));
+      bridge->add_port(net.add_nic("eth1", *lan2));
+      bridge->load_dumb();
+      bridge->load_learning();
+      if (with_spanning_tree) bridge->load_ieee();
+    }
+
+    stack::HostConfig ha;
+    ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
+    ha.tx_cost = netsim::CostModel::linux_host();
+    host_a = std::make_unique<stack::HostStack>(net.scheduler(),
+                                                net.add_nic("hostA", *lan1), ha);
+    host_a->nic().set_tx_queue_limit(1 << 20);
+
+    stack::HostConfig hb;
+    hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
+    hb.tx_cost = netsim::CostModel::linux_host();
+    host_b = std::make_unique<stack::HostStack>(net.scheduler(),
+                                                net.add_nic("hostB", *lan2), hb);
+    host_b->nic().set_tx_queue_limit(1 << 20);
+  }
+
+  /// Waits out the spanning-tree configuration phase and primes ARP.
+  void warm_up() {
+    net.scheduler().run_for(netsim::seconds(40));
+    apps::PingApp prime(net.scheduler(), *host_a, host_b->ip());
+    prime.send_one(32);
+    net.scheduler().run_for(netsim::seconds(5));
+    // Release the echo handler so a measurement PingApp can take over.
+    host_a->set_echo_handler(nullptr);
+  }
+};
+
+}  // namespace ab::bench

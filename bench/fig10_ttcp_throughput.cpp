@@ -1,0 +1,85 @@
+// Figure 10 reproduction: ttcp throughput vs write size for the three
+// configurations, plus the frames/s series the paper reports alongside.
+//
+// Paper anchor points: 76 Mb/s direct; 16 Mb/s through the active bridge
+// at 8 KB writes; ~360 frames/s for ~50-byte frames rising to ~1790
+// frames/s at 1024-byte frames; the bridge at about 44% of the repeater.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace ab;
+
+namespace {
+
+struct Result {
+  double mbps = 0;
+  double frames_per_second = 0;
+};
+
+Result run_ttcp(bench::Config config, std::size_t write_size) {
+  bench::Scenario s(config);
+  s.warm_up();
+
+  apps::TtcpSink sink(s.net.scheduler(), *s.host_b, 5001);
+  apps::TtcpConfig cfg;
+  cfg.destination = s.host_b->ip();
+  cfg.port = 5001;
+  cfg.write_size = write_size;
+  // Enough writes for a stable rate; bounded so small sizes stay fast.
+  cfg.total_bytes = std::max<std::size_t>(write_size * 2000, 256 * 1024);
+
+  const auto frames_before = s.lan2->stats().frames_carried;
+  apps::TtcpSender sender(*s.host_a, cfg);
+  sender.start();
+  s.net.scheduler().run_for(netsim::seconds(600));
+
+  Result r;
+  r.mbps = sink.throughput_mbps();
+  const auto frames = s.lan2->stats().frames_carried - frames_before;
+  const netsim::Duration window = sink.last_at() - sink.first_at();
+  if (window > netsim::Duration::zero()) {
+    r.frames_per_second =
+        static_cast<double>(frames) / netsim::to_seconds(window);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> sizes = {32, 512, 1024, 2048, 4096, 8192};
+  const std::vector<bench::Config> configs = {
+      bench::Config::kDirect, bench::Config::kRepeater, bench::Config::kActiveBridge};
+
+  std::printf("Figure 10: ttcp throughput (Mb/s) vs write size\n");
+  std::printf("%-12s", "write(B)");
+  for (auto c : configs) std::printf("%24s", bench::to_string(c));
+  std::printf("%24s\n", "bridge frames/s");
+
+  double bridge_at_8k = 0, direct_at_8k = 0, repeater_at_8k = 0;
+  for (std::size_t size : sizes) {
+    std::printf("%-12zu", size);
+    double bridge_fps = 0;
+    for (auto c : configs) {
+      const Result r = run_ttcp(c, size);
+      std::printf("%24.1f", r.mbps);
+      if (c == bench::Config::kActiveBridge) {
+        bridge_fps = r.frames_per_second;
+        if (size == 8192) bridge_at_8k = r.mbps;
+      }
+      if (c == bench::Config::kDirect && size == 8192) direct_at_8k = r.mbps;
+      if (c == bench::Config::kRepeater && size == 8192) repeater_at_8k = r.mbps;
+    }
+    std::printf("%24.0f\n", bridge_fps);
+  }
+
+  std::printf("\npaper anchors: direct 76 Mb/s, bridge 16 Mb/s @8KB writes, bridge "
+              "~44%% of repeater\n");
+  std::printf("measured:      direct %.1f Mb/s, bridge %.1f Mb/s @8KB writes, "
+              "bridge %.0f%% of repeater\n",
+              direct_at_8k, bridge_at_8k,
+              repeater_at_8k > 0 ? 100.0 * bridge_at_8k / repeater_at_8k : 0.0);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9 reproduction: ping latency vs packet size for the three
+// configurations (direct connection, C buffered repeater, active bridge).
+//
+// Paper anchor points: the active bridge adds on the order of a
+// millisecond of RTT over the direct connection, the C repeater sits in
+// between, and 0.34 ms/frame of the bridge's one-way cost is Caml
+// execution. Absolute values come from the calibrated cost models
+// (netsim/cost_model.cpp); the relationships are the result.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace ab;
+
+int main() {
+  const std::vector<std::size_t> sizes = {32, 512, 1024, 2048, 4096};
+  const std::vector<bench::Config> configs = {
+      bench::Config::kDirect, bench::Config::kRepeater, bench::Config::kActiveBridge};
+  constexpr int kPings = 50;
+
+  std::printf("Figure 9: ping RTT (ms) vs ICMP payload size\n");
+  std::printf("%-12s", "size(B)");
+  for (auto c : configs) std::printf("%24s", bench::to_string(c));
+  std::printf("\n");
+
+  for (std::size_t size : sizes) {
+    std::printf("%-12zu", size);
+    for (auto c : configs) {
+      bench::Scenario s(c, /*latency_path=*/true);
+      s.warm_up();
+      apps::PingApp ping(s.net.scheduler(), *s.host_a, s.host_b->ip());
+      ping.run(kPings, size, netsim::milliseconds(100));
+      s.net.scheduler().run_for(netsim::seconds(kPings / 10 + 5));
+      if (ping.stats().received == 0) {
+        std::printf("%24s", "lost");
+      } else {
+        std::printf("%24.3f", netsim::to_millis(ping.stats().avg()));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The decomposition the paper reports: one-way bridge delay above the
+  // repeater is the interpreted-Caml share.
+  const auto bridge_cost = netsim::CostModel::caml_bridge_latency_path();
+  const auto repeater_cost = netsim::CostModel::c_repeater();
+  std::printf("\nper-frame one-way cost at 64 B: repeater %.3f ms, bridge %.3f ms "
+              "(Caml share %.3f ms; paper instrumented 0.34 ms)\n",
+              netsim::to_millis(repeater_cost.cost(64)),
+              netsim::to_millis(bridge_cost.cost(64)),
+              netsim::to_millis(bridge_cost.cost(64) - repeater_cost.cost(64)));
+  return 0;
+}

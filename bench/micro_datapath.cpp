@@ -1,0 +1,132 @@
+// Microbenchmarks over the real data-path code: what a frame actually costs
+// in this implementation (the analog of the paper's per-frame
+// instrumentation in sections 7.2/7.3, but for our C++ path instead of the
+// Caml interpreter).
+#include <benchmark/benchmark.h>
+
+#include "src/bridge/bpdu.h"
+#include "src/bridge/learning.h"
+#include "src/ether/frame.h"
+#include "src/netsim/network.h"
+#include "src/active/demux.h"
+#include "src/util/crc32.h"
+#include "src/util/md5.h"
+
+using namespace ab;
+
+namespace {
+
+void BM_FrameEncode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const ether::Frame f = ether::Frame::ethernet2(
+      ether::MacAddress::local(1, 0), ether::MacAddress::local(2, 0),
+      ether::EtherType::kIpv4, util::ByteBuffer(size, 0x5A));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.encode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FrameEncode)->Arg(64)->Arg(512)->Arg(1500);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const util::ByteBuffer wire =
+      ether::Frame::ethernet2(ether::MacAddress::local(1, 0),
+                              ether::MacAddress::local(2, 0), ether::EtherType::kIpv4,
+                              util::ByteBuffer(size, 0x5A))
+          .encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ether::Frame::decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FrameDecode)->Arg(64)->Arg(512)->Arg(1500);
+
+void BM_MacTableLearnLookup(benchmark::State& state) {
+  bridge::MacTable table;
+  const netsim::TimePoint now{};
+  std::vector<ether::MacAddress> macs;
+  for (std::uint32_t i = 0; i < 1024; ++i) macs.push_back(ether::MacAddress::local(i, 0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& mac = macs[i++ & 1023];
+    table.learn(mac, 1, now);
+    benchmark::DoNotOptimize(table.lookup(mac, now));
+  }
+}
+BENCHMARK(BM_MacTableLearnLookup);
+
+void BM_DemuxDispatch(benchmark::State& state) {
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  auto& nic = net.add_nic("eth0", lan);
+  active::PortTable table(net.scheduler());
+  table.add_interface(nic);
+  active::Demux demux(table);
+  auto& in = table.bind_in("eth0");
+  std::uint64_t count = 0;
+  in.set_handler([&count](const active::Packet&) { ++count; });
+  demux.register_address(ether::MacAddress::all_bridges(),
+                         [&count](const active::Packet&) { ++count; });
+
+  active::Packet p;
+  p.frame = ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                    ether::MacAddress::local(9, 9),
+                                    ether::EtherType::kExperimental, {1, 2, 3});
+  p.ingress = 0;
+  for (auto _ : state) {
+    demux.dispatch(p);
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_DemuxDispatch);
+
+void BM_BpduEncodeDecodeIeee(benchmark::State& state) {
+  const bridge::IeeeBpduCodec codec;
+  bridge::Bpdu b;
+  b.root = bridge::BridgeId{0x8000, ether::MacAddress::local(1, 0)};
+  b.bridge = bridge::BridgeId{0x8000, ether::MacAddress::local(2, 0)};
+  for (auto _ : state) {
+    const ether::Frame f = codec.encode(b, ether::MacAddress::local(2, 0));
+    benchmark::DoNotOptimize(codec.decode(f));
+  }
+}
+BENCHMARK(BM_BpduEncodeDecodeIeee);
+
+void BM_BpduEncodeDecodeDec(benchmark::State& state) {
+  const bridge::DecBpduCodec codec;
+  bridge::Bpdu b;
+  b.root = bridge::BridgeId{0x8000, ether::MacAddress::local(1, 0)};
+  b.bridge = bridge::BridgeId{0x8000, ether::MacAddress::local(2, 0)};
+  for (auto _ : state) {
+    const ether::Frame f = codec.encode(b, ether::MacAddress::local(2, 0));
+    benchmark::DoNotOptimize(codec.decode(f));
+  }
+}
+BENCHMARK(BM_BpduEncodeDecodeDec);
+
+void BM_Crc32(benchmark::State& state) {
+  const util::ByteBuffer data(static_cast<std::size_t>(state.range(0)), 0xA7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1500);
+
+void BM_Md5(benchmark::State& state) {
+  const util::ByteBuffer data(static_cast<std::size_t>(state.range(0)), 0xA7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::md5(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

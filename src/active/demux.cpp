@@ -1,0 +1,67 @@
+#include "src/active/demux.h"
+
+namespace ab::active {
+
+void Demux::register_address(ether::MacAddress dst, Handler handler) {
+  if (!handler) throw std::invalid_argument("Demux: null address handler");
+  if (by_address_.count(dst) != 0) throw AlreadyBound(dst.to_string());
+  by_address_.emplace(dst, std::move(handler));
+}
+
+void Demux::unregister_address(ether::MacAddress dst) { by_address_.erase(dst); }
+
+bool Demux::address_registered(ether::MacAddress dst) const {
+  return by_address_.count(dst) != 0;
+}
+
+void Demux::register_ethertype(ether::EtherType type, Handler handler) {
+  if (!handler) throw std::invalid_argument("Demux: null ethertype handler");
+  const auto key = static_cast<std::uint16_t>(type);
+  if (by_ethertype_.count(key) != 0) {
+    throw AlreadyBound("ethertype " + ether::to_string(type));
+  }
+  by_ethertype_.emplace(key, std::move(handler));
+}
+
+void Demux::unregister_ethertype(ether::EtherType type) {
+  by_ethertype_.erase(static_cast<std::uint16_t>(type));
+}
+
+void Demux::dispatch(const Packet& packet) {
+  const ether::Frame& frame = packet.frame;
+
+  if (const auto it = by_address_.find(frame.dst); it != by_address_.end()) {
+    stats_.to_address_handler += 1;
+    it->second(packet);
+    return;
+  }
+
+  if (frame.is_ethernet2()) {
+    if (const auto it = by_ethertype_.find(*frame.ethertype);
+        it != by_ethertype_.end()) {
+      // "Destined for an Ethernet card installed on this machine": any of
+      // the node's port addresses counts, whichever port heard the frame
+      // (a bridged path may deliver it on a different segment).
+      const bool to_me = frame.dst.is_unicast() && ports_->owns_mac(frame.dst);
+      if (to_me) {
+        stats_.to_ethertype_handler += 1;
+        it->second(packet);
+        return;
+      }
+      if (frame.dst.is_group()) {
+        // Tap: the node's stack sees it, and the bridge still forwards it.
+        stats_.to_ethertype_handler += 1;
+        it->second(packet);
+      }
+    }
+  }
+
+  if (packet.ingress != kNoPort && ports_->is_bound_in(packet.ingress)) {
+    stats_.to_input_port += 1;
+    ports_->deliver_to_port(packet.ingress, packet);
+  } else {
+    stats_.dropped_unbound += 1;
+  }
+}
+
+}  // namespace ab::active

@@ -1,0 +1,72 @@
+// The node-level frame demultiplexer.
+//
+// Dispatch order for every received frame, reproducing how the paper's
+// layers divide traffic:
+//
+//   1. destination-address registrations ("registers with the demultiplexer
+//      requesting packets addressed to the All Bridges multicast address")
+//      consume the frame -- BPDUs are absorbed by STP, never forwarded;
+//   2. EtherType registrations serve the node's own stack (the network
+//      loader's lowest layer "captures those Ethernet layer frames destined
+//      for an Ethernet card installed on this machine" and demuxes on the
+//      Ethernet protocol identifier): a matching frame unicast to the
+//      receiving port's MAC is consumed; a matching group frame (e.g. a
+//      broadcast ARP request for the loader's IP) is handed to the
+//      registration AND still falls through, because the bridge must also
+//      forward it;
+//   3. anything else is delivered to the InputPort bound on the ingress
+//      interface -- the promiscuous stream the bridge switchlets read
+//      ("all other packets continue to be sent to the learning function");
+//      with no bound port the frame is dropped (a repeater with no
+//      switchlets is just a host).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/active/packet.h"
+#include "src/active/ports.h"
+#include "src/ether/frame.h"
+
+namespace ab::active {
+
+/// Per-node frame dispatcher. Owned by ActiveNode; switchlets reach it
+/// through SafeEnv.
+class Demux {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  explicit Demux(PortTable& ports) : ports_(&ports) {}
+
+  /// Requests frames addressed to `dst` (usually a group address). Throws
+  /// AlreadyBound if another switchlet holds the registration -- the same
+  /// first-bind-wins arbitration the paper applies to ports.
+  void register_address(ether::MacAddress dst, Handler handler);
+  void unregister_address(ether::MacAddress dst);
+  [[nodiscard]] bool address_registered(ether::MacAddress dst) const;
+
+  /// Requests frames of an EtherType destined for this node itself (see
+  /// file comment for the group-address tap rule).
+  void register_ethertype(ether::EtherType type, Handler handler);
+  void unregister_ethertype(ether::EtherType type);
+
+  /// Entry point: dispatches one received packet.
+  void dispatch(const Packet& packet);
+
+  struct Stats {
+    std::uint64_t to_address_handler = 0;
+    std::uint64_t to_ethertype_handler = 0;
+    std::uint64_t to_input_port = 0;
+    std::uint64_t dropped_unbound = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  PortTable* ports_;
+  std::unordered_map<ether::MacAddress, Handler> by_address_;
+  std::unordered_map<std::uint16_t, Handler> by_ethertype_;
+  Stats stats_;
+};
+
+}  // namespace ab::active

@@ -1,0 +1,95 @@
+#include "src/active/dynloader.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/active/plugin_abi.h"
+#include "src/active/safe_env.h"
+#include "src/util/string_util.h"
+
+namespace ab::active {
+namespace {
+
+/// RAII for a dlopen handle, shared so the loader can pin it next to the
+/// switchlet it produced.
+std::shared_ptr<void> wrap_handle(void* handle) {
+  return std::shared_ptr<void>(handle, [](void* h) {
+    if (h != nullptr) dlclose(h);
+  });
+}
+
+}  // namespace
+
+util::Expected<LoadedPlugin, std::string> DynLoader::load_from_file(
+    const std::string& path) {
+  void* raw = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (raw == nullptr) {
+    return util::Unexpected{util::format("dlopen(%s) failed: %s", path.c_str(),
+                                         dlerror())};
+  }
+  std::shared_ptr<void> handle = wrap_handle(raw);
+
+  auto name_fn = reinterpret_cast<AbSwitchletNameFn>(dlsym(raw, kAbPluginNameSymbol));
+  auto digest_fn =
+      reinterpret_cast<AbSwitchletDigestFn>(dlsym(raw, kAbPluginDigestSymbol));
+  auto create_fn =
+      reinterpret_cast<AbSwitchletCreateFn>(dlsym(raw, kAbPluginCreateSymbol));
+  if (name_fn == nullptr || digest_fn == nullptr || create_fn == nullptr) {
+    return util::Unexpected{
+        util::format("%s does not export the switchlet plugin ABI", path.c_str())};
+  }
+
+  // The link-time interface check, before running any plugin logic.
+  const std::string plugin_digest = digest_fn();
+  const std::string node_digest = SafeEnv::interface_digest().hex();
+  if (plugin_digest != node_digest) {
+    return util::Unexpected{util::format(
+        "plugin %s interface digest mismatch: plugin %s, node %s", name_fn(),
+        plugin_digest.c_str(), node_digest.c_str())};
+  }
+
+  std::unique_ptr<Switchlet> sw(create_fn());
+  if (!sw) {
+    return util::Unexpected{util::format("plugin %s returned a null switchlet",
+                                         path.c_str())};
+  }
+  if (sw->name() != std::string_view(name_fn())) {
+    return util::Unexpected{util::format(
+        "plugin name mismatch: ABI says '%s', instance says '%s'", name_fn(),
+        std::string(sw->name()).c_str())};
+  }
+  return LoadedPlugin{std::move(sw), std::move(handle)};
+}
+
+util::Expected<LoadedPlugin, std::string> DynLoader::load_from_bytes(
+    const std::string& name, util::ByteView so_bytes) {
+  // Materialize to a scratch file; dlopen has no from-memory form.
+  std::string safe_name = name;
+  for (char& c : safe_name) {
+    if (c == '/' || c == '\\' || c == '.') c = '_';
+  }
+  std::string path = "/tmp/ab_switchlet_" + safe_name + "_XXXXXX.so";
+
+  std::vector<char> tmpl(path.begin(), path.end());
+  tmpl.push_back('\0');
+  const int fd = mkstemps(tmpl.data(), 3);  // keep the ".so" suffix
+  if (fd < 0) {
+    return util::Unexpected{std::string("cannot create scratch file for plugin")};
+  }
+  path.assign(tmpl.data());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(so_bytes.data()),
+              static_cast<std::streamsize>(so_bytes.size()));
+  }
+  close(fd);
+
+  auto loaded = load_from_file(path);
+  std::remove(path.c_str());  // the mapping stays valid after unlink
+  return loaded;
+}
+
+}  // namespace ab::active

@@ -1,0 +1,38 @@
+// DynLoader: dlopen-based loading of native switchlet plugins.
+//
+// Two entry points: load a shared object already on disk, or materialize
+// in-memory bytes (a kNative image that arrived over TFTP) into a scratch
+// file first. In both cases the plugin's compile-time interface digest is
+// compared against the running SafeEnv signature before any plugin code
+// beyond the three ABI accessors runs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/active/switchlet.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace ab::active {
+
+/// A successfully loaded plugin. `handle` keeps the shared object mapped;
+/// it must outlive the switchlet (the loader stores it alongside).
+struct LoadedPlugin {
+  std::unique_ptr<Switchlet> switchlet;
+  std::shared_ptr<void> handle;
+};
+
+class DynLoader {
+ public:
+  /// dlopens a plugin file, validates its ABI and digest, instantiates it.
+  [[nodiscard]] static util::Expected<LoadedPlugin, std::string> load_from_file(
+      const std::string& path);
+
+  /// Writes `so_bytes` to a scratch file (unlinked after open) and loads
+  /// it. `name` is only used in error messages and the scratch file name.
+  [[nodiscard]] static util::Expected<LoadedPlugin, std::string> load_from_bytes(
+      const std::string& name, util::ByteView so_bytes);
+};
+
+}  // namespace ab::active

@@ -1,0 +1,34 @@
+#include "src/active/func_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ab::active {
+
+void FuncRegistry::register_func(const std::string& key, RegisteredFunc fn) {
+  if (!fn) throw std::invalid_argument("FuncRegistry: null function for " + key);
+  funcs_[key] = std::move(fn);
+}
+
+void FuncRegistry::unregister_func(const std::string& key) { funcs_.erase(key); }
+
+bool FuncRegistry::has(const std::string& key) const { return funcs_.count(key) != 0; }
+
+util::Expected<std::string, std::string> FuncRegistry::eval(const std::string& key,
+                                                            const std::string& argument) {
+  const auto it = funcs_.find(key);
+  if (it == funcs_.end()) {
+    return util::Unexpected{"no registered function: " + key};
+  }
+  return it->second(argument);
+}
+
+std::vector<std::string> FuncRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(funcs_.size());
+  for (const auto& [key, fn] : funcs_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ab::active

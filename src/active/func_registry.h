@@ -1,0 +1,49 @@
+// The Func module: "glue routines to allow the loaded functions to properly
+// register themselves. The register routine simply takes a string as a key
+// and a function and enters them into a hash table. There is also a
+// function that allows one to evaluate one of these functions."
+//
+// Dynamic linking in Caml gives newly loaded code no way to be *called* by
+// already-linked code, so loaded modules run top-level forms that register
+// callable entry points here. Our switchlets do the same from start():
+// registering named functions is how the control switchlet later reaches
+// the "access points" earlier switchlets exported.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace ab::active {
+
+/// Registered functions take and return strings -- the lowest common
+/// denominator glue the paper describes. Richer access points (the port
+/// gates the control switchlet flips) are typed capabilities exposed by the
+/// bridge's forwarding plane instead.
+using RegisteredFunc = std::function<std::string(const std::string&)>;
+
+class FuncRegistry {
+ public:
+  /// Registers `fn` under `key`, replacing any previous registration (a
+  /// reloaded switchlet re-registers itself).
+  void register_func(const std::string& key, RegisteredFunc fn);
+
+  void unregister_func(const std::string& key);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Evaluates a registered function. Error if the key is unknown.
+  [[nodiscard]] util::Expected<std::string, std::string> eval(
+      const std::string& key, const std::string& argument = "");
+
+  /// All registered keys (sorted), for diagnostics.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::unordered_map<std::string, RegisteredFunc> funcs_;
+};
+
+}  // namespace ab::active

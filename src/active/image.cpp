@@ -1,0 +1,91 @@
+#include "src/active/image.h"
+
+#include "src/active/safe_env.h"
+#include "src/util/string_util.h"
+
+namespace ab::active {
+namespace {
+constexpr char kMagic[] = "ABSW1";  // 5 chars + NUL on the wire
+constexpr std::size_t kMagicLen = 6;
+}  // namespace
+
+util::ByteBuffer SwitchletImage::encode() const {
+  util::BufWriter w;
+  w.bytes(util::ByteView(reinterpret_cast<const std::uint8_t*>(kMagic), kMagicLen));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.bytes(util::ByteView(required_interface.bytes.data(),
+                         required_interface.bytes.size()));
+  w.cstring(name);
+  w.bytes(payload);
+  return w.take();
+}
+
+util::Expected<SwitchletImage, std::string> SwitchletImage::decode(
+    util::ByteView wire) {
+  try {
+    util::BufReader r(wire);
+    std::array<std::uint8_t, kMagicLen> magic{};
+    r.fill(magic);
+    if (std::memcmp(magic.data(), kMagic, kMagicLen) != 0) {
+      return util::Unexpected{std::string("not a switchlet image (bad magic)")};
+    }
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(ImageKind::kNamed) &&
+        kind != static_cast<std::uint8_t>(ImageKind::kNative)) {
+      return util::Unexpected{util::format("unknown image kind %u", kind)};
+    }
+    SwitchletImage img;
+    img.kind = static_cast<ImageKind>(kind);
+    r.fill(img.required_interface.bytes);
+    img.name = r.cstring();
+    if (img.name.empty()) {
+      return util::Unexpected{std::string("image has an empty module name")};
+    }
+    const util::ByteView payload = r.rest();
+    img.payload.assign(payload.begin(), payload.end());
+    if (img.kind == ImageKind::kNative && img.payload.empty()) {
+      return util::Unexpected{std::string("native image has no shared-object bytes")};
+    }
+    return img;
+  } catch (const util::BufferUnderflow& e) {
+    return util::Unexpected{std::string("truncated switchlet image: ") + e.what()};
+  }
+}
+
+SwitchletImage SwitchletImage::named(const std::string& name) {
+  SwitchletImage img;
+  img.kind = ImageKind::kNamed;
+  img.name = name;
+  img.required_interface = SafeEnv::interface_digest();
+  return img;
+}
+
+SwitchletImage SwitchletImage::native(const std::string& name,
+                                      util::ByteBuffer so_bytes) {
+  SwitchletImage img;
+  img.kind = ImageKind::kNative;
+  img.name = name;
+  img.required_interface = SafeEnv::interface_digest();
+  img.payload = std::move(so_bytes);
+  return img;
+}
+
+void ImageRegistry::add(const std::string& name, SwitchletFactory factory) {
+  if (!factory) throw std::invalid_argument("ImageRegistry: null factory for " + name);
+  factories_[name] = std::move(factory);
+}
+
+bool ImageRegistry::has(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+util::Expected<std::unique_ptr<Switchlet>, std::string> ImageRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return util::Unexpected{"no switchlet factory registered for: " + name};
+  }
+  return it->second();
+}
+
+}  // namespace ab::active

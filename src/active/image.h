@@ -1,0 +1,86 @@
+// Switchlet images: the on-the-wire form of a loadable module.
+//
+// The paper transmits Caml byte-code files; "when Caml compiles a set of
+// sources into byte codes, it includes an MD5 digest of the interfaces
+// required by this module as well as the MD5 digest of the interface
+// exported by this module," and module thinning is sound only while those
+// digests match. Our image header reproduces that: every image carries the
+// MD5 of the SafeEnv interface signature it was built against, and the
+// loader refuses images whose digest differs from the running node's
+// (Caml's link-time signature mismatch).
+//
+// Two image kinds:
+//   * kNamed  -- the payload is empty; the name selects a factory from the
+//     node's ImageRegistry ("code the node already has on disk"). This is
+//     what the hermetic simulations and most tests ship over TFTP.
+//   * kNative -- the payload is a platform shared object; the loader writes
+//     it to a scratch file and dlopen()s it (see dynloader.h). This is the
+//     C++ analog of shipping actual code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/active/switchlet.h"
+#include "src/util/bytes.h"
+#include "src/util/md5.h"
+#include "src/util/result.h"
+
+namespace ab::active {
+
+enum class ImageKind : std::uint8_t {
+  kNamed = 1,
+  kNative = 2,
+};
+
+/// Creates a fresh instance of a switchlet.
+using SwitchletFactory = std::function<std::unique_ptr<Switchlet>()>;
+
+/// A decoded switchlet image.
+struct SwitchletImage {
+  ImageKind kind = ImageKind::kNamed;
+  std::string name;
+  /// Digest of the SafeEnv interface the module was compiled against.
+  util::Md5Digest required_interface;
+  /// kNative only: the shared-object bytes.
+  util::ByteBuffer payload;
+
+  /// Serializes to the wire format (magic, kind, digest, name, payload).
+  [[nodiscard]] util::ByteBuffer encode() const;
+
+  /// Parses and validates the wire format (not the digest -- that is the
+  /// loader's job, so the error messages can distinguish the cases).
+  [[nodiscard]] static util::Expected<SwitchletImage, std::string> decode(
+      util::ByteView wire);
+
+  /// Convenience: a named image stamped with the *current* interface
+  /// digest (what a correctly compiled module would carry).
+  [[nodiscard]] static SwitchletImage named(const std::string& name);
+
+  /// A native image wrapping shared-object bytes.
+  [[nodiscard]] static SwitchletImage native(const std::string& name,
+                                             util::ByteBuffer so_bytes);
+};
+
+/// The node's catalogue of locally available switchlet factories -- the
+/// "disk" the paper's initial loader can load from, and the resolution
+/// target for kNamed images arriving over the network.
+class ImageRegistry {
+ public:
+  /// Registers a factory; replaces an existing one of the same name.
+  void add(const std::string& name, SwitchletFactory factory);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Instantiates a switchlet; error if the name is unknown.
+  [[nodiscard]] util::Expected<std::unique_ptr<Switchlet>, std::string> create(
+      const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, SwitchletFactory> factories_;
+};
+
+}  // namespace ab::active

@@ -1,0 +1,174 @@
+#include "src/active/loader.h"
+
+#include <algorithm>
+
+#include "src/active/dynloader.h"
+#include "src/util/string_util.h"
+
+namespace ab::active {
+
+util::Expected<Switchlet*, std::string> SwitchletLoader::load(
+    const SwitchletImage& image) {
+  // The link-time check: the image must have been built against the exact
+  // environment interface this node exposes.
+  if (image.required_interface != SafeEnv::interface_digest()) {
+    stats_.rejected_digest += 1;
+    const std::string err = util::format(
+        "interface digest mismatch for %s: image %s, node %s", image.name.c_str(),
+        image.required_interface.hex().c_str(),
+        SafeEnv::interface_digest().hex().c_str());
+    log_->warn("loader", err);
+    return util::Unexpected{err};
+  }
+
+  if (image.kind == ImageKind::kNamed) {
+    auto created = registry_.create(image.name);
+    if (!created) {
+      stats_.rejected_unknown += 1;
+      log_->warn("loader", created.error());
+      return util::Unexpected{created.error()};
+    }
+    return load_instance(std::move(created.value()));
+  }
+
+  // Native: materialize the shared object and dlopen it.
+  auto plugin = DynLoader::load_from_bytes(image.name, image.payload);
+  if (!plugin) {
+    stats_.load_failures += 1;
+    log_->warn("loader", plugin.error());
+    return util::Unexpected{plugin.error()};
+  }
+  return load_instance(std::move(plugin->switchlet), plugin->handle);
+}
+
+util::Expected<Switchlet*, std::string> SwitchletLoader::load_bytes(
+    util::ByteView bytes) {
+  auto image = SwitchletImage::decode(bytes);
+  if (!image) {
+    stats_.rejected_malformed += 1;
+    log_->warn("loader", "malformed image: " + image.error());
+    return util::Unexpected{image.error()};
+  }
+  return load(image.value());
+}
+
+util::Expected<Switchlet*, std::string> SwitchletLoader::load_instance(
+    std::unique_ptr<Switchlet> switchlet, std::shared_ptr<void> backing,
+    bool autostart) {
+  if (!switchlet) throw std::invalid_argument("load_instance: null switchlet");
+  const std::string name(switchlet->name());
+  if (find(name) != nullptr) {
+    return util::Unexpected{"module already loaded: " + name};
+  }
+  LoadedSwitchlet entry;
+  entry.switchlet = std::move(switchlet);
+  entry.backing = std::move(backing);
+  Switchlet* raw = entry.switchlet.get();
+  if (autostart) {
+    try {
+      raw->start(*env_);
+    } catch (const std::exception& e) {
+      stats_.load_failures += 1;
+      const std::string err =
+          util::format("switchlet %s failed to start: %s", name.c_str(), e.what());
+      log_->error("loader", err);
+      return util::Unexpected{err};
+    }
+    entry.state = SwitchletState::kRunning;
+  } else {
+    entry.state = SwitchletState::kLoaded;
+  }
+  modules_.push_back(std::move(entry));
+  stats_.loaded += 1;
+  log_->info("loader",
+             autostart ? "loaded and started: " + name : "loaded (not started): " + name);
+  return raw;
+}
+
+LoadedSwitchlet* SwitchletLoader::find_entry(std::string_view name) {
+  for (LoadedSwitchlet& m : modules_) {
+    if (m.switchlet->name() == name) return &m;
+  }
+  return nullptr;
+}
+
+const LoadedSwitchlet* SwitchletLoader::find_entry(std::string_view name) const {
+  for (const LoadedSwitchlet& m : modules_) {
+    if (m.switchlet->name() == name) return &m;
+  }
+  return nullptr;
+}
+
+Switchlet* SwitchletLoader::find(std::string_view name) {
+  LoadedSwitchlet* e = find_entry(name);
+  return e != nullptr ? e->switchlet.get() : nullptr;
+}
+
+SwitchletState SwitchletLoader::state_of(std::string_view name) const {
+  const LoadedSwitchlet* e = find_entry(name);
+  if (e == nullptr) throw std::out_of_range("no such module: " + std::string(name));
+  return e->state;
+}
+
+bool SwitchletLoader::start(std::string_view name) {
+  LoadedSwitchlet* e = find_entry(name);
+  if (e == nullptr || e->state == SwitchletState::kRunning) return false;
+  if (e->state == SwitchletState::kSuspended) return resume(name);
+  e->switchlet->start(*env_);
+  e->state = SwitchletState::kRunning;
+  log_->info("loader", "started: " + std::string(name));
+  return true;
+}
+
+bool SwitchletLoader::stop(std::string_view name) {
+  LoadedSwitchlet* e = find_entry(name);
+  if (e == nullptr || e->state == SwitchletState::kStopped ||
+      e->state == SwitchletState::kLoaded) {
+    return false;
+  }
+  e->switchlet->stop();
+  e->state = SwitchletState::kStopped;
+  log_->info("loader", "stopped: " + std::string(name));
+  return true;
+}
+
+bool SwitchletLoader::suspend(std::string_view name) {
+  LoadedSwitchlet* e = find_entry(name);
+  if (e == nullptr || e->state != SwitchletState::kRunning) return false;
+  e->switchlet->suspend();
+  e->state = SwitchletState::kSuspended;
+  log_->info("loader", "suspended: " + std::string(name));
+  return true;
+}
+
+bool SwitchletLoader::resume(std::string_view name) {
+  LoadedSwitchlet* e = find_entry(name);
+  if (e == nullptr || e->state != SwitchletState::kSuspended) return false;
+  e->switchlet->resume();
+  e->state = SwitchletState::kRunning;
+  log_->info("loader", "resumed: " + std::string(name));
+  return true;
+}
+
+bool SwitchletLoader::unload(std::string_view name) {
+  const auto it =
+      std::find_if(modules_.begin(), modules_.end(), [&](const LoadedSwitchlet& m) {
+        return m.switchlet->name() == name;
+      });
+  if (it == modules_.end()) return false;
+  if (it->state == SwitchletState::kRunning || it->state == SwitchletState::kSuspended) {
+    it->switchlet->stop();
+  }
+  modules_.erase(it);
+  log_->info("loader", "unloaded: " + std::string(name));
+  return true;
+}
+
+std::vector<std::string> SwitchletLoader::loaded_names() const {
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const LoadedSwitchlet& m : modules_) out.emplace_back(m.switchlet->name());
+  return out;
+}
+
+}  // namespace ab::active

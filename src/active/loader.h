@@ -1,0 +1,103 @@
+// The switchlet loader: "a basic component of our system is our switchlet
+// loader, which allows the user to load in new switchlets and to execute
+// them. Another important aspect of the loader is that it establishes the
+// environment in which switchlets execute."
+//
+// load paths:
+//   * load(image)       -- from a decoded image ("from disk");
+//   * load_bytes(bytes) -- from wire bytes (what the TFTP network loader
+//                          delivers);
+//   * load_instance(sw) -- an already-constructed module (tests, examples).
+//
+// Every path performs the interface-digest check before linking: an image
+// whose required_interface differs from the running SafeEnv's digest is
+// refused, the analog of the Caml link-time signature mismatch that keeps
+// module thinning sound.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/active/image.h"
+#include "src/active/safe_env.h"
+#include "src/active/switchlet.h"
+#include "src/util/log.h"
+#include "src/util/result.h"
+
+namespace ab::active {
+
+/// A loaded module and its lifecycle state.
+struct LoadedSwitchlet {
+  std::unique_ptr<Switchlet> switchlet;
+  SwitchletState state = SwitchletState::kLoaded;
+  /// Keeps a dlopen handle (or other backing resource) alive for as long
+  /// as the code it contains may run.
+  std::shared_ptr<void> backing;
+};
+
+class SwitchletLoader {
+ public:
+  struct Stats {
+    std::uint64_t loaded = 0;
+    std::uint64_t rejected_digest = 0;
+    std::uint64_t rejected_malformed = 0;
+    std::uint64_t rejected_unknown = 0;
+    std::uint64_t load_failures = 0;  ///< factory/start threw
+  };
+
+  SwitchletLoader(SafeEnv& env, util::Logger& log) : env_(&env), log_(&log) {}
+
+  SwitchletLoader(const SwitchletLoader&) = delete;
+  SwitchletLoader& operator=(const SwitchletLoader&) = delete;
+
+  /// The node's local factory catalogue (resolution target for kNamed
+  /// images; also the "disk" the initial loader reads).
+  [[nodiscard]] ImageRegistry& registry() { return registry_; }
+
+  /// Loads and starts a switchlet from a decoded image. On success returns
+  /// the running instance (owned by the loader).
+  util::Expected<Switchlet*, std::string> load(const SwitchletImage& image);
+
+  /// Decodes wire bytes, then load(). This is the TFTP receive path.
+  util::Expected<Switchlet*, std::string> load_bytes(util::ByteView bytes);
+
+  /// Links an already-constructed switchlet (bypasses image decoding but
+  /// not the start protocol). `backing` optionally pins supporting
+  /// resources (a dlopen handle). With `autostart` false the module is
+  /// linked but left in the `loaded` state -- the paper's transition
+  /// experiment loads the new protocol without running it.
+  util::Expected<Switchlet*, std::string> load_instance(
+      std::unique_ptr<Switchlet> switchlet, std::shared_ptr<void> backing = nullptr,
+      bool autostart = true);
+
+  /// Lookup by module name; nullptr when absent.
+  [[nodiscard]] Switchlet* find(std::string_view name);
+  [[nodiscard]] SwitchletState state_of(std::string_view name) const;
+
+  /// Lifecycle control (the control switchlet's levers). All are no-ops
+  /// with a false return when the name is unknown or the transition is
+  /// invalid.
+  bool start(std::string_view name);    ///< (re)start a loaded/stopped module
+  bool stop(std::string_view name);
+  bool suspend(std::string_view name);
+  bool resume(std::string_view name);
+
+  /// Stops (if needed) and removes a module entirely.
+  bool unload(std::string_view name);
+
+  [[nodiscard]] std::vector<std::string> loaded_names() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  LoadedSwitchlet* find_entry(std::string_view name);
+  const LoadedSwitchlet* find_entry(std::string_view name) const;
+
+  SafeEnv* env_;
+  util::Logger* log_;
+  ImageRegistry registry_;
+  std::vector<LoadedSwitchlet> modules_;
+  Stats stats_;
+};
+
+}  // namespace ab::active

@@ -1,0 +1,82 @@
+// The network loader switchlet -- section 5.2 of the paper.
+//
+// "When the loader first starts, it is limited to those capabilities
+// required to continue the loading process... In particular, the initial
+// loader can only load switchlets from disk. To overcome this limitation,
+// we load a network loader. It consists of four layers."
+//
+//   layer 1: Ethernet capture of frames destined for this node, demuxed on
+//            the Ethernet protocol identifier (our Demux ethertype
+//            registrations, plus ARP so peers can resolve the loader's IP);
+//   layer 2: a minimal IP -- crucially, "(It does not, for example,
+//            implement fragmentation.)" Fragments are counted and dropped;
+//   layer 3: a minimal UDP, demuxed on destination port;
+//   layer 4: a TFTP server servicing only binary-mode write requests; a
+//            completed file is handed to the switchlet loader.
+//
+// Replies are addressed from state learned off the request frames (peer
+// MAC + ingress port), so the mini-stack needs no ARP client or routing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/active/loader.h"
+#include "src/active/switchlet.h"
+#include "src/stack/ipv4.h"
+#include "src/stack/tftp.h"
+
+namespace ab::active {
+
+struct NetLoaderConfig {
+  /// The loader's own IP address (the TFTP server's address).
+  stack::Ipv4Addr ip;
+};
+
+/// Statistics for the loader's mini stack.
+struct NetLoaderStats {
+  std::uint64_t arp_replies = 0;
+  std::uint64_t ip_received = 0;
+  std::uint64_t fragments_dropped = 0;   ///< minimal IP: no fragmentation
+  std::uint64_t non_udp_dropped = 0;     ///< minimal IP: UDP only
+  std::uint64_t udp_delivered = 0;
+  std::uint64_t files_received = 0;
+  std::uint64_t switchlets_loaded = 0;
+  std::uint64_t switchlet_load_failures = 0;
+};
+
+class NetLoaderSwitchlet final : public Switchlet {
+ public:
+  /// `loader` is where completed images are sent; it must outlive this
+  /// switchlet (both are owned by the same ActiveNode in practice).
+  NetLoaderSwitchlet(NetLoaderConfig config, SwitchletLoader& loader);
+
+  [[nodiscard]] std::string_view name() const override { return "loader.net"; }
+  void start(SafeEnv& env) override;
+  void stop() override;
+
+  [[nodiscard]] const NetLoaderStats& stats() const { return stats_; }
+  [[nodiscard]] stack::Ipv4Addr ip() const { return config_.ip; }
+
+ private:
+  /// Where to send replies for a given peer endpoint.
+  struct PeerRoute {
+    ether::MacAddress mac;
+    PortId port = kNoPort;
+  };
+
+  void on_arp(const Packet& packet);
+  void on_ipv4(const Packet& packet);
+  void send_udp_to(const stack::TftpEndpoint& peer, std::uint16_t local_port,
+                   util::ByteBuffer payload);
+
+  NetLoaderConfig config_;
+  SwitchletLoader* loader_;
+  SafeEnv* env_ = nullptr;
+  std::unique_ptr<stack::TftpServer> tftp_;
+  std::map<stack::TftpEndpoint, PeerRoute> routes_;
+  NetLoaderStats stats_;
+  bool running_ = false;
+};
+
+}  // namespace ab::active

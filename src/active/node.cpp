@@ -1,0 +1,27 @@
+#include "src/active/node.h"
+
+namespace ab::active {
+
+ActiveNode::ActiveNode(netsim::Scheduler& scheduler, ActiveNodeConfig config)
+    : scheduler_(&scheduler),
+      config_(std::move(config)),
+      log_(config_.log_sink ? util::Logger(config_.log_sink) : util::Logger()),
+      processing_(scheduler, config_.cost),
+      ports_(scheduler),
+      demux_(ports_),
+      env_(Timers(scheduler), log_, ports_, demux_, funcs_),
+      loader_(env_, log_) {}
+
+PortId ActiveNode::add_port(netsim::Nic& nic) {
+  const PortId id = ports_.add_interface(nic);
+  nic.set_rx_handler([this, id](const ether::Frame& frame) {
+    frames_received_ += 1;
+    // Figure 5 steps 2-4: into the node's software, charged per frame.
+    processing_.submit(frame.payload.size(), [this, id, frame] {
+      demux_.dispatch(Packet{frame, id, scheduler_->now()});
+    });
+  });
+  return id;
+}
+
+}  // namespace ab::active

@@ -1,0 +1,73 @@
+// ActiveNode: the programmable network element -- "store, compute, and
+// forward". It owns the loader infrastructure (port table, demultiplexer,
+// Func registry, switchlet loader, Log) and the per-frame processing
+// element that models the node's software costs.
+//
+// Receive path (Figure 5 of the paper, steps 2-4): NIC delivers a frame ->
+// the ProcessingElement charges the node's CostModel (kernel crossings,
+// interpreter, GC) -> the Demux dispatches to switchlet registrations or
+// the bound input port.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/active/demux.h"
+#include "src/active/func_registry.h"
+#include "src/active/loader.h"
+#include "src/active/ports.h"
+#include "src/active/safe_env.h"
+#include "src/netsim/cost_model.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/scheduler.h"
+#include "src/util/log.h"
+
+namespace ab::active {
+
+struct ActiveNodeConfig {
+  std::string name = "active-node";
+  /// Software cost per received frame. CostModel::ideal() for functional
+  /// tests; CostModel::caml_bridge() to reproduce the paper's numbers.
+  netsim::CostModel cost = netsim::CostModel::ideal();
+  /// Optional log sink; default discards.
+  std::shared_ptr<util::LogSink> log_sink;
+};
+
+class ActiveNode {
+ public:
+  ActiveNode(netsim::Scheduler& scheduler, ActiveNodeConfig config = {});
+
+  ActiveNode(const ActiveNode&) = delete;
+  ActiveNode& operator=(const ActiveNode&) = delete;
+
+  /// Attaches a NIC as one of this node's ports. The node takes over the
+  /// NIC's receive handler.
+  PortId add_port(netsim::Nic& nic);
+
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] util::Logger& logger() { return log_; }
+  [[nodiscard]] PortTable& ports() { return ports_; }
+  [[nodiscard]] Demux& demux() { return demux_; }
+  [[nodiscard]] FuncRegistry& funcs() { return funcs_; }
+  [[nodiscard]] SafeEnv& env() { return env_; }
+  [[nodiscard]] SwitchletLoader& loader() { return loader_; }
+  [[nodiscard]] netsim::ProcessingElement& processing() { return processing_; }
+  [[nodiscard]] netsim::Scheduler& scheduler() { return *scheduler_; }
+
+  /// Frames that entered the node (pre-cost-model).
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  netsim::Scheduler* scheduler_;
+  ActiveNodeConfig config_;
+  util::Logger log_;
+  netsim::ProcessingElement processing_;
+  PortTable ports_;
+  Demux demux_;
+  FuncRegistry funcs_;
+  SafeEnv env_;
+  SwitchletLoader loader_;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace ab::active

@@ -1,0 +1,33 @@
+// The packet record switchlets operate on -- the C++ rendering of the type
+// in the paper's Figure 4:
+//
+//   type packet = { len : int; addr : Safeunix.sockaddr; pkt : string }
+//
+// The Caml version carried raw bytes plus the socket address they arrived
+// on; here the frame arrives already decoded (our simulated NIC verified
+// the FCS) and `ingress` identifies the input port.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ether/frame.h"
+#include "src/netsim/time.h"
+
+namespace ab::active {
+
+/// Identifies a bound port within one active node's port table.
+using PortId = std::uint16_t;
+
+/// Sentinel for "no port" (e.g. packets injected by tests).
+inline constexpr PortId kNoPort = 0xFFFF;
+
+/// One received frame, as presented to switchlets.
+struct Packet {
+  ether::Frame frame;
+  PortId ingress = kNoPort;
+  netsim::TimePoint received_at{};
+
+  [[nodiscard]] std::size_t len() const { return frame.payload.size(); }
+};
+
+}  // namespace ab::active

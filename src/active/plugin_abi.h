@@ -1,0 +1,42 @@
+// The C ABI a native switchlet plugin (shared object) must export. The
+// dlopen path is the C++ analog of the paper's Caml Dynlink: code compiled
+// separately, delivered as a file, linked into the running node.
+//
+// A plugin exports three symbols:
+//
+//   const char* ab_switchlet_name(void);
+//       the module name, matching Switchlet::name() of the instance;
+//   const char* ab_switchlet_interface_digest(void);
+//       lower-case hex MD5 of the SafeEnv interface signature the plugin
+//       was COMPILED against (the macro below captures it at the plugin's
+//       compile time, so a plugin built against a stale header carries a
+//       stale digest and is refused at load -- exactly the Caml behaviour);
+//   ab::active::Switchlet* ab_switchlet_create(void);
+//       a heap-allocated instance, ownership transferred to the loader.
+//
+// Use AB_DEFINE_SWITCHLET_PLUGIN(Type, "name") to generate all three.
+#pragma once
+
+#include "src/active/safe_env.h"
+#include "src/active/switchlet.h"
+
+extern "C" {
+using AbSwitchletNameFn = const char* (*)();
+using AbSwitchletDigestFn = const char* (*)();
+using AbSwitchletCreateFn = ab::active::Switchlet* (*)();
+}
+
+/// Symbol names the loader looks up.
+inline constexpr const char* kAbPluginNameSymbol = "ab_switchlet_name";
+inline constexpr const char* kAbPluginDigestSymbol = "ab_switchlet_interface_digest";
+inline constexpr const char* kAbPluginCreateSymbol = "ab_switchlet_create";
+
+/// Expands to the three exported symbols for a Switchlet subclass.
+#define AB_DEFINE_SWITCHLET_PLUGIN(Type, name_literal)                          \
+  extern "C" const char* ab_switchlet_name() { return name_literal; }          \
+  extern "C" const char* ab_switchlet_interface_digest() {                     \
+    static const std::string digest =                                          \
+        ab::active::SafeEnv::interface_digest().hex();                         \
+    return digest.c_str();                                                     \
+  }                                                                            \
+  extern "C" ab::active::Switchlet* ab_switchlet_create() { return new Type(); }

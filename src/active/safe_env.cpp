@@ -1,0 +1,9 @@
+#include "src/active/safe_env.h"
+
+namespace ab::active {
+
+util::Md5Digest SafeEnv::interface_digest() {
+  return util::md5(std::string_view(kInterfaceSignature));
+}
+
+}  // namespace ab::active

@@ -1,0 +1,87 @@
+// SafeEnv: the thinned execution environment handed to switchlets.
+//
+// The paper's loader establishes the environment in which switchlets
+// execute via Caml *module thinning*: "We have thinned the signature of the
+// modules to be accessed by switchlets to exclude those functions that
+// might allow security violations. This leaves the switchlet with no way of
+// naming the excluded function." Its initial set of eight modules includes
+// Safestd, Safeunix (time + networking types only), Log, threads, Func, and
+// Unixnet.
+//
+// C++ cannot enforce name-space security in the language, so we reproduce
+// the *mechanism*: SafeEnv is the only parameter a switchlet's start()
+// receives, and it exposes exactly the thinned surface --
+//
+//   timers  (Safethread/Safeunix time functions)
+//   log     (the Log module)
+//   ports   (Unixnet)
+//   demux   (the registration interface)
+//   funcs   (the Func module)
+//
+// -- and nothing else: no filesystem, no raw scheduler, no NICs, no other
+// switchlets' state. The loader verifies, before linking, that an image was
+// built against this exact interface by comparing MD5 digests of
+// kInterfaceSignature, just as Caml byte codes carry MD5 digests of the
+// interfaces they import (see image.h).
+#pragma once
+
+#include "src/active/demux.h"
+#include "src/active/func_registry.h"
+#include "src/active/ports.h"
+#include "src/netsim/scheduler.h"
+#include "src/util/log.h"
+#include "src/util/md5.h"
+
+namespace ab::active {
+
+/// The thinned slice of the scheduler switchlets may use: relative timers
+/// and the clock, but no ability to run, drain, or reorder the event loop.
+class Timers {
+ public:
+  explicit Timers(netsim::Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  [[nodiscard]] netsim::TimePoint now() const { return scheduler_->now(); }
+
+  netsim::EventId schedule_after(netsim::Duration delay,
+                                 netsim::Scheduler::Callback fn) {
+    return scheduler_->schedule_after(delay, std::move(fn));
+  }
+
+  void cancel(netsim::EventId id) { scheduler_->cancel(id); }
+
+ private:
+  netsim::Scheduler* scheduler_;
+};
+
+/// The capability bundle passed to Switchlet::start(). References remain
+/// valid for the lifetime of the owning ActiveNode.
+class SafeEnv {
+ public:
+  /// The interface signature string. Any change to the switchlet-visible
+  /// API must bump this; its MD5 is the digest checked at load time.
+  static constexpr const char* kInterfaceSignature =
+      "ab.active.SafeEnv/1: timers=Timers/1 log=Logger/1 ports=PortTable/1 "
+      "demux=Demux/1 funcs=FuncRegistry/1";
+
+  /// MD5 of kInterfaceSignature -- the loader's link-time check value.
+  [[nodiscard]] static util::Md5Digest interface_digest();
+
+  SafeEnv(Timers timers, util::Logger& log, PortTable& ports, Demux& demux,
+          FuncRegistry& funcs)
+      : timers_(timers), log_(&log), ports_(&ports), demux_(&demux), funcs_(&funcs) {}
+
+  [[nodiscard]] Timers& timers() { return timers_; }
+  [[nodiscard]] util::Logger& log() { return *log_; }
+  [[nodiscard]] PortTable& ports() { return *ports_; }
+  [[nodiscard]] Demux& demux() { return *demux_; }
+  [[nodiscard]] FuncRegistry& funcs() { return *funcs_; }
+
+ private:
+  Timers timers_;
+  util::Logger* log_;
+  PortTable* ports_;
+  Demux* demux_;
+  FuncRegistry* funcs_;
+};
+
+}  // namespace ab::active

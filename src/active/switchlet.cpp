@@ -1,0 +1,19 @@
+#include "src/active/switchlet.h"
+
+namespace ab::active {
+
+std::string_view to_string(SwitchletState state) {
+  switch (state) {
+    case SwitchletState::kLoaded:
+      return "loaded";
+    case SwitchletState::kRunning:
+      return "running";
+    case SwitchletState::kSuspended:
+      return "suspended";
+    case SwitchletState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+}  // namespace ab::active

@@ -1,0 +1,51 @@
+// The Switchlet interface: a loadable module extending the active node.
+//
+// Lifecycle mirrors the states in the paper's Table 1 (loaded / running /
+// suspended) plus stopped. The loader drives the transitions; the control
+// switchlet of the protocol-transition experiment drives suspend/resume and
+// stop/start on the two spanning-tree switchlets.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/active/safe_env.h"
+
+namespace ab::active {
+
+enum class SwitchletState {
+  kLoaded,     ///< linked into the node, not yet started
+  kRunning,
+  kSuspended,  ///< halted but retaining state (Table 1's "suspended")
+  kStopped,    ///< halted and deregistered
+};
+
+[[nodiscard]] std::string_view to_string(SwitchletState state);
+
+/// Base class for loadable modules. Implementations must be self-contained:
+/// everything they touch comes through the SafeEnv passed to start().
+class Switchlet {
+ public:
+  virtual ~Switchlet() = default;
+
+  /// Stable module name ("bridge.dumb", "stp.ieee", ...). Used as the
+  /// loader's lookup key.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Begin operating: bind ports, register with the demultiplexer and the
+  /// Func registry, arm timers. Equivalent to the top-level forms a Caml
+  /// byte-code module evaluates on load. May be called again after stop().
+  virtual void start(SafeEnv& env) = 0;
+
+  /// Cease operating and release registrations. Must be idempotent.
+  virtual void stop() = 0;
+
+  /// Halt packet processing but keep internal state (default: stop()).
+  virtual void suspend() { stop(); }
+
+  /// Resume after suspend() (default: restart is the owner's job; a
+  /// stateful switchlet overrides this pair).
+  virtual void resume() {}
+};
+
+}  // namespace ab::active

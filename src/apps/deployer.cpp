@@ -1,0 +1,72 @@
+#include "src/apps/deployer.h"
+
+namespace ab::apps {
+
+Deployer::Deployer(netsim::Scheduler& scheduler, stack::HostStack& admin)
+    : scheduler_(&scheduler),
+      admin_(&admin),
+      tftp_(scheduler, [this](const stack::TftpEndpoint& peer, std::uint16_t local,
+                              util::ByteBuffer packet) {
+        if (bound_ports_.insert(local).second) {
+          admin_->bind_udp(local, [this, local](stack::Ipv4Addr src,
+                                                const stack::UdpDatagram& d) {
+            tftp_.on_datagram({src, d.src_port}, local, d.payload);
+          });
+        }
+        admin_->send_udp(peer.ip, local, peer.port, std::move(packet));
+      }) {}
+
+void Deployer::deploy(std::vector<DeployStep> steps, Done done) {
+  if (busy_) throw std::logic_error("Deployer: a plan is already running");
+  if (!done) throw std::invalid_argument("Deployer: null completion");
+  steps_ = std::move(steps);
+  done_ = std::move(done);
+  results_.clear();
+  current_ = 0;
+  busy_ = true;
+  run_step();
+}
+
+void Deployer::run_step() {
+  if (current_ >= steps_.size()) {
+    busy_ = false;
+    Done done = std::move(done_);
+    done(results_);
+    return;
+  }
+  results_.push_back(DeployResult{steps_[current_].node,
+                                  steps_[current_].image.name, false, 0, ""});
+  attempt(1);
+}
+
+void Deployer::attempt(int attempt_number) {
+  DeployStep& step = steps_[current_];
+  DeployResult& result = results_.back();
+  result.attempts = attempt_number;
+  tftp_.put(
+      {step.node, stack::TftpServer::kWellKnownPort}, step.image.name + ".img",
+      step.image.encode(), [this, attempt_number](bool ok, const std::string& err) {
+        DeployResult& res = results_.back();
+        if (ok) {
+          res.ok = true;
+          res.error.clear();
+          const netsim::Duration settle = steps_[current_].settle;
+          ++current_;
+          scheduler_->schedule_after(settle, [this] { run_step(); });
+          return;
+        }
+        res.error = err;
+        if (attempt_number < kMaxAttempts) {
+          // Back off briefly; the network may still be converging.
+          scheduler_->schedule_after(netsim::seconds(2), [this, attempt_number] {
+            attempt(attempt_number + 1);
+          });
+          return;
+        }
+        // Step failed for good; carry on with the rest of the plan.
+        ++current_;
+        scheduler_->schedule_after(netsim::Duration::zero(), [this] { run_step(); });
+      });
+}
+
+}  // namespace ab::apps

@@ -1,0 +1,79 @@
+// Deployer: the administrator-side switchlet distribution tool.
+//
+// The paper, section 5.2: "For our bridge, we can easily build up an
+// infrastructure in steps by sending the bridge switchlet to all adjacent
+// switches and then waiting for these switches to start bridging. As the
+// diameter of the extended LAN grows by one at each subsequent step, we can
+// load those switches whose shortest path is one link greater than was
+// possible in the previous step."
+//
+// Deployer runs a sequence of TFTP writes from one administrator host,
+// strictly in order (each step waits for the previous one), with per-step
+// retries and an optional settle delay after steps that change forwarding
+// behaviour (a freshly started spanning tree keeps ports Listening for two
+// forward delays). It owns all the UDP-port plumbing a TftpClient needs on
+// a HostStack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/active/image.h"
+#include "src/netsim/scheduler.h"
+#include "src/stack/host_stack.h"
+#include "src/stack/tftp.h"
+
+namespace ab::apps {
+
+/// One deployment step: deliver `image` to the loader at `node`.
+struct DeployStep {
+  stack::Ipv4Addr node;
+  active::SwitchletImage image;
+  /// Virtual time to wait after this step succeeds before starting the
+  /// next (e.g. a spanning tree's configuration phase).
+  netsim::Duration settle{};
+};
+
+/// Outcome of one step.
+struct DeployResult {
+  stack::Ipv4Addr node;
+  std::string module;
+  bool ok = false;
+  int attempts = 0;
+  std::string error;
+};
+
+class Deployer {
+ public:
+  /// All steps finished (check results for per-step status).
+  using Done = std::function<void(const std::vector<DeployResult>&)>;
+
+  static constexpr int kMaxAttempts = 3;
+
+  Deployer(netsim::Scheduler& scheduler, stack::HostStack& admin);
+
+  /// Starts the plan; exactly one plan may run at a time.
+  void deploy(std::vector<DeployStep> steps, Done done);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] const std::vector<DeployResult>& results() const { return results_; }
+
+ private:
+  void run_step();
+  void attempt(int attempt_number);
+
+  netsim::Scheduler* scheduler_;
+  stack::HostStack* admin_;
+  stack::TftpClient tftp_;
+  std::set<std::uint16_t> bound_ports_;
+  std::vector<DeployStep> steps_;
+  std::size_t current_ = 0;
+  std::vector<DeployResult> results_;
+  Done done_;
+  bool busy_ = false;
+};
+
+}  // namespace ab::apps

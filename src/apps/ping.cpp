@@ -1,0 +1,41 @@
+#include "src/apps/ping.h"
+
+#include <algorithm>
+
+namespace ab::apps {
+
+PingApp::PingApp(netsim::Scheduler& scheduler, stack::HostStack& host,
+                 stack::Ipv4Addr target, std::uint16_t id)
+    : scheduler_(&scheduler), host_(&host), target_(target), id_(id) {
+  host_->set_echo_handler(
+      [this](const stack::HostStack::EchoReply& r) { on_reply(r); });
+}
+
+void PingApp::send_one(std::size_t payload_size) {
+  const std::uint16_t seq = next_seq_++;
+  in_flight_[seq] = scheduler_->now();
+  stats_.sent += 1;
+  host_->send_echo_request(target_, id_, seq, util::ByteBuffer(payload_size, 0xA5));
+}
+
+void PingApp::run(int count, std::size_t payload_size, netsim::Duration interval) {
+  for (int i = 0; i < count; ++i) {
+    scheduler_->schedule_after(interval * i,
+                               [this, payload_size] { send_one(payload_size); });
+  }
+}
+
+void PingApp::on_reply(const stack::HostStack::EchoReply& reply) {
+  if (reply.id != id_) return;
+  const auto it = in_flight_.find(reply.seq);
+  if (it == in_flight_.end()) return;  // duplicate or stale
+  const netsim::Duration rtt = scheduler_->now() - it->second;
+  in_flight_.erase(it);
+  stats_.received += 1;
+  stats_.total += rtt;
+  stats_.min = std::min(stats_.min, rtt);
+  stats_.max = std::max(stats_.max, rtt);
+  if (!first_reply_at_.has_value()) first_reply_at_ = scheduler_->now();
+}
+
+}  // namespace ab::apps

@@ -1,0 +1,65 @@
+// PingApp: the ICMP-echo measurement tool behind Figure 9 ("We measured
+// latency with the ping facility for generating ICMP ECHOs, using various
+// packet sizes") and the section 7.5 agility experiment (1 Hz pings until
+// one crosses the reconfigured ring).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/netsim/scheduler.h"
+#include "src/netsim/time.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::apps {
+
+/// Round-trip statistics for one ping run.
+struct PingStats {
+  int sent = 0;
+  int received = 0;
+  netsim::Duration min{netsim::Duration::max()};
+  netsim::Duration max{netsim::Duration::zero()};
+  netsim::Duration total{};  ///< sum of RTTs
+
+  [[nodiscard]] netsim::Duration avg() const {
+    return received > 0 ? total / received : netsim::Duration::zero();
+  }
+  [[nodiscard]] double loss_fraction() const {
+    return sent > 0 ? 1.0 - static_cast<double>(received) / sent : 0.0;
+  }
+};
+
+class PingApp {
+ public:
+  /// Binds the host's echo-reply handler for the app's lifetime.
+  PingApp(netsim::Scheduler& scheduler, stack::HostStack& host, stack::Ipv4Addr target,
+          std::uint16_t id = 0x1D);
+
+  /// Schedules `count` echo requests of `payload_size` bytes, `interval`
+  /// apart, starting now. Run the scheduler afterwards.
+  void run(int count, std::size_t payload_size, netsim::Duration interval);
+
+  /// Sends a single echo request immediately.
+  void send_one(std::size_t payload_size);
+
+  [[nodiscard]] const PingStats& stats() const { return stats_; }
+  /// Time the first reply arrived (the agility experiment's stop clock).
+  [[nodiscard]] std::optional<netsim::TimePoint> first_reply_at() const {
+    return first_reply_at_;
+  }
+
+ private:
+  void on_reply(const stack::HostStack::EchoReply& reply);
+
+  netsim::Scheduler* scheduler_;
+  stack::HostStack* host_;
+  stack::Ipv4Addr target_;
+  std::uint16_t id_;
+  std::uint16_t next_seq_ = 1;
+  std::unordered_map<std::uint16_t, netsim::TimePoint> in_flight_;
+  PingStats stats_;
+  std::optional<netsim::TimePoint> first_reply_at_;
+};
+
+}  // namespace ab::apps

@@ -1,0 +1,23 @@
+#include "src/apps/repeater.h"
+
+namespace ab::apps {
+
+BufferedRepeater::BufferedRepeater(netsim::Scheduler& scheduler, netsim::Nic& a,
+                                   netsim::Nic& b, netsim::CostModel cost)
+    : pe_(scheduler, cost) {
+  wire(a, b);
+  wire(b, a);
+}
+
+void BufferedRepeater::wire(netsim::Nic& from, netsim::Nic& to) {
+  from.set_promiscuous(true);
+  netsim::Nic* out = &to;
+  from.set_rx_handler([this, out](const ether::Frame& frame) {
+    pe_.submit(frame.payload.size(), [this, out, frame] {
+      forwarded_ += 1;
+      out->transmit(frame);
+    });
+  });
+}
+
+}  // namespace ab::apps

@@ -1,0 +1,41 @@
+// The C buffered repeater: the paper's baseline.
+//
+// "We also built a very simple buffered repeater in C to try to determine
+// the smallest overheads that a user mode program could expect to see. This
+// program simply opens two Ethernet devices in promiscuous mode and, for
+// each packet received on one of the interfaces, writes the packet on the
+// other."
+//
+// No bridging logic, no learning, no spanning tree -- just two promiscuous
+// NICs and a per-frame kernel-crossing cost.
+#pragma once
+
+#include <cstdint>
+
+#include "src/netsim/cost_model.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/scheduler.h"
+
+namespace ab::apps {
+
+class BufferedRepeater {
+ public:
+  /// Joins two NICs. The default cost model is the calibrated C-repeater
+  /// path (two user/kernel crossings + a copy per frame).
+  BufferedRepeater(netsim::Scheduler& scheduler, netsim::Nic& a, netsim::Nic& b,
+                   netsim::CostModel cost = netsim::CostModel::c_repeater());
+
+  BufferedRepeater(const BufferedRepeater&) = delete;
+  BufferedRepeater& operator=(const BufferedRepeater&) = delete;
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] netsim::ProcessingElement& processing() { return pe_; }
+
+ private:
+  void wire(netsim::Nic& from, netsim::Nic& to);
+
+  netsim::ProcessingElement pe_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace ab::apps

@@ -1,0 +1,293 @@
+#include "src/apps/scenario.h"
+
+#include <charconv>
+#include <map>
+
+#include "src/util/string_util.h"
+
+namespace ab::apps {
+namespace {
+
+/// Tokenizes a directive line into positional words and key=value options.
+struct Directive {
+  std::vector<std::string> words;
+  std::map<std::string, std::string> options;
+};
+
+Directive parse_directive(std::string_view line) {
+  Directive d;
+  for (const std::string& raw : util::split(std::string(line), ' ')) {
+    const std::string token(util::trim(raw));
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      d.options[token.substr(0, eq)] = token.substr(eq + 1);
+    } else {
+      d.words.push_back(token);
+    }
+  }
+  return d;
+}
+
+/// Parses "65536", "64K", "4M" into bytes.
+util::Expected<std::size_t, std::string> parse_size(const std::string& text) {
+  if (text.empty()) return util::Unexpected{std::string("empty size")};
+  std::string digits = text;
+  std::size_t multiplier = 1;
+  const char last = digits.back();
+  if (last == 'K' || last == 'k') {
+    multiplier = 1024;
+    digits.pop_back();
+  } else if (last == 'M' || last == 'm') {
+    multiplier = 1024 * 1024;
+    digits.pop_back();
+  }
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return util::Unexpected{"bad size: " + text};
+  }
+  return value * multiplier;
+}
+
+util::Expected<double, std::string> parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) return util::Unexpected{"bad number: " + text};
+    return v;
+  } catch (const std::exception&) {
+    return util::Unexpected{"bad number: " + text};
+  }
+}
+
+std::string option_or(const Directive& d, const std::string& key,
+                      const std::string& fallback) {
+  const auto it = d.options.find(key);
+  return it != d.options.end() ? it->second : fallback;
+}
+
+}  // namespace
+
+stack::HostStack* ScenarioRunner::find_host(const std::string& name) {
+  for (NamedHost& h : hosts_) {
+    if (h.name == name) return h.stack.get();
+  }
+  return nullptr;
+}
+
+bridge::BridgeNode* ScenarioRunner::find_bridge(const std::string& name) {
+  for (NamedBridge& b : bridges_) {
+    if (b.name == name) return b.node.get();
+  }
+  return nullptr;
+}
+
+util::Expected<bool, std::string> ScenarioRunner::execute_line(const std::string& line,
+                                                               int line_number) {
+  const std::string without_comment = line.substr(0, line.find('#'));
+  const std::string_view stripped = util::trim(without_comment);
+  if (stripped.empty()) return true;
+  const Directive d = parse_directive(stripped);
+  const std::string& verb = d.words[0];
+  const auto fail = [&](const std::string& what) {
+    return util::Unexpected{util::format("line %d: %s", line_number, what.c_str())};
+  };
+
+  if (verb == "segment") {
+    if (d.words.size() != 2) return fail("segment <name> [rate=] [loss=]");
+    netsim::LanConfig cfg;
+    if (d.options.count("rate")) {
+      auto rate = parse_double(d.options.at("rate"));
+      if (!rate) return fail(rate.error());
+      cfg.bit_rate = rate.value();
+    }
+    if (d.options.count("loss")) {
+      auto loss = parse_double(d.options.at("loss"));
+      if (!loss) return fail(loss.error());
+      cfg.loss = loss.value();
+    }
+    if (net_.find_segment(d.words[1]) != nullptr) {
+      return fail("duplicate segment " + d.words[1]);
+    }
+    net_.add_segment(d.words[1], cfg);
+    return true;
+  }
+
+  if (verb == "bridge") {
+    if (d.words.size() != 4) return fail("bridge <name> <segment> <segment>");
+    netsim::LanSegment* seg_a = net_.find_segment(d.words[2]);
+    netsim::LanSegment* seg_b = net_.find_segment(d.words[3]);
+    if (seg_a == nullptr || seg_b == nullptr) return fail("unknown segment");
+    if (find_bridge(d.words[1]) != nullptr) {
+      return fail("duplicate bridge " + d.words[1]);
+    }
+    bridge::BridgeNodeConfig cfg;
+    cfg.name = d.words[1];
+    const std::string cost = option_or(d, "cost", "ideal");
+    if (cost == "caml") {
+      cfg.cost = netsim::CostModel::caml_bridge();
+    } else if (cost == "repeater") {
+      cfg.cost = netsim::CostModel::c_repeater();
+    } else if (cost != "ideal") {
+      return fail("unknown cost model: " + cost);
+    }
+    auto node = std::make_unique<bridge::BridgeNode>(net_.scheduler(), cfg);
+    node->add_port(net_.add_nic(cfg.name + ".eth0", *seg_a));
+    node->add_port(net_.add_nic(cfg.name + ".eth1", *seg_b));
+    for (const std::string& module :
+         util::split(option_or(d, "modules", "dumb,learning,ieee"), ',')) {
+      if (module == "dumb") {
+        node->load_dumb();
+      } else if (module == "learning") {
+        node->load_learning();
+      } else if (module == "ieee") {
+        node->load_ieee();
+      } else if (module == "dec") {
+        node->load_dec();
+      } else if (module == "multitree") {
+        node->load_multitree();
+      } else if (module == "monitor") {
+        node->load_monitor();
+      } else if (!module.empty()) {
+        return fail("unknown module: " + module);
+      }
+    }
+    bridges_.push_back(NamedBridge{d.words[1], std::move(node)});
+    return true;
+  }
+
+  if (verb == "host") {
+    if (d.words.size() != 4) return fail("host <name> <segment> <ip>");
+    netsim::LanSegment* seg = net_.find_segment(d.words[2]);
+    if (seg == nullptr) return fail("unknown segment " + d.words[2]);
+    const auto ip = stack::Ipv4Addr::parse(d.words[3]);
+    if (!ip.has_value()) return fail("bad IP " + d.words[3]);
+    if (find_host(d.words[1]) != nullptr) return fail("duplicate host " + d.words[1]);
+    stack::HostConfig cfg;
+    cfg.ip = *ip;
+    cfg.tx_cost = netsim::CostModel::linux_host();
+    auto stack = std::make_unique<stack::HostStack>(
+        net_.scheduler(), net_.add_nic(d.words[1], *seg), cfg);
+    stack->nic().set_tx_queue_limit(1 << 20);
+    hosts_.push_back(NamedHost{d.words[1], std::move(stack)});
+    return true;
+  }
+
+  if (verb == "pcap") {
+    if (d.words.size() != 3) return fail("pcap <segment> <path>");
+    netsim::LanSegment* seg = net_.find_segment(d.words[1]);
+    if (seg == nullptr) return fail("unknown segment " + d.words[1]);
+    try {
+      pcaps_.push_back(std::make_unique<netsim::PcapWriter>(d.words[2]));
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    pcaps_.back()->watch(*seg);
+    return true;
+  }
+
+  if (verb == "ping") {
+    if (d.words.size() != 3) return fail("ping <src> <dst> [count=] [size=] ...");
+    stack::HostStack* src = find_host(d.words[1]);
+    stack::HostStack* dst = find_host(d.words[2]);
+    if (src == nullptr || dst == nullptr) return fail("unknown host");
+    auto count = parse_size(option_or(d, "count", "5"));
+    auto size = parse_size(option_or(d, "size", "64"));
+    auto interval = parse_size(option_or(d, "interval_ms", "200"));
+    auto at = parse_size(option_or(d, "at", "0"));
+    if (!count || !size || !interval || !at) return fail("bad ping option");
+    auto app = std::make_unique<PingApp>(
+        net_.scheduler(), *src, dst->ip(),
+        static_cast<std::uint16_t>(0x100 + pings_.size()));
+    PingApp* raw = app.get();
+    const int n = static_cast<int>(count.value());
+    const std::size_t bytes = size.value();
+    const auto step = netsim::milliseconds(static_cast<std::int64_t>(interval.value()));
+    net_.scheduler().schedule_after(netsim::seconds(static_cast<std::int64_t>(at.value())),
+                                    [raw, n, bytes, step] { raw->run(n, bytes, step); });
+    pings_.push_back(PingJob{d.words[1] + " -> " + d.words[2], std::move(app)});
+    return true;
+  }
+
+  if (verb == "ttcp") {
+    if (d.words.size() != 3) return fail("ttcp <src> <dst> [bytes=] [write=] [at=]");
+    stack::HostStack* src = find_host(d.words[1]);
+    stack::HostStack* dst = find_host(d.words[2]);
+    if (src == nullptr || dst == nullptr) return fail("unknown host");
+    auto bytes = parse_size(option_or(d, "bytes", "1M"));
+    auto write = parse_size(option_or(d, "write", "8192"));
+    auto at = parse_size(option_or(d, "at", "0"));
+    if (!bytes || !write || !at) return fail("bad ttcp option");
+    TtcpJob job;
+    job.label = d.words[1] + " -> " + d.words[2];
+    job.total_bytes = bytes.value();
+    const std::uint16_t port = next_ttcp_port_++;
+    job.sink = std::make_unique<TtcpSink>(net_.scheduler(), *dst, port);
+    TtcpConfig cfg;
+    cfg.destination = dst->ip();
+    cfg.port = port;
+    cfg.write_size = write.value();
+    cfg.total_bytes = bytes.value();
+    job.sender = std::make_unique<TtcpSender>(*src, cfg);
+    TtcpSender* raw = job.sender.get();
+    net_.scheduler().schedule_after(
+        netsim::seconds(static_cast<std::int64_t>(at.value())),
+        [raw] { raw->start(); });
+    ttcps_.push_back(std::move(job));
+    return true;
+  }
+
+  if (verb == "run") {
+    if (d.words.size() != 2) return fail("run <seconds>");
+    auto secs = parse_double(d.words[1]);
+    if (!secs) return fail(secs.error());
+    net_.scheduler().run_for(netsim::Duration(
+        static_cast<std::int64_t>(secs.value() * 1e9)));
+    return true;
+  }
+
+  return fail("unknown directive: " + verb);
+}
+
+util::Expected<std::string, std::string> ScenarioRunner::run_text(
+    const std::string& config) {
+  int line_number = 0;
+  for (const std::string& line : util::split(config, '\n')) {
+    ++line_number;
+    auto result = execute_line(line, line_number);
+    if (!result) return util::Unexpected{result.error()};
+  }
+
+  for (auto& pcap : pcaps_) pcap->flush();
+
+  std::string report = util::format("scenario complete at t=%.3fs\n",
+                                    netsim::to_seconds(net_.now().time_since_epoch()));
+  for (const PingJob& job : pings_) {
+    const PingStats& s = job.app->stats();
+    report += util::format("ping %-24s %d/%d replies, avg %.3f ms\n",
+                           job.label.c_str(), s.received, s.sent,
+                           netsim::to_millis(s.avg()));
+  }
+  for (const TtcpJob& job : ttcps_) {
+    report += util::format("ttcp %-24s %zu/%zu bytes, %.2f Mb/s\n", job.label.c_str(),
+                           job.sink->bytes_received(), job.total_bytes,
+                           job.sink->throughput_mbps());
+  }
+  for (const NamedBridge& b : bridges_) {
+    const bridge::PlaneStats& s = b.node->plane().stats();
+    report += util::format(
+        "bridge %-20s rx %llu, directed %llu, flooded %llu, modules:",
+        b.name.c_str(), static_cast<unsigned long long>(s.received),
+        static_cast<unsigned long long>(s.directed),
+        static_cast<unsigned long long>(s.flooded));
+    for (const std::string& m : b.node->node().loader().loaded_names()) {
+      report += " " + m;
+    }
+    report += "\n";
+  }
+  return report;
+}
+
+}  // namespace ab::apps

@@ -1,0 +1,83 @@
+// ScenarioRunner: drive a whole simulation from a small text description --
+// the front door for a user who wants to try topologies without writing
+// C++. Used by the `scenario_sim` example and the scenario tests.
+//
+// Grammar (one directive per line; '#' starts a comment):
+//
+//   segment <name> [rate=<bits/s>] [loss=<probability>]
+//   bridge  <name> <segment> <segment> [cost=ideal|repeater|caml]
+//           [modules=dumb,learning,ieee|dec|multitree,monitor]
+//   host    <name> <segment> <dotted-quad-ip>
+//   pcap    <segment> <file-path>
+//   ping    <src-host> <dst-host> [count=N] [size=BYTES] [interval_ms=MS] [at=SEC]
+//   ttcp    <src-host> <dst-host> [bytes=N[K|M]] [write=BYTES] [at=SEC]
+//   run     <seconds>
+//
+// Measurements are scheduled at their `at=` time; `run` advances virtual
+// time; the final report summarizes every measurement and bridge.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/ping.h"
+#include "src/apps/ttcp.h"
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/netsim/pcap.h"
+#include "src/stack/host_stack.h"
+#include "src/util/result.h"
+
+namespace ab::apps {
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Parses and executes a scenario. Returns the textual report, or a
+  /// parse/semantic error naming the offending line.
+  [[nodiscard]] util::Expected<std::string, std::string> run_text(
+      const std::string& config);
+
+  // ---- inspection (tests) ----
+  [[nodiscard]] netsim::Network& network() { return net_; }
+  [[nodiscard]] stack::HostStack* find_host(const std::string& name);
+  [[nodiscard]] bridge::BridgeNode* find_bridge(const std::string& name);
+
+ private:
+  struct NamedHost {
+    std::string name;
+    std::unique_ptr<stack::HostStack> stack;
+  };
+  struct NamedBridge {
+    std::string name;
+    std::unique_ptr<bridge::BridgeNode> node;
+  };
+  struct PingJob {
+    std::string label;
+    std::unique_ptr<PingApp> app;
+  };
+  struct TtcpJob {
+    std::string label;
+    std::size_t total_bytes = 0;
+    std::unique_ptr<TtcpSink> sink;
+    std::unique_ptr<TtcpSender> sender;
+  };
+
+  [[nodiscard]] util::Expected<bool, std::string> execute_line(
+      const std::string& line, int line_number);
+
+  netsim::Network net_;
+  std::vector<NamedHost> hosts_;
+  std::vector<NamedBridge> bridges_;
+  std::vector<PingJob> pings_;
+  std::vector<TtcpJob> ttcps_;
+  std::vector<std::unique_ptr<netsim::PcapWriter>> pcaps_;
+  std::uint16_t next_ttcp_port_ = 5001;
+};
+
+}  // namespace ab::apps

@@ -1,0 +1,61 @@
+#include "src/apps/ttcp.h"
+
+#include <stdexcept>
+
+namespace ab::apps {
+
+TtcpSender::TtcpSender(stack::HostStack& host, TtcpConfig config)
+    : host_(&host), config_(config) {
+  if (config_.write_size == 0) throw std::invalid_argument("ttcp: zero write size");
+  if (config_.destination.is_zero()) {
+    throw std::invalid_argument("ttcp: zero destination");
+  }
+}
+
+void TtcpSender::start() {
+  std::size_t remaining = config_.total_bytes;
+  std::uint32_t seq = 0;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(config_.write_size, remaining);
+    util::ByteBuffer payload(chunk);
+    // Stamp a sequence number so sinks could detect reordering if a test
+    // wants to; fill the rest with a cheap pattern.
+    for (std::size_t i = 0; i < chunk; ++i) {
+      payload[i] = static_cast<std::uint8_t>(seq + i);
+    }
+    host_->send_udp(config_.destination, 5000, config_.port, std::move(payload));
+    remaining -= chunk;
+    writes_issued_ += 1;
+    bytes_issued_ += chunk;
+    ++seq;
+  }
+}
+
+TtcpSink::TtcpSink(netsim::Scheduler& scheduler, stack::HostStack& host,
+                   std::uint16_t port)
+    : scheduler_(&scheduler) {
+  host.bind_udp(port, [this](stack::Ipv4Addr, const stack::UdpDatagram& d) {
+    const netsim::TimePoint now = scheduler_->now();
+    if (!saw_any_) {
+      saw_any_ = true;
+      first_at_ = now;
+    }
+    last_at_ = now;
+    bytes_received_ += d.payload.size();
+    datagrams_received_ += 1;
+  });
+}
+
+double TtcpSink::throughput_mbps() const {
+  if (!saw_any_ || last_at_ <= first_at_) return 0.0;
+  const double seconds = netsim::to_seconds(last_at_ - first_at_);
+  return static_cast<double>(bytes_received_) * 8.0 / seconds / 1e6;
+}
+
+double TtcpSink::datagrams_per_second() const {
+  if (!saw_any_ || last_at_ <= first_at_) return 0.0;
+  const double seconds = netsim::to_seconds(last_at_ - first_at_);
+  return static_cast<double>(datagrams_received_) / seconds;
+}
+
+}  // namespace ab::apps

@@ -1,0 +1,72 @@
+// ttcp: the bulk-throughput measurement behind Figure 10 ("Throughput for
+// various packet sizes was measured with repeated ttcp trials", 8 KB writes
+// producing "multiple back-to-back LAN frames").
+//
+// The sender blasts `total_bytes` of UDP payload in `write_size` writes
+// (large writes fragment at the IP layer, exactly like the paper's 8 KB
+// case); its own HostStack cost model paces the wire like the 1997 Linux
+// sender did. The sink timestamps the first and last byte and reports
+// goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "src/netsim/scheduler.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::apps {
+
+struct TtcpConfig {
+  stack::Ipv4Addr destination;
+  std::uint16_t port = 5001;
+  /// Bytes per write (per UDP datagram).
+  std::size_t write_size = 8192;
+  /// Total payload bytes to move.
+  std::size_t total_bytes = 1 << 20;
+};
+
+/// Transmitting side. start() queues every write; the host's processing
+/// element paces the actual frames.
+class TtcpSender {
+ public:
+  TtcpSender(stack::HostStack& host, TtcpConfig config);
+
+  void start();
+
+  [[nodiscard]] std::size_t writes_issued() const { return writes_issued_; }
+  [[nodiscard]] std::size_t bytes_issued() const { return bytes_issued_; }
+
+ private:
+  stack::HostStack* host_;
+  TtcpConfig config_;
+  std::size_t writes_issued_ = 0;
+  std::size_t bytes_issued_ = 0;
+};
+
+/// Receiving side. Binds the UDP port and accumulates timing.
+class TtcpSink {
+ public:
+  TtcpSink(netsim::Scheduler& scheduler, stack::HostStack& host, std::uint16_t port);
+
+  [[nodiscard]] std::size_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] std::size_t datagrams_received() const { return datagrams_received_; }
+  [[nodiscard]] netsim::TimePoint first_at() const { return first_at_; }
+  [[nodiscard]] netsim::TimePoint last_at() const { return last_at_; }
+
+  /// Goodput in Mb/s between the first and last received datagram.
+  [[nodiscard]] double throughput_mbps() const;
+
+  /// Received datagrams per second over the same window (the paper's
+  /// frames/s for MTU-sized writes; fragments are counted by the LAN).
+  [[nodiscard]] double datagrams_per_second() const;
+
+ private:
+  netsim::Scheduler* scheduler_;
+  std::size_t bytes_received_ = 0;
+  std::size_t datagrams_received_ = 0;
+  netsim::TimePoint first_at_{};
+  netsim::TimePoint last_at_{};
+  bool saw_any_ = false;
+};
+
+}  // namespace ab::apps

@@ -1,0 +1,119 @@
+// BPDU formats for the two spanning-tree protocols of the transition
+// experiment.
+//
+// IEEE 802.1D configuration BPDUs travel as 802.3/LLC frames (DSAP/SSAP
+// 0x42) to the All Bridges address 01:80:C2:00:00:00, with the standard
+// field layout (protocol id, version, type, flags, root id, root path cost,
+// bridge id, port id, message age / max age / hello time / forward delay in
+// 1/256-second units).
+//
+// The DEC variant is the paper's "old" protocol: "we modified the spanning
+// tree switchlet to send DEC spanning tree packets to the DEC management
+// multicast address instead of 802.1D packets to the All Bridges multicast
+// address... We simply required an incompatible packet format so that we
+// could make a transition." Ours rides Ethernet II (EtherType 0x8038, DEC's
+// LANbridge type) to 09:00:2B:01:00:00 with a different field order and a
+// DEC code byte -- semantically equivalent, wire-incompatible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/ether/frame.h"
+#include "src/netsim/time.h"
+#include "src/util/result.h"
+
+namespace ab::bridge {
+
+/// 802.1D bridge identifier: 16-bit priority + MAC. Lower wins elections.
+struct BridgeId {
+  std::uint16_t priority = 0x8000;  ///< 802.1D default
+  ether::MacAddress mac;
+
+  /// Single comparable integer (priority in the top 16 bits).
+  [[nodiscard]] std::uint64_t value() const {
+    return (static_cast<std::uint64_t>(priority) << 48) | mac.value();
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_zero() const { return priority == 0x8000 && mac.is_zero(); }
+
+  friend bool operator==(const BridgeId&, const BridgeId&) = default;
+  friend auto operator<=>(const BridgeId& a, const BridgeId& b) {
+    return a.value() <=> b.value();
+  }
+};
+
+/// BPDU message types.
+enum class BpduType : std::uint8_t {
+  kConfig = 0x00,
+  kTcn = 0x80,  ///< topology change notification
+};
+
+/// A decoded BPDU. TCNs carry only the type.
+struct Bpdu {
+  BpduType type = BpduType::kConfig;
+  // Config fields:
+  BridgeId root;
+  std::uint32_t root_path_cost = 0;
+  BridgeId bridge;
+  std::uint16_t port_id = 0;
+  netsim::Duration message_age{};
+  netsim::Duration max_age = netsim::seconds(20);
+  netsim::Duration hello_time = netsim::seconds(2);
+  netsim::Duration forward_delay = netsim::seconds(15);
+  bool topology_change = false;
+  bool tc_ack = false;
+
+  friend bool operator==(const Bpdu&, const Bpdu&) = default;
+};
+
+/// Encodes/decodes one protocol's BPDU framing. The spanning-tree engine is
+/// codec-agnostic; IeeeBpduCodec and DecBpduCodec plug in here.
+class BpduCodec {
+ public:
+  virtual ~BpduCodec() = default;
+
+  /// The group address this protocol's BPDUs are sent to (and the demux
+  /// registration key).
+  [[nodiscard]] virtual ether::MacAddress group_address() const = 0;
+
+  /// Protocol name for logs ("ieee" / "dec").
+  [[nodiscard]] virtual std::string_view protocol() const = 0;
+
+  /// Builds the full frame for a BPDU from `src`.
+  [[nodiscard]] virtual ether::Frame encode(const Bpdu& bpdu,
+                                            ether::MacAddress src) const = 0;
+
+  /// Parses a frame previously produced by this codec's encode().
+  [[nodiscard]] virtual util::Expected<Bpdu, std::string> decode(
+      const ether::Frame& frame) const = 0;
+};
+
+/// IEEE 802.1D framing (802.3/LLC to All Bridges).
+class IeeeBpduCodec final : public BpduCodec {
+ public:
+  [[nodiscard]] ether::MacAddress group_address() const override {
+    return ether::MacAddress::all_bridges();
+  }
+  [[nodiscard]] std::string_view protocol() const override { return "ieee"; }
+  [[nodiscard]] ether::Frame encode(const Bpdu& bpdu,
+                                    ether::MacAddress src) const override;
+  [[nodiscard]] util::Expected<Bpdu, std::string> decode(
+      const ether::Frame& frame) const override;
+};
+
+/// DEC-style framing (Ethernet II, EtherType 0x8038, DEC multicast).
+class DecBpduCodec final : public BpduCodec {
+ public:
+  [[nodiscard]] ether::MacAddress group_address() const override {
+    return ether::MacAddress::dec_bridge_group();
+  }
+  [[nodiscard]] std::string_view protocol() const override { return "dec"; }
+  [[nodiscard]] ether::Frame encode(const Bpdu& bpdu,
+                                    ether::MacAddress src) const override;
+  [[nodiscard]] util::Expected<Bpdu, std::string> decode(
+      const ether::Frame& frame) const override;
+};
+
+}  // namespace ab::bridge

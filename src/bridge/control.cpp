@@ -1,0 +1,217 @@
+#include "src/bridge/control.h"
+
+#include "src/util/string_util.h"
+
+namespace ab::bridge {
+
+std::string_view to_string(TransitionPhase phase) {
+  switch (phase) {
+    case TransitionPhase::kMonitoring:
+      return "monitoring";
+    case TransitionPhase::kTransitioning:
+      return "transitioning";
+    case TransitionPhase::kValidated:
+      return "validated";
+    case TransitionPhase::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+ControlSwitchlet::ControlSwitchlet(active::SwitchletLoader& loader,
+                                   ControlConfig config)
+    : loader_(&loader), config_(std::move(config)),
+      life_(std::make_shared<std::uint64_t>(0)) {}
+
+StpSwitchlet* ControlSwitchlet::stp(const std::string& name) const {
+  return dynamic_cast<StpSwitchlet*>(loader_->find(name));
+}
+
+void ControlSwitchlet::record(const std::string& action, const std::string& note) {
+  TransitionEvent ev;
+  ev.time = env_->timers().now();
+  ev.action = action;
+  ev.old_state = loader_->find(config_.old_name) != nullptr
+                     ? std::string(active::to_string(loader_->state_of(config_.old_name)))
+                     : "absent";
+  ev.new_state = loader_->find(config_.new_name) != nullptr
+                     ? std::string(active::to_string(loader_->state_of(config_.new_name)))
+                     : "absent";
+  ev.control_note = note;
+  events_.push_back(std::move(ev));
+}
+
+void ControlSwitchlet::start(active::SafeEnv& env) {
+  env_ = &env;
+  *life_ = ++epoch_;
+
+  // Preconditions, exactly as the paper states them.
+  StpSwitchlet* old_sw = stp(config_.old_name);
+  StpSwitchlet* new_sw = stp(config_.new_name);
+  if (old_sw == nullptr || new_sw == nullptr) {
+    throw std::runtime_error("control: both spanning-tree switchlets must be loaded");
+  }
+  if (loader_->state_of(config_.old_name) != active::SwitchletState::kRunning) {
+    throw std::runtime_error("control: the old protocol (" + config_.old_name +
+                             ") must be operating");
+  }
+  if (loader_->state_of(config_.new_name) == active::SwitchletState::kRunning) {
+    throw std::runtime_error("control: the new protocol (" + config_.new_name +
+                             ") must not be running");
+  }
+
+  phase_ = TransitionPhase::kMonitoring;
+  window_closed_ = false;
+  // Arrange to receive any packets addressed to the new protocol's group
+  // address (the All Bridges multicast address).
+  env.demux().register_address(new_sw->codec().group_address(),
+                               [this](const active::Packet& p) {
+                                 on_new_protocol_packet(p);
+                               });
+  listening_new_ = true;
+  record("load/start control", "per network admin");
+  env.log().info("control", "armed: waiting for a " + config_.new_name + " packet");
+}
+
+void ControlSwitchlet::stop() {
+  *life_ = ++epoch_;
+  if (listening_new_) {
+    env_->demux().unregister_address(stp(config_.new_name)->codec().group_address());
+    listening_new_ = false;
+  }
+  if (listening_old_) {
+    env_->demux().unregister_address(stp(config_.old_name)->codec().group_address());
+    listening_old_ = false;
+  }
+}
+
+void ControlSwitchlet::on_new_protocol_packet(const active::Packet& packet) {
+  (void)packet;
+  if (phase_ == TransitionPhase::kMonitoring) {
+    // "When an 802.1D packet arrives, the control switchlet assumes that
+    // the network is transitioning to the new protocol."
+    begin_transition();
+    return;
+  }
+  // kFallback: new-protocol packets are received and suppressed.
+  suppressed_new_ += 1;
+}
+
+void ControlSwitchlet::begin_transition() {
+  phase_ = TransitionPhase::kTransitioning;
+  StpSwitchlet* old_sw = stp(config_.old_name);
+  StpSwitchlet* new_sw = stp(config_.new_name);
+
+  // Capture the old protocol's tree for the later comparison.
+  captured_old_ = old_sw->engine()->snapshot();
+
+  // Halt the old protocol (it releases its group address).
+  loader_->suspend(config_.old_name);
+  record("recv " + std::string(new_sw->codec().protocol()) + " packet",
+         "suspend " + std::string(old_sw->codec().protocol()) + "; capture " +
+             std::string(old_sw->codec().protocol()) + " state");
+
+  // Hand the All Bridges address to the new protocol and start it.
+  env_->demux().unregister_address(new_sw->codec().group_address());
+  listening_new_ = false;
+  loader_->start(config_.new_name);
+  record("", "start " + std::string(new_sw->codec().protocol()));
+
+  // Start listening to the old protocol's address ourselves; packets there
+  // are suppressed during the window.
+  env_->demux().register_address(old_sw->codec().group_address(),
+                                 [this](const active::Packet& p) {
+                                   on_old_protocol_packet(p);
+                                 });
+  listening_old_ = true;
+
+  auto guard = life_;
+  const std::uint64_t epoch = epoch_;
+  env_->timers().schedule_after(config_.suppress_window, [this, guard, epoch] {
+    if (*guard != epoch) return;
+    if (phase_ != TransitionPhase::kTransitioning) return;
+    window_closed_ = true;
+    record(util::format("%lld seconds",
+                        static_cast<long long>(
+                            std::chrono::duration_cast<std::chrono::seconds>(
+                                config_.suppress_window)
+                                .count())),
+           util::format("suppress window closed (%llu suppressed)",
+                        static_cast<unsigned long long>(suppressed_old_)));
+  });
+  env_->timers().schedule_after(config_.validate_after, [this, guard, epoch] {
+    if (*guard != epoch) return;
+    if (phase_ == TransitionPhase::kTransitioning) validate();
+  });
+
+  env_->log().info("control", "transition begun: " + config_.old_name + " -> " +
+                                  config_.new_name);
+}
+
+void ControlSwitchlet::on_old_protocol_packet(const active::Packet& packet) {
+  (void)packet;
+  if (phase_ == TransitionPhase::kTransitioning && !window_closed_) {
+    // "Any DEC protocol packets received during an initial transition
+    // period are suppressed."
+    suppressed_old_ += 1;
+    return;
+  }
+  if (phase_ == TransitionPhase::kTransitioning || phase_ == TransitionPhase::kValidated) {
+    // "if the control switchlet finds any old protocol packets after the
+    // initial transition period, it falls back... assuming that a failure
+    // has occurred elsewhere in the network."
+    fall_back("old-protocol packet after the transition window");
+  }
+}
+
+void ControlSwitchlet::validate() {
+  StpSwitchlet* new_sw = stp(config_.new_name);
+  const StpSnapshot new_tree = new_sw->engine()->snapshot();
+  const bool ok = config_.validator
+                      ? config_.validator(*captured_old_, new_tree)
+                      : captured_old_->same_tree(new_tree);
+  record("perform tests", ok ? "pass" : "fail");
+  if (ok) {
+    phase_ = TransitionPhase::kValidated;
+    record("pass tests", "fallback if " + std::string(stp(config_.old_name)->codec().protocol()) +
+                             " packet arrives");
+    env_->log().info("control", "validation passed; new protocol in service");
+  } else {
+    env_->log().warn("control",
+                     "validation FAILED: old=" + captured_old_->to_string() +
+                         " new=" + new_tree.to_string());
+    fall_back("spanning tree did not converge to the expected values");
+  }
+}
+
+void ControlSwitchlet::fall_back(const std::string& reason) {
+  phase_ = TransitionPhase::kFallback;
+  StpSwitchlet* old_sw = stp(config_.old_name);
+  StpSwitchlet* new_sw = stp(config_.new_name);
+
+  // Stop the new protocol; it releases the All Bridges address.
+  loader_->stop(config_.new_name);
+
+  // Give the old protocol its address back and restart it.
+  if (listening_old_) {
+    env_->demux().unregister_address(old_sw->codec().group_address());
+    listening_old_ = false;
+  }
+  loader_->resume(config_.old_name);
+
+  // Receive (and suppress) stray new-protocol packets from here on.
+  if (!listening_new_) {
+    env_->demux().register_address(new_sw->codec().group_address(),
+                                   [this](const active::Packet& p) {
+                                     on_new_protocol_packet(p);
+                                   });
+    listening_new_ = true;
+  }
+
+  record("fail tests or fallback",
+         "stop " + std::string(new_sw->codec().protocol()) + "; start " +
+             std::string(old_sw->codec().protocol()) + "; stable (" + reason + ")");
+  env_->log().warn("control", "fell back to " + config_.old_name + ": " + reason);
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,115 @@
+// The control switchlet: the paper's automatic protocol transition
+// (section 5.4 and Table 1).
+//
+// Preconditions at start, as in the paper: "In order to load the control
+// switchlet, both the 802.1D switchlet and the DEC switchlet must already
+// be loaded. It checks that the DEC switchlet is operating and that the
+// 802.1D switchlet is not."
+//
+// Then: "It then arranges to receive any packets addressed to the All
+// Bridges multicast address. When an 802.1D packet arrives, the control
+// switchlet assumes that the network is transitioning to the new protocol.
+// It halts the DEC protocol and starts the 802.1D protocol. It also
+// arranges to let the 802.1D protocol listen to the All Bridges address and
+// it starts to listen to the DEC address. Any DEC protocol packets received
+// during an initial transition period are suppressed."
+//
+// Validation: the spanning tree the new protocol converges to is compared
+// with the tree captured from the DEC engine at suspension ("Based on local
+// knowledge, we have determined that the portion of the spanning tree
+// computed at each node should be identical for the old and the new
+// protocols."). On failure -- or if an old-protocol packet appears after
+// the transition window -- the control switchlet stops the new protocol,
+// restarts the old one, suppresses stray new-protocol packets, and declares
+// the network stable: "no further transition will occur without human
+// intervention."
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/active/loader.h"
+#include "src/active/switchlet.h"
+#include "src/bridge/stp_switchlet.h"
+
+namespace ab::bridge {
+
+/// Where the transition currently stands (Table 1's control column).
+enum class TransitionPhase {
+  kMonitoring,     ///< old running, new loaded; waiting for a new-protocol BPDU
+  kTransitioning,  ///< old suspended, new running, windows open
+  kValidated,      ///< tests passed; fallback armed on stray old packets
+  kFallback,       ///< reverted to the old protocol; stable, human needed
+};
+
+[[nodiscard]] std::string_view to_string(TransitionPhase phase);
+
+/// One row of the Table 1 reproduction: what happened, when, and the state
+/// of each party at that moment.
+struct TransitionEvent {
+  netsim::TimePoint time{};
+  std::string action;
+  std::string old_state;      ///< DEC column
+  std::string new_state;      ///< IEEE column
+  std::string control_note;   ///< control column
+};
+
+struct ControlConfig {
+  std::string old_name = "stp.dec";
+  std::string new_name = "stp.ieee";
+  /// "Any DEC protocol packets received during an initial transition period
+  /// are suppressed" -- Table 1 marks this at 30 seconds.
+  netsim::Duration suppress_window = netsim::seconds(30);
+  /// Table 1 performs the tests at 60 seconds.
+  netsim::Duration validate_after = netsim::seconds(60);
+  /// Override for the validation predicate; default is
+  /// StpSnapshot::same_tree (fault injection hooks in tests/benches).
+  std::function<bool(const StpSnapshot& old_tree, const StpSnapshot& new_tree)>
+      validator;
+};
+
+class ControlSwitchlet final : public active::Switchlet {
+ public:
+  ControlSwitchlet(active::SwitchletLoader& loader, ControlConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "bridge.control"; }
+
+  void start(active::SafeEnv& env) override;
+  void stop() override;
+
+  [[nodiscard]] TransitionPhase phase() const { return phase_; }
+  [[nodiscard]] const std::vector<TransitionEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t suppressed_old_packets() const { return suppressed_old_; }
+  [[nodiscard]] std::uint64_t suppressed_new_packets() const { return suppressed_new_; }
+  /// The tree captured from the old protocol at suspension.
+  [[nodiscard]] const std::optional<StpSnapshot>& captured_old_tree() const {
+    return captured_old_;
+  }
+
+ private:
+  void on_new_protocol_packet(const active::Packet& packet);
+  void on_old_protocol_packet(const active::Packet& packet);
+  void begin_transition();
+  void validate();
+  void fall_back(const std::string& reason);
+  void record(const std::string& action, const std::string& note);
+  [[nodiscard]] StpSwitchlet* stp(const std::string& name) const;
+
+  active::SwitchletLoader* loader_;
+  ControlConfig config_;
+  active::SafeEnv* env_ = nullptr;
+  TransitionPhase phase_ = TransitionPhase::kMonitoring;
+  std::optional<StpSnapshot> captured_old_;
+  std::vector<TransitionEvent> events_;
+  std::uint64_t suppressed_old_ = 0;
+  std::uint64_t suppressed_new_ = 0;
+  bool window_closed_ = false;
+  bool listening_new_ = false;  ///< we hold the new protocol's group address
+  bool listening_old_ = false;  ///< we hold the old protocol's group address
+  std::shared_ptr<std::uint64_t> life_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ab::bridge

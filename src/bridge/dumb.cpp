@@ -1,0 +1,56 @@
+#include "src/bridge/dumb.h"
+
+namespace ab::bridge {
+
+DumbBridgeSwitchlet::DumbBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane)
+    : plane_(std::move(plane)) {
+  if (!plane_) throw std::invalid_argument("DumbBridgeSwitchlet: null plane");
+}
+
+void DumbBridgeSwitchlet::start(active::SafeEnv& env) {
+  env_ = &env;
+  // Bind every interface for input and output. First-bind-wins: if another
+  // switchlet already owns a port this throws AlreadyBound and the loader
+  // reports the failure.
+  const std::size_t count = env.ports().interface_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    active::InputPort& in = env.ports().get_iport();
+    active::OutputPort& out = env.ports().bind_out(in.name());
+    plane_->add_port(in, out);
+    // Part three: demultiplex received packets into the switch function.
+    ForwardingPlane* plane = plane_.get();
+    in.set_handler([plane](const active::Packet& p) { plane->handle(p); });
+  }
+
+  // Part two: flood to all interfaces except the ingress.
+  ForwardingPlane* plane = plane_.get();
+  plane_->set_switch_function([plane](const active::Packet& p) {
+    if (!plane->may_forward(p.ingress)) {
+      plane->stats().dropped_ingress += 1;
+      return;
+    }
+    plane->flood(p.frame, p.ingress);
+  });
+
+  running_ = true;
+  env.log().info("bridge.dumb",
+                 "buffered repeater up on " + std::to_string(count) + " ports");
+  env.funcs().register_func("bridge.dumb.ports", [plane](const std::string&) {
+    return std::to_string(plane->bridge_ports().size());
+  });
+}
+
+void DumbBridgeSwitchlet::stop() {
+  if (!running_) return;
+  plane_->set_switch_function(nullptr);
+  for (const ForwardingPlane::Port& p : plane_->bridge_ports()) {
+    p.in->clear_handler();
+    env_->ports().unbind_in(p.id);
+    env_->ports().unbind_out(p.id);
+  }
+  plane_->clear_ports();
+  env_->funcs().unregister_func("bridge.dumb.ports");
+  running_ = false;
+}
+
+}  // namespace ab::bridge

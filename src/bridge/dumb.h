@@ -1,0 +1,43 @@
+// The first, lowest-level switchlet: a minimal "dumb" bridge.
+//
+// The paper, section 5.3: "It has three parts. Part one is a function that
+// reads an input packet from a queue and sends it out through a given
+// network interface. Part two is a function that takes an input packet and
+// queues it to all network interfaces except for the one on which it was
+// received. Part three is a function that reads packets from a network
+// interface and demultiplexes them to the functions from part two."
+//
+// Here: part one is ForwardingPlane::send_to, part two is the flooding
+// switch function this module installs, part three is the input-port
+// handlers it connects to the plane. "This switchlet is actually performing
+// the function of a buffered repeater. It cannot tolerate a network
+// topology with any loops."
+#pragma once
+
+#include <memory>
+
+#include "src/active/switchlet.h"
+#include "src/bridge/forwarding.h"
+
+namespace ab::bridge {
+
+class DumbBridgeSwitchlet final : public active::Switchlet {
+ public:
+  explicit DumbBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane);
+
+  [[nodiscard]] std::string_view name() const override { return "bridge.dumb"; }
+
+  /// Binds every interface (in and out), wires input handlers to the
+  /// plane, and installs the flooding switch function.
+  void start(active::SafeEnv& env) override;
+
+  /// Unbinds all ports and clears the plane.
+  void stop() override;
+
+ private:
+  std::shared_ptr<ForwardingPlane> plane_;
+  active::SafeEnv* env_ = nullptr;
+  bool running_ = false;
+};
+
+}  // namespace ab::bridge

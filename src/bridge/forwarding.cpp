@@ -1,0 +1,98 @@
+#include "src/bridge/forwarding.h"
+
+#include <stdexcept>
+
+namespace ab::bridge {
+
+std::string_view to_string(PortGate gate) {
+  switch (gate) {
+    case PortGate::kBlocked:
+      return "blocked";
+    case PortGate::kLearning:
+      return "learning";
+    case PortGate::kForwarding:
+      return "forwarding";
+  }
+  return "?";
+}
+
+void ForwardingPlane::add_port(active::InputPort& in, active::OutputPort& out) {
+  if (in.id() != out.id()) {
+    throw std::invalid_argument("ForwardingPlane: mismatched port pair");
+  }
+  if (find(in.id()) != nullptr) {
+    throw std::invalid_argument("ForwardingPlane: port already added");
+  }
+  ports_.push_back(Port{in.id(), &in, &out, PortGate::kForwarding});
+}
+
+void ForwardingPlane::clear_ports() { ports_.clear(); }
+
+std::vector<active::PortId> ForwardingPlane::port_ids() const {
+  std::vector<active::PortId> ids;
+  ids.reserve(ports_.size());
+  for (const Port& p : ports_) ids.push_back(p.id);
+  return ids;
+}
+
+ForwardingPlane::SwitchFunction ForwardingPlane::set_switch_function(
+    SwitchFunction fn) {
+  SwitchFunction previous = std::move(switch_fn_);
+  switch_fn_ = std::move(fn);
+  return previous;
+}
+
+void ForwardingPlane::handle(const active::Packet& packet) {
+  stats_.received += 1;
+  if (switch_fn_) switch_fn_(packet);
+}
+
+ForwardingPlane::Port* ForwardingPlane::find(active::PortId id) {
+  for (Port& p : ports_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const ForwardingPlane::Port* ForwardingPlane::find(active::PortId id) const {
+  for (const Port& p : ports_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+void ForwardingPlane::set_gate(active::PortId id, PortGate gate) {
+  Port* p = find(id);
+  if (p == nullptr) throw std::out_of_range("ForwardingPlane: unknown port");
+  p->gate = gate;
+}
+
+PortGate ForwardingPlane::gate(active::PortId id) const {
+  const Port* p = find(id);
+  if (p == nullptr) throw std::out_of_range("ForwardingPlane: unknown port");
+  return p->gate;
+}
+
+std::size_t ForwardingPlane::flood(const ether::Frame& frame, active::PortId except) {
+  std::size_t sent = 0;
+  for (const Port& p : ports_) {
+    if (p.id == except || p.gate != PortGate::kForwarding) continue;
+    if (p.out->send(frame)) {
+      ++sent;
+      stats_.tx_frames += 1;
+    }
+  }
+  if (sent > 0) stats_.flooded += 1;
+  return sent;
+}
+
+bool ForwardingPlane::send_to(active::PortId id, const ether::Frame& frame) {
+  const Port* p = find(id);
+  if (p == nullptr || p->gate != PortGate::kForwarding) return false;
+  if (!p->out->send(frame)) return false;
+  stats_.tx_frames += 1;
+  stats_.directed += 1;
+  return true;
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,117 @@
+// ForwardingPlane: the state the three bridge switchlets share, and the
+// "access points" later switchlets use to modify earlier ones.
+//
+// The paper builds the bridge incrementally: the dumb switchlet owns the
+// ports and installs a flooding switch function; the learning switchlet
+// "replaces the switching function from the dumb bridge"; the spanning-tree
+// switchlet "uses access points in the previous switchlets to suppress the
+// traffic from certain input and output ports." This class is those access
+// points, typed: a replaceable switch-function slot, per-port gates
+// (Blocked / Learning / Forwarding, the data-plane shadow of the STP port
+// states), and a fast-aging flag for topology changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/active/packet.h"
+#include "src/active/ports.h"
+
+namespace ab::bridge {
+
+/// Data-plane gate for one port, set by the spanning-tree switchlet.
+enum class PortGate : std::uint8_t {
+  kBlocked,     ///< neither learn nor forward (STP Blocking/Listening)
+  kLearning,    ///< learn source addresses but do not forward
+  kForwarding,  ///< full service (also the default before STP loads)
+};
+
+[[nodiscard]] std::string_view to_string(PortGate gate);
+
+/// Forwarding statistics across the plane.
+struct PlaneStats {
+  std::uint64_t received = 0;
+  std::uint64_t flooded = 0;           ///< frames sent by flooding
+  std::uint64_t directed = 0;          ///< frames sent to a learned port
+  std::uint64_t dropped_ingress = 0;   ///< ingress gate not forwarding
+  std::uint64_t dropped_local = 0;     ///< destination was behind the ingress port
+  std::uint64_t tx_frames = 0;         ///< total frames queued to NICs
+};
+
+/// Shared bridge data plane. Created by the node assembly and captured by
+/// the bridge switchlet factories; the dumb switchlet populates the port
+/// list when it binds the interfaces.
+class ForwardingPlane {
+ public:
+  using SwitchFunction = std::function<void(const active::Packet&)>;
+
+  /// One bridged interface (both directions bound).
+  struct Port {
+    active::PortId id = active::kNoPort;
+    active::InputPort* in = nullptr;
+    active::OutputPort* out = nullptr;
+    PortGate gate = PortGate::kForwarding;
+  };
+
+  // ---- population (dumb switchlet) ----
+
+  /// Registers a bound port pair. Gate starts at kForwarding.
+  void add_port(active::InputPort& in, active::OutputPort& out);
+  void clear_ports();
+
+  [[nodiscard]] const std::vector<Port>& bridge_ports() const { return ports_; }
+  [[nodiscard]] std::vector<active::PortId> port_ids() const;
+
+  // ---- the switch-function slot ----
+
+  /// Replaces the switch function; returns the previous one so a stopped
+  /// switchlet can restore it. Entry point: handle().
+  SwitchFunction set_switch_function(SwitchFunction fn);
+
+  /// Runs the current switch function on a received packet.
+  void handle(const active::Packet& packet);
+
+  // ---- access points (spanning-tree switchlet) ----
+
+  void set_gate(active::PortId id, PortGate gate);
+  [[nodiscard]] PortGate gate(active::PortId id) const;
+
+  /// True when the ingress gate permits forwarding.
+  [[nodiscard]] bool may_forward(active::PortId id) const {
+    return gate(id) == PortGate::kForwarding;
+  }
+  /// True when the gate permits source learning (Learning or Forwarding).
+  [[nodiscard]] bool may_learn(active::PortId id) const {
+    return gate(id) != PortGate::kBlocked;
+  }
+
+  /// Topology-change signal: the learning switchlet shortens its table
+  /// aging while set (802.1D topology-change handling).
+  void set_fast_aging(bool on) { fast_aging_ = on; }
+  [[nodiscard]] bool fast_aging() const { return fast_aging_; }
+
+  // ---- transmission helpers (switch functions) ----
+
+  /// Sends a frame out every Forwarding port except `except` (flooding).
+  /// Returns the number of ports it was sent to.
+  std::size_t flood(const ether::Frame& frame, active::PortId except);
+
+  /// Sends a frame out one port if its gate is Forwarding.
+  bool send_to(active::PortId id, const ether::Frame& frame);
+
+  [[nodiscard]] PlaneStats& stats() { return stats_; }
+  [[nodiscard]] const PlaneStats& stats() const { return stats_; }
+
+ private:
+  Port* find(active::PortId id);
+  const Port* find(active::PortId id) const;
+
+  std::vector<Port> ports_;
+  SwitchFunction switch_fn_;
+  PlaneStats stats_;
+  bool fast_aging_ = false;
+};
+
+}  // namespace ab::bridge

@@ -1,0 +1,103 @@
+#include "src/bridge/learning.h"
+
+namespace ab::bridge {
+
+void MacTable::learn(ether::MacAddress src, active::PortId port,
+                     netsim::TimePoint now) {
+  if (src.is_group() || src.is_zero()) return;  // footnote 3
+  entries_[src] = Entry{port, now};
+}
+
+std::optional<active::PortId> MacTable::lookup(ether::MacAddress dst,
+                                               netsim::TimePoint now) const {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end()) return std::nullopt;
+  if (now - it->second.learned > horizon()) return std::nullopt;  // stale
+  return it->second.port;
+}
+
+std::size_t MacTable::expire(netsim::TimePoint now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.learned > horizon()) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+LearningBridgeSwitchlet::LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
+                                                 netsim::Duration aging)
+    : plane_(std::move(plane)), table_(aging) {
+  if (!plane_) throw std::invalid_argument("LearningBridgeSwitchlet: null plane");
+}
+
+void LearningBridgeSwitchlet::start(active::SafeEnv& env) {
+  env_ = &env;
+  // Replace the switching function from the dumb bridge, keeping the old
+  // one so stop() can restore it.
+  previous_ = plane_->set_switch_function(
+      [this](const active::Packet& p) { switch_function(p); });
+  env.funcs().register_func("bridge.learning.table_size", [this](const std::string&) {
+    return std::to_string(table_.size());
+  });
+  env.funcs().register_func("bridge.learning.flush", [this](const std::string&) {
+    table_.clear();
+    return std::string("flushed");
+  });
+  running_ = true;
+  env.log().info("bridge.learning", "self-learning enabled");
+}
+
+void LearningBridgeSwitchlet::stop() {
+  if (!running_) return;
+  plane_->set_switch_function(std::move(previous_));
+  env_->funcs().unregister_func("bridge.learning.table_size");
+  env_->funcs().unregister_func("bridge.learning.flush");
+  running_ = false;
+}
+
+void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
+  const ether::Frame& frame = packet.frame;
+  const netsim::TimePoint now = packet.received_at;
+  table_.set_fast_aging(plane_->fast_aging());
+
+  // Learn the source location (802.1D: in Learning and Forwarding states).
+  if (plane_->may_learn(packet.ingress)) {
+    table_.learn(frame.src, packet.ingress, now);
+    stats_.learned += 1;
+  }
+
+  if (!plane_->may_forward(packet.ingress)) {
+    plane_->stats().dropped_ingress += 1;
+    return;
+  }
+
+  // Group destinations always flood (footnote 3).
+  if (frame.dst.is_group()) {
+    stats_.floods += 1;
+    plane_->flood(frame, packet.ingress);
+    return;
+  }
+
+  const auto port = table_.lookup(frame.dst, now);
+  if (!port.has_value()) {
+    // Not yet learned: flood.
+    stats_.floods += 1;
+    plane_->flood(frame, packet.ingress);
+    return;
+  }
+  if (*port == packet.ingress) {
+    // Destination is on the segment the frame came from: filter it.
+    stats_.filtered += 1;
+    plane_->stats().dropped_local += 1;
+    return;
+  }
+  stats_.hits += 1;
+  plane_->send_to(*port, frame);
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,105 @@
+// The second switchlet: self-learning.
+//
+// Paper section 5.3: "This switchlet replaces the switching function from
+// the dumb bridge with one that learns the locations of the hosts on the
+// network. For each packet received, the triple (source address, current
+// time, input port) is placed into a hash table keyed by the source
+// address, replacing any previous entry. Next, the hash table is searched
+// for the destination address... If a match is found and is current, the
+// packet is sent out on the port indicated unless that was the port on
+// which the packet was received. If no match is found... the packet is sent
+// out on all ports except the one on which it arrived."
+//
+// Footnote 3: source learning is bypassed for group source addresses, and
+// group destinations always flood.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "src/active/switchlet.h"
+#include "src/bridge/forwarding.h"
+#include "src/netsim/time.h"
+
+namespace ab::bridge {
+
+/// The host-location table: MAC -> (port, last-seen time), with aging. The
+/// 802.1D default aging time is 300 s; a topology change shortens it to the
+/// forward delay ("fast aging").
+class MacTable {
+ public:
+  struct Entry {
+    active::PortId port = active::kNoPort;
+    netsim::TimePoint learned{};
+  };
+
+  MacTable() : MacTable(netsim::seconds(300)) {}
+  explicit MacTable(netsim::Duration aging,
+                    netsim::Duration fast_aging = netsim::seconds(15))
+      : aging_(aging), fast_aging_(fast_aging) {}
+
+  /// Records (source address, now, port), replacing any previous entry.
+  /// Group and zero addresses are never learned.
+  void learn(ether::MacAddress src, active::PortId port, netsim::TimePoint now);
+
+  /// Current entry for `dst`, honoring the active aging horizon.
+  [[nodiscard]] std::optional<active::PortId> lookup(ether::MacAddress dst,
+                                                     netsim::TimePoint now) const;
+
+  /// Switches between normal and fast aging (topology change).
+  void set_fast_aging(bool on) { fast_ = on; }
+
+  /// Drops entries older than the active horizon; returns how many.
+  std::size_t expire(netsim::TimePoint now);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const std::unordered_map<ether::MacAddress, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  [[nodiscard]] netsim::Duration horizon() const { return fast_ ? fast_aging_ : aging_; }
+
+  netsim::Duration aging_;
+  netsim::Duration fast_aging_;
+  bool fast_ = false;
+  std::unordered_map<ether::MacAddress, Entry> entries_;
+};
+
+/// Per-switchlet counters.
+struct LearningStats {
+  std::uint64_t learned = 0;       ///< table inserts/refreshes
+  std::uint64_t hits = 0;          ///< destination found and current
+  std::uint64_t floods = 0;        ///< unknown or group destination
+  std::uint64_t filtered = 0;      ///< destination behind the ingress port
+};
+
+class LearningBridgeSwitchlet final : public active::Switchlet {
+ public:
+  LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
+                          netsim::Duration aging = netsim::seconds(300));
+
+  [[nodiscard]] std::string_view name() const override { return "bridge.learning"; }
+
+  void start(active::SafeEnv& env) override;
+  void stop() override;
+
+  [[nodiscard]] const MacTable& table() const { return table_; }
+  [[nodiscard]] MacTable& table() { return table_; }
+  [[nodiscard]] const LearningStats& stats() const { return stats_; }
+
+ private:
+  void switch_function(const active::Packet& packet);
+
+  std::shared_ptr<ForwardingPlane> plane_;
+  active::SafeEnv* env_ = nullptr;
+  MacTable table_;
+  LearningStats stats_;
+  ForwardingPlane::SwitchFunction previous_;
+  bool running_ = false;
+};
+
+}  // namespace ab::bridge

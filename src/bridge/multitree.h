@@ -1,0 +1,106 @@
+// MultiTreeSwitchlet: the paper's section 9 scaling extension.
+//
+// "Advanced algorithms for scaling bridged LANs [SC88] using a multiplicity
+// of spanning trees ... could be added as switchlets to the current
+// system." -- Sincoskie & Cotton's extended bridges run several spanning
+// trees at once, each rooted at a different bridge; traffic is assigned to
+// a tree (here: by source-address hash), so links blocked in one tree still
+// carry the other trees' traffic and load spreads across the redundant
+// topology instead of collapsing onto a single tree.
+//
+// Implementation: K independent StpEngine instances sharing the bridge's
+// ports. Per-tree root diversity comes from deriving each tree's bridge
+// priority from (bridge MAC, tree id), so different bridges win different
+// trees deterministically. BPDUs ride an experimental frame format (one
+// tree-id byte + an 802.1D-shaped body) to a dedicated group address; the
+// data plane keeps per-tree gates and per-tree learning tables, replacing
+// the switch function wholesale. Do not run it together with the
+// single-tree stp.ieee/stp.dec switchlets -- they would fight over the
+// plane's gates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/active/switchlet.h"
+#include "src/bridge/forwarding.h"
+#include "src/bridge/learning.h"
+#include "src/bridge/stp.h"
+
+namespace ab::bridge {
+
+/// Frame format for the multi-tree protocol's BPDUs.
+class MultiTreeBpduCodec {
+ public:
+  /// The group address the protocol claims (distinct from 802.1D and DEC).
+  [[nodiscard]] static ether::MacAddress group_address() {
+    // Locally administered group address, "SC88".
+    return ether::MacAddress({0x03, 0x00, 0x53, 0x43, 0x38, 0x38});
+  }
+
+  [[nodiscard]] static ether::Frame encode(std::uint8_t tree, const Bpdu& bpdu,
+                                           ether::MacAddress src);
+
+  struct Decoded {
+    std::uint8_t tree = 0;
+    Bpdu bpdu;
+  };
+  [[nodiscard]] static util::Expected<Decoded, std::string> decode(
+      const ether::Frame& frame);
+};
+
+struct MultiTreeConfig {
+  /// Number of simultaneous spanning trees (1..16).
+  int trees = 4;
+  /// Base protocol parameters (timers, port cost) shared by all trees.
+  StpConfig stp;
+  /// MAC-table aging per tree.
+  netsim::Duration mac_aging = netsim::seconds(300);
+};
+
+class MultiTreeSwitchlet final : public active::Switchlet {
+ public:
+  MultiTreeSwitchlet(std::shared_ptr<ForwardingPlane> plane, MultiTreeConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "bridge.multitree"; }
+
+  void start(active::SafeEnv& env) override;
+  void stop() override;
+
+  [[nodiscard]] int tree_count() const { return config_.trees; }
+  /// Engine for one tree (tests/diagnostics). Null before start().
+  [[nodiscard]] StpEngine* engine(int tree);
+  /// The tree a given source address is assigned to.
+  [[nodiscard]] int tree_of(ether::MacAddress src) const;
+  /// Frames forwarded per tree (the load-spreading evidence).
+  [[nodiscard]] const std::vector<std::uint64_t>& frames_per_tree() const {
+    return frames_per_tree_;
+  }
+
+ private:
+  struct Tree {
+    std::unique_ptr<StpEngine> engine;
+    std::vector<StpPortState> port_state;  ///< indexed by plane port order
+    MacTable table;
+  };
+
+  void on_group_frame(const active::Packet& packet);
+  void switch_function(const active::Packet& packet);
+  [[nodiscard]] bool may_learn(const Tree& tree, active::PortId id) const;
+  [[nodiscard]] bool may_forward(const Tree& tree, active::PortId id) const;
+  std::size_t port_index(active::PortId id) const;
+  /// Sends a frame out every port Forwarding *in this tree* except ingress.
+  void flood_tree(const Tree& tree, const ether::Frame& frame, active::PortId except);
+
+  std::shared_ptr<ForwardingPlane> plane_;
+  MultiTreeConfig config_;
+  active::SafeEnv* env_ = nullptr;
+  std::vector<Tree> trees_;
+  std::vector<active::PortId> port_ids_;
+  std::vector<std::uint64_t> frames_per_tree_;
+  ForwardingPlane::SwitchFunction previous_;
+  std::uint64_t undecodable_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ab::bridge

@@ -1,0 +1,89 @@
+#include "src/bridge/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/string_util.h"
+
+namespace ab::bridge {
+
+PolicySwitchlet::PolicySwitchlet(std::shared_ptr<ForwardingPlane> plane)
+    : plane_(std::move(plane)) {
+  if (!plane_) throw std::invalid_argument("PolicySwitchlet: null plane");
+}
+
+void PolicySwitchlet::start(active::SafeEnv& env) {
+  env_ = &env;
+  wrapped_ = plane_->set_switch_function(
+      [this](const active::Packet& p) { switch_function(p); });
+  if (!wrapped_) {
+    // Nothing to wrap: undo and refuse, the bridge is not forwarding yet.
+    plane_->set_switch_function(std::move(wrapped_));
+    throw std::runtime_error(
+        "bridge.policy: no switch function to wrap (load the bridge first)");
+  }
+  env.funcs().register_func("bridge.policy.rules", [this](const std::string&) {
+    return std::to_string(buckets_.size());
+  });
+  running_ = true;
+  env.log().info("bridge.policy", "traffic policy enforcement active");
+}
+
+void PolicySwitchlet::stop() {
+  if (!running_) return;
+  plane_->set_switch_function(std::move(wrapped_));
+  env_->funcs().unregister_func("bridge.policy.rules");
+  running_ = false;
+}
+
+void PolicySwitchlet::set_rule(ether::MacAddress user, PolicyRule rule) {
+  if (rule.link_fraction <= 0.0 || rule.link_fraction > 1.0) {
+    throw std::invalid_argument("policy: link_fraction must be in (0, 1]");
+  }
+  if (rule.link_bps <= 0.0) {
+    throw std::invalid_argument("policy: link_bps must be positive");
+  }
+  Bucket bucket;
+  bucket.rule = rule;
+  bucket.tokens_bytes = static_cast<double>(rule.burst_bytes);
+  buckets_[user] = bucket;
+}
+
+void PolicySwitchlet::clear_rule(ether::MacAddress user) { buckets_.erase(user); }
+
+const PolicyCounters* PolicySwitchlet::counters(ether::MacAddress user) const {
+  const auto it = buckets_.find(user);
+  return it != buckets_.end() ? &it->second.counters : nullptr;
+}
+
+bool PolicySwitchlet::admit(Bucket& bucket, std::size_t bytes, netsim::TimePoint now) {
+  // Token bucket: refill at fraction * link rate, capped at the burst.
+  const double rate_bytes_per_sec =
+      bucket.rule.link_fraction * bucket.rule.link_bps / 8.0;
+  const double elapsed = netsim::to_seconds(now - bucket.refilled);
+  bucket.refilled = now;
+  bucket.tokens_bytes =
+      std::min(static_cast<double>(bucket.rule.burst_bytes),
+               bucket.tokens_bytes + elapsed * rate_bytes_per_sec);
+  if (bucket.tokens_bytes < static_cast<double>(bytes)) return false;
+  bucket.tokens_bytes -= static_cast<double>(bytes);
+  return true;
+}
+
+void PolicySwitchlet::switch_function(const active::Packet& packet) {
+  const auto it = buckets_.find(packet.frame.src);
+  if (it != buckets_.end()) {
+    Bucket& bucket = it->second;
+    const std::size_t bytes = packet.frame.payload.size();
+    if (!admit(bucket, bytes, packet.received_at)) {
+      bucket.counters.policed_frames += 1;
+      bucket.counters.policed_bytes += bytes;
+      return;  // dropped by policy
+    }
+    bucket.counters.conforming_frames += 1;
+    bucket.counters.conforming_bytes += bytes;
+  }
+  wrapped_(packet);
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,78 @@
+// PolicySwitchlet: the paper's section 9 application, as a loadable module.
+//
+// "consider the problem of a bottleneck link in the Internet, where a
+// policy dictates a 25% link fraction for a particular user. The user could
+// load a policy for working within this limit, leading to both better
+// performance for the user and possibly less effort on the part of the
+// policing function."
+//
+// The switchlet wraps the current switch function (the same composition
+// trick the learning switchlet uses on the dumb bridge) and applies a
+// token-bucket rate limit per configured source MAC before handing the
+// packet on. Unconfigured sources are untouched. Stopping the switchlet
+// restores the wrapped function -- policies are as removable as they are
+// loadable.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/active/switchlet.h"
+#include "src/bridge/forwarding.h"
+#include "src/netsim/time.h"
+
+namespace ab::bridge {
+
+/// One user's traffic contract.
+struct PolicyRule {
+  /// Fraction of the link the user may consume (0, 1].
+  double link_fraction = 0.25;
+  /// The link rate the fraction applies to, bits/second.
+  double link_bps = 100e6;
+  /// Burst allowance (token bucket depth), bytes.
+  std::size_t burst_bytes = 64 * 1024;
+};
+
+/// Per-rule enforcement counters.
+struct PolicyCounters {
+  std::uint64_t conforming_frames = 0;
+  std::uint64_t conforming_bytes = 0;
+  std::uint64_t policed_frames = 0;  ///< dropped by the policy
+  std::uint64_t policed_bytes = 0;
+};
+
+class PolicySwitchlet final : public active::Switchlet {
+ public:
+  explicit PolicySwitchlet(std::shared_ptr<ForwardingPlane> plane);
+
+  [[nodiscard]] std::string_view name() const override { return "bridge.policy"; }
+
+  void start(active::SafeEnv& env) override;
+  void stop() override;
+
+  /// Installs or replaces the rule for a source MAC. Throws on a fraction
+  /// outside (0, 1] or a non-positive link rate.
+  void set_rule(ether::MacAddress user, PolicyRule rule);
+  void clear_rule(ether::MacAddress user);
+
+  [[nodiscard]] const PolicyCounters* counters(ether::MacAddress user) const;
+
+ private:
+  struct Bucket {
+    PolicyRule rule;
+    double tokens_bytes = 0;
+    netsim::TimePoint refilled{};
+    PolicyCounters counters;
+  };
+
+  void switch_function(const active::Packet& packet);
+  bool admit(Bucket& bucket, std::size_t bytes, netsim::TimePoint now);
+
+  std::shared_ptr<ForwardingPlane> plane_;
+  active::SafeEnv* env_ = nullptr;
+  std::unordered_map<ether::MacAddress, Bucket> buckets_;
+  ForwardingPlane::SwitchFunction wrapped_;
+  bool running_ = false;
+};
+
+}  // namespace ab::bridge

@@ -1,0 +1,419 @@
+#include "src/bridge/stp.h"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "src/util/string_util.h"
+
+namespace ab::bridge {
+
+std::string_view to_string(StpPortState state) {
+  switch (state) {
+    case StpPortState::kBlocking:
+      return "blocking";
+    case StpPortState::kListening:
+      return "listening";
+    case StpPortState::kLearning:
+      return "learning";
+    case StpPortState::kForwarding:
+      return "forwarding";
+  }
+  return "?";
+}
+
+std::string_view to_string(StpPortRole role) {
+  switch (role) {
+    case StpPortRole::kRoot:
+      return "root";
+    case StpPortRole::kDesignated:
+      return "designated";
+    case StpPortRole::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+bool StpSnapshot::same_tree(const StpSnapshot& other) const {
+  if (root != other.root || root_port != other.root_port) return false;
+  if (ports.size() != other.ports.size()) return false;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].id != other.ports[i].id) return false;
+    if (ports[i].role != other.ports[i].role) return false;
+  }
+  return true;
+}
+
+std::string StpSnapshot::to_string() const {
+  std::string out = util::format("bridge=%s root=%s cost=%u root_port=%d [",
+                                 bridge.to_string().c_str(), root.to_string().c_str(),
+                                 root_path_cost, static_cast<int>(root_port));
+  for (const PortInfo& p : ports) {
+    out += util::format("%d:%s/%s ", static_cast<int>(p.id),
+                        std::string(bridge::to_string(p.role)).c_str(),
+                        std::string(bridge::to_string(p.state)).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+StpEngine::StpEngine(active::Timers timers, StpConfig config,
+                     ether::MacAddress bridge_mac, std::vector<active::PortId> ports,
+                     Callbacks callbacks, util::Logger* log, std::string log_tag)
+    : timers_(timers),
+      config_(config),
+      bridge_id_{config.priority, bridge_mac},
+      callbacks_(std::move(callbacks)),
+      log_(log),
+      log_tag_(std::move(log_tag)),
+      root_(bridge_id_),
+      life_(std::make_shared<std::uint64_t>(0)) {
+  if (!callbacks_.send || !callbacks_.set_state) {
+    throw std::invalid_argument("StpEngine: send and set_state callbacks required");
+  }
+  if (ports.empty()) throw std::invalid_argument("StpEngine: no ports");
+  std::uint16_t index = 1;
+  for (active::PortId id : ports) {
+    PortData p;
+    p.id = id;
+    p.stp_port_id = static_cast<std::uint16_t>(0x8000 | index++);
+    ports_.push_back(p);
+  }
+}
+
+StpEngine::~StpEngine() {
+  // Invalidate every scheduled event before `this` goes away.
+  *life_ = ++epoch_;
+}
+
+void StpEngine::logf(const char* fmt, ...) {
+  if (log_ == nullptr) return;
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  log_->info(log_tag_, buf);
+}
+
+void StpEngine::schedule(netsim::Duration delay, std::function<void()> fn,
+                         netsim::EventId* slot) {
+  auto guard = life_;
+  const std::uint64_t epoch = epoch_;
+  const netsim::EventId id =
+      timers_.schedule_after(delay, [guard, epoch, fn = std::move(fn)] {
+        if (*guard != epoch) return;  // engine stopped, restarted or gone
+        fn();
+      });
+  if (slot != nullptr) *slot = id;
+}
+
+void StpEngine::start() {
+  if (running_) return;
+  running_ = true;
+  *life_ = ++epoch_;
+
+  // Configuration phase: we believe we are root; all ports designated and
+  // Listening, walking the forward-delay ladder toward Forwarding.
+  root_ = bridge_id_;
+  root_cost_ = 0;
+  root_port_ = active::kNoPort;
+  for (PortData& p : ports_) {
+    p.has_info = false;
+    p.role = StpPortRole::kDesignated;
+    set_state(p, StpPortState::kListening);
+    const active::PortId id = p.id;
+    const std::uint64_t epoch = epoch_;
+    schedule(config_.forward_delay, [this, id, epoch] { advance_state(id, epoch); },
+             &p.fwd_timer);
+  }
+  logf("started; claiming root %s", bridge_id_.to_string().c_str());
+  hello_tick();
+}
+
+void StpEngine::stop() {
+  if (!running_) return;
+  running_ = false;
+  *life_ = ++epoch_;  // all pending timers become no-ops
+  logf("stopped");
+}
+
+StpEngine::PortData& StpEngine::port(active::PortId id) {
+  for (PortData& p : ports_) {
+    if (p.id == id) return p;
+  }
+  throw std::out_of_range("StpEngine: unknown port");
+}
+
+const StpEngine::PortData& StpEngine::port(active::PortId id) const {
+  for (const PortData& p : ports_) {
+    if (p.id == id) return p;
+  }
+  throw std::out_of_range("StpEngine: unknown port");
+}
+
+StpPortState StpEngine::port_state(active::PortId id) const { return port(id).state; }
+StpPortRole StpEngine::port_role(active::PortId id) const { return port(id).role; }
+
+StpSnapshot StpEngine::snapshot() const {
+  StpSnapshot s;
+  s.bridge = bridge_id_;
+  s.root = root_;
+  s.root_path_cost = root_cost_;
+  s.root_port = root_port_;
+  for (const PortData& p : ports_) {
+    s.ports.push_back(StpSnapshot::PortInfo{p.id, p.role, p.state});
+  }
+  return s;
+}
+
+StpEngine::PriorityVector StpEngine::offered_on(const PortData& p) const {
+  return PriorityVector{root_.value(), root_cost_, bridge_id_.value(), p.stp_port_id};
+}
+
+StpEngine::PriorityVector StpEngine::stored_of(const PortData& p) {
+  return PriorityVector{p.info.root.value(), p.info.root_path_cost,
+                        p.info.bridge.value(), p.info.port_id};
+}
+
+void StpEngine::set_state(PortData& p, StpPortState state) {
+  if (p.state == state) return;
+  const bool was_forwarding = p.state == StpPortState::kForwarding;
+  p.state = state;
+  callbacks_.set_state(p.id, state);
+  logf("port %d -> %s", static_cast<int>(p.id),
+       std::string(to_string(state)).c_str());
+  if (state == StpPortState::kForwarding || was_forwarding) {
+    // A port entered or left Forwarding: a topology event (802.1D 8.5).
+    note_topology_event();
+  }
+}
+
+void StpEngine::advance_state(active::PortId id, std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
+  PortData& p = port(id);
+  if (p.role == StpPortRole::kBlocked) return;
+  if (p.state == StpPortState::kListening) {
+    set_state(p, StpPortState::kLearning);
+    schedule(config_.forward_delay, [this, id, epoch] { advance_state(id, epoch); },
+             &p.fwd_timer);
+  } else if (p.state == StpPortState::kLearning) {
+    set_state(p, StpPortState::kForwarding);
+  }
+}
+
+void StpEngine::apply_role(PortData& p, StpPortRole role) {
+  const StpPortRole old_role = p.role;
+  p.role = role;
+  if (role == StpPortRole::kBlocked) {
+    timers_.cancel(p.fwd_timer);
+    set_state(p, StpPortState::kBlocking);
+    return;
+  }
+  // Root or designated: make progress toward forwarding.
+  if (p.state == StpPortState::kBlocking) {
+    set_state(p, StpPortState::kListening);
+    const active::PortId id = p.id;
+    const std::uint64_t epoch = epoch_;
+    schedule(config_.forward_delay, [this, id, epoch] { advance_state(id, epoch); },
+             &p.fwd_timer);
+  }
+  (void)old_role;
+}
+
+void StpEngine::recompute() {
+  const BridgeId old_root = root_;
+  const active::PortId old_root_port = root_port_;
+
+  // Elect the root: our own id against every stored config.
+  BridgeId best = bridge_id_;
+  for (const PortData& p : ports_) {
+    if (p.has_info && p.info.root < best) best = p.info.root;
+  }
+  root_ = best;
+
+  // Choose the root port among ports whose info advertises that root.
+  root_port_ = active::kNoPort;
+  root_cost_ = 0;
+  if (!is_root()) {
+    bool have = false;
+    PriorityVector best_pv{};
+    for (const PortData& p : ports_) {
+      if (!p.has_info || p.info.root != root_) continue;
+      const PriorityVector pv{p.info.root.value(),
+                              p.info.root_path_cost + config_.port_cost,
+                              p.info.bridge.value(), p.info.port_id};
+      // Tie-break on our own port id last (standard order).
+      if (!have || pv < best_pv ||
+          (pv == best_pv && p.stp_port_id < port(root_port_).stp_port_id)) {
+        have = true;
+        best_pv = pv;
+        root_port_ = p.id;
+        root_cost_ = p.info.root_path_cost + config_.port_cost;
+      }
+    }
+    if (!have) {
+      // Heard of a better root once, but all its info expired: reclaim.
+      root_ = bridge_id_;
+    }
+  }
+
+  // Assign roles.
+  for (PortData& p : ports_) {
+    if (p.id == root_port_ && !is_root()) {
+      apply_role(p, StpPortRole::kRoot);
+    } else if (!p.has_info || offered_on(p) < stored_of(p) ||
+               p.info.bridge == bridge_id_) {
+      apply_role(p, StpPortRole::kDesignated);
+    } else {
+      apply_role(p, StpPortRole::kBlocked);
+    }
+  }
+
+  if (root_ != old_root || root_port_ != old_root_port) {
+    logf("recomputed: root=%s root_port=%d cost=%u", root_.to_string().c_str(),
+         static_cast<int>(root_port_), root_cost_);
+  }
+}
+
+void StpEngine::transmit_config(PortData& p) {
+  Bpdu bpdu;
+  bpdu.type = BpduType::kConfig;
+  bpdu.root = root_;
+  bpdu.root_path_cost = root_cost_;
+  bpdu.bridge = bridge_id_;
+  bpdu.port_id = p.stp_port_id;
+  bpdu.message_age = is_root() ? netsim::Duration::zero() : netsim::seconds(1);
+  bpdu.max_age = config_.max_age;
+  bpdu.hello_time = config_.hello_time;
+  bpdu.forward_delay = config_.forward_delay;
+  bpdu.topology_change = tc_active_;
+  stats_.configs_sent += 1;
+  callbacks_.send(p.id, bpdu);
+}
+
+void StpEngine::hello_tick() {
+  if (!running_) return;
+  // Only the root originates periodic configuration messages (802.1D);
+  // other bridges relay on reception at their root port. This is what lets
+  // stale information expire when the root disappears.
+  if (is_root()) {
+    for (PortData& p : ports_) {
+      if (p.role == StpPortRole::kDesignated) transmit_config(p);
+    }
+  }
+  schedule(config_.hello_time, [this] { hello_tick(); }, &hello_timer_);
+}
+
+void StpEngine::relay_configs() {
+  for (PortData& p : ports_) {
+    if (p.role == StpPortRole::kDesignated) transmit_config(p);
+  }
+}
+
+void StpEngine::arm_age_timer(PortData& p, netsim::Duration delay) {
+  timers_.cancel(p.age_timer);
+  const active::PortId id = p.id;
+  schedule(delay,
+           [this, id] {
+             PortData& pd = port(id);
+             if (!pd.has_info) return;
+             const netsim::Duration elapsed = timers_.now() - pd.info_when;
+             if (elapsed < config_.max_age) {
+               // Refreshed since this timer was armed: sleep the remainder.
+               arm_age_timer(pd, config_.max_age - elapsed);
+               return;
+             }
+             pd.has_info = false;
+             stats_.info_expiries += 1;
+             logf("stored info on port %d expired", static_cast<int>(id));
+             recompute();
+           },
+           &p.age_timer);
+}
+
+void StpEngine::receive(active::PortId port_id, const Bpdu& bpdu) {
+  if (!running_) return;
+  PortData& p = port(port_id);
+
+  if (bpdu.type == BpduType::kTcn) {
+    stats_.tcns_received += 1;
+    if (is_root()) {
+      begin_topology_change();
+    } else if (root_port_ != active::kNoPort) {
+      // Propagate toward the root.
+      Bpdu tcn;
+      tcn.type = BpduType::kTcn;
+      stats_.tcns_sent += 1;
+      callbacks_.send(root_port_, tcn);
+    }
+    return;
+  }
+
+  stats_.configs_received += 1;
+  if (bpdu.topology_change && !is_root()) {
+    // The root is signalling a topology change: fast-age the MAC table.
+    if (callbacks_.topology_change) callbacks_.topology_change(true);
+    schedule(config_.forward_delay + config_.max_age,
+             [this] {
+               if (!tc_active_ && callbacks_.topology_change) {
+                 callbacks_.topology_change(false);
+               }
+             },
+             nullptr);
+  }
+
+  const PriorityVector received{bpdu.root.value(), bpdu.root_path_cost,
+                                bpdu.bridge.value(), bpdu.port_id};
+
+  if (received < offered_on(p)) {
+    // Superior to what we would claim on this segment: store or refresh.
+    if (!p.has_info || received < stored_of(p)) {
+      p.has_info = true;
+      p.info = bpdu;
+      p.info_when = timers_.now();
+      // (Re)arm expiry: stored info dies after max age without refresh.
+      arm_age_timer(p, config_.max_age);
+      recompute();
+      // Information from the root's direction propagates down the tree.
+      if (p.id == root_port_) relay_configs();
+    } else if (received == stored_of(p)) {
+      // Refresh of the same information; keep it flowing downstream.
+      p.info_when = timers_.now();
+      if (p.id == root_port_) relay_configs();
+    }
+    // Worse than stored but better than us: the stored designated bridge
+    // still rules this segment; ignore (it expires if it went away).
+  } else if (p.role == StpPortRole::kDesignated) {
+    // Inferior information from the segment: assert our config (802.1D
+    // "reply to inferior BPDUs").
+    transmit_config(p);
+  }
+}
+
+void StpEngine::note_topology_event() {
+  if (!running_) return;
+  stats_.topology_changes += 1;
+  if (is_root()) {
+    begin_topology_change();
+  } else if (root_port_ != active::kNoPort) {
+    Bpdu tcn;
+    tcn.type = BpduType::kTcn;
+    stats_.tcns_sent += 1;
+    callbacks_.send(root_port_, tcn);
+  }
+}
+
+void StpEngine::begin_topology_change() {
+  tc_active_ = true;
+  if (callbacks_.topology_change) callbacks_.topology_change(true);
+  timers_.cancel(tc_timer_);
+  schedule(config_.forward_delay + config_.max_age, [this] { end_topology_change(); },
+           &tc_timer_);
+}
+
+void StpEngine::end_topology_change() {
+  tc_active_ = false;
+  if (callbacks_.topology_change) callbacks_.topology_change(false);
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,209 @@
+// The spanning-tree engine: the 802.1D distributed algorithm, independent
+// of BPDU framing so the IEEE and DEC switchlets share it (the paper's two
+// protocols differ only in packet format -- "We simply required an
+// incompatible packet format so that we could make a transition").
+//
+// Implemented behaviour (802.1D-1993 configuration protocol):
+//   * root election by lowest BridgeId; per-port best-config storage with
+//     (root, cost, bridge, port) priority-vector comparison;
+//   * root port / designated port / blocked port role computation;
+//   * port states Blocking -> Listening -> Learning -> Forwarding with a
+//     forward-delay timer per transition (the source of the paper's 30 s
+//     reconvergence in section 7.5);
+//   * periodic configuration transmission on designated ports every hello
+//     time; replies to inferior configs;
+//   * stored-info expiry at max age (reconvergence after root failure);
+//   * topology-change notifications: TCNs propagate toward the root, the
+//     root sets the TC flag for forward_delay + max_age, and bridges seeing
+//     the flag switch their MAC tables to fast aging.
+//
+// Simplifications vs. the full standard, documented here deliberately:
+// message age is carried but not used to shorten expiry; TCNs are not
+// retransmitted (the simulated wire is lossless unless a test injects
+// loss); there is no TCN ack bookkeeping beyond the flag itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/active/packet.h"
+#include "src/active/safe_env.h"
+#include "src/bridge/bpdu.h"
+#include "src/netsim/time.h"
+
+namespace ab::bridge {
+
+/// Protocol timer and priority parameters (802.1D defaults).
+struct StpConfig {
+  std::uint16_t priority = 0x8000;
+  netsim::Duration hello_time = netsim::seconds(2);
+  netsim::Duration max_age = netsim::seconds(20);
+  netsim::Duration forward_delay = netsim::seconds(15);
+  /// Path cost per port (19 = the 802.1D value for 100 Mb/s links).
+  std::uint32_t port_cost = 19;
+};
+
+enum class StpPortState : std::uint8_t {
+  kBlocking,
+  kListening,
+  kLearning,
+  kForwarding,
+};
+enum class StpPortRole : std::uint8_t { kRoot, kDesignated, kBlocked };
+
+[[nodiscard]] std::string_view to_string(StpPortState state);
+[[nodiscard]] std::string_view to_string(StpPortRole role);
+
+/// The spanning-tree state a bridge computed -- what the paper's control
+/// switchlet captures from the old protocol and compares against the new
+/// one ("the portion of the spanning tree computed at each node should be
+/// identical for the old and the new protocols").
+struct StpSnapshot {
+  BridgeId bridge;
+  BridgeId root;
+  std::uint32_t root_path_cost = 0;
+  active::PortId root_port = active::kNoPort;  ///< kNoPort when we are root
+  struct PortInfo {
+    active::PortId id = active::kNoPort;
+    StpPortRole role = StpPortRole::kDesignated;
+    StpPortState state = StpPortState::kBlocking;
+    friend bool operator==(const PortInfo&, const PortInfo&) = default;
+  };
+  std::vector<PortInfo> ports;
+
+  /// Equivalence for the transition validation: same root, same root port,
+  /// same port roles. States are excluded (they differ transiently while
+  /// the new protocol walks the forward-delay ladder).
+  [[nodiscard]] bool same_tree(const StpSnapshot& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Frame-format-free spanning tree. The owner wires send/set-state/TC
+/// callbacks; receive() is fed decoded BPDUs.
+class StpEngine {
+ public:
+  struct Callbacks {
+    /// Transmit a BPDU on a port.
+    std::function<void(active::PortId, const Bpdu&)> send;
+    /// Apply a port state to the data plane.
+    std::function<void(active::PortId, StpPortState)> set_state;
+    /// Topology-change indication (true: begin fast aging; false: end).
+    std::function<void(bool)> topology_change;
+  };
+
+  StpEngine(active::Timers timers, StpConfig config, ether::MacAddress bridge_mac,
+            std::vector<active::PortId> ports, Callbacks callbacks,
+            util::Logger* log = nullptr, std::string log_tag = "stp");
+  ~StpEngine();
+
+  StpEngine(const StpEngine&) = delete;
+  StpEngine& operator=(const StpEngine&) = delete;
+
+  /// Enters the configuration phase: all ports become designated/Listening,
+  /// this bridge believes itself root, hellos start.
+  void start();
+
+  /// Cancels all protocol activity. Port states are left as they are (the
+  /// data plane keeps its last safe configuration during a protocol
+  /// transition); querying is still allowed.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Feed one received BPDU (already decoded by the owning switchlet).
+  void receive(active::PortId port, const Bpdu& bpdu);
+
+  // ---- queries ----
+  [[nodiscard]] BridgeId bridge_id() const { return bridge_id_; }
+  [[nodiscard]] BridgeId root_id() const { return root_; }
+  [[nodiscard]] bool is_root() const { return root_ == bridge_id_; }
+  [[nodiscard]] std::uint32_t root_path_cost() const { return root_cost_; }
+  [[nodiscard]] active::PortId root_port() const { return root_port_; }
+  [[nodiscard]] StpPortState port_state(active::PortId id) const;
+  [[nodiscard]] StpPortRole port_role(active::PortId id) const;
+  [[nodiscard]] StpSnapshot snapshot() const;
+
+  struct Stats {
+    std::uint64_t configs_sent = 0;
+    std::uint64_t configs_received = 0;
+    std::uint64_t tcns_sent = 0;
+    std::uint64_t tcns_received = 0;
+    std::uint64_t info_expiries = 0;
+    std::uint64_t topology_changes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct PortData {
+    active::PortId id = active::kNoPort;
+    std::uint16_t stp_port_id = 0;  ///< 0x80nn, the 802.1D port identifier
+    StpPortState state = StpPortState::kBlocking;
+    StpPortRole role = StpPortRole::kDesignated;
+    bool has_info = false;
+    Bpdu info;                    ///< best config heard on this segment
+    netsim::TimePoint info_when{};
+    netsim::EventId age_timer{};
+    netsim::EventId fwd_timer{};
+  };
+
+  /// Lexicographic 802.1D priority vector.
+  struct PriorityVector {
+    std::uint64_t root = 0;
+    std::uint32_t cost = 0;
+    std::uint64_t bridge = 0;
+    std::uint16_t port = 0;
+    friend auto operator<=>(const PriorityVector&, const PriorityVector&) = default;
+  };
+
+  [[nodiscard]] PriorityVector offered_on(const PortData& port) const;
+  [[nodiscard]] static PriorityVector stored_of(const PortData& port);
+
+  PortData& port(active::PortId id);
+  const PortData& port(active::PortId id) const;
+
+  void recompute();
+  void apply_role(PortData& port, StpPortRole role);
+  void advance_state(active::PortId id, std::uint64_t epoch);
+  void set_state(PortData& port, StpPortState state);
+  void transmit_config(PortData& port);
+  void hello_tick();
+  void relay_configs();
+  void arm_age_timer(PortData& port, netsim::Duration delay);
+  void schedule(netsim::Duration delay, std::function<void()> fn,
+                netsim::EventId* slot);
+  void note_topology_event();
+  void begin_topology_change();
+  void end_topology_change();
+  void logf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  active::Timers timers_;
+  StpConfig config_;
+  BridgeId bridge_id_;
+  Callbacks callbacks_;
+  util::Logger* log_;
+  std::string log_tag_;
+
+  std::vector<PortData> ports_;
+  BridgeId root_;
+  std::uint32_t root_cost_ = 0;
+  active::PortId root_port_ = active::kNoPort;
+  bool running_ = false;
+  bool tc_active_ = false;
+  netsim::EventId hello_timer_{};
+  netsim::EventId tc_timer_{};
+
+  /// Liveness guard: every scheduled lambda captures (guard, epoch) and
+  /// bails when the epoch moved (stop/restart/destruction). Keeps dangling
+  /// `this` from ever being dereferenced by a stale event.
+  std::shared_ptr<std::uint64_t> life_;
+  std::uint64_t epoch_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace ab::bridge

@@ -1,0 +1,122 @@
+#include "src/bridge/stp_switchlet.h"
+
+namespace ab::bridge {
+
+StpSwitchlet::StpSwitchlet(std::string name, std::shared_ptr<ForwardingPlane> plane,
+                           std::unique_ptr<BpduCodec> codec, StpConfig config)
+    : name_(std::move(name)), plane_(std::move(plane)), codec_(std::move(codec)),
+      config_(config) {
+  if (!plane_) throw std::invalid_argument("StpSwitchlet: null plane");
+  if (!codec_) throw std::invalid_argument("StpSwitchlet: null codec");
+}
+
+void StpSwitchlet::start(active::SafeEnv& env) {
+  env_ = &env;
+  const auto port_ids = plane_->port_ids();
+  if (port_ids.empty()) {
+    throw std::runtime_error(name_ + ": bridge ports not populated (load the dumb "
+                                     "bridge switchlet first)");
+  }
+
+  // Bridge identity: the lowest port MAC, the conventional choice.
+  ether::MacAddress bridge_mac = env.ports().interface_mac(port_ids[0]);
+  for (active::PortId id : port_ids) {
+    bridge_mac = std::min(bridge_mac, env.ports().interface_mac(id));
+  }
+
+  StpEngine::Callbacks callbacks;
+  callbacks.send = [this](active::PortId port, const Bpdu& bpdu) {
+    const ether::MacAddress src = env_->ports().interface_mac(port);
+    // BPDUs bypass the plane's gates: Listening ports still speak STP.
+    env_->ports().send_on(port, codec_->encode(bpdu, src));
+  };
+  callbacks.set_state = [this](active::PortId port, StpPortState state) {
+    apply_port_state(port, state);
+  };
+  callbacks.topology_change = [this](bool active) {
+    plane_->set_fast_aging(active);
+  };
+
+  engine_ = std::make_unique<StpEngine>(env.timers(), config_, bridge_mac, port_ids,
+                                        std::move(callbacks), &env.log(), name_);
+
+  env.demux().register_address(codec_->group_address(),
+                               [this](const active::Packet& p) { on_group_frame(p); });
+  registered_ = true;
+  engine_->start();
+  env.log().info(name_, "spanning tree started (" + std::string(codec_->protocol()) +
+                            " framing), bridge id " +
+                            engine_->bridge_id().to_string());
+}
+
+void StpSwitchlet::stop() {
+  if (engine_) engine_->stop();
+  if (registered_) {
+    env_->demux().unregister_address(codec_->group_address());
+    registered_ = false;
+  }
+  // Gates are deliberately left as the protocol last set them: during a
+  // transition the data plane keeps the old tree until the new protocol
+  // recomputes it.
+}
+
+void StpSwitchlet::suspend() {
+  // Freeze the protocol but keep the computed tree for validation.
+  if (engine_) engine_->stop();
+  if (registered_) {
+    env_->demux().unregister_address(codec_->group_address());
+    registered_ = false;
+  }
+}
+
+void StpSwitchlet::resume() {
+  if (!engine_) return;
+  if (!registered_) {
+    env_->demux().register_address(codec_->group_address(),
+                                   [this](const active::Packet& p) {
+                                     on_group_frame(p);
+                                   });
+    registered_ = true;
+  }
+  engine_->start();
+  env_->log().info(name_, "spanning tree resumed");
+}
+
+void StpSwitchlet::on_group_frame(const active::Packet& packet) {
+  if (!engine_ || !engine_->running()) return;
+  auto bpdu = codec_->decode(packet.frame);
+  if (!bpdu) {
+    undecodable_ += 1;
+    return;
+  }
+  engine_->receive(packet.ingress, bpdu.value());
+}
+
+void StpSwitchlet::apply_port_state(active::PortId id, StpPortState state) {
+  switch (state) {
+    case StpPortState::kBlocking:
+    case StpPortState::kListening:
+      plane_->set_gate(id, PortGate::kBlocked);
+      break;
+    case StpPortState::kLearning:
+      plane_->set_gate(id, PortGate::kLearning);
+      break;
+    case StpPortState::kForwarding:
+      plane_->set_gate(id, PortGate::kForwarding);
+      break;
+  }
+}
+
+std::unique_ptr<StpSwitchlet> make_ieee_stp(std::shared_ptr<ForwardingPlane> plane,
+                                            StpConfig config) {
+  return std::make_unique<StpSwitchlet>("stp.ieee", std::move(plane),
+                                        std::make_unique<IeeeBpduCodec>(), config);
+}
+
+std::unique_ptr<StpSwitchlet> make_dec_stp(std::shared_ptr<ForwardingPlane> plane,
+                                           StpConfig config) {
+  return std::make_unique<StpSwitchlet>("stp.dec", std::move(plane),
+                                        std::make_unique<DecBpduCodec>(), config);
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,70 @@
+// The third switchlet: spanning tree (IEEE 802.1D framing), plus the
+// DEC-framed variant used as the "old" protocol in the transition
+// experiment. Each wraps one StpEngine and one BpduCodec:
+//
+//   * registers with the demultiplexer for its protocol's group address
+//     ("requesting packets addressed to the All Bridges multicast
+//     address");
+//   * maps engine port states onto the forwarding plane's gates ("uses
+//     access points in the previous switchlets to suppress the traffic from
+//     certain input and output ports");
+//   * drives the MAC table's fast aging on topology changes.
+//
+// suspend() freezes the engine but keeps its computed tree (the control
+// switchlet captures it for validation); resume() restarts the protocol.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/active/switchlet.h"
+#include "src/bridge/bpdu.h"
+#include "src/bridge/forwarding.h"
+#include "src/bridge/stp.h"
+
+namespace ab::bridge {
+
+class StpSwitchlet : public active::Switchlet {
+ public:
+  StpSwitchlet(std::string name, std::shared_ptr<ForwardingPlane> plane,
+               std::unique_ptr<BpduCodec> codec, StpConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  void start(active::SafeEnv& env) override;
+  void stop() override;
+  void suspend() override;
+  void resume() override;
+
+  /// The engine, for tests and the control switchlet's validation. Null
+  /// before the first start().
+  [[nodiscard]] StpEngine* engine() { return engine_.get(); }
+  [[nodiscard]] const BpduCodec& codec() const { return *codec_; }
+  [[nodiscard]] const StpConfig& config() const { return config_; }
+
+  /// Frames that arrived on the group address but failed to decode --
+  /// incompatible-protocol traffic (how many "new protocol" packets a
+  /// not-yet-upgraded bridge would be silently dropping).
+  [[nodiscard]] std::uint64_t undecodable_frames() const { return undecodable_; }
+
+ private:
+  void on_group_frame(const active::Packet& packet);
+  void apply_port_state(active::PortId id, StpPortState state);
+
+  std::string name_;
+  std::shared_ptr<ForwardingPlane> plane_;
+  std::unique_ptr<BpduCodec> codec_;
+  StpConfig config_;
+  active::SafeEnv* env_ = nullptr;
+  std::unique_ptr<StpEngine> engine_;
+  std::uint64_t undecodable_ = 0;
+  bool registered_ = false;
+};
+
+/// Factory helpers for the two protocols of the transition experiment.
+[[nodiscard]] std::unique_ptr<StpSwitchlet> make_ieee_stp(
+    std::shared_ptr<ForwardingPlane> plane, StpConfig config = {});
+[[nodiscard]] std::unique_ptr<StpSwitchlet> make_dec_stp(
+    std::shared_ptr<ForwardingPlane> plane, StpConfig config = {});
+
+}  // namespace ab::bridge

@@ -1,0 +1,105 @@
+// Ethernet frames, in both encodings the active bridge must handle:
+//
+//  * Ethernet II (DIX): dst(6) src(6) ethertype(2 >= 0x0600) payload — used
+//    by the IP/ARP traffic the bridge forwards and the network loader's
+//    minimal stack;
+//  * IEEE 802.3 + LLC: dst(6) src(6) length(2 < 0x0600) DSAP SSAP CTRL
+//    payload — 802.1D BPDUs travel as LLC frames with DSAP=SSAP=0x42.
+//
+// The simulated wire format appends a 4-byte CRC-32 FCS. The paper notes
+// its Linux sockets could read the CRC but not write it ("one of our 802.1D
+// incompatibilities"); because our NIC is simulated we control both sides,
+// so encode() computes the FCS and decode() verifies it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/ether/mac_address.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace ab::ether {
+
+/// Well-known EtherType values used in this repository.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  /// DEC LANbridge spanning tree (the "old" protocol of the transition
+  /// experiment; DEC's real protocol used 0x8038 for LANbridge 100).
+  kDecStp = 0x8038,
+  /// Experimental/unassigned type used by test traffic generators.
+  kExperimental = 0x88B5,
+  /// The multi-spanning-tree extension's BPDUs (bridge/multitree.h).
+  kMultiTreeStp = 0x88B7,
+};
+
+[[nodiscard]] std::string to_string(EtherType type);
+
+/// 802.2 LLC header carried in 802.3 frames.
+struct LlcHeader {
+  std::uint8_t dsap = 0;
+  std::uint8_t ssap = 0;
+  std::uint8_t control = 0;
+
+  /// DSAP/SSAP 0x42, UI control — the Bridge Spanning Tree SAP.
+  [[nodiscard]] static constexpr LlcHeader spanning_tree() { return {0x42, 0x42, 0x03}; }
+
+  friend bool operator==(const LlcHeader&, const LlcHeader&) = default;
+};
+
+/// A parsed Ethernet frame. Exactly one of `ethertype` / `llc` is active:
+/// Ethernet II frames have an ethertype, 802.3 frames carry an LLC header.
+struct Frame {
+  MacAddress dst;
+  MacAddress src;
+  std::optional<std::uint16_t> ethertype;  ///< Ethernet II type (>= 0x0600).
+  std::optional<LlcHeader> llc;            ///< 802.3/LLC alternative.
+  util::ByteBuffer payload;
+
+  /// Minimum Ethernet payload (frames are padded on encode to reach the
+  /// 64-byte minimum frame size including header and FCS).
+  static constexpr std::size_t kMinPayload = 46;
+  /// Classic Ethernet MTU.
+  static constexpr std::size_t kMaxPayload = 1500;
+  /// Header (14) + FCS (4).
+  static constexpr std::size_t kOverhead = 18;
+
+  /// Convenience constructors.
+  [[nodiscard]] static Frame ethernet2(MacAddress dst, MacAddress src, EtherType type,
+                                       util::ByteBuffer payload);
+  [[nodiscard]] static Frame ethernet2(MacAddress dst, MacAddress src, std::uint16_t type,
+                                       util::ByteBuffer payload);
+  [[nodiscard]] static Frame llc_frame(MacAddress dst, MacAddress src, LlcHeader llc,
+                                       util::ByteBuffer payload);
+
+  [[nodiscard]] bool is_ethernet2() const { return ethertype.has_value(); }
+  [[nodiscard]] bool is_llc() const { return llc.has_value(); }
+
+  /// True when the Ethernet II type matches (false for LLC frames).
+  [[nodiscard]] bool has_type(EtherType type) const {
+    return ethertype && *ethertype == static_cast<std::uint16_t>(type);
+  }
+
+  /// Size on the wire after encode(), including header, padding and FCS.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Serializes to wire bytes: header, payload (padded to the 64-byte
+  /// minimum), CRC-32 FCS. Throws std::length_error if payload > MTU.
+  [[nodiscard]] util::ByteBuffer encode() const;
+
+  /// Parses wire bytes produced by encode(). Verifies length and FCS.
+  /// Padding added by encode() is retained in `payload` for LLC/802.3
+  /// frames only when covered by the 802.3 length field; Ethernet II has no
+  /// length field, so upper layers (IP, UDP) carry their own lengths, as on
+  /// real Ethernet.
+  [[nodiscard]] static util::Expected<Frame, std::string> decode(util::ByteView wire);
+
+  /// One-line human-readable rendering for traces and logs.
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+}  // namespace ab::ether

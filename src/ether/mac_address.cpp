@@ -1,0 +1,63 @@
+#include "src/ether/mac_address.h"
+
+#include <cstdio>
+
+namespace ab::ether {
+namespace {
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, kSize> octets{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    const std::size_t base = i * 3;
+    const int hi = nibble(text[base]);
+    const int lo = nibble(text[base + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (i + 1 < kSize && text[base + 2] != ':') return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::read(util::BufReader& reader) {
+  std::array<std::uint8_t, kSize> octets{};
+  reader.fill(octets);
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::local(std::uint32_t node_id, std::uint16_t port_id) {
+  // 0x02 => locally administered, unicast.
+  return MacAddress({0x02, 0x00,
+                     static_cast<std::uint8_t>(node_id >> 8),
+                     static_cast<std::uint8_t>(node_id),
+                     static_cast<std::uint8_t>(port_id >> 8),
+                     static_cast<std::uint8_t>(port_id)});
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+void MacAddress::write(util::BufWriter& writer) const {
+  writer.bytes(util::ByteView(octets_.data(), octets_.size()));
+}
+
+std::uint64_t MacAddress::value() const {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : octets_) v = (v << 8) | b;
+  return v;
+}
+
+}  // namespace ab::ether

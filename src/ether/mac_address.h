@@ -1,0 +1,93 @@
+// IEEE 802 MAC addresses, including the two group addresses at the heart of
+// the paper's transition experiment:
+//
+//   * the 802.1D "All Bridges" address 01:80:C2:00:00:00, to which IEEE
+//     BPDUs are sent, and
+//   * the DEC management multicast 09:00:2B:01:00:00, to which the paper's
+//     "old" DEC-style spanning-tree switchlet sends its packets.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace ab::ether {
+
+/// A 48-bit IEEE 802 MAC address. Value type; totally ordered so it can key
+/// maps (the learning bridge's host-location table, STP bridge IDs).
+class MacAddress {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  /// All-zero address (useful as a sentinel; never a valid source).
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(std::array<std::uint8_t, kSize> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). nullopt on any deviation.
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  /// Reads six octets from a reader (throws BufferUnderflow if short).
+  [[nodiscard]] static MacAddress read(util::BufReader& reader);
+
+  /// Deterministically derives a locally-administered unicast address from a
+  /// (node, port) pair; the simulator assigns NIC addresses this way.
+  [[nodiscard]] static MacAddress local(std::uint32_t node_id, std::uint16_t port_id);
+
+  /// ff:ff:ff:ff:ff:ff
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  /// 01:80:C2:00:00:00 — the 802.1D All Bridges group address.
+  [[nodiscard]] static constexpr MacAddress all_bridges() {
+    return MacAddress({0x01, 0x80, 0xC2, 0x00, 0x00, 0x00});
+  }
+
+  /// 09:00:2B:01:00:00 — DEC bridge management multicast (the "old"
+  /// protocol's address in the transition experiment).
+  [[nodiscard]] static constexpr MacAddress dec_bridge_group() {
+    return MacAddress({0x09, 0x00, 0x2B, 0x01, 0x00, 0x00});
+  }
+
+  /// Group (multicast/broadcast) bit: I/G bit of the first octet.
+  [[nodiscard]] constexpr bool is_group() const { return (octets_[0] & 0x01) != 0; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return *this == broadcast(); }
+  /// Group but not broadcast.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return is_group() && !is_broadcast();
+  }
+  [[nodiscard]] constexpr bool is_unicast() const { return !is_group(); }
+  [[nodiscard]] constexpr bool is_zero() const { return *this == MacAddress(); }
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& octets() const { return octets_; }
+
+  /// "aa:bb:cc:dd:ee:ff"
+  [[nodiscard]] std::string to_string() const;
+
+  void write(util::BufWriter& writer) const;
+
+  /// Numeric value (for bridge-ID comparison in STP: lower wins).
+  [[nodiscard]] std::uint64_t value() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> octets_{};
+};
+
+}  // namespace ab::ether
+
+template <>
+struct std::hash<ab::ether::MacAddress> {
+  std::size_t operator()(const ab::ether::MacAddress& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.value());
+  }
+};

@@ -1,0 +1,57 @@
+#include "src/netsim/lan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "src/netsim/nic.h"
+
+namespace ab::netsim {
+
+LanSegment::LanSegment(Scheduler& scheduler, std::string name, LanConfig config)
+    : scheduler_(&scheduler),
+      name_(std::move(name)),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.bit_rate <= 0) throw std::invalid_argument("LanSegment: bit_rate <= 0");
+}
+
+Duration LanSegment::serialization_delay(std::size_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 / config_.bit_rate;
+  return Duration(static_cast<std::int64_t>(std::llround(seconds * 1e9)));
+}
+
+void LanSegment::broadcast(util::ByteBuffer wire, const Nic* sender) {
+  stats_.frames_carried += 1;
+  stats_.bytes_carried += wire.size();
+  if (tap_) tap_(scheduler_->now(), sender, wire);
+
+  // Shared so all per-receiver delivery events reference one copy.
+  auto shared = std::make_shared<util::ByteBuffer>(std::move(wire));
+  for (Nic* nic : nics_) {
+    if (nic == sender) continue;
+    if (config_.loss > 0 && rng_.chance(config_.loss)) {
+      stats_.frames_lost += 1;
+      continue;
+    }
+    Nic* receiver = nic;
+    scheduler_->schedule_after(config_.propagation, [this, receiver, shared] {
+      // The NIC may have detached while the frame was in flight.
+      if (std::find(nics_.begin(), nics_.end(), receiver) == nics_.end()) return;
+      receiver->deliver_wire(*shared);
+    });
+  }
+}
+
+void LanSegment::attach_nic(Nic& nic) {
+  if (std::find(nics_.begin(), nics_.end(), &nic) == nics_.end()) {
+    nics_.push_back(&nic);
+  }
+}
+
+void LanSegment::detach_nic(Nic& nic) {
+  nics_.erase(std::remove(nics_.begin(), nics_.end(), &nic), nics_.end());
+}
+
+}  // namespace ab::netsim

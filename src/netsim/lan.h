@@ -1,0 +1,80 @@
+// A broadcast LAN segment: the simulated stand-in for the paper's 100 Mbps
+// Ethernets. Every frame transmitted by an attached NIC is delivered, after
+// a propagation delay, to every other attached NIC (which then applies its
+// own address filter / promiscuous mode). Serialization delay is charged at
+// the transmitting NIC using the segment's bit rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/netsim/scheduler.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace ab::netsim {
+
+class Nic;
+
+/// Physical parameters of a segment.
+struct LanConfig {
+  /// Link speed in bits per second. Default: the paper's 100 Mbps Fast
+  /// Ethernet.
+  double bit_rate = 100e6;
+  /// One-way propagation delay across the segment.
+  Duration propagation = microseconds(5);
+  /// Independent per-receiver drop probability (fault injection).
+  double loss = 0.0;
+  /// Seed for the loss process.
+  std::uint64_t seed = 1;
+};
+
+/// Traffic counters for a segment.
+struct LanStats {
+  std::uint64_t frames_carried = 0;
+  std::uint64_t bytes_carried = 0;
+  std::uint64_t frames_lost = 0;  ///< receiver-side drops from the loss model
+};
+
+/// A shared broadcast medium. Attach NICs with Nic::attach().
+class LanSegment {
+ public:
+  /// Observer invoked once per transmitted frame (wire bytes, pre-loss).
+  /// Used by FrameTrace and by the storm-detection tests.
+  using FrameTap = std::function<void(TimePoint, const Nic* sender, util::ByteView wire)>;
+
+  LanSegment(Scheduler& scheduler, std::string name, LanConfig config);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const LanConfig& config() const { return config_; }
+  [[nodiscard]] const LanStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Nic*>& attached() const { return nics_; }
+
+  /// Time to clock `bytes` onto the wire at this segment's bit rate.
+  [[nodiscard]] Duration serialization_delay(std::size_t bytes) const;
+
+  /// Carries one encoded frame from `sender` to every other attached NIC.
+  /// Called by Nic's transmit path; tests may inject frames with a null
+  /// sender (delivered to everyone).
+  void broadcast(util::ByteBuffer wire, const Nic* sender);
+
+  void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
+
+  // Nic::attach/detach call these.
+  void attach_nic(Nic& nic);
+  void detach_nic(Nic& nic);
+
+ private:
+  Scheduler* scheduler_;
+  std::string name_;
+  LanConfig config_;
+  LanStats stats_;
+  std::vector<Nic*> nics_;
+  util::Rng rng_;
+  FrameTap tap_;
+};
+
+}  // namespace ab::netsim

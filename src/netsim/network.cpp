@@ -1,0 +1,35 @@
+#include "src/netsim/network.h"
+
+#include <stdexcept>
+
+namespace ab::netsim {
+
+LanSegment& Network::add_segment(const std::string& name, LanConfig config) {
+  if (find_segment(name) != nullptr) {
+    throw std::invalid_argument("duplicate segment name: " + name);
+  }
+  segments_.push_back(std::make_unique<LanSegment>(scheduler_, name, config));
+  return *segments_.back();
+}
+
+Nic& Network::add_nic(const std::string& name, LanSegment& segment) {
+  const std::uint32_t id = next_mac_id_++;
+  return add_nic(name, segment, ether::MacAddress::local(id >> 16, id & 0xFFFF));
+}
+
+Nic& Network::add_nic(const std::string& name, LanSegment& segment,
+                      ether::MacAddress mac) {
+  nics_.push_back(std::make_unique<Nic>(scheduler_, name, mac));
+  Nic& nic = *nics_.back();
+  nic.attach(segment);
+  return nic;
+}
+
+LanSegment* Network::find_segment(const std::string& name) const {
+  for (const auto& seg : segments_) {
+    if (seg->name() == name) return seg.get();
+  }
+  return nullptr;
+}
+
+}  // namespace ab::netsim

@@ -1,0 +1,55 @@
+// Network: the owning container for a simulation -- one scheduler, the LAN
+// segments, and the NICs -- plus topology-building helpers for the shapes
+// the paper's experiments use (two bridged LANs, the three-bridge ring of
+// section 7.5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/netsim/lan.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/scheduler.h"
+
+namespace ab::netsim {
+
+/// Owns every simulator object; destroying the Network ends the simulated
+/// world. Segments and NICs are stable (pointers remain valid for the
+/// Network's lifetime).
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] TimePoint now() const { return scheduler_.now(); }
+
+  /// Creates a broadcast segment.
+  LanSegment& add_segment(const std::string& name, LanConfig config = {});
+
+  /// Creates a NIC with an automatically assigned locally-administered MAC
+  /// and attaches it to `segment`.
+  Nic& add_nic(const std::string& name, LanSegment& segment);
+
+  /// Creates a NIC with an explicit MAC.
+  Nic& add_nic(const std::string& name, LanSegment& segment, ether::MacAddress mac);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<LanSegment>>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
+
+  /// Finds a segment by name; nullptr if absent.
+  [[nodiscard]] LanSegment* find_segment(const std::string& name) const;
+
+ private:
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<LanSegment>> segments_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::uint32_t next_mac_id_ = 1;
+};
+
+}  // namespace ab::netsim

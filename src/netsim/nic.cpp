@@ -1,0 +1,69 @@
+#include "src/netsim/nic.h"
+
+namespace ab::netsim {
+
+Nic::Nic(Scheduler& scheduler, std::string name, ether::MacAddress mac)
+    : scheduler_(&scheduler), name_(std::move(name)), mac_(mac) {}
+
+Nic::~Nic() {
+  if (segment_ != nullptr) segment_->detach_nic(*this);
+}
+
+void Nic::attach(LanSegment& segment) {
+  detach();
+  segment_ = &segment;
+  segment.attach_nic(*this);
+}
+
+void Nic::detach() {
+  if (segment_ != nullptr) {
+    segment_->detach_nic(*this);
+    segment_ = nullptr;
+  }
+}
+
+bool Nic::transmit(const ether::Frame& frame) {
+  if (segment_ == nullptr || tx_queue_.size() >= tx_queue_limit_) {
+    stats_.tx_dropped += 1;
+    return false;
+  }
+  tx_queue_.push_back(frame.encode());
+  if (!transmitting_) start_transmitter();
+  return true;
+}
+
+void Nic::start_transmitter() {
+  if (tx_queue_.empty() || segment_ == nullptr) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  util::ByteBuffer wire = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  const Duration ser = segment_->serialization_delay(wire.size());
+  stats_.tx_frames += 1;
+  stats_.tx_bytes += wire.size();
+  scheduler_->schedule_after(ser, [this, wire = std::move(wire)]() mutable {
+    if (segment_ != nullptr) segment_->broadcast(std::move(wire), this);
+    start_transmitter();
+  });
+}
+
+void Nic::deliver_wire(util::ByteView wire) {
+  auto decoded = ether::Frame::decode(wire);
+  if (!decoded) {
+    stats_.rx_bad += 1;
+    return;
+  }
+  const ether::Frame& frame = decoded.value();
+  const bool for_me = promiscuous_ || frame.dst == mac_ || frame.dst.is_group();
+  if (!for_me) {
+    stats_.rx_filtered += 1;
+    return;
+  }
+  stats_.rx_frames += 1;
+  stats_.rx_bytes += wire.size();
+  if (rx_handler_) rx_handler_(frame);
+}
+
+}  // namespace ab::netsim

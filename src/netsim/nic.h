@@ -1,0 +1,91 @@
+// A simulated Ethernet adapter.
+//
+// Receive path: the segment delivers wire bytes; the NIC verifies the FCS,
+// applies its address filter (unicast-to-me, broadcast, group, or
+// everything when promiscuous -- the paper's bridge "whenever an input port
+// is bound, it is put into promiscuous mode"), and hands the decoded frame
+// to the registered handler.
+//
+// Transmit path: frames queue FIFO behind the transmitter, which is busy
+// for the segment's serialization delay per frame; a full queue drops
+// (tail-drop, counted).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/ether/frame.h"
+#include "src/netsim/lan.h"
+#include "src/netsim/scheduler.h"
+
+namespace ab::netsim {
+
+/// Interface counters, mirroring what ifconfig would have shown on the
+/// paper's testbed.
+struct NicStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_dropped = 0;  ///< tail-dropped: transmit queue full
+  std::uint64_t rx_frames = 0;   ///< delivered to the handler
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_filtered = 0;  ///< address filter rejected
+  std::uint64_t rx_bad = 0;       ///< FCS or framing errors
+};
+
+/// One network interface. NICs are owned by Network and must outlive any
+/// scheduled simulation events.
+class Nic {
+ public:
+  using RxHandler = std::function<void(const ether::Frame&)>;
+
+  Nic(Scheduler& scheduler, std::string name, ether::MacAddress mac);
+  ~Nic();
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ether::MacAddress mac() const { return mac_; }
+
+  /// Connects to a segment (detaching from any previous one).
+  void attach(LanSegment& segment);
+  void detach();
+  [[nodiscard]] LanSegment* segment() const { return segment_; }
+
+  /// Installs the receive callback. Passing nullptr silences the NIC
+  /// (frames are filtered-counted but dropped).
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  void set_promiscuous(bool on) { promiscuous_ = on; }
+  [[nodiscard]] bool promiscuous() const { return promiscuous_; }
+
+  /// Bounds the transmit queue (frames). Default 512.
+  void set_tx_queue_limit(std::size_t limit) { tx_queue_limit_ = limit; }
+
+  /// Encodes and queues a frame for transmission. Returns false (and
+  /// counts a drop) if the queue is full or the NIC is detached.
+  bool transmit(const ether::Frame& frame);
+
+  /// Entry point for the segment's delivery events.
+  void deliver_wire(util::ByteView wire);
+
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+
+ private:
+  void start_transmitter();
+
+  Scheduler* scheduler_;
+  std::string name_;
+  ether::MacAddress mac_;
+  LanSegment* segment_ = nullptr;
+  RxHandler rx_handler_;
+  bool promiscuous_ = false;
+  std::deque<util::ByteBuffer> tx_queue_;
+  std::size_t tx_queue_limit_ = 512;
+  bool transmitting_ = false;
+  NicStats stats_;
+};
+
+}  // namespace ab::netsim

@@ -1,0 +1,58 @@
+#include "src/netsim/pcap.h"
+
+#include <stdexcept>
+
+namespace ab::netsim {
+namespace {
+constexpr std::uint32_t kMagic = 0xA1B2C3D4;  // microsecond-resolution pcap
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kSnapLen = 65535;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  // Global header, little-endian (pcap readers honor the magic's byte
+  // order; we write host order, which is little-endian on every platform
+  // this repository targets).
+  write_u32(kMagic);
+  write_u16(kVersionMajor);
+  write_u16(kVersionMinor);
+  write_u32(0);  // thiszone
+  write_u32(0);  // sigfigs
+  write_u32(kSnapLen);
+  write_u32(kLinkTypeEthernet);
+}
+
+void PcapWriter::write_u16(std::uint16_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void PcapWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void PcapWriter::watch(LanSegment& segment) {
+  segment.set_frame_tap([this](TimePoint time, const Nic*, util::ByteView wire) {
+    record(time, wire);
+  });
+}
+
+void PcapWriter::record(TimePoint time, util::ByteView wire) {
+  const auto since_epoch = time.time_since_epoch();
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(since_epoch);
+  const auto usecs =
+      std::chrono::duration_cast<std::chrono::microseconds>(since_epoch - secs);
+  write_u32(static_cast<std::uint32_t>(secs.count()));
+  write_u32(static_cast<std::uint32_t>(usecs.count()));
+  const std::uint32_t len = static_cast<std::uint32_t>(wire.size());
+  write_u32(len);  // captured length (we never truncate)
+  write_u32(len);  // original length
+  out_.write(reinterpret_cast<const char*>(wire.data()),
+             static_cast<std::streamsize>(wire.size()));
+  frames_written_ += 1;
+}
+
+}  // namespace ab::netsim

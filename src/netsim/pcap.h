@@ -1,0 +1,43 @@
+// pcap export: writes a segment's frames as a classic libpcap capture file
+// so simulated traffic can be inspected with Wireshark/tcpdump. Timestamps
+// are virtual time (seconds/microseconds since simulation start).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "src/netsim/lan.h"
+#include "src/netsim/time.h"
+#include "src/netsim/trace.h"
+#include "src/util/bytes.h"
+
+namespace ab::netsim {
+
+/// Streams frames to a pcap file (linktype Ethernet). One writer may watch
+/// one segment; it installs itself as the segment's frame tap.
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the pcap global header.
+  /// Throws std::runtime_error if the file cannot be created.
+  explicit PcapWriter(const std::string& path);
+
+  /// Installs this writer as `segment`'s frame tap.
+  void watch(LanSegment& segment);
+
+  /// Records one frame explicitly (for use outside a tap).
+  void record(TimePoint time, util::ByteView wire);
+
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_written_; }
+
+  /// Flushes buffered output (also done on destruction).
+  void flush() { out_.flush(); }
+
+ private:
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+
+  std::ofstream out_;
+  std::uint64_t frames_written_ = 0;
+};
+
+}  // namespace ab::netsim

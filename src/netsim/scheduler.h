@@ -1,0 +1,83 @@
+// Deterministic discrete-event scheduler.
+//
+// Events at equal timestamps fire in submission order (a monotonically
+// increasing sequence number breaks ties), so every simulation in the test
+// and bench suites is bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/netsim/time.h"
+
+namespace ab::netsim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// The simulator's event loop and clock.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Advances only while events run.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (clamped to now()).
+  EventId schedule_at(TimePoint when, Callback fn);
+
+  /// Schedules `fn` after a delay relative to now().
+  EventId schedule_after(Duration delay, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a harmless no-op (timers race with the traffic that restarts them).
+  void cancel(EventId id);
+
+  /// Runs the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= `until`, then advances the clock to
+  /// `until`. Returns the number of events executed.
+  std::size_t run_until(TimePoint until);
+
+  /// run_until(now() + d).
+  std::size_t run_for(Duration d);
+
+  /// Runs until the queue is empty or `max_events` have executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next non-cancelled event; false when queue empty.
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ab::netsim

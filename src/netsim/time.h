@@ -1,0 +1,47 @@
+// Virtual time for the discrete-event simulator.
+//
+// All timers in the repository -- STP hello/max-age/forward-delay, MAC-table
+// aging, the control switchlet's 30 s/60 s transition windows, TFTP
+// retransmits -- run on this clock, so the paper's half-minute experiments
+// execute in microseconds of real time and are perfectly reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ab::netsim {
+
+/// Nanosecond resolution virtual durations.
+using Duration = std::chrono::nanoseconds;
+
+/// A point in virtual time. Simulations start at TimePoint{} (t = 0).
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+};
+
+using TimePoint = SimClock::time_point;
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t n) { return std::chrono::microseconds(n); }
+constexpr Duration milliseconds(std::int64_t n) { return std::chrono::milliseconds(n); }
+constexpr Duration seconds(std::int64_t n) { return std::chrono::seconds(n); }
+
+/// Seconds as a double (for printing measurements).
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Milliseconds as a double.
+[[nodiscard]] constexpr double to_millis(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// "12.345s" style rendering for logs.
+[[nodiscard]] std::string time_to_string(TimePoint t);
+
+}  // namespace ab::netsim

@@ -1,0 +1,53 @@
+#include "src/netsim/trace.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace ab::netsim {
+
+void FrameTrace::watch(LanSegment& segment) {
+  LanSegment* seg = &segment;
+  segment.set_frame_tap([this, seg](TimePoint time, const Nic*, util::ByteView wire) {
+    record(time, *seg, wire);
+  });
+}
+
+void FrameTrace::record(TimePoint time, const LanSegment& segment, util::ByteView wire) {
+  TraceEntry entry;
+  entry.time = time;
+  entry.segment = segment.name();
+  entry.wire_len = wire.size();
+  auto decoded = ether::Frame::decode(wire);
+  if (decoded) {
+    entry.decoded_ok = true;
+    entry.src = decoded->src;
+    entry.dst = decoded->dst;
+    entry.summary = decoded->summary();
+  } else {
+    entry.summary = "undecodable: " + decoded.error();
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t FrameTrace::count_on(const std::string& segment) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [&](const TraceEntry& e) { return e.segment == segment; }));
+}
+
+std::size_t FrameTrace::count_if(
+    const std::function<bool(const TraceEntry&)>& pred) const {
+  return static_cast<std::size_t>(std::count_if(entries_.begin(), entries_.end(), pred));
+}
+
+std::string FrameTrace::dump() const {
+  std::string out;
+  for (const TraceEntry& e : entries_) {
+    out += util::format("%s %-8s %4zuB %s\n", time_to_string(e.time).c_str(),
+                        e.segment.c_str(), e.wire_len, e.summary.c_str());
+  }
+  return out;
+}
+
+}  // namespace ab::netsim

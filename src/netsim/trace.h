@@ -1,0 +1,55 @@
+// Frame tracing: records every frame a segment carries, for assertions in
+// integration tests ("no frame crossed LAN 3", "the storm exceeded N
+// frames") and for debugging with a tcpdump-style text dump.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ether/frame.h"
+#include "src/netsim/lan.h"
+#include "src/netsim/time.h"
+
+namespace ab::netsim {
+
+/// One carried frame, as observed on a segment.
+struct TraceEntry {
+  TimePoint time;
+  std::string segment;
+  std::size_t wire_len = 0;
+  ether::MacAddress src;
+  ether::MacAddress dst;
+  bool decoded_ok = false;
+  std::string summary;
+};
+
+/// Collects TraceEntry records from any number of segments.
+class FrameTrace {
+ public:
+  /// Installs this trace as the segment's frame tap. One trace may watch
+  /// many segments; a segment has a single tap.
+  void watch(LanSegment& segment);
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Number of entries on the named segment.
+  [[nodiscard]] std::size_t count_on(const std::string& segment) const;
+
+  /// Number of entries matching an arbitrary predicate.
+  [[nodiscard]] std::size_t count_if(
+      const std::function<bool(const TraceEntry&)>& pred) const;
+
+  /// tcpdump-flavoured text rendering.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  void record(TimePoint time, const LanSegment& segment, util::ByteView wire);
+
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace ab::netsim

@@ -1,0 +1,87 @@
+#include "src/stack/arp.h"
+
+#include "src/util/string_util.h"
+
+namespace ab::stack {
+namespace {
+constexpr std::uint16_t kHtypeEthernet = 1;
+constexpr std::uint16_t kPtypeIpv4 = 0x0800;
+}  // namespace
+
+util::ByteBuffer ArpPacket::encode() const {
+  util::BufWriter w;
+  w.u16(kHtypeEthernet);
+  w.u16(kPtypeIpv4);
+  w.u8(6);  // hardware address length
+  w.u8(4);  // protocol address length
+  w.u16(static_cast<std::uint16_t>(op));
+  sender_mac.write(w);
+  w.u32(sender_ip.value());
+  target_mac.write(w);
+  w.u32(target_ip.value());
+  return w.take();
+}
+
+util::Expected<ArpPacket, std::string> ArpPacket::decode(util::ByteView wire) {
+  if (wire.size() < 28) {
+    return util::Unexpected{util::format("ARP packet of %zu bytes too short",
+                                         wire.size())};
+  }
+  util::BufReader r(wire);
+  if (r.u16() != kHtypeEthernet) {
+    return util::Unexpected{std::string("ARP: not Ethernet hardware type")};
+  }
+  if (r.u16() != kPtypeIpv4) {
+    return util::Unexpected{std::string("ARP: not IPv4 protocol type")};
+  }
+  if (r.u8() != 6 || r.u8() != 4) {
+    return util::Unexpected{std::string("ARP: bad address lengths")};
+  }
+  const std::uint16_t op = r.u16();
+  if (op != 1 && op != 2) {
+    return util::Unexpected{util::format("ARP: unknown op %u", op)};
+  }
+  ArpPacket p;
+  p.op = static_cast<ArpOp>(op);
+  p.sender_mac = ether::MacAddress::read(r);
+  p.sender_ip = Ipv4Addr(r.u32());
+  p.target_mac = ether::MacAddress::read(r);
+  p.target_ip = Ipv4Addr(r.u32());
+  return p;
+}
+
+ArpPacket ArpPacket::request(ether::MacAddress sender_mac, Ipv4Addr sender_ip,
+                             Ipv4Addr target_ip) {
+  ArpPacket p;
+  p.op = ArpOp::kRequest;
+  p.sender_mac = sender_mac;
+  p.sender_ip = sender_ip;
+  p.target_ip = target_ip;
+  return p;
+}
+
+ArpPacket ArpPacket::make_reply(ether::MacAddress my_mac) const {
+  ArpPacket reply;
+  reply.op = ArpOp::kReply;
+  reply.sender_mac = my_mac;
+  reply.sender_ip = target_ip;
+  reply.target_mac = sender_mac;
+  reply.target_ip = sender_ip;
+  return reply;
+}
+
+void ArpCache::insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now) {
+  entries_[ip] = Entry{mac, now};
+}
+
+std::optional<ether::MacAddress> ArpCache::lookup(Ipv4Addr ip,
+                                                  netsim::TimePoint now) const {
+  const auto it = entries_.find(ip);
+  if (it == entries_.end()) return std::nullopt;
+  if (ttl_ != netsim::Duration::zero() && now - it->second.inserted > ttl_) {
+    return std::nullopt;
+  }
+  return it->second.mac;
+}
+
+}  // namespace ab::stack

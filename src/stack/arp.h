@@ -1,0 +1,71 @@
+// ARP (RFC 826) for IPv4-over-Ethernet, plus the resolver cache the host
+// stack uses. The paper's testbed hosts are ordinary Linux boxes, so their
+// traffic starts with ARP exchanges the bridge must forward like any other
+// broadcast traffic -- which also makes ARP a natural workload for the
+// learning-bridge tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/ether/mac_address.h"
+#include "src/netsim/time.h"
+#include "src/stack/ipv4.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace ab::stack {
+
+enum class ArpOp : std::uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+/// An ARP packet for the (Ethernet, IPv4) pair.
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  ether::MacAddress sender_mac;
+  Ipv4Addr sender_ip;
+  ether::MacAddress target_mac;  ///< zero in requests
+  Ipv4Addr target_ip;
+
+  [[nodiscard]] util::ByteBuffer encode() const;
+  [[nodiscard]] static util::Expected<ArpPacket, std::string> decode(
+      util::ByteView wire);
+
+  /// who-has `target_ip`? tell `sender_ip` at `sender_mac`.
+  [[nodiscard]] static ArpPacket request(ether::MacAddress sender_mac,
+                                         Ipv4Addr sender_ip, Ipv4Addr target_ip);
+
+  /// The reply this request elicits, answered by `my_mac`.
+  [[nodiscard]] ArpPacket make_reply(ether::MacAddress my_mac) const;
+};
+
+/// IP -> MAC cache with per-entry insertion timestamps and optional expiry.
+class ArpCache {
+ public:
+  /// `ttl` of zero disables expiry.
+  explicit ArpCache(netsim::Duration ttl = netsim::Duration::zero()) : ttl_(ttl) {}
+
+  void insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now);
+
+  /// Lookup honoring expiry.
+  [[nodiscard]] std::optional<ether::MacAddress> lookup(Ipv4Addr ip,
+                                                        netsim::TimePoint now) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    ether::MacAddress mac;
+    netsim::TimePoint inserted;
+  };
+  netsim::Duration ttl_;
+  std::unordered_map<Ipv4Addr, Entry> entries_;
+};
+
+}  // namespace ab::stack

@@ -1,0 +1,31 @@
+#include "src/stack/checksum.h"
+
+namespace ab::stack {
+
+void InternetChecksum::update(util::ByteView data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint32_t>(data[i] << 8);
+  }
+}
+
+void InternetChecksum::update_word(std::uint16_t word) { sum_ += word; }
+
+std::uint16_t InternetChecksum::finish() const {
+  std::uint32_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s);
+}
+
+std::uint16_t internet_checksum(util::ByteView data) {
+  InternetChecksum c;
+  c.update(data);
+  return c.finish();
+}
+
+bool checksum_ok(util::ByteView data) { return internet_checksum(data) == 0; }
+
+}  // namespace ab::stack

@@ -1,0 +1,249 @@
+#include "src/stack/host_stack.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace ab::stack {
+
+HostStack::HostStack(netsim::Scheduler& scheduler, netsim::Nic& nic, HostConfig config,
+                     util::Logger* log)
+    : scheduler_(&scheduler),
+      nic_(&nic),
+      config_(config),
+      log_(log),
+      tx_pe_(scheduler, config.tx_cost) {
+  if (config_.ip.is_zero()) throw std::invalid_argument("HostStack: zero IP address");
+  if (config_.mtu < Ipv4Header::kSize + 8) {
+    throw std::invalid_argument("HostStack: MTU too small for IP");
+  }
+  nic_->set_rx_handler([this](const ether::Frame& frame) { on_frame(frame); });
+}
+
+void HostStack::bind_udp(std::uint16_t port, UdpHandler handler) {
+  if (!handler) throw std::invalid_argument("HostStack: null UDP handler");
+  const auto [it, inserted] = udp_handlers_.emplace(port, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument(util::format("UDP port %u already bound", port));
+  }
+}
+
+void HostStack::unbind_udp(std::uint16_t port) { udp_handlers_.erase(port); }
+
+void HostStack::send_udp(Ipv4Addr dst, std::uint16_t src_port, std::uint16_t dst_port,
+                         util::ByteBuffer payload) {
+  UdpDatagram d;
+  d.src_port = src_port;
+  d.dst_port = dst_port;
+  d.payload = std::move(payload);
+  const util::ByteBuffer udp_bytes = encode_udp(config_.ip, dst, d);
+  send_ipv4(IpProto::kUdp, dst, udp_bytes);
+}
+
+void HostStack::send_echo_request(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
+                                  util::ByteBuffer payload) {
+  IcmpEcho echo;
+  echo.type = IcmpType::kEchoRequest;
+  echo.id = id;
+  echo.seq = seq;
+  echo.payload = std::move(payload);
+  send_ipv4(IpProto::kIcmp, dst, echo.encode());
+}
+
+// ------------------------------------------------------------- send path
+
+void HostStack::send_ipv4(IpProto proto, Ipv4Addr dst, util::ByteView payload) {
+  stats_.ip_packets_sent += 1;
+  const std::size_t max_payload_per_frame = config_.mtu - Ipv4Header::kSize;
+
+  Ipv4Header h;
+  h.protocol = static_cast<std::uint8_t>(proto);
+  h.src = config_.ip;
+  h.dst = dst;
+  h.identification = next_ip_id_++;
+
+  if (payload.size() <= max_payload_per_frame) {
+    transmit_ip_packet(dst, h.encode(payload));
+    return;
+  }
+
+  // Fragment on 8-byte boundaries, as RFC 791 requires.
+  const std::size_t unit = max_payload_per_frame & ~std::size_t{7};
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    const std::size_t chunk = std::min(unit, payload.size() - offset);
+    Ipv4Header fh = h;
+    fh.fragment_offset = static_cast<std::uint16_t>(offset / 8);
+    fh.more_fragments = (offset + chunk) < payload.size();
+    transmit_ip_packet(dst, fh.encode(payload.subspan(offset, chunk)));
+    offset += chunk;
+  }
+}
+
+void HostStack::transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet) {
+  stats_.fragments_sent += 1;
+  const auto mac = arp_cache_.lookup(dst, scheduler_->now());
+  if (mac.has_value()) {
+    transmit_frame(*mac, ether::EtherType::kIpv4, std::move(packet));
+    return;
+  }
+  // Queue behind ARP resolution; start resolving if not already.
+  auto [it, inserted] = pending_arp_.try_emplace(dst);
+  it->second.queued_ip_packets.push_back(std::move(packet));
+  if (inserted) send_arp_request(dst);
+}
+
+void HostStack::send_arp_request(Ipv4Addr target) {
+  auto it = pending_arp_.find(target);
+  if (it == pending_arp_.end()) return;
+  if (it->second.tries >= config_.arp_max_tries) {
+    stats_.unresolved_drops += it->second.queued_ip_packets.size();
+    if (log_) log_->warn("arp", "gave up resolving " + target.to_string());
+    pending_arp_.erase(it);
+    return;
+  }
+  it->second.tries += 1;
+  stats_.arp_requests_sent += 1;
+  const ArpPacket req = ArpPacket::request(nic_->mac(), config_.ip, target);
+  transmit_frame(ether::MacAddress::broadcast(), ether::EtherType::kArp, req.encode());
+  scheduler_->schedule_after(config_.arp_retry, [this, target] {
+    if (pending_arp_.count(target) != 0) send_arp_request(target);
+  });
+}
+
+void HostStack::transmit_frame(ether::MacAddress dst, ether::EtherType type,
+                               util::ByteBuffer payload) {
+  const std::size_t len = payload.size();
+  tx_pe_.submit(len, [this, dst, type, payload = std::move(payload)]() mutable {
+    nic_->transmit(ether::Frame::ethernet2(dst, nic_->mac(), type, std::move(payload)));
+  });
+}
+
+// ---------------------------------------------------------- receive path
+
+void HostStack::on_frame(const ether::Frame& frame) {
+  if (!frame.is_ethernet2()) return;  // hosts ignore LLC (BPDU) traffic
+  if (frame.has_type(ether::EtherType::kArp)) {
+    handle_arp(frame.payload);
+  } else if (frame.has_type(ether::EtherType::kIpv4)) {
+    handle_ipv4(frame.payload);
+  }
+}
+
+void HostStack::handle_arp(util::ByteView payload) {
+  auto decoded = ArpPacket::decode(payload);
+  if (!decoded) {
+    stats_.rx_parse_errors += 1;
+    return;
+  }
+  const ArpPacket& arp = decoded.value();
+  // Opportunistic learning from any ARP we see that names us.
+  if (arp.target_ip == config_.ip) {
+    arp_cache_.insert(arp.sender_ip, arp.sender_mac, scheduler_->now());
+    // Flush any traffic parked on this resolution.
+    if (auto it = pending_arp_.find(arp.sender_ip); it != pending_arp_.end()) {
+      auto queued = std::move(it->second.queued_ip_packets);
+      pending_arp_.erase(it);
+      for (auto& pkt : queued) {
+        transmit_frame(arp.sender_mac, ether::EtherType::kIpv4, std::move(pkt));
+      }
+    }
+    if (arp.op == ArpOp::kRequest) {
+      stats_.arp_replies_sent += 1;
+      transmit_frame(arp.sender_mac, ether::EtherType::kArp,
+                     arp.make_reply(nic_->mac()).encode());
+    }
+  }
+}
+
+void HostStack::handle_ipv4(util::ByteView payload) {
+  auto decoded = Ipv4Header::decode(payload);
+  if (!decoded) {
+    stats_.rx_parse_errors += 1;
+    return;
+  }
+  Ipv4Packet& pkt = decoded.value();
+  if (pkt.header.dst != config_.ip) return;  // promiscuous NICs see others' traffic
+  if (pkt.header.is_fragment()) {
+    handle_reassembly(pkt.header, std::move(pkt.payload));
+    return;
+  }
+  deliver(pkt.header, pkt.payload);
+}
+
+void HostStack::handle_reassembly(const Ipv4Header& header, util::ByteBuffer payload) {
+  const ReassemblyKey key{header.src, header.identification, header.protocol};
+  auto [it, inserted] = reassemblies_.try_emplace(key);
+  Reassembly& r = it->second;
+  if (inserted) {
+    r.started = scheduler_->now();
+    scheduler_->schedule_after(config_.reassembly_timeout, [this, key] {
+      if (reassemblies_.erase(key) != 0) stats_.reassemblies_dropped += 1;
+    });
+  }
+  const std::size_t offset = static_cast<std::size_t>(header.fragment_offset) * 8;
+  if (!header.more_fragments) r.total_len = offset + payload.size();
+  r.holes[offset] = std::move(payload);
+
+  if (r.total_len == SIZE_MAX) return;
+  // Check contiguity from zero.
+  std::size_t covered = 0;
+  for (const auto& [off, bytes] : r.holes) {
+    if (off > covered) return;  // gap
+    covered = std::max(covered, off + bytes.size());
+  }
+  if (covered < r.total_len) return;
+
+  util::ByteBuffer whole(r.total_len);
+  for (const auto& [off, bytes] : r.holes) {
+    std::copy(bytes.begin(), bytes.end(),
+              whole.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  Ipv4Header h = header;
+  h.more_fragments = false;
+  h.fragment_offset = 0;
+  reassemblies_.erase(it);
+  stats_.reassemblies_done += 1;
+  deliver(h, whole);
+}
+
+void HostStack::deliver(const Ipv4Header& header, util::ByteView payload) {
+  switch (static_cast<IpProto>(header.protocol)) {
+    case IpProto::kIcmp: {
+      auto echo = IcmpEcho::decode(payload);
+      if (!echo) {
+        stats_.rx_parse_errors += 1;
+        return;
+      }
+      if (echo->is_request()) {
+        if (config_.answer_ping) {
+          stats_.echo_requests_answered += 1;
+          send_ipv4(IpProto::kIcmp, header.src, echo->make_reply().encode());
+        }
+      } else {
+        stats_.echo_replies_received += 1;
+        if (echo_handler_) {
+          echo_handler_(EchoReply{header.src, echo->id, echo->seq,
+                                  std::move(echo->payload)});
+        }
+      }
+      return;
+    }
+    case IpProto::kUdp: {
+      auto datagram = decode_udp(header.src, header.dst, payload);
+      if (!datagram) {
+        stats_.rx_parse_errors += 1;
+        return;
+      }
+      const auto it = udp_handlers_.find(datagram->dst_port);
+      if (it != udp_handlers_.end()) {
+        stats_.udp_delivered += 1;
+        it->second(header.src, datagram.value());
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace ab::stack

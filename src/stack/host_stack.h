@@ -1,0 +1,143 @@
+// HostStack: the endpoint protocol stack for simulated hosts -- the stand-in
+// for the "Intel Pentiums running with a version 2.0.28 Linux kernel" that
+// terminate the paper's ping and ttcp flows.
+//
+// It binds to one NIC and provides: ARP resolution (with request queueing
+// and retry), IPv4 send/receive *including* fragmentation and reassembly
+// (unlike the active node's deliberately minimal IP), an ICMP echo
+// responder plus client, and a tiny UDP socket API. Transmissions pass
+// through a per-host ProcessingElement so benchmarks can charge the 1997
+// host's per-frame software cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/netsim/cost_model.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/scheduler.h"
+#include "src/stack/arp.h"
+#include "src/stack/icmp.h"
+#include "src/stack/ipv4.h"
+#include "src/stack/udp.h"
+#include "src/util/log.h"
+
+namespace ab::stack {
+
+/// Per-host configuration.
+struct HostConfig {
+  Ipv4Addr ip;
+  /// Maximum IP packet per frame; larger sends fragment.
+  std::size_t mtu = 1500;
+  /// Answer echo requests (the ping responder).
+  bool answer_ping = true;
+  /// Software cost of the host's send path (per frame). CostModel::ideal()
+  /// for correctness tests; CostModel::linux_host() for the paper benches.
+  netsim::CostModel tx_cost = netsim::CostModel::ideal();
+  /// Incomplete reassemblies are discarded after this long.
+  netsim::Duration reassembly_timeout = netsim::seconds(30);
+  /// ARP retransmit interval and attempt limit.
+  netsim::Duration arp_retry = netsim::milliseconds(500);
+  int arp_max_tries = 3;
+};
+
+/// Counters for assertions and benchmarks.
+struct HostStats {
+  std::uint64_t arp_requests_sent = 0;
+  std::uint64_t arp_replies_sent = 0;
+  std::uint64_t ip_packets_sent = 0;    ///< pre-fragmentation
+  std::uint64_t fragments_sent = 0;     ///< frames carrying a fragment
+  std::uint64_t reassemblies_done = 0;
+  std::uint64_t reassemblies_dropped = 0;
+  std::uint64_t udp_delivered = 0;
+  std::uint64_t echo_requests_answered = 0;
+  std::uint64_t echo_replies_received = 0;
+  std::uint64_t rx_parse_errors = 0;
+  std::uint64_t unresolved_drops = 0;  ///< packets dropped: ARP never resolved
+};
+
+class HostStack {
+ public:
+  /// Delivered UDP traffic: source address plus the datagram.
+  using UdpHandler = std::function<void(Ipv4Addr src_ip, const UdpDatagram& datagram)>;
+
+  /// A received echo reply.
+  struct EchoReply {
+    Ipv4Addr from;
+    std::uint16_t id = 0;
+    std::uint16_t seq = 0;
+    util::ByteBuffer payload;
+  };
+  using EchoHandler = std::function<void(const EchoReply&)>;
+
+  HostStack(netsim::Scheduler& scheduler, netsim::Nic& nic, HostConfig config,
+            util::Logger* log = nullptr);
+
+  [[nodiscard]] Ipv4Addr ip() const { return config_.ip; }
+  [[nodiscard]] netsim::Nic& nic() { return *nic_; }
+  [[nodiscard]] const HostStats& stats() const { return stats_; }
+  [[nodiscard]] netsim::ProcessingElement& tx_element() { return tx_pe_; }
+
+  /// Binds a UDP port. Throws std::invalid_argument if already bound.
+  void bind_udp(std::uint16_t port, UdpHandler handler);
+  void unbind_udp(std::uint16_t port);
+
+  /// Sends a UDP datagram (fragmenting if payload + headers exceed the MTU).
+  void send_udp(Ipv4Addr dst, std::uint16_t src_port, std::uint16_t dst_port,
+                util::ByteBuffer payload);
+
+  /// Receives every echo reply addressed to this host.
+  void set_echo_handler(EchoHandler handler) { echo_handler_ = std::move(handler); }
+
+  /// Sends an ICMP echo request (ping).
+  void send_echo_request(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
+                         util::ByteBuffer payload);
+
+ private:
+  struct PendingArp {
+    std::vector<util::ByteBuffer> queued_ip_packets;
+    int tries = 0;
+  };
+  struct ReassemblyKey {
+    Ipv4Addr src;
+    std::uint16_t id;
+    std::uint8_t proto;
+    friend auto operator<=>(const ReassemblyKey&, const ReassemblyKey&) = default;
+  };
+  struct Reassembly {
+    std::map<std::size_t, util::ByteBuffer> holes;  ///< offset -> bytes
+    std::size_t total_len = SIZE_MAX;               ///< known once last frag seen
+    netsim::TimePoint started{};
+  };
+
+  void on_frame(const ether::Frame& frame);
+  void handle_arp(util::ByteView payload);
+  void handle_ipv4(util::ByteView payload);
+  void deliver(const Ipv4Header& header, util::ByteView payload);
+  void handle_reassembly(const Ipv4Header& header, util::ByteBuffer payload);
+
+  /// Builds the IP packet(s) for `payload` and routes them through ARP.
+  void send_ipv4(IpProto proto, Ipv4Addr dst, util::ByteView payload);
+  void transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet);
+  void send_arp_request(Ipv4Addr target);
+  void transmit_frame(ether::MacAddress dst, ether::EtherType type,
+                      util::ByteBuffer payload);
+
+  netsim::Scheduler* scheduler_;
+  netsim::Nic* nic_;
+  HostConfig config_;
+  util::Logger* log_;
+  netsim::ProcessingElement tx_pe_;
+  ArpCache arp_cache_;
+  std::unordered_map<Ipv4Addr, PendingArp> pending_arp_;
+  std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
+  std::map<ReassemblyKey, Reassembly> reassemblies_;
+  EchoHandler echo_handler_;
+  std::uint16_t next_ip_id_ = 1;
+  HostStats stats_;
+};
+
+}  // namespace ab::stack

@@ -1,0 +1,57 @@
+#include "src/stack/icmp.h"
+
+#include "src/stack/checksum.h"
+#include "src/util/string_util.h"
+
+namespace ab::stack {
+
+util::ByteBuffer IcmpEcho::encode() const {
+  util::BufWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);   // code
+  w.u16(0);  // checksum placeholder
+  w.u16(id);
+  w.u16(seq);
+  w.bytes(payload);
+  util::ByteBuffer bytes = w.take();
+  const std::uint16_t csum = internet_checksum(bytes);
+  bytes[2] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[3] = static_cast<std::uint8_t>(csum);
+  return bytes;
+}
+
+util::Expected<IcmpEcho, std::string> IcmpEcho::decode(util::ByteView wire) {
+  if (wire.size() < 8) {
+    return util::Unexpected{util::format("ICMP message of %zu bytes too short",
+                                         wire.size())};
+  }
+  if (!checksum_ok(wire)) {
+    return util::Unexpected{std::string("ICMP checksum mismatch")};
+  }
+  util::BufReader r(wire);
+  const std::uint8_t type = r.u8();
+  if (type != static_cast<std::uint8_t>(IcmpType::kEchoRequest) &&
+      type != static_cast<std::uint8_t>(IcmpType::kEchoReply)) {
+    return util::Unexpected{util::format("unsupported ICMP type %u", type)};
+  }
+  const std::uint8_t code = r.u8();
+  if (code != 0) {
+    return util::Unexpected{util::format("unsupported ICMP code %u", code)};
+  }
+  r.skip(2);  // checksum
+  IcmpEcho echo;
+  echo.type = static_cast<IcmpType>(type);
+  echo.id = r.u16();
+  echo.seq = r.u16();
+  const util::ByteView payload = r.rest();
+  echo.payload.assign(payload.begin(), payload.end());
+  return echo;
+}
+
+IcmpEcho IcmpEcho::make_reply() const {
+  IcmpEcho reply = *this;
+  reply.type = IcmpType::kEchoReply;
+  return reply;
+}
+
+}  // namespace ab::stack

@@ -1,0 +1,39 @@
+// ICMP echo (RFC 792) -- just enough for the Fig. 9 ping latency experiment
+// and the section 7.5 agility measurement, both of which drive ICMP ECHOs
+// through the bridge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace ab::stack {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kEchoRequest = 8,
+};
+
+/// An ICMP echo request or reply.
+struct IcmpEcho {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+  util::ByteBuffer payload;
+
+  [[nodiscard]] bool is_request() const { return type == IcmpType::kEchoRequest; }
+
+  /// Serializes with a correct ICMP checksum.
+  [[nodiscard]] util::ByteBuffer encode() const;
+
+  /// Parses and validates an echo request/reply. Non-echo ICMP types are a
+  /// decode error (the minimal stack does not speak them).
+  [[nodiscard]] static util::Expected<IcmpEcho, std::string> decode(util::ByteView wire);
+
+  /// The reply this request elicits (same id/seq/payload).
+  [[nodiscard]] IcmpEcho make_reply() const;
+};
+
+}  // namespace ab::stack

@@ -1,0 +1,283 @@
+#include "src/stack/tftp.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace ab::stack {
+
+util::ByteBuffer encode_tftp(const TftpPacket& packet) {
+  util::BufWriter w;
+  if (const auto* req = std::get_if<TftpRequest>(&packet)) {
+    w.u16(static_cast<std::uint16_t>(req->op));
+    w.cstring(req->filename);
+    w.cstring(req->mode);
+  } else if (const auto* data = std::get_if<TftpData>(&packet)) {
+    if (data->data.size() > kTftpBlockSize) {
+      throw std::length_error("TFTP DATA block exceeds 512 bytes");
+    }
+    w.u16(static_cast<std::uint16_t>(TftpOp::kData));
+    w.u16(data->block);
+    w.bytes(data->data);
+  } else if (const auto* ack = std::get_if<TftpAck>(&packet)) {
+    w.u16(static_cast<std::uint16_t>(TftpOp::kAck));
+    w.u16(ack->block);
+  } else {
+    const auto& err = std::get<TftpErrorPacket>(packet);
+    w.u16(static_cast<std::uint16_t>(TftpOp::kError));
+    w.u16(static_cast<std::uint16_t>(err.code));
+    w.cstring(err.message);
+  }
+  return w.take();
+}
+
+util::Expected<TftpPacket, std::string> decode_tftp(util::ByteView wire) {
+  try {
+    util::BufReader r(wire);
+    const std::uint16_t op = r.u16();
+    switch (static_cast<TftpOp>(op)) {
+      case TftpOp::kRrq:
+      case TftpOp::kWrq: {
+        TftpRequest req;
+        req.op = static_cast<TftpOp>(op);
+        req.filename = r.cstring();
+        req.mode = r.cstring();
+        return TftpPacket{req};
+      }
+      case TftpOp::kData: {
+        TftpData data;
+        data.block = r.u16();
+        const util::ByteView rest = r.rest();
+        if (rest.size() > kTftpBlockSize) {
+          return util::Unexpected{std::string("TFTP DATA block exceeds 512 bytes")};
+        }
+        data.data.assign(rest.begin(), rest.end());
+        return TftpPacket{data};
+      }
+      case TftpOp::kAck: {
+        TftpAck ack;
+        ack.block = r.u16();
+        return TftpPacket{ack};
+      }
+      case TftpOp::kError: {
+        TftpErrorPacket err;
+        err.code = static_cast<TftpError>(r.u16());
+        err.message = r.cstring();
+        return TftpPacket{err};
+      }
+    }
+    return util::Unexpected{util::format("unknown TFTP opcode %u", op)};
+  } catch (const util::BufferUnderflow& e) {
+    return util::Unexpected{std::string("truncated TFTP packet: ") + e.what()};
+  }
+}
+
+// ---------------------------------------------------------------- server
+
+TftpServer::TftpServer(netsim::Scheduler& scheduler, TftpSendFn send,
+                       FileHandler on_file, util::Logger* log)
+    : scheduler_(&scheduler),
+      send_(std::move(send)),
+      on_file_(std::move(on_file)),
+      log_(log) {
+  if (!send_) throw std::invalid_argument("TftpServer: null send function");
+  if (!on_file_) throw std::invalid_argument("TftpServer: null file handler");
+}
+
+void TftpServer::send_error(const TftpEndpoint& peer, TftpError code,
+                            const std::string& msg) {
+  send_(peer, kWellKnownPort, encode_tftp(TftpErrorPacket{code, msg}));
+}
+
+void TftpServer::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
+                             util::ByteView payload) {
+  if (local_port != kWellKnownPort) return;
+  auto decoded = decode_tftp(payload);
+  if (!decoded) {
+    stats_.malformed += 1;
+    return;
+  }
+
+  if (const auto* req = std::get_if<TftpRequest>(&decoded.value())) {
+    if (req->op == TftpOp::kRrq) {
+      // The paper's loader is write-only: reads are refused.
+      stats_.rejected_rrq += 1;
+      send_error(peer, TftpError::kAccessViolation, "read requests not serviced");
+      return;
+    }
+    if (util::to_lower(req->mode) != "octet") {
+      // Binary format only.
+      stats_.rejected_mode += 1;
+      send_error(peer, TftpError::kIllegalOperation, "only octet mode accepted");
+      return;
+    }
+    Transfer t;
+    t.filename = req->filename;
+    t.last_activity = scheduler_->now();
+    transfers_[peer] = std::move(t);
+    scheduler_->schedule_after(kTransferTimeout, [this] { reap_stalled(); });
+    send_(peer, kWellKnownPort, encode_tftp(TftpAck{0}));
+    if (log_) log_->info("tftp", "WRQ accepted: " + req->filename);
+    return;
+  }
+
+  if (const auto* data = std::get_if<TftpData>(&decoded.value())) {
+    const auto it = transfers_.find(peer);
+    if (it == transfers_.end()) {
+      send_error(peer, TftpError::kNotDefined, "no transfer in progress");
+      return;
+    }
+    Transfer& t = it->second;
+    t.last_activity = scheduler_->now();
+    if (data->block == static_cast<std::uint16_t>(t.expected_block - 1)) {
+      // Duplicate of the previous block (our ACK was lost): re-ACK.
+      send_(peer, kWellKnownPort, encode_tftp(TftpAck{data->block}));
+      return;
+    }
+    if (data->block != t.expected_block) {
+      send_error(peer, TftpError::kIllegalOperation,
+                 util::format("expected block %u, got %u", t.expected_block,
+                              data->block));
+      transfers_.erase(it);
+      return;
+    }
+    t.contents.insert(t.contents.end(), data->data.begin(), data->data.end());
+    send_(peer, kWellKnownPort, encode_tftp(TftpAck{data->block}));
+    t.expected_block += 1;
+    if (data->data.size() < kTftpBlockSize) {
+      // Final block: transfer complete.
+      stats_.transfers_completed += 1;
+      if (log_) {
+        log_->info("tftp", util::format("received %s (%zu bytes)", t.filename.c_str(),
+                                        t.contents.size()));
+      }
+      // Move out before erasing; the handler may start new transfers.
+      const std::string filename = std::move(t.filename);
+      util::ByteBuffer contents = std::move(t.contents);
+      transfers_.erase(it);
+      on_file_(filename, std::move(contents));
+    }
+    return;
+  }
+
+  // ACKs and ERRORs from clients: ERROR aborts any transfer in progress.
+  if (std::holds_alternative<TftpErrorPacket>(decoded.value())) {
+    transfers_.erase(peer);
+  }
+}
+
+void TftpServer::reap_stalled() {
+  const netsim::TimePoint now = scheduler_->now();
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (now - it->second.last_activity >= kTransferTimeout) {
+      stats_.transfers_timed_out += 1;
+      if (log_) log_->warn("tftp", "transfer timed out: " + it->second.filename);
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- client
+
+TftpClient::TftpClient(netsim::Scheduler& scheduler, TftpSendFn send)
+    : scheduler_(&scheduler), send_(std::move(send)) {
+  if (!send_) throw std::invalid_argument("TftpClient: null send function");
+}
+
+void TftpClient::put(const TftpEndpoint& server, const std::string& filename,
+                     util::ByteBuffer contents, Done done) {
+  if (!done) throw std::invalid_argument("TftpClient: null completion");
+  const std::uint16_t port = next_port_++;
+  Transfer t;
+  t.server = server;
+  t.filename = filename;
+  t.contents = std::move(contents);
+  t.done = std::move(done);
+  transfers_[port] = std::move(t);
+  send_current(port);
+}
+
+void TftpClient::send_current(std::uint16_t local_port) {
+  auto it = transfers_.find(local_port);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (t.block == 0) {
+    send_(t.server, local_port,
+          encode_tftp(TftpRequest{TftpOp::kWrq, t.filename, "octet"}));
+  } else {
+    const std::size_t chunk =
+        std::min(kTftpBlockSize, t.contents.size() - t.offset);
+    TftpData data;
+    data.block = t.block;
+    data.data.assign(t.contents.begin() + static_cast<std::ptrdiff_t>(t.offset),
+                     t.contents.begin() + static_cast<std::ptrdiff_t>(t.offset + chunk));
+    send_(t.server, local_port, encode_tftp(data));
+  }
+  arm_timer(local_port);
+}
+
+void TftpClient::arm_timer(std::uint16_t local_port) {
+  auto it = transfers_.find(local_port);
+  if (it == transfers_.end()) return;
+  scheduler_->cancel(it->second.timer);
+  it->second.timer = scheduler_->schedule_after(kRetransmit, [this, local_port] {
+    auto tit = transfers_.find(local_port);
+    if (tit == transfers_.end()) return;
+    if (++tit->second.retries > kMaxRetries) {
+      finish(local_port, false, "transfer timed out");
+      return;
+    }
+    send_current(local_port);
+  });
+}
+
+void TftpClient::finish(std::uint16_t local_port, bool ok, const std::string& error) {
+  auto it = transfers_.find(local_port);
+  if (it == transfers_.end()) return;
+  scheduler_->cancel(it->second.timer);
+  Done done = std::move(it->second.done);
+  transfers_.erase(it);
+  done(ok, error);
+}
+
+void TftpClient::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
+                             util::ByteView payload) {
+  auto it = transfers_.find(local_port);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (peer.ip != t.server.ip) return;  // not our server
+
+  auto decoded = decode_tftp(payload);
+  if (!decoded) return;
+
+  if (const auto* err = std::get_if<TftpErrorPacket>(&decoded.value())) {
+    finish(local_port, false,
+           util::format("server error %u: %s", static_cast<unsigned>(err->code),
+                        err->message.c_str()));
+    return;
+  }
+  const auto* ack = std::get_if<TftpAck>(&decoded.value());
+  if (ack == nullptr || ack->block != t.block) return;  // stale or non-ACK
+
+  t.retries = 0;
+  if (t.block > 0) {
+    // The just-ACKed DATA block's bytes are now accounted for.
+    const std::size_t chunk = std::min(kTftpBlockSize, t.contents.size() - t.offset);
+    t.offset += chunk;
+    if (t.sent_final_block) {
+      finish(local_port, true, "");
+      return;
+    }
+  }
+  // Advance to the next block. A final short (possibly empty) block ends
+  // the transfer; a file that is an exact multiple of 512 gets an empty
+  // terminating DATA packet, per the RFC.
+  t.block += 1;
+  const std::size_t remaining = t.contents.size() - t.offset;
+  t.sent_final_block = remaining < kTftpBlockSize;
+  send_current(local_port);
+}
+
+}  // namespace ab::stack

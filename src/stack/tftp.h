@@ -1,0 +1,181 @@
+// TFTP (RFC 1350), the top layer of the paper's four-layer network loader:
+// "the highest layer in this stack implements a TFTP server. This server
+// only services write requests in binary format. Any such file is taken to
+// be a Caml byte code file and, upon successful receipt, an attempt is made
+// to dynamically load and evaluate the file."
+//
+// The server here enforces the same policy: octet-mode WRQs only; RRQs and
+// ASCII-mode transfers are refused with a TFTP ERROR. A completed file is
+// handed to a callback -- the active node's loader wires that callback to
+// switchlet loading.
+//
+// Transport is abstracted behind a SendFn so the same state machines run on
+// a full HostStack (clients) and on the active node's deliberately minimal
+// IP/UDP path (server). Simplification vs. RFC 1350: the server answers
+// from its well-known port instead of an ephemeral TID; both ends here are
+// ours, and the state machines key transfers on the peer endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/netsim/scheduler.h"
+#include "src/stack/ipv4.h"
+#include "src/util/bytes.h"
+#include "src/util/log.h"
+#include "src/util/result.h"
+
+namespace ab::stack {
+
+/// One side of a UDP conversation.
+struct TftpEndpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+  friend auto operator<=>(const TftpEndpoint&, const TftpEndpoint&) = default;
+};
+
+/// TFTP wire opcodes.
+enum class TftpOp : std::uint16_t {
+  kRrq = 1,
+  kWrq = 2,
+  kData = 3,
+  kAck = 4,
+  kError = 5,
+};
+
+/// RFC 1350 error codes (subset used here).
+enum class TftpError : std::uint16_t {
+  kNotDefined = 0,
+  kAccessViolation = 2,
+  kIllegalOperation = 4,
+};
+
+/// Decoded TFTP packets.
+struct TftpRequest {  // RRQ or WRQ
+  TftpOp op = TftpOp::kWrq;
+  std::string filename;
+  std::string mode;  ///< as sent; compare case-insensitively
+};
+struct TftpData {
+  std::uint16_t block = 0;
+  util::ByteBuffer data;  ///< < 512 bytes marks the final block
+};
+struct TftpAck {
+  std::uint16_t block = 0;
+};
+struct TftpErrorPacket {
+  TftpError code = TftpError::kNotDefined;
+  std::string message;
+};
+
+using TftpPacket = std::variant<TftpRequest, TftpData, TftpAck, TftpErrorPacket>;
+
+/// TFTP data blocks are 512 bytes; a shorter DATA ends the transfer.
+inline constexpr std::size_t kTftpBlockSize = 512;
+
+[[nodiscard]] util::ByteBuffer encode_tftp(const TftpPacket& packet);
+[[nodiscard]] util::Expected<TftpPacket, std::string> decode_tftp(util::ByteView wire);
+
+/// Sends a TFTP packet to `peer` from local port `local_port`.
+using TftpSendFn =
+    std::function<void(const TftpEndpoint& peer, std::uint16_t local_port,
+                       util::ByteBuffer packet)>;
+
+/// Write-only, octet-only TFTP server (the paper's switchlet receiver).
+class TftpServer {
+ public:
+  /// Invoked once per completed transfer with the filename and contents.
+  using FileHandler = std::function<void(const std::string& filename,
+                                         util::ByteBuffer contents)>;
+
+  static constexpr std::uint16_t kWellKnownPort = 69;
+  /// Stalled transfers are dropped after this long without a DATA packet.
+  static constexpr netsim::Duration kTransferTimeout = netsim::seconds(10);
+
+  TftpServer(netsim::Scheduler& scheduler, TftpSendFn send, FileHandler on_file,
+             util::Logger* log = nullptr);
+
+  /// Feed a UDP payload that arrived on `local_port` from `peer`.
+  void on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
+                   util::ByteView payload);
+
+  struct Stats {
+    std::uint64_t transfers_completed = 0;
+    std::uint64_t transfers_timed_out = 0;
+    std::uint64_t rejected_rrq = 0;
+    std::uint64_t rejected_mode = 0;
+    std::uint64_t malformed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_transfers() const { return transfers_.size(); }
+
+ private:
+  struct Transfer {
+    std::string filename;
+    util::ByteBuffer contents;
+    std::uint16_t expected_block = 1;
+    netsim::TimePoint last_activity{};
+  };
+
+  void send_error(const TftpEndpoint& peer, TftpError code, const std::string& msg);
+  void reap_stalled();
+
+  netsim::Scheduler* scheduler_;
+  TftpSendFn send_;
+  FileHandler on_file_;
+  util::Logger* log_;
+  std::map<TftpEndpoint, Transfer> transfers_;
+  Stats stats_;
+};
+
+/// TFTP write client: delivers a byte buffer (a switchlet image) to a
+/// server, with per-packet retransmission.
+class TftpClient {
+ public:
+  /// Completion: error text is empty on success.
+  using Done = std::function<void(bool ok, const std::string& error)>;
+
+  static constexpr netsim::Duration kRetransmit = netsim::seconds(1);
+  static constexpr int kMaxRetries = 5;
+
+  TftpClient(netsim::Scheduler& scheduler, TftpSendFn send);
+
+  /// Starts an octet-mode WRQ transfer. Multiple concurrent puts are
+  /// supported (each gets its own local port).
+  void put(const TftpEndpoint& server, const std::string& filename,
+           util::ByteBuffer contents, Done done);
+
+  /// Feed a UDP payload that arrived on `local_port` from `peer`.
+  void on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
+                   util::ByteView payload);
+
+  [[nodiscard]] std::size_t active_transfers() const { return transfers_.size(); }
+
+ private:
+  struct Transfer {
+    TftpEndpoint server;
+    std::string filename;
+    util::ByteBuffer contents;
+    std::size_t offset = 0;          ///< bytes acknowledged so far
+    std::uint16_t block = 0;         ///< last block sent (0 = WRQ)
+    bool sent_final_block = false;
+    int retries = 0;
+    Done done;
+    netsim::EventId timer{};
+  };
+
+  void send_current(std::uint16_t local_port);
+  void arm_timer(std::uint16_t local_port);
+  void finish(std::uint16_t local_port, bool ok, const std::string& error);
+
+  netsim::Scheduler* scheduler_;
+  TftpSendFn send_;
+  std::map<std::uint16_t, Transfer> transfers_;
+  std::uint16_t next_port_ = 49152;
+};
+
+}  // namespace ab::stack

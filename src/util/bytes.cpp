@@ -1,0 +1,20 @@
+#include "src/util/bytes.h"
+
+namespace ab::util {
+
+ByteBuffer to_bytes(std::string_view s) {
+  return ByteBuffer(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+bool equal_bytes(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace ab::util

@@ -1,0 +1,41 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace ab::util {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(ByteView data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t byte : data) {
+    c = table()[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(ByteView data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace ab::util

@@ -1,0 +1,33 @@
+// CRC-32 as used by the IEEE 802.3 frame check sequence.
+//
+// The paper notes the prototype's Linux sockets "return the CRC on a read,
+// but cannot specify it on a write" (one of its 802.1D incompatibilities).
+// Our simulated NICs compute and verify the FCS with this implementation,
+// which removes that incompatibility -- see ether::Frame.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace ab::util {
+
+/// Incremental CRC-32 (polynomial 0xEDB88320, reflected), init/final XOR
+/// 0xFFFFFFFF -- the Ethernet FCS algorithm.
+class Crc32 {
+ public:
+  /// Feeds more bytes into the running checksum.
+  void update(ByteView data);
+
+  /// Returns the finalized CRC over everything fed so far. The object may
+  /// continue to be updated afterwards (value() is non-destructive).
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a complete buffer.
+[[nodiscard]] std::uint32_t crc32(ByteView data);
+
+}  // namespace ab::util

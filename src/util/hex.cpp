@@ -1,0 +1,66 @@
+#include "src/util/hex.h"
+
+#include <cctype>
+
+namespace ab::util {
+namespace {
+
+constexpr char kHexChars[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexChars[b >> 4]);
+    out.push_back(kHexChars[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<ByteBuffer> from_hex(std::string_view text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  ByteBuffer out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_dump(ByteView data) {
+  std::string out;
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    char header[32];
+    std::snprintf(header, sizeof header, "%08zx  ", off);
+    out += header;
+    std::string ascii;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < data.size()) {
+        const std::uint8_t b = data[off + i];
+        out.push_back(kHexChars[b >> 4]);
+        out.push_back(kHexChars[b & 0xF]);
+        out.push_back(' ');
+        ascii.push_back(std::isprint(b) ? static_cast<char>(b) : '.');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |" + ascii + "|\n";
+  }
+  return out;
+}
+
+}  // namespace ab::util

@@ -1,0 +1,23 @@
+// Hex formatting and parsing helpers, plus a frame-sized hex dump used by
+// the Log module and the trace tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace ab::util {
+
+/// "deadbeef" (lower case, no separators).
+[[nodiscard]] std::string to_hex(ByteView data);
+
+/// Parses "deadbeef" / "DEADBEEF"; nullopt on odd length or non-hex chars.
+[[nodiscard]] std::optional<ByteBuffer> from_hex(std::string_view text);
+
+/// Classic 16-bytes-per-line offset/hex/ASCII dump for debugging frames.
+[[nodiscard]] std::string hex_dump(ByteView data);
+
+}  // namespace ab::util

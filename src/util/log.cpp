@@ -1,0 +1,100 @@
+#include "src/util/log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ab::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void StderrSink::write(const LogRecord& record) {
+  std::fprintf(stderr, "%s [%s] %s\n", std::string(to_string(record.level)).c_str(),
+               record.component.c_str(), record.message.c_str());
+}
+
+struct FileSink::Impl {
+  std::ofstream out;
+};
+
+FileSink::FileSink(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::app);
+  if (!impl_->out) throw std::runtime_error("FileSink: cannot open " + path);
+}
+
+FileSink::~FileSink() = default;
+
+void FileSink::write(const LogRecord& record) {
+  impl_->out << to_string(record.level) << " [" << record.component << "] "
+             << record.message << '\n';
+  impl_->out.flush();
+}
+
+void CaptureSink::write(const LogRecord& record) {
+  std::lock_guard lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<LogRecord> CaptureSink::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+bool CaptureSink::contains(std::string_view needle) const {
+  std::lock_guard lock(mu_);
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CaptureSink::clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+}
+
+Logger::Logger() : sink_(std::make_shared<NullSink>()) {}
+
+Logger::Logger(std::shared_ptr<LogSink> sink) : sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("Logger: null sink");
+}
+
+void Logger::set_sink(std::shared_ptr<LogSink> sink) {
+  if (!sink) throw std::invalid_argument("Logger: null sink");
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_level(LogLevel min_level) {
+  std::lock_guard lock(mu_);
+  min_level_ = min_level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return min_level_;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard lock(mu_);
+    if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+    sink = sink_;
+  }
+  sink->write(LogRecord{level, std::string(component), std::string(message)});
+}
+
+}  // namespace ab::util

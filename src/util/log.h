@@ -1,0 +1,110 @@
+// The Log module.
+//
+// The paper: "Since we provide no functions for generating output as part
+// of Safeunix, we provide a module called Log that allows logging messages
+// to be generated. It also allows us to change the method of logging, to a
+// terminal, to disk, or not at all."
+//
+// This is the C++ analog: switchlets receive a Logger& through SafeEnv and
+// have no other output channel; the owner of the node decides where the
+// messages go (stderr sink, file sink, capture sink for tests, or null).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ab::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// A single emitted log record.
+struct LogRecord {
+  LogLevel level;
+  std::string component;  ///< e.g. "stp.ieee", "loader"
+  std::string message;
+};
+
+/// Destination for log records. Implementations must be callable from any
+/// thread; Logger serializes calls.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Discards everything ("not at all").
+class NullSink final : public LogSink {
+ public:
+  void write(const LogRecord&) override {}
+};
+
+/// Writes "LEVEL [component] message" lines to stderr ("a terminal").
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// Appends lines to a file ("to disk").
+class FileSink final : public LogSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  void write(const LogRecord& record) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Retains records in memory; tests assert on them.
+class CaptureSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+  [[nodiscard]] std::vector<LogRecord> records() const;
+  [[nodiscard]] bool contains(std::string_view needle) const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+/// Front-end handed to switchlets. Filters by level and forwards to the
+/// current sink; the sink can be swapped at run time, which is exactly the
+/// paper's "change the method of logging" facility.
+class Logger {
+ public:
+  Logger();
+  explicit Logger(std::shared_ptr<LogSink> sink);
+
+  void set_sink(std::shared_ptr<LogSink> sink);
+  void set_level(LogLevel min_level);
+  [[nodiscard]] LogLevel level() const;
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+  void debug(std::string_view component, std::string_view message) {
+    log(LogLevel::kDebug, component, message);
+  }
+  void info(std::string_view component, std::string_view message) {
+    log(LogLevel::kInfo, component, message);
+  }
+  void warn(std::string_view component, std::string_view message) {
+    log(LogLevel::kWarn, component, message);
+  }
+  void error(std::string_view component, std::string_view message) {
+    log(LogLevel::kError, component, message);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<LogSink> sink_;
+  LogLevel min_level_ = LogLevel::kInfo;
+};
+
+}  // namespace ab::util

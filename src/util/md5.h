@@ -1,0 +1,61 @@
+// MD5 (RFC 1321), implemented from the specification.
+//
+// The paper's Caml toolchain embeds "an MD5 digest of the interfaces
+// required by this module as well as the MD5 digest of the interface
+// exported by this module" in every byte-code file, and module thinning is
+// sound only while those digests match. Our switchlet loader reproduces
+// that check: every SwitchletImage carries the MD5 of the SafeEnv interface
+// signature it was built against, and the loader refuses images whose
+// digest differs (the analog of Caml's link-time signature mismatch).
+//
+// MD5 is used here exactly as the paper used it -- an interface fingerprint,
+// not a security boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace ab::util {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// Lower-case hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+/// Streaming MD5. update() any number of times, then finish().
+class Md5 {
+ public:
+  Md5();
+
+  void update(ByteView data);
+  void update(std::string_view text);
+
+  /// Finalizes and returns the digest. The object must not be updated
+  /// afterwards; construct a fresh Md5 for a new message.
+  [[nodiscard]] Md5Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot digest of a complete buffer.
+[[nodiscard]] Md5Digest md5(ByteView data);
+
+/// One-shot digest of text.
+[[nodiscard]] Md5Digest md5(std::string_view text);
+
+}  // namespace ab::util

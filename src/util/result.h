@@ -1,0 +1,80 @@
+// Expected<T, E>: a minimal result type for expected failures (parse errors,
+// bind conflicts). C++20 predates std::expected, so we carry our own. Usage
+// errors (API misuse) still throw; Expected is for conditions a correct
+// caller must handle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ab::util {
+
+/// Thrown by Expected::value() when the result holds an error.
+class BadExpectedAccess : public std::logic_error {
+ public:
+  explicit BadExpectedAccess(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Wrapper marking a constructor argument as the error alternative.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Minimal std::expected stand-in. Holds either a T or an E.
+template <typename T, typename E = std::string>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> err) : storage_(std::in_place_index<1>, std::move(err.error)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    if (has_value()) throw BadExpectedAccess("Expected holds a value, not an error");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check() const {
+    if (!has_value()) {
+      if constexpr (std::is_convertible_v<E, std::string>) {
+        throw BadExpectedAccess("Expected holds error: " + std::string(std::get<1>(storage_)));
+      } else {
+        throw BadExpectedAccess("Expected holds an error");
+      }
+    }
+  }
+
+  std::variant<T, E> storage_;
+};
+
+}  // namespace ab::util

@@ -1,0 +1,46 @@
+// Deterministic random source for the simulator (loss/duplication models,
+// property tests, workload jitter). Every experiment seeds its Rng
+// explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ab::util {
+
+/// Thin, seedable wrapper over mt19937_64 with the handful of draw shapes
+/// the codebase needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) {
+    std::bernoulli_distribution d(p < 0 ? 0 : (p > 1 ? 1 : p));
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double unit() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ab::util

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules (no locale surprises).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ab::util {
+
+/// Splits on a single-character separator; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ab::util

@@ -1,0 +1,151 @@
+#include "src/active/demux.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+
+namespace ab::active {
+namespace {
+
+struct Fixture {
+  netsim::Network net;
+  netsim::LanSegment* lan;
+  netsim::Nic* eth0;
+  PortTable table;
+  Demux demux;
+
+  Fixture() : table(net.scheduler()), demux(table) {
+    lan = &net.add_segment("lan");
+    eth0 = &net.add_nic("eth0", *lan);
+    table.add_interface(*eth0);
+  }
+
+  Packet packet(ether::MacAddress dst, PortId ingress = 0) {
+    Packet p;
+    p.frame = ether::Frame::ethernet2(dst, ether::MacAddress::local(5, 5),
+                                      ether::EtherType::kExperimental, {1});
+    p.ingress = ingress;
+    return p;
+  }
+};
+
+TEST(Demux, AddressRegistrationConsumesMatchingFrames) {
+  Fixture f;
+  InputPort& in = f.table.bind_in("eth0");
+  int stp = 0, port = 0;
+  in.set_handler([&](const Packet&) { ++port; });
+  f.demux.register_address(ether::MacAddress::all_bridges(),
+                           [&](const Packet&) { ++stp; });
+  f.demux.dispatch(f.packet(ether::MacAddress::all_bridges()));
+  EXPECT_EQ(stp, 1);
+  EXPECT_EQ(port, 0);  // consumed: BPDUs are not forwarded
+  f.demux.dispatch(f.packet(ether::MacAddress::broadcast()));
+  EXPECT_EQ(port, 1);  // everything else reaches the bound port
+}
+
+TEST(Demux, AddressRegistrationIsExclusive) {
+  Fixture f;
+  f.demux.register_address(ether::MacAddress::all_bridges(), [](const Packet&) {});
+  EXPECT_THROW(
+      f.demux.register_address(ether::MacAddress::all_bridges(), [](const Packet&) {}),
+      AlreadyBound);
+  f.demux.unregister_address(ether::MacAddress::all_bridges());
+  EXPECT_NO_THROW(
+      f.demux.register_address(ether::MacAddress::all_bridges(), [](const Packet&) {}));
+}
+
+TEST(Demux, AddressRegisteredQuery) {
+  Fixture f;
+  EXPECT_FALSE(f.demux.address_registered(ether::MacAddress::dec_bridge_group()));
+  f.demux.register_address(ether::MacAddress::dec_bridge_group(), [](const Packet&) {});
+  EXPECT_TRUE(f.demux.address_registered(ether::MacAddress::dec_bridge_group()));
+}
+
+TEST(Demux, EthertypeUnicastToNodeIsConsumed) {
+  Fixture f;
+  InputPort& in = f.table.bind_in("eth0");
+  int stack = 0, port = 0;
+  in.set_handler([&](const Packet&) { ++port; });
+  f.demux.register_ethertype(ether::EtherType::kExperimental,
+                             [&](const Packet&) { ++stack; });
+  f.demux.dispatch(f.packet(f.eth0->mac()));  // unicast to the node's port
+  EXPECT_EQ(stack, 1);
+  EXPECT_EQ(port, 0);
+}
+
+TEST(Demux, EthertypeGroupFrameIsTappedAndForwarded) {
+  // A broadcast ARP request both reaches the loader's stack AND is bridged.
+  Fixture f;
+  InputPort& in = f.table.bind_in("eth0");
+  int stack = 0, port = 0;
+  in.set_handler([&](const Packet&) { ++port; });
+  f.demux.register_ethertype(ether::EtherType::kExperimental,
+                             [&](const Packet&) { ++stack; });
+  f.demux.dispatch(f.packet(ether::MacAddress::broadcast()));
+  EXPECT_EQ(stack, 1);
+  EXPECT_EQ(port, 1);
+}
+
+TEST(Demux, EthertypeForeignUnicastPassesThrough) {
+  // Transit traffic between two hosts must not be eaten by the stack.
+  Fixture f;
+  InputPort& in = f.table.bind_in("eth0");
+  int stack = 0, port = 0;
+  in.set_handler([&](const Packet&) { ++port; });
+  f.demux.register_ethertype(ether::EtherType::kExperimental,
+                             [&](const Packet&) { ++stack; });
+  f.demux.dispatch(f.packet(ether::MacAddress::local(77, 1)));
+  EXPECT_EQ(stack, 0);
+  EXPECT_EQ(port, 1);
+}
+
+TEST(Demux, EthertypeRegistrationIsExclusive) {
+  Fixture f;
+  f.demux.register_ethertype(ether::EtherType::kIpv4, [](const Packet&) {});
+  EXPECT_THROW(f.demux.register_ethertype(ether::EtherType::kIpv4, [](const Packet&) {}),
+               AlreadyBound);
+  f.demux.unregister_ethertype(ether::EtherType::kIpv4);
+  EXPECT_NO_THROW(
+      f.demux.register_ethertype(ether::EtherType::kIpv4, [](const Packet&) {}));
+}
+
+TEST(Demux, UnboundIngressDrops) {
+  Fixture f;
+  f.demux.dispatch(f.packet(ether::MacAddress::broadcast()));
+  EXPECT_EQ(f.demux.stats().dropped_unbound, 1u);
+}
+
+TEST(Demux, LlcFramesSkipEthertypeRegistrations) {
+  Fixture f;
+  int stack = 0;
+  f.demux.register_ethertype(ether::EtherType::kIpv4, [&](const Packet&) { ++stack; });
+  Packet p;
+  p.frame = ether::Frame::llc_frame(f.eth0->mac(), ether::MacAddress::local(5, 5),
+                                    ether::LlcHeader::spanning_tree(), {1});
+  p.ingress = 0;
+  f.demux.dispatch(p);
+  EXPECT_EQ(stack, 0);
+  EXPECT_EQ(f.demux.stats().dropped_unbound, 1u);
+}
+
+TEST(Demux, StatsCountEachRoute) {
+  Fixture f;
+  InputPort& in = f.table.bind_in("eth0");
+  in.set_handler([](const Packet&) {});
+  f.demux.register_address(ether::MacAddress::all_bridges(), [](const Packet&) {});
+  f.demux.dispatch(f.packet(ether::MacAddress::all_bridges()));
+  f.demux.dispatch(f.packet(ether::MacAddress::broadcast()));
+  EXPECT_EQ(f.demux.stats().to_address_handler, 1u);
+  EXPECT_EQ(f.demux.stats().to_input_port, 1u);
+}
+
+TEST(Demux, NullHandlersRejected) {
+  Fixture f;
+  EXPECT_THROW(f.demux.register_address(ether::MacAddress::all_bridges(), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(f.demux.register_ethertype(ether::EtherType::kIpv4, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ab::active

@@ -1,0 +1,66 @@
+#include "src/active/func_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::active {
+namespace {
+
+TEST(FuncRegistry, RegisterAndEval) {
+  FuncRegistry reg;
+  reg.register_func("echo", [](const std::string& arg) { return arg; });
+  const auto result = reg.eval("echo", "hello");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), "hello");
+}
+
+TEST(FuncRegistry, EvalUnknownKeyIsAnError) {
+  FuncRegistry reg;
+  const auto result = reg.eval("missing");
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(result.error().find("missing"), std::string::npos);
+}
+
+TEST(FuncRegistry, ReRegistrationReplaces) {
+  // A reloaded switchlet re-registers its entry points.
+  FuncRegistry reg;
+  reg.register_func("f", [](const std::string&) { return std::string("old"); });
+  reg.register_func("f", [](const std::string&) { return std::string("new"); });
+  EXPECT_EQ(reg.eval("f").value(), "new");
+}
+
+TEST(FuncRegistry, UnregisterRemoves) {
+  FuncRegistry reg;
+  reg.register_func("f", [](const std::string&) { return std::string(); });
+  EXPECT_TRUE(reg.has("f"));
+  reg.unregister_func("f");
+  EXPECT_FALSE(reg.has("f"));
+  EXPECT_FALSE(reg.eval("f").has_value());
+}
+
+TEST(FuncRegistry, KeysAreSorted) {
+  FuncRegistry reg;
+  reg.register_func("zeta", [](const std::string&) { return std::string(); });
+  reg.register_func("alpha", [](const std::string&) { return std::string(); });
+  reg.register_func("mid", [](const std::string&) { return std::string(); });
+  const auto keys = reg.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "mid");
+  EXPECT_EQ(keys[2], "zeta");
+}
+
+TEST(FuncRegistry, NullFunctionRejected) {
+  FuncRegistry reg;
+  EXPECT_THROW(reg.register_func("bad", nullptr), std::invalid_argument);
+}
+
+TEST(FuncRegistry, DefaultArgumentIsEmptyString) {
+  FuncRegistry reg;
+  reg.register_func("len", [](const std::string& arg) {
+    return std::to_string(arg.size());
+  });
+  EXPECT_EQ(reg.eval("len").value(), "0");
+}
+
+}  // namespace
+}  // namespace ab::active

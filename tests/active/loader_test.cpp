@@ -1,0 +1,228 @@
+// Switchlet image codec + loader lifecycle + the MD5 interface-digest check
+// (the paper's link-time signature mismatch).
+#include "src/active/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/active/image.h"
+#include "src/active/node.h"
+#include "src/netsim/network.h"
+
+namespace ab::active {
+namespace {
+
+/// A minimal observable switchlet.
+class ProbeSwitchlet final : public Switchlet {
+ public:
+  explicit ProbeSwitchlet(std::string name = "probe") : name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  void start(SafeEnv& env) override {
+    ++starts;
+    env.funcs().register_func(name_ + ".ping",
+                              [](const std::string&) { return std::string("pong"); });
+  }
+  void stop() override { ++stops; }
+  void suspend() override { ++suspends; }
+  void resume() override { ++resumes; }
+
+  int starts = 0, stops = 0, suspends = 0, resumes = 0;
+
+ private:
+  std::string name_;
+};
+
+/// A switchlet whose start() throws (a broken module).
+class FaultySwitchlet final : public Switchlet {
+ public:
+  std::string_view name() const override { return "faulty"; }
+  void start(SafeEnv&) override { throw std::runtime_error("boom"); }
+  void stop() override {}
+};
+
+struct Fixture {
+  netsim::Network net;
+  ActiveNode node;
+  Fixture() : node(net.scheduler()) {}
+};
+
+TEST(SwitchletImage, EncodeDecodeRoundTrip) {
+  SwitchletImage img = SwitchletImage::named("bridge.dumb");
+  const auto back = SwitchletImage::decode(img.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, ImageKind::kNamed);
+  EXPECT_EQ(back->name, "bridge.dumb");
+  EXPECT_EQ(back->required_interface, SafeEnv::interface_digest());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(SwitchletImage, NativeImageCarriesPayload) {
+  SwitchletImage img = SwitchletImage::native("plug", {1, 2, 3, 4});
+  const auto back = SwitchletImage::decode(img.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, ImageKind::kNative);
+  EXPECT_EQ(back->payload, (util::ByteBuffer{1, 2, 3, 4}));
+}
+
+TEST(SwitchletImage, DecodeRejectsGarbage) {
+  EXPECT_FALSE(SwitchletImage::decode(util::ByteBuffer{}).has_value());
+  EXPECT_FALSE(SwitchletImage::decode(util::to_bytes("not an image at all")).has_value());
+  // Bad kind byte.
+  SwitchletImage img = SwitchletImage::named("x");
+  util::ByteBuffer wire = img.encode();
+  wire[6] = 99;
+  EXPECT_FALSE(SwitchletImage::decode(wire).has_value());
+  // Empty name.
+  SwitchletImage anon = SwitchletImage::named("x");
+  anon.name.clear();
+  EXPECT_FALSE(SwitchletImage::decode(anon.encode()).has_value());
+  // Native without payload.
+  SwitchletImage bare = SwitchletImage::native("x", {1});
+  bare.payload.clear();
+  EXPECT_FALSE(SwitchletImage::decode(bare.encode()).has_value());
+}
+
+TEST(SwitchletLoader, LoadsNamedImageFromRegistry) {
+  Fixture f;
+  f.node.loader().registry().add("probe",
+                                 [] { return std::make_unique<ProbeSwitchlet>(); });
+  auto loaded = f.node.loader().load(SwitchletImage::named("probe"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(f.node.loader().state_of("probe"), SwitchletState::kRunning);
+  // start() ran its registrations.
+  EXPECT_EQ(f.node.funcs().eval("probe.ping").value(), "pong");
+  EXPECT_EQ(f.node.loader().stats().loaded, 1u);
+}
+
+TEST(SwitchletLoader, RejectsDigestMismatch) {
+  // The Caml analog: byte codes compiled against a different interface
+  // signature fail to link.
+  Fixture f;
+  f.node.loader().registry().add("probe",
+                                 [] { return std::make_unique<ProbeSwitchlet>(); });
+  SwitchletImage img = SwitchletImage::named("probe");
+  img.required_interface.bytes[0] ^= 0xFF;
+  const auto loaded = f.node.loader().load(img);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(loaded.error().find("digest mismatch"), std::string::npos);
+  EXPECT_EQ(f.node.loader().stats().rejected_digest, 1u);
+  EXPECT_EQ(f.node.loader().find("probe"), nullptr);
+}
+
+TEST(SwitchletLoader, RejectsUnknownName) {
+  Fixture f;
+  const auto loaded = f.node.loader().load(SwitchletImage::named("nonexistent"));
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(f.node.loader().stats().rejected_unknown, 1u);
+}
+
+TEST(SwitchletLoader, LoadBytesPath) {
+  Fixture f;
+  f.node.loader().registry().add("probe",
+                                 [] { return std::make_unique<ProbeSwitchlet>(); });
+  const util::ByteBuffer wire = SwitchletImage::named("probe").encode();
+  ASSERT_TRUE(f.node.loader().load_bytes(wire).has_value());
+  EXPECT_NE(f.node.loader().find("probe"), nullptr);
+}
+
+TEST(SwitchletLoader, LoadBytesRejectsMalformed) {
+  Fixture f;
+  const auto loaded = f.node.loader().load_bytes(util::to_bytes("garbage"));
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(f.node.loader().stats().rejected_malformed, 1u);
+}
+
+TEST(SwitchletLoader, DuplicateLoadRefused) {
+  Fixture f;
+  ASSERT_TRUE(f.node.loader().load_instance(std::make_unique<ProbeSwitchlet>()));
+  const auto second = f.node.loader().load_instance(std::make_unique<ProbeSwitchlet>());
+  EXPECT_FALSE(second.has_value());
+}
+
+TEST(SwitchletLoader, StartFailureIsContained) {
+  // "the Active Bridge can protect itself from some algorithmic failures
+  // in loadable modules" -- a throwing start() must not take the node down.
+  Fixture f;
+  const auto loaded = f.node.loader().load_instance(std::make_unique<FaultySwitchlet>());
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(f.node.loader().stats().load_failures, 1u);
+  EXPECT_EQ(f.node.loader().find("faulty"), nullptr);
+}
+
+TEST(SwitchletLoader, LifecycleStopStartSuspendResume) {
+  Fixture f;
+  auto owned = std::make_unique<ProbeSwitchlet>();
+  ProbeSwitchlet* probe = owned.get();
+  ASSERT_TRUE(f.node.loader().load_instance(std::move(owned)));
+  EXPECT_EQ(probe->starts, 1);
+
+  EXPECT_TRUE(f.node.loader().suspend("probe"));
+  EXPECT_EQ(f.node.loader().state_of("probe"), SwitchletState::kSuspended);
+  EXPECT_EQ(probe->suspends, 1);
+
+  EXPECT_FALSE(f.node.loader().suspend("probe"));  // not running
+
+  EXPECT_TRUE(f.node.loader().resume("probe"));
+  EXPECT_EQ(f.node.loader().state_of("probe"), SwitchletState::kRunning);
+  EXPECT_EQ(probe->resumes, 1);
+
+  EXPECT_TRUE(f.node.loader().stop("probe"));
+  EXPECT_EQ(f.node.loader().state_of("probe"), SwitchletState::kStopped);
+  EXPECT_FALSE(f.node.loader().stop("probe"));  // already stopped
+
+  EXPECT_TRUE(f.node.loader().start("probe"));
+  EXPECT_EQ(probe->starts, 2);
+  EXPECT_EQ(f.node.loader().state_of("probe"), SwitchletState::kRunning);
+}
+
+TEST(SwitchletLoader, StartOnSuspendedActsAsResume) {
+  Fixture f;
+  auto owned = std::make_unique<ProbeSwitchlet>();
+  ProbeSwitchlet* probe = owned.get();
+  ASSERT_TRUE(f.node.loader().load_instance(std::move(owned)));
+  f.node.loader().suspend("probe");
+  EXPECT_TRUE(f.node.loader().start("probe"));
+  EXPECT_EQ(probe->resumes, 1);
+  EXPECT_EQ(probe->starts, 1);  // not restarted from scratch
+}
+
+TEST(SwitchletLoader, UnloadRemovesAndStops) {
+  Fixture f;
+  auto owned = std::make_unique<ProbeSwitchlet>();
+  ASSERT_TRUE(f.node.loader().load_instance(std::move(owned)));
+  EXPECT_TRUE(f.node.loader().unload("probe"));
+  EXPECT_EQ(f.node.loader().find("probe"), nullptr);
+  EXPECT_FALSE(f.node.loader().unload("probe"));
+}
+
+TEST(SwitchletLoader, UnknownNamesAreSafeNoops) {
+  Fixture f;
+  EXPECT_FALSE(f.node.loader().start("ghost"));
+  EXPECT_FALSE(f.node.loader().stop("ghost"));
+  EXPECT_FALSE(f.node.loader().suspend("ghost"));
+  EXPECT_FALSE(f.node.loader().resume("ghost"));
+  EXPECT_THROW((void)f.node.loader().state_of("ghost"), std::out_of_range);
+}
+
+TEST(SwitchletLoader, LoadedNamesLists) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.node.loader().load_instance(std::make_unique<ProbeSwitchlet>("alpha")));
+  ASSERT_TRUE(f.node.loader().load_instance(std::make_unique<ProbeSwitchlet>("beta")));
+  const auto names = f.node.loader().loaded_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+}
+
+TEST(SafeEnvDigest, IsStableAndTracksSignature) {
+  EXPECT_EQ(SafeEnv::interface_digest(), SafeEnv::interface_digest());
+  EXPECT_EQ(SafeEnv::interface_digest(),
+            util::md5(std::string_view(SafeEnv::kInterfaceSignature)));
+}
+
+}  // namespace
+}  // namespace ab::active

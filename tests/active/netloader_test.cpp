@@ -1,0 +1,173 @@
+// End-to-end network loading (paper section 5.2): a host TFTP-writes a
+// switchlet image to a running active node over the simulated LAN; the
+// node's four-layer loader receives it and links it.
+#include "src/active/netloader.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/active/node.h"
+#include "src/netsim/network.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::active {
+namespace {
+
+class MarkerSwitchlet final : public Switchlet {
+ public:
+  std::string_view name() const override { return "marker"; }
+  void start(SafeEnv& env) override {
+    env.funcs().register_func("marker.loaded",
+                              [](const std::string&) { return std::string("yes"); });
+  }
+  void stop() override {}
+};
+
+struct Fixture {
+  netsim::Network net;
+  netsim::LanSegment* lan;
+  netsim::Nic* host_nic;
+  netsim::Nic* node_nic;
+  std::unique_ptr<stack::HostStack> host;
+  std::unique_ptr<ActiveNode> node;
+  NetLoaderSwitchlet* netloader = nullptr;
+  std::unique_ptr<stack::TftpClient> tftp;
+  const stack::Ipv4Addr node_ip{10, 0, 0, 1};
+  const stack::Ipv4Addr host_ip{10, 0, 0, 100};
+
+  Fixture() {
+    lan = &net.add_segment("lan");
+    host_nic = &net.add_nic("host0", *lan);
+    node_nic = &net.add_nic("eth0", *lan);
+
+    stack::HostConfig hc;
+    hc.ip = host_ip;
+    host = std::make_unique<stack::HostStack>(net.scheduler(), *host_nic, hc);
+
+    node = std::make_unique<ActiveNode>(net.scheduler());
+    node->add_port(*node_nic);
+    node->loader().registry().add("marker",
+                                  [] { return std::make_unique<MarkerSwitchlet>(); });
+    auto nl = std::make_unique<NetLoaderSwitchlet>(NetLoaderConfig{node_ip},
+                                                   node->loader());
+    netloader = nl.get();
+    EXPECT_TRUE(node->loader().load_instance(std::move(nl)).has_value());
+
+    // A TFTP client running over the host's full UDP stack.
+    tftp = std::make_unique<stack::TftpClient>(
+        net.scheduler(), [this](const stack::TftpEndpoint& peer, std::uint16_t local,
+                                util::ByteBuffer packet) {
+          ensure_bound(local);
+          host->send_udp(peer.ip, local, peer.port, std::move(packet));
+        });
+  }
+
+  void ensure_bound(std::uint16_t local) {
+    if (bound_.insert(local).second) {
+      host->bind_udp(local, [this, local](stack::Ipv4Addr src,
+                                          const stack::UdpDatagram& d) {
+        tftp->on_datagram({src, d.src_port}, local, d.payload);
+      });
+    }
+  }
+
+  std::set<std::uint16_t> bound_;
+};
+
+TEST(NetLoader, LoadsASwitchletDeliveredOverTftp) {
+  Fixture f;
+  bool done = false, ok = false;
+  f.tftp->put({f.node_ip, stack::TftpServer::kWellKnownPort}, "marker.img",
+              SwitchletImage::named("marker").encode(),
+              [&](bool success, const std::string&) {
+                done = true;
+                ok = success;
+              });
+  f.net.scheduler().run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(f.node->loader().find("marker"), nullptr);
+  EXPECT_EQ(f.node->funcs().eval("marker.loaded").value(), "yes");
+  EXPECT_EQ(f.netloader->stats().files_received, 1u);
+  EXPECT_EQ(f.netloader->stats().switchlets_loaded, 1u);
+  EXPECT_GE(f.netloader->stats().arp_replies, 1u);  // host resolved the node
+}
+
+TEST(NetLoader, RejectsImageWithWrongDigestButTransferSucceeds) {
+  // Transport succeeds; the *loader* refuses the stale module.
+  Fixture f;
+  SwitchletImage img = SwitchletImage::named("marker");
+  img.required_interface.bytes[5] ^= 0x55;
+  bool ok = false;
+  f.tftp->put({f.node_ip, stack::TftpServer::kWellKnownPort}, "stale.img",
+              img.encode(), [&](bool success, const std::string&) { ok = success; });
+  f.net.scheduler().run();
+  EXPECT_TRUE(ok);  // TFTP itself completed
+  EXPECT_EQ(f.node->loader().find("marker"), nullptr);
+  EXPECT_EQ(f.netloader->stats().switchlet_load_failures, 1u);
+  EXPECT_EQ(f.node->loader().stats().rejected_digest, 1u);
+}
+
+TEST(NetLoader, MinimalIpDropsFragments) {
+  // The paper's loader IP "does not, for example, implement fragmentation".
+  // TFTP blocks are 512 bytes, so to force IP fragmentation we shrink the
+  // sending host's MTU; the loader must then drop every fragment.
+  Fixture f;
+  f.host = nullptr;
+  stack::HostConfig hc;
+  hc.ip = f.host_ip;
+  hc.mtu = 300;  // every 512-byte TFTP DATA datagram now fragments
+  f.host = std::make_unique<stack::HostStack>(f.net.scheduler(), *f.host_nic, hc);
+  f.bound_.clear();
+
+  // Pad the image so its first TFTP DATA block is full-size (512 bytes of
+  // payload -> a 540-byte UDP datagram, which fragments at MTU 300).
+  SwitchletImage padded = SwitchletImage::named("marker");
+  padded.payload.assign(2000, 0xAA);
+  bool done = false, ok = true;
+  f.tftp->put({f.node_ip, stack::TftpServer::kWellKnownPort}, "frag.img",
+              padded.encode(), [&](bool success, const std::string&) {
+                done = true;
+                ok = success;
+              });
+  f.net.scheduler().run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);  // retransmits exhausted: fragments never reassembled
+  EXPECT_GT(f.netloader->stats().fragments_dropped, 0u);
+  EXPECT_EQ(f.netloader->stats().files_received, 0u);
+}
+
+TEST(NetLoader, IgnoresNonUdpTraffic) {
+  Fixture f;
+  // An ICMP ping to the loader's IP: minimal IP drops non-UDP.
+  f.host->send_echo_request(f.node_ip, 1, 1, {});
+  f.net.scheduler().run();
+  EXPECT_GE(f.netloader->stats().non_udp_dropped, 1u);
+}
+
+TEST(NetLoader, StopUnregistersTheStack) {
+  Fixture f;
+  f.node->loader().stop("loader.net");
+  bool done = false, ok = true;
+  f.tftp->put({f.node_ip, stack::TftpServer::kWellKnownPort}, "x.img",
+              SwitchletImage::named("marker").encode(),
+              [&](bool success, const std::string&) {
+                done = true;
+                ok = success;
+              });
+  f.net.scheduler().run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);  // nobody answers ARP or TFTP
+  EXPECT_EQ(f.netloader->stats().files_received, 0u);
+}
+
+TEST(NetLoader, RequiresNonZeroIp) {
+  netsim::Network net;
+  ActiveNode node(net.scheduler());
+  EXPECT_THROW(NetLoaderSwitchlet(NetLoaderConfig{}, node.loader()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ab::active

@@ -1,0 +1,107 @@
+#include "src/active/node.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+
+namespace ab::active {
+namespace {
+
+ether::Frame broadcast_frame(ether::MacAddress src, std::size_t len = 64) {
+  return ether::Frame::ethernet2(ether::MacAddress::broadcast(), src,
+                                 ether::EtherType::kExperimental,
+                                 util::ByteBuffer(len, 0x11));
+}
+
+TEST(ActiveNode, CountsReceivedFrames) {
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  ActiveNode node(net.scheduler());
+  node.add_port(net.add_nic("eth0", lan));
+  auto& peer = net.add_nic("peer", lan);
+  for (int i = 0; i < 3; ++i) peer.transmit(broadcast_frame(peer.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(node.frames_received(), 3u);
+}
+
+TEST(ActiveNode, CostModelDelaysDispatch) {
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  ActiveNodeConfig cfg;
+  cfg.cost.per_frame = netsim::milliseconds(5);
+  ActiveNode node(net.scheduler(), cfg);
+  const PortId port = node.add_port(net.add_nic("eth0", lan));
+  node.ports().bind_in("eth0");
+
+  netsim::TimePoint dispatched{};
+  node.demux().register_address(ether::MacAddress::broadcast(),
+                                [&](const Packet& p) {
+                                  dispatched = p.received_at;
+                                  EXPECT_EQ(p.ingress, port);
+                                });
+  auto& peer = net.add_nic("peer", lan);
+  peer.transmit(broadcast_frame(peer.mac(), 100));
+  net.scheduler().run();
+  // Wire time + 5 ms of node software time.
+  EXPECT_GE(dispatched.time_since_epoch(), netsim::milliseconds(5));
+  EXPECT_EQ(node.processing().processed(), 1u);
+}
+
+TEST(ActiveNode, FramesSerializeThroughTheNode) {
+  // Two frames arriving back-to-back are processed one after another: the
+  // second's dispatch is one service time after the first's.
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  ActiveNodeConfig cfg;
+  cfg.cost.per_frame = netsim::milliseconds(10);
+  ActiveNode node(net.scheduler(), cfg);
+  node.add_port(net.add_nic("eth0", lan));
+  std::vector<netsim::TimePoint> dispatches;
+  node.demux().register_address(ether::MacAddress::broadcast(),
+                                [&](const Packet& p) {
+                                  dispatches.push_back(p.received_at);
+                                });
+  auto& peer = net.add_nic("peer", lan);
+  peer.transmit(broadcast_frame(peer.mac()));
+  peer.transmit(broadcast_frame(peer.mac()));
+  net.scheduler().run();
+  ASSERT_EQ(dispatches.size(), 2u);
+  EXPECT_GE(dispatches[1] - dispatches[0], netsim::milliseconds(10));
+}
+
+TEST(ActiveNode, LogSinkIsWired) {
+  netsim::Network net;
+  auto sink = std::make_shared<util::CaptureSink>();
+  ActiveNodeConfig cfg;
+  cfg.log_sink = sink;
+  ActiveNode node(net.scheduler(), cfg);
+  node.logger().info("test", "hello node");
+  EXPECT_TRUE(sink->contains("hello node"));
+}
+
+TEST(ActiveNode, EnvExposesTheNodeFacilities) {
+  netsim::Network net;
+  ActiveNode node(net.scheduler());
+  SafeEnv& env = node.env();
+  EXPECT_EQ(&env.ports(), &node.ports());
+  EXPECT_EQ(&env.demux(), &node.demux());
+  EXPECT_EQ(&env.funcs(), &node.funcs());
+  env.funcs().register_func("probe", [](const std::string&) { return "ok"; });
+  EXPECT_TRUE(node.funcs().has("probe"));
+  EXPECT_EQ(env.timers().now(), net.scheduler().now());
+}
+
+TEST(ActiveNode, TimersScheduleOnTheNodeScheduler) {
+  netsim::Network net;
+  ActiveNode node(net.scheduler());
+  int fired = 0;
+  const netsim::EventId id =
+      node.env().timers().schedule_after(netsim::seconds(1), [&] { ++fired; });
+  node.env().timers().schedule_after(netsim::seconds(2), [&] { ++fired; });
+  node.env().timers().cancel(id);
+  net.scheduler().run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace ab::active

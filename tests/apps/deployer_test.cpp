@@ -1,0 +1,135 @@
+// The administrator-side distribution tool: ordered delivery, retries,
+// settle delays, and partial-failure reporting.
+#include "src/apps/deployer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/ping.h"
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+
+namespace ab::apps {
+namespace {
+
+struct World {
+  netsim::Network net;
+  netsim::LanSegment* lan1;
+  netsim::LanSegment* lan2;
+  std::unique_ptr<bridge::BridgeNode> bridge;
+  std::unique_ptr<stack::HostStack> admin;
+  std::unique_ptr<Deployer> deployer;
+  const stack::Ipv4Addr loader_ip{10, 0, 0, 10};
+
+  World() {
+    lan1 = &net.add_segment("lan1");
+    lan2 = &net.add_segment("lan2");
+    bridge::BridgeNodeConfig cfg;
+    cfg.loader_ip = loader_ip;
+    bridge = std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg);
+    bridge->add_port(net.add_nic("eth0", *lan1));
+    bridge->add_port(net.add_nic("eth1", *lan2));
+    bridge->load_netloader();
+
+    stack::HostConfig ac;
+    ac.ip = stack::Ipv4Addr(10, 0, 0, 100);
+    admin = std::make_unique<stack::HostStack>(net.scheduler(),
+                                               net.add_nic("admin", *lan1), ac);
+    deployer = std::make_unique<Deployer>(net.scheduler(), *admin);
+  }
+};
+
+TEST(Deployer, DeploysAPlanInOrder) {
+  World w;
+  std::vector<DeployResult> results;
+  w.deployer->deploy(
+      {
+          {w.loader_ip, active::SwitchletImage::named("bridge.dumb"), {}},
+          {w.loader_ip, active::SwitchletImage::named("bridge.learning"), {}},
+      },
+      [&](const std::vector<DeployResult>& r) { results = r; });
+  EXPECT_TRUE(w.deployer->busy());
+  w.net.scheduler().run_for(netsim::seconds(30));
+  EXPECT_FALSE(w.deployer->busy());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(results[0].module, "bridge.dumb");
+  EXPECT_EQ(results[1].module, "bridge.learning");
+  // The node is actually running the modules.
+  EXPECT_NE(w.bridge->node().loader().find("bridge.dumb"), nullptr);
+  EXPECT_NE(w.bridge->node().loader().find("bridge.learning"), nullptr);
+}
+
+TEST(Deployer, SettleDelayIsHonored) {
+  World w;
+  netsim::TimePoint finished{};
+  DeployStep first{w.loader_ip, active::SwitchletImage::named("bridge.dumb"),
+                   netsim::seconds(30)};
+  DeployStep second{w.loader_ip, active::SwitchletImage::named("bridge.learning"),
+                    {}};
+  w.deployer->deploy({first, second}, [&](const std::vector<DeployResult>&) {
+    finished = w.net.now();
+  });
+  w.net.scheduler().run_for(netsim::seconds(60));
+  // The 30 s settle sits between the steps.
+  EXPECT_GE(finished.time_since_epoch(), netsim::seconds(30));
+}
+
+TEST(Deployer, UnreachableNodeFailsAfterRetriesAndPlanContinues) {
+  World w;
+  std::vector<DeployResult> results;
+  w.deployer->deploy(
+      {
+          {stack::Ipv4Addr(10, 0, 0, 99),  // nobody there
+           active::SwitchletImage::named("bridge.dumb"),
+           {}},
+          {w.loader_ip, active::SwitchletImage::named("bridge.dumb"), {}},
+      },
+      [&](const std::vector<DeployResult>& r) { results = r; });
+  w.net.scheduler().run_for(netsim::seconds(120));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].attempts, Deployer::kMaxAttempts);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_TRUE(results[1].ok);  // the plan carried on
+}
+
+TEST(Deployer, RejectsConcurrentPlansAndNullCompletion) {
+  World w;
+  w.deployer->deploy({{w.loader_ip, active::SwitchletImage::named("bridge.dumb"), {}}},
+                     [](const std::vector<DeployResult>&) {});
+  EXPECT_THROW(w.deployer->deploy({}, [](const std::vector<DeployResult>&) {}),
+               std::logic_error);
+  w.net.scheduler().run_for(netsim::seconds(30));
+  EXPECT_THROW(w.deployer->deploy({}, nullptr), std::invalid_argument);
+}
+
+TEST(Deployer, EmptyPlanCompletesImmediately) {
+  World w;
+  bool done = false;
+  w.deployer->deploy({}, [&](const std::vector<DeployResult>& r) {
+    done = true;
+    EXPECT_TRUE(r.empty());
+  });
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(w.deployer->busy());
+}
+
+TEST(Deployer, DigestRejectionIsStillATransportSuccess) {
+  // The deployer reports delivery; the *loader* refuses stale images. Both
+  // facts must be visible.
+  World w;
+  active::SwitchletImage stale = active::SwitchletImage::named("bridge.dumb");
+  stale.required_interface.bytes[0] ^= 0xFF;
+  std::vector<DeployResult> results;
+  w.deployer->deploy({{w.loader_ip, stale, {}}},
+                     [&](const std::vector<DeployResult>& r) { results = r; });
+  w.net.scheduler().run_for(netsim::seconds(30));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);  // the bytes arrived
+  EXPECT_EQ(w.bridge->node().loader().find("bridge.dumb"), nullptr);
+  EXPECT_EQ(w.bridge->node().loader().stats().rejected_digest, 1u);
+}
+
+}  // namespace
+}  // namespace ab::apps

@@ -1,0 +1,95 @@
+// Shared topology builders for the bridge test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/netsim/trace.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::bridge::testing {
+
+/// Two LANs joined by one bridge, with one host on each LAN:
+///   hostA -- lan1 -- [bridge] -- lan2 -- hostB
+struct TwoLanFixture {
+  netsim::Network net;
+  netsim::LanSegment* lan1;
+  netsim::LanSegment* lan2;
+  std::unique_ptr<BridgeNode> bridge;
+  std::unique_ptr<stack::HostStack> host_a;
+  std::unique_ptr<stack::HostStack> host_b;
+  netsim::FrameTrace trace;
+
+  explicit TwoLanFixture(BridgeNodeConfig cfg = {}) {
+    lan1 = &net.add_segment("lan1");
+    lan2 = &net.add_segment("lan2");
+    trace.watch(*lan1);
+    trace.watch(*lan2);
+
+    bridge = std::make_unique<BridgeNode>(net.scheduler(), std::move(cfg));
+    bridge->add_port(net.add_nic("eth0", *lan1));
+    bridge->add_port(net.add_nic("eth1", *lan2));
+
+    stack::HostConfig ha;
+    ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
+    host_a = std::make_unique<stack::HostStack>(net.scheduler(),
+                                                net.add_nic("hostA", *lan1), ha);
+    stack::HostConfig hb;
+    hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
+    host_b = std::make_unique<stack::HostStack>(net.scheduler(),
+                                                net.add_nic("hostB", *lan2), hb);
+  }
+
+  /// Ping A -> B and run for a bounded window (the spanning-tree hello
+  /// timer reschedules forever, so an unbounded run() would never return);
+  /// returns replies received by A.
+  int ping_a_to_b(int count = 1) {
+    int replies = 0;
+    host_a->set_echo_handler([&](const stack::HostStack::EchoReply&) { ++replies; });
+    for (int i = 0; i < count; ++i) {
+      host_a->send_echo_request(host_b->ip(), 7, static_cast<std::uint16_t>(i), {});
+    }
+    net.scheduler().run_for(netsim::seconds(3));
+    return replies;
+  }
+};
+
+/// A ring of `n` bridges: lan[i] connects bridge[i] and bridge[(i+1)%n].
+/// Loops forever without spanning tree; converges loop-free with it.
+struct RingFixture {
+  netsim::Network net;
+  std::vector<netsim::LanSegment*> lans;
+  std::vector<std::unique_ptr<BridgeNode>> bridges;
+  netsim::FrameTrace trace;
+
+  explicit RingFixture(int n = 3, BridgeNodeConfig cfg = {}) {
+    for (int i = 0; i < n; ++i) {
+      lans.push_back(&net.add_segment("lan" + std::to_string(i)));
+      trace.watch(*lans.back());
+    }
+    for (int i = 0; i < n; ++i) {
+      BridgeNodeConfig c = cfg;
+      c.name = "bridge" + std::to_string(i);
+      bridges.push_back(std::make_unique<BridgeNode>(net.scheduler(), std::move(c)));
+      auto& b = *bridges.back();
+      b.add_port(net.add_nic(c.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
+      b.add_port(
+          net.add_nic(c.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % n)]));
+    }
+  }
+
+  /// Count of ports in each gate state across all bridges.
+  int count_gates(PortGate gate) {
+    int count = 0;
+    for (auto& b : bridges) {
+      for (const auto& p : b->plane().bridge_ports()) {
+        if (p.gate == gate) ++count;
+      }
+    }
+    return count;
+  }
+};
+
+}  // namespace ab::bridge::testing

@@ -1,0 +1,130 @@
+#include "src/bridge/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+
+namespace ab::bridge {
+namespace {
+
+struct Fixture {
+  netsim::Network net;
+  active::PortTable table;
+  ForwardingPlane plane;
+  std::vector<netsim::Nic*> peer;  // one listening peer per segment
+
+  Fixture() : table(net.scheduler()) {
+    for (int i = 0; i < 3; ++i) {
+      auto& lan = net.add_segment("lan" + std::to_string(i));
+      auto& nic = net.add_nic("eth" + std::to_string(i), lan);
+      peer.push_back(&net.add_nic("peer" + std::to_string(i), lan));
+      table.add_interface(nic);
+    }
+    for (int i = 0; i < 3; ++i) {
+      active::InputPort& in = table.get_iport();
+      active::OutputPort& out = table.bind_out(in.name());
+      plane.add_port(in, out);
+    }
+  }
+
+  ether::Frame frame() {
+    return ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                   ether::MacAddress::local(42, 1),
+                                   ether::EtherType::kExperimental, {1, 2});
+  }
+
+  std::vector<int> deliveries() {
+    std::vector<int> got(3, 0);
+    for (int i = 0; i < 3; ++i) {
+      peer[static_cast<std::size_t>(i)]->set_rx_handler(
+          [&got, i](const ether::Frame&) { ++got[static_cast<std::size_t>(i)]; });
+    }
+    net.scheduler().run();
+    return got;
+  }
+};
+
+TEST(ForwardingPlane, FloodSkipsIngressPort) {
+  Fixture f;
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 2u);
+  EXPECT_EQ(f.deliveries(), (std::vector<int>{0, 1, 1}));
+}
+
+TEST(ForwardingPlane, FloodHonorsGates) {
+  Fixture f;
+  f.plane.set_gate(2, PortGate::kBlocked);
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 1u);
+  EXPECT_EQ(f.deliveries(), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(ForwardingPlane, LearningGateDoesNotForward) {
+  Fixture f;
+  f.plane.set_gate(1, PortGate::kLearning);
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 1u);  // only port 2
+}
+
+TEST(ForwardingPlane, SendToRespectsGate) {
+  Fixture f;
+  EXPECT_TRUE(f.plane.send_to(1, f.frame()));
+  f.plane.set_gate(1, PortGate::kBlocked);
+  EXPECT_FALSE(f.plane.send_to(1, f.frame()));
+  EXPECT_EQ(f.deliveries(), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(ForwardingPlane, MayLearnMayForward) {
+  Fixture f;
+  f.plane.set_gate(0, PortGate::kBlocked);
+  f.plane.set_gate(1, PortGate::kLearning);
+  EXPECT_FALSE(f.plane.may_learn(0));
+  EXPECT_FALSE(f.plane.may_forward(0));
+  EXPECT_TRUE(f.plane.may_learn(1));
+  EXPECT_FALSE(f.plane.may_forward(1));
+  EXPECT_TRUE(f.plane.may_learn(2));
+  EXPECT_TRUE(f.plane.may_forward(2));
+}
+
+TEST(ForwardingPlane, SwitchFunctionSlotReplacesAndRestores) {
+  Fixture f;
+  int first = 0, second = 0;
+  f.plane.set_switch_function([&](const active::Packet&) { ++first; });
+  active::Packet p;
+  p.frame = f.frame();
+  p.ingress = 0;
+  f.plane.handle(p);
+  auto previous = f.plane.set_switch_function([&](const active::Packet&) { ++second; });
+  f.plane.handle(p);
+  f.plane.set_switch_function(std::move(previous));  // restore
+  f.plane.handle(p);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(f.plane.stats().received, 3u);
+}
+
+TEST(ForwardingPlane, UnknownPortThrows) {
+  Fixture f;
+  EXPECT_THROW(f.plane.set_gate(9, PortGate::kBlocked), std::out_of_range);
+  EXPECT_THROW((void)f.plane.gate(9), std::out_of_range);
+  EXPECT_FALSE(f.plane.send_to(9, f.frame()));
+}
+
+TEST(ForwardingPlane, DuplicatePortRejected) {
+  Fixture f;
+  auto& in = *f.plane.bridge_ports()[0].in;
+  auto& out = *f.plane.bridge_ports()[0].out;
+  EXPECT_THROW(f.plane.add_port(in, out), std::invalid_argument);
+}
+
+TEST(ForwardingPlane, FastAgingFlag) {
+  Fixture f;
+  EXPECT_FALSE(f.plane.fast_aging());
+  f.plane.set_fast_aging(true);
+  EXPECT_TRUE(f.plane.fast_aging());
+}
+
+TEST(ForwardingPlane, PortIdsListsAllPorts) {
+  Fixture f;
+  EXPECT_EQ(f.plane.port_ids().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ab::bridge

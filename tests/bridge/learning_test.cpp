@@ -1,0 +1,181 @@
+#include "src/bridge/learning.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/bridge/bridge_test_util.h"
+
+namespace ab::bridge {
+namespace {
+
+using testing::TwoLanFixture;
+
+const ether::MacAddress kHost1 = ether::MacAddress::local(100, 1);
+const ether::MacAddress kHost2 = ether::MacAddress::local(100, 2);
+
+TEST(MacTable, LearnAndLookup) {
+  MacTable table;
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 3, t0);
+  const auto hit = table.lookup(kHost1, t0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3);
+  EXPECT_FALSE(table.lookup(kHost2, t0).has_value());
+}
+
+TEST(MacTable, ReplacesPreviousEntry) {
+  // "...replacing any previous entry" (a host moved ports).
+  MacTable table;
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 1, t0);
+  table.learn(kHost1, 2, t0 + netsim::seconds(1));
+  EXPECT_EQ(*table.lookup(kHost1, t0 + netsim::seconds(1)), 2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(MacTable, NeverLearnsGroupOrZeroSources) {
+  // Footnote 3 of the paper.
+  MacTable table;
+  table.learn(ether::MacAddress::broadcast(), 1, {});
+  table.learn(ether::MacAddress::all_bridges(), 1, {});
+  table.learn(ether::MacAddress(), 1, {});
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(MacTable, EntriesAgeOut) {
+  MacTable table(netsim::seconds(300));
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 1, t0);
+  EXPECT_TRUE(table.lookup(kHost1, t0 + netsim::seconds(299)).has_value());
+  EXPECT_FALSE(table.lookup(kHost1, t0 + netsim::seconds(301)).has_value());
+}
+
+TEST(MacTable, FastAgingShortensHorizon) {
+  MacTable table(netsim::seconds(300), netsim::seconds(15));
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 1, t0);
+  table.set_fast_aging(true);
+  EXPECT_FALSE(table.lookup(kHost1, t0 + netsim::seconds(16)).has_value());
+  table.set_fast_aging(false);
+  EXPECT_TRUE(table.lookup(kHost1, t0 + netsim::seconds(16)).has_value());
+}
+
+TEST(MacTable, ExpireSweepsStaleEntries) {
+  MacTable table(netsim::seconds(300));
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 1, t0);
+  table.learn(kHost2, 2, t0 + netsim::seconds(200));
+  EXPECT_EQ(table.expire(t0 + netsim::seconds(350)), 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+// ---- switchlet behaviour over a real two-LAN topology ----
+
+TEST(LearningBridge, PingWorksThroughTheBridge) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  f.bridge->load_learning();
+  EXPECT_EQ(f.ping_a_to_b(3), 3);
+}
+
+TEST(LearningBridge, IsolatesLocalTraffic) {
+  // Two hosts on lan1 talk; after learning, their frames must not appear
+  // on lan2 -- the whole point of a learning bridge.
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+
+  stack::HostConfig hc;
+  hc.ip = stack::Ipv4Addr(10, 0, 0, 3);
+  stack::HostStack host_c(f.net.scheduler(), f.net.add_nic("hostC", *f.lan1), hc);
+
+  // hostA <-> hostC are both on lan1.
+  int replies = 0;
+  f.host_a->set_echo_handler([&](const stack::HostStack::EchoReply&) { ++replies; });
+  f.host_a->send_echo_request(host_c.ip(), 1, 1, {});
+  f.net.scheduler().run();
+  ASSERT_EQ(replies, 1);
+
+  const std::size_t lan2_before = f.trace.count_on("lan2");
+  f.host_a->send_echo_request(host_c.ip(), 1, 2, {});
+  f.net.scheduler().run();
+  EXPECT_EQ(replies, 2);
+  // The second exchange is fully learned: nothing new crosses to lan2.
+  EXPECT_EQ(f.trace.count_on("lan2"), lan2_before);
+  EXPECT_GT(learning->stats().filtered, 0u);
+}
+
+TEST(LearningBridge, UnknownDestinationFloods) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+  // A frame to a never-seen unicast address floods to the other LAN.
+  auto& nic = f.net.add_nic("probe", *f.lan1);
+  nic.transmit(ether::Frame::ethernet2(kHost2, nic.mac(),
+                                       ether::EtherType::kExperimental, {1}));
+  f.net.scheduler().run();
+  EXPECT_GT(f.trace.count_on("lan2"), 0u);
+  EXPECT_GT(learning->stats().floods, 0u);
+}
+
+TEST(LearningBridge, LearnsDirectedForwarding) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+  (void)f.ping_a_to_b(1);  // learns both hosts
+  const auto hits_before = learning->stats().hits;
+  (void)f.ping_a_to_b(1);
+  EXPECT_GT(learning->stats().hits, hits_before);
+  EXPECT_GE(learning->table().size(), 2u);
+}
+
+TEST(LearningBridge, StopRestoresFlooding) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  f.bridge->load_learning();
+  (void)f.ping_a_to_b(1);
+  ASSERT_TRUE(f.bridge->node().loader().stop("bridge.learning"));
+  // Still forwards (dumb flooding restored).
+  EXPECT_EQ(f.ping_a_to_b(1), 1);
+}
+
+TEST(LearningBridge, FuncRegistryAccessPoints) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  f.bridge->load_learning();
+  (void)f.ping_a_to_b(1);
+  auto& funcs = f.bridge->node().funcs();
+  const auto size = funcs.eval("bridge.learning.table_size");
+  ASSERT_TRUE(size.has_value());
+  EXPECT_GE(std::stoi(size.value()), 2);
+  ASSERT_TRUE(funcs.eval("bridge.learning.flush").has_value());
+  EXPECT_EQ(funcs.eval("bridge.learning.table_size").value(), "0");
+}
+
+TEST(DumbBridge, FloodsEverythingBothWays) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  EXPECT_EQ(f.ping_a_to_b(2), 2);
+  // Without learning, even known unicast keeps crossing: every frame from
+  // lan1 appears on lan2 and vice versa.
+  const std::size_t lan2 = f.trace.count_on("lan2");
+  EXPECT_GT(lan2, 0u);
+}
+
+TEST(DumbBridge, StopUnbindsPorts) {
+  TwoLanFixture f;
+  f.bridge->load_dumb();
+  ASSERT_TRUE(f.bridge->node().loader().stop("bridge.dumb"));
+  EXPECT_EQ(f.bridge->plane().bridge_ports().size(), 0u);
+  EXPECT_EQ(f.ping_a_to_b(1), 0);  // no longer forwards
+  // Ports can be re-bound by a restart.
+  ASSERT_TRUE(f.bridge->node().loader().start("bridge.dumb"));
+  EXPECT_EQ(f.ping_a_to_b(1), 1);
+}
+
+TEST(LearningBridge, RequiresPlane) {
+  EXPECT_THROW(LearningBridgeSwitchlet(nullptr), std::invalid_argument);
+  EXPECT_THROW(DumbBridgeSwitchlet(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ab::bridge

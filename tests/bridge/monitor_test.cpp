@@ -1,0 +1,87 @@
+// The section 2 extension: diagnostics inserted as-needed.
+#include "src/bridge/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/bridge/bridge_test_util.h"
+
+namespace ab::bridge {
+namespace {
+
+using testing::TwoLanFixture;
+
+struct MonitorFixture : TwoLanFixture {
+  MonitorSwitchlet* monitor;
+
+  MonitorFixture() {
+    bridge->load_dumb();
+    bridge->load_learning();
+    monitor = bridge->load_monitor();
+  }
+};
+
+TEST(MonitorSwitchlet, CountsTraffic) {
+  MonitorFixture f;
+  ASSERT_EQ(f.ping_a_to_b(3), 3);
+  const MonitorReport& report = f.monitor->report();
+  EXPECT_GT(report.frames, 0u);
+  EXPECT_GT(report.bytes, 0u);
+  // ARP and IPv4 both crossed the bridge.
+  EXPECT_GT(report.by_ethertype.count(0x0806), 0u);
+  EXPECT_GT(report.by_ethertype.count(0x0800), 0u);
+}
+
+TEST(MonitorSwitchlet, TopTalkerIdentified) {
+  MonitorFixture f;
+  ASSERT_EQ(f.ping_a_to_b(5), 5);
+  const ether::MacAddress top = f.monitor->report().top_talker();
+  // The pinger or the responder dominates; either way it is a host NIC.
+  EXPECT_TRUE(top == f.host_a->nic().mac() || top == f.host_b->nic().mac());
+}
+
+TEST(MonitorSwitchlet, TapDoesNotDisturbForwarding) {
+  MonitorFixture f;
+  EXPECT_EQ(f.ping_a_to_b(4), 4);  // learning still works under the tap
+  EXPECT_GT(f.bridge->plane().stats().directed, 0u);
+}
+
+TEST(MonitorSwitchlet, FuncReportAndReset) {
+  MonitorFixture f;
+  ASSERT_EQ(f.ping_a_to_b(1), 1);
+  const auto report = f.bridge->node().funcs().eval("bridge.monitor.report");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NE(report.value().find("frames"), std::string::npos);
+  ASSERT_TRUE(f.bridge->node().funcs().eval("bridge.monitor.reset").has_value());
+  EXPECT_EQ(f.monitor->report().frames, 0u);
+}
+
+TEST(MonitorSwitchlet, StopRestoresPathAndRemovesFuncs) {
+  MonitorFixture f;
+  ASSERT_TRUE(f.bridge->node().loader().stop("bridge.monitor"));
+  EXPECT_FALSE(f.bridge->node().funcs().has("bridge.monitor.report"));
+  EXPECT_EQ(f.ping_a_to_b(2), 2);
+  // Counters frozen after stop.
+  const auto frames = f.monitor->report().frames;
+  EXPECT_EQ(f.ping_a_to_b(1), 1);
+  EXPECT_EQ(f.monitor->report().frames, frames);
+}
+
+TEST(MonitorSwitchlet, ComposesWithPolicy) {
+  // Monitor on top of policy on top of learning: three layers of wrapped
+  // switch functions, the paper's composition model at work.
+  MonitorFixture f;
+  auto* policy = f.bridge->load_policy();
+  PolicyRule rule;
+  rule.link_fraction = 1.0;
+  policy->set_rule(f.host_a->nic().mac(), rule);
+  EXPECT_EQ(f.ping_a_to_b(2), 2);
+  EXPECT_GT(policy->counters(f.host_a->nic().mac())->conforming_frames, 0u);
+}
+
+TEST(MonitorReport, EmptyTopTalkerIsZero) {
+  MonitorReport report;
+  EXPECT_TRUE(report.top_talker().is_zero());
+}
+
+}  // namespace
+}  // namespace ab::bridge

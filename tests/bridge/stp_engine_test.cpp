@@ -1,0 +1,263 @@
+// Unit tests of the StpEngine against mock callbacks (no network): the
+// election logic, config transmission rules, inferior-info replies, and the
+// forward-delay ladder, observed directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bridge/stp.h"
+#include "src/netsim/scheduler.h"
+
+namespace ab::bridge {
+namespace {
+
+struct SentBpdu {
+  active::PortId port;
+  Bpdu bpdu;
+};
+
+struct Harness {
+  netsim::Scheduler scheduler;
+  std::vector<SentBpdu> sent;
+  std::vector<std::pair<active::PortId, StpPortState>> state_changes;
+  std::unique_ptr<StpEngine> engine;
+
+  explicit Harness(std::uint16_t priority = 0x8000,
+                   ether::MacAddress mac = ether::MacAddress::local(50, 0)) {
+    StpConfig cfg;
+    cfg.priority = priority;
+    StpEngine::Callbacks cb;
+    cb.send = [this](active::PortId port, const Bpdu& b) {
+      sent.push_back({port, b});
+    };
+    cb.set_state = [this](active::PortId port, StpPortState s) {
+      state_changes.push_back({port, s});
+    };
+    engine = std::make_unique<StpEngine>(active::Timers(scheduler), cfg, mac,
+                                         std::vector<active::PortId>{0, 1},
+                                         std::move(cb));
+  }
+
+  Bpdu config_from(std::uint16_t prio, std::uint32_t mac_tail, std::uint32_t cost) {
+    Bpdu b;
+    b.root = BridgeId{prio, ether::MacAddress::local(mac_tail, 0)};
+    b.root_path_cost = cost;
+    b.bridge = b.root;
+    b.port_id = 0x8001;
+    return b;
+  }
+};
+
+TEST(StpEngineUnit, RequiresCallbacksAndPorts) {
+  netsim::Scheduler s;
+  StpEngine::Callbacks none;
+  EXPECT_THROW(StpEngine(active::Timers(s), {}, ether::MacAddress::local(1, 0), {0},
+                         std::move(none)),
+               std::invalid_argument);
+  StpEngine::Callbacks ok;
+  ok.send = [](active::PortId, const Bpdu&) {};
+  ok.set_state = [](active::PortId, StpPortState) {};
+  EXPECT_THROW(StpEngine(active::Timers(s), {}, ether::MacAddress::local(1, 0), {},
+                         std::move(ok)),
+               std::invalid_argument);
+}
+
+TEST(StpEngineUnit, StartClaimsRootAndSendsHellos) {
+  Harness h;
+  h.engine->start();
+  EXPECT_TRUE(h.engine->is_root());
+  EXPECT_EQ(h.engine->port_state(0), StpPortState::kListening);
+  // First hello fired immediately on both designated ports.
+  ASSERT_GE(h.sent.size(), 2u);
+  EXPECT_EQ(h.sent[0].bpdu.root, h.engine->bridge_id());
+  EXPECT_EQ(h.sent[0].bpdu.root_path_cost, 0u);
+}
+
+TEST(StpEngineUnit, ForwardDelayLadder) {
+  Harness h;
+  h.engine->start();
+  h.scheduler.run_for(netsim::seconds(14));
+  EXPECT_EQ(h.engine->port_state(0), StpPortState::kListening);
+  h.scheduler.run_for(netsim::seconds(2));
+  EXPECT_EQ(h.engine->port_state(0), StpPortState::kLearning);
+  h.scheduler.run_for(netsim::seconds(15));
+  EXPECT_EQ(h.engine->port_state(0), StpPortState::kForwarding);
+  EXPECT_EQ(h.engine->port_state(1), StpPortState::kForwarding);
+}
+
+TEST(StpEngineUnit, SuperiorConfigDethronesUs) {
+  Harness h;
+  h.engine->start();
+  // A better root (lower MAC) heard on port 0.
+  h.engine->receive(0, h.config_from(0x8000, 1, 0));
+  EXPECT_FALSE(h.engine->is_root());
+  EXPECT_EQ(h.engine->root_port(), 0);
+  EXPECT_EQ(h.engine->root_path_cost(), 19u);  // received 0 + port cost
+  EXPECT_EQ(h.engine->port_role(0), StpPortRole::kRoot);
+  EXPECT_EQ(h.engine->port_role(1), StpPortRole::kDesignated);
+}
+
+TEST(StpEngineUnit, InferiorConfigIsAnsweredWithOurs) {
+  Harness h;
+  h.engine->start();
+  h.sent.clear();
+  // A worse root (higher MAC) babbles on port 1: we assert our config.
+  h.engine->receive(1, h.config_from(0xF000, 200, 5));
+  ASSERT_GE(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent.back().port, 1);
+  EXPECT_EQ(h.sent.back().bpdu.root, h.engine->bridge_id());
+}
+
+TEST(StpEngineUnit, BetterPathPreferredByCost) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 100));  // root via port0, cost 100
+  h.engine->receive(1, h.config_from(0x1000, 1, 10));   // same root, cheaper
+  EXPECT_EQ(h.engine->root_port(), 1);
+  EXPECT_EQ(h.engine->root_path_cost(), 29u);  // 10 + 19
+}
+
+TEST(StpEngineUnit, NonRootPortBlockedWhenPeerIsDesignated) {
+  Harness h;
+  h.engine->start();
+  // Port 0: the root. Port 1: another bridge with a *better* claim to the
+  // shared segment (same root, lower cost than ours).
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  Bpdu peer = h.config_from(0x1000, 1, 0);
+  peer.bridge = BridgeId{0x8000, ether::MacAddress::local(2, 0)};  // lower than us
+  h.engine->receive(1, peer);
+  EXPECT_EQ(h.engine->port_role(1), StpPortRole::kBlocked);
+  EXPECT_EQ(h.engine->port_state(1), StpPortState::kBlocking);
+}
+
+TEST(StpEngineUnit, RelayOnRootPortReception) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  h.sent.clear();
+  // A refresh on the root port triggers relay on designated ports.
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  ASSERT_GE(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent.back().port, 1);
+  EXPECT_EQ(h.sent.back().bpdu.root.mac, ether::MacAddress::local(1, 0));
+}
+
+TEST(StpEngineUnit, NonRootStopsOriginatingHellos) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  h.sent.clear();
+  // Several hello intervals with no refresh: a non-root bridge originates
+  // nothing on its own.
+  h.scheduler.run_for(netsim::seconds(6));
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(StpEngineUnit, InfoExpiryReclaimsRoot) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  ASSERT_FALSE(h.engine->is_root());
+  // No refresh for max_age (20 s): reclaim.
+  h.scheduler.run_for(netsim::seconds(25));
+  EXPECT_TRUE(h.engine->is_root());
+  EXPECT_EQ(h.engine->stats().info_expiries, 1u);
+}
+
+TEST(StpEngineUnit, RefreshKeepsInfoAlive) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  for (int i = 0; i < 10; ++i) {
+    h.scheduler.run_for(netsim::seconds(10));
+    h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  }
+  EXPECT_FALSE(h.engine->is_root());
+  EXPECT_EQ(h.engine->stats().info_expiries, 0u);
+}
+
+TEST(StpEngineUnit, TcnPropagatesTowardRoot) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));  // root via port 0
+  h.sent.clear();
+  Bpdu tcn;
+  tcn.type = BpduType::kTcn;
+  h.engine->receive(1, tcn);
+  ASSERT_GE(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent.back().port, 0);  // toward the root
+  EXPECT_EQ(h.sent.back().bpdu.type, BpduType::kTcn);
+}
+
+TEST(StpEngineUnit, RootSetsTopologyChangeFlagOnTcn) {
+  Harness h;
+  bool fast_aging = false;
+  // Rebuild with a topology_change callback.
+  StpEngine::Callbacks cb;
+  cb.send = [&h](active::PortId port, const Bpdu& b) { h.sent.push_back({port, b}); };
+  cb.set_state = [](active::PortId, StpPortState) {};
+  cb.topology_change = [&fast_aging](bool on) { fast_aging = on; };
+  StpEngine engine(active::Timers(h.scheduler), {}, ether::MacAddress::local(50, 0),
+                   {0, 1}, std::move(cb));
+  engine.start();
+  ASSERT_TRUE(engine.is_root());
+  Bpdu tcn;
+  tcn.type = BpduType::kTcn;
+  engine.receive(0, tcn);
+  EXPECT_TRUE(fast_aging);
+  h.sent.clear();
+  h.scheduler.run_for(netsim::seconds(2));
+  // The root's next hello carries the TC flag.
+  ASSERT_GE(h.sent.size(), 1u);
+  EXPECT_TRUE(h.sent.back().bpdu.topology_change);
+  // Ports reaching Forwarding at t=30 are themselves topology events and
+  // restart the period; it ends forward_delay + max_age after the last one
+  // (t = 30 + 35 = 65).
+  h.scheduler.run_for(netsim::seconds(70));
+  EXPECT_FALSE(fast_aging);
+}
+
+TEST(StpEngineUnit, StopFreezesAndReceiveIsIgnored) {
+  Harness h;
+  h.engine->start();
+  h.engine->stop();
+  EXPECT_FALSE(h.engine->running());
+  h.sent.clear();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  EXPECT_TRUE(h.engine->is_root());  // unchanged: not processing
+  h.scheduler.run_for(netsim::seconds(60));
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(StpEngineUnit, RestartResetsToConfigurationPhase) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  h.scheduler.run_for(netsim::seconds(40));
+  h.engine->stop();
+  h.engine->start();
+  EXPECT_TRUE(h.engine->is_root());  // re-claims root
+  EXPECT_EQ(h.engine->port_state(0), StpPortState::kListening);
+}
+
+TEST(StpEngineUnit, SnapshotReflectsState) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  const StpSnapshot snap = h.engine->snapshot();
+  EXPECT_EQ(snap.bridge, h.engine->bridge_id());
+  EXPECT_EQ(snap.root.mac, ether::MacAddress::local(1, 0));
+  EXPECT_EQ(snap.root_port, 0);
+  ASSERT_EQ(snap.ports.size(), 2u);
+  EXPECT_EQ(snap.ports[0].role, StpPortRole::kRoot);
+}
+
+TEST(StpEngineUnit, UnknownPortThrows) {
+  Harness h;
+  h.engine->start();
+  EXPECT_THROW((void)h.engine->port_state(9), std::out_of_range);
+  EXPECT_THROW(h.engine->receive(9, Bpdu{}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ab::bridge

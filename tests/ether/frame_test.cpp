@@ -1,0 +1,166 @@
+#include "src/ether/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+
+namespace ab::ether {
+namespace {
+
+MacAddress mac(std::uint8_t last) { return MacAddress({0x02, 0, 0, 0, 0, last}); }
+
+TEST(Frame, Ethernet2RoundTripLargePayload) {
+  util::ByteBuffer payload(200, 0x5A);
+  const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kIpv4, payload);
+  const util::ByteBuffer wire = f.encode();
+  const auto back = Frame::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst, f.dst);
+  EXPECT_EQ(back->src, f.src);
+  ASSERT_TRUE(back->ethertype.has_value());
+  EXPECT_EQ(*back->ethertype, 0x0800);
+  EXPECT_EQ(back->payload, payload);
+}
+
+TEST(Frame, Ethernet2ShortPayloadIsPaddedOnTheWire) {
+  util::ByteBuffer payload = {1, 2, 3};
+  const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kExperimental, payload);
+  const util::ByteBuffer wire = f.encode();
+  // 14 header + 46 padded payload + 4 FCS = minimum 64-byte frame.
+  EXPECT_EQ(wire.size(), 64u);
+  const auto back = Frame::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  // Ethernet II has no length field: the receiver sees the padded payload,
+  // exactly as on real hardware.
+  ASSERT_EQ(back->payload.size(), 46u);
+  EXPECT_EQ(back->payload[0], 1);
+  EXPECT_EQ(back->payload[1], 2);
+  EXPECT_EQ(back->payload[2], 3);
+  EXPECT_EQ(back->payload[3], 0);
+}
+
+TEST(Frame, LlcRoundTripStripsPaddingExactly) {
+  // 802.3 carries a length field, so even a tiny BPDU round-trips exactly.
+  util::ByteBuffer payload = {0xAA, 0xBB};
+  const Frame f =
+      Frame::llc_frame(MacAddress::all_bridges(), mac(7), LlcHeader::spanning_tree(),
+                       payload);
+  const util::ByteBuffer wire = f.encode();
+  const auto back = Frame::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->is_llc());
+  EXPECT_EQ(back->llc->dsap, 0x42);
+  EXPECT_EQ(back->llc->ssap, 0x42);
+  EXPECT_EQ(back->payload, payload);
+  EXPECT_EQ(*back, f);
+}
+
+TEST(Frame, FcsDetectsCorruption) {
+  const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kIpv4,
+                                   util::ByteBuffer(100, 0x11));
+  util::ByteBuffer wire = f.encode();
+  wire[20] ^= 0x40;
+  const auto back = Frame::decode(wire);
+  EXPECT_FALSE(back.has_value());
+  EXPECT_NE(back.error().find("FCS"), std::string::npos);
+}
+
+TEST(Frame, DecodeRejectsRuntFrames) {
+  const util::ByteBuffer runt(10, 0);
+  EXPECT_FALSE(Frame::decode(runt).has_value());
+}
+
+TEST(Frame, DecodeRejects8023LengthBeyondBody) {
+  // Hand-build an 802.3 frame whose length field overruns the body.
+  util::BufWriter w;
+  mac(1).write(w);
+  mac(2).write(w);
+  w.u16(0x0100);  // claims 256 bytes of LLC+payload
+  w.zeros(46);    // but provides only the minimum body
+  util::ByteBuffer bytes = w.take();
+  util::BufWriter fcs;
+  fcs.u32(util::crc32(bytes));
+  const util::ByteBuffer fcs_bytes = fcs.take();
+  bytes.insert(bytes.end(), fcs_bytes.begin(), fcs_bytes.end());
+  const auto back = Frame::decode(bytes);
+  EXPECT_FALSE(back.has_value());
+}
+
+TEST(Frame, EncodeRejectsOversizedPayload) {
+  const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kIpv4,
+                                   util::ByteBuffer(Frame::kMaxPayload + 1, 0));
+  EXPECT_THROW((void)f.encode(), std::length_error);
+}
+
+TEST(Frame, Ethernet2FactoryRejectsLengthValuedType) {
+  EXPECT_THROW(
+      (void)Frame::ethernet2(mac(1), mac(2), std::uint16_t{0x0100}, util::ByteBuffer{}),
+      std::invalid_argument);
+}
+
+TEST(Frame, WireSizeMatchesEncodeLength) {
+  for (std::size_t n : {0u, 1u, 45u, 46u, 47u, 100u, 1500u}) {
+    const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kIpv4,
+                                     util::ByteBuffer(n, 0x22));
+    EXPECT_EQ(f.wire_size(), f.encode().size()) << "payload " << n;
+  }
+}
+
+TEST(Frame, HasTypeHelper) {
+  const Frame ip = Frame::ethernet2(mac(1), mac(2), EtherType::kIpv4, {});
+  EXPECT_TRUE(ip.has_type(EtherType::kIpv4));
+  EXPECT_FALSE(ip.has_type(EtherType::kArp));
+  const Frame llc = Frame::llc_frame(mac(1), mac(2), LlcHeader::spanning_tree(), {});
+  EXPECT_FALSE(llc.has_type(EtherType::kIpv4));
+}
+
+TEST(Frame, SummaryMentionsAddresses) {
+  const Frame f = Frame::ethernet2(mac(1), mac(2), EtherType::kArp, {});
+  const std::string s = f.summary();
+  EXPECT_NE(s.find("02:00:00:00:00:02"), std::string::npos);
+  EXPECT_NE(s.find("02:00:00:00:00:01"), std::string::npos);
+}
+
+// Property sweep: random frames of both encodings round-trip through
+// encode/decode with payload preserved (up to Ethernet II padding).
+class FrameRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameRoundTripProperty, RandomFrameRoundTrips) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const bool use_llc = rng.chance(0.5);
+    const std::size_t len = rng.index(Frame::kMaxPayload - 3 + 1);
+    util::ByteBuffer payload(len);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    std::array<std::uint8_t, 6> d{}, s{};
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    s[0] &= 0xFE;  // source addresses are unicast
+
+    Frame f;
+    if (use_llc) {
+      f = Frame::llc_frame(MacAddress(d), MacAddress(s), LlcHeader::spanning_tree(),
+                           payload);
+    } else {
+      f = Frame::ethernet2(MacAddress(d), MacAddress(s), EtherType::kExperimental,
+                           payload);
+    }
+    const auto back = Frame::decode(f.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->dst, f.dst);
+    EXPECT_EQ(back->src, f.src);
+    if (use_llc) {
+      EXPECT_EQ(back->payload, payload);
+    } else {
+      ASSERT_GE(back->payload.size(), payload.size());
+      EXPECT_TRUE(std::equal(payload.begin(), payload.end(), back->payload.begin()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ab::ether

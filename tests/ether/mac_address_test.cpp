@@ -1,0 +1,88 @@
+#include "src/ether/mac_address.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ab::ether {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddress::parse("01:80:c2:00:00:00");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "01:80:c2:00:00:00");
+  EXPECT_EQ(*mac, MacAddress::all_bridges());
+}
+
+TEST(MacAddress, ParseAcceptsUpperCase) {
+  const auto mac = MacAddress::parse("DE:AD:BE:EF:00:01");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "de:ad:be:ef:00:01");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44:55:66").has_value());
+  EXPECT_FALSE(MacAddress::parse("00-11-22-33-44-55").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:11:22:33:44:55").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:11:22:33:44:5").has_value());
+}
+
+TEST(MacAddress, GroupBitClassification) {
+  EXPECT_TRUE(MacAddress::broadcast().is_group());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::broadcast().is_multicast());
+
+  EXPECT_TRUE(MacAddress::all_bridges().is_group());
+  EXPECT_TRUE(MacAddress::all_bridges().is_multicast());
+  EXPECT_FALSE(MacAddress::all_bridges().is_broadcast());
+
+  EXPECT_TRUE(MacAddress::dec_bridge_group().is_multicast());
+
+  const auto unicast = MacAddress::parse("02:00:00:00:00:01");
+  ASSERT_TRUE(unicast.has_value());
+  EXPECT_TRUE(unicast->is_unicast());
+  EXPECT_FALSE(unicast->is_group());
+}
+
+TEST(MacAddress, WellKnownAddressesMatchTheStandards) {
+  EXPECT_EQ(MacAddress::all_bridges().to_string(), "01:80:c2:00:00:00");
+  EXPECT_EQ(MacAddress::dec_bridge_group().to_string(), "09:00:2b:01:00:00");
+}
+
+TEST(MacAddress, LocalAddressesAreUnicastAndDistinct) {
+  std::unordered_set<MacAddress> seen;
+  for (std::uint32_t node = 0; node < 10; ++node) {
+    for (std::uint16_t port = 0; port < 10; ++port) {
+      const MacAddress mac = MacAddress::local(node, port);
+      EXPECT_TRUE(mac.is_unicast());
+      EXPECT_TRUE(seen.insert(mac).second) << "duplicate " << mac.to_string();
+    }
+  }
+}
+
+TEST(MacAddress, OrderingFollowsNumericValue) {
+  const MacAddress low({0, 0, 0, 0, 0, 1});
+  const MacAddress high({0, 0, 0, 0, 1, 0});
+  EXPECT_LT(low, high);
+  EXPECT_LT(low.value(), high.value());
+}
+
+TEST(MacAddress, ReadWriteRoundTrip) {
+  const MacAddress mac({0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC});
+  util::BufWriter w;
+  mac.write(w);
+  const util::ByteBuffer buf = w.take();
+  ASSERT_EQ(buf.size(), 6u);
+  util::BufReader r(buf);
+  EXPECT_EQ(MacAddress::read(r), mac);
+}
+
+TEST(MacAddress, ZeroSentinel) {
+  EXPECT_TRUE(MacAddress().is_zero());
+  EXPECT_FALSE(MacAddress::broadcast().is_zero());
+}
+
+}  // namespace
+}  // namespace ab::ether

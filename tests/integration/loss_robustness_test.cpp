@@ -1,0 +1,83 @@
+// Failure injection: the spanning tree and the loader's TFTP path must
+// survive a lossy wire. BPDU loss is absorbed by the hello/max-age timer
+// margins (10 consecutive hellos must vanish before stored info expires);
+// TFTP rides its retransmission.
+#include <gtest/gtest.h>
+
+#include "src/apps/ping.h"
+#include "tests/bridge/bridge_test_util.h"
+
+namespace ab {
+namespace {
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, RingStaysLoopFreeAndConnectedUnderLoss) {
+  const double loss = GetParam();
+  netsim::Network net;
+  std::vector<netsim::LanSegment*> lans;
+  netsim::FrameTrace trace;
+  for (int i = 0; i < 3; ++i) {
+    netsim::LanConfig cfg;
+    cfg.loss = loss;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    lans.push_back(&net.add_segment("lan" + std::to_string(i), cfg));
+    trace.watch(*lans.back());
+  }
+  std::vector<std::unique_ptr<bridge::BridgeNode>> bridges;
+  for (int i = 0; i < 3; ++i) {
+    bridge::BridgeNodeConfig cfg;
+    cfg.name = "bridge" + std::to_string(i);
+    bridges.push_back(std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg));
+    auto& b = *bridges.back();
+    b.add_port(net.add_nic(cfg.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
+    b.add_port(
+        net.add_nic(cfg.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % 3)]));
+    b.load_dumb();
+    b.load_learning();
+    b.load_ieee();
+  }
+  net.scheduler().run_for(netsim::seconds(60));
+
+  // Still exactly one root, unanimously agreed, despite lost BPDUs.
+  std::vector<bridge::StpEngine*> engines;
+  for (auto& b : bridges) {
+    engines.push_back(
+        dynamic_cast<bridge::StpSwitchlet*>(b->node().loader().find("stp.ieee"))
+            ->engine());
+  }
+  int roots = 0;
+  for (auto* e : engines) roots += e->is_root() ? 1 : 0;
+  EXPECT_EQ(roots, 1);
+  for (auto* e : engines) EXPECT_EQ(e->root_id(), engines[0]->root_id());
+
+  // Loop-free: a burst of broadcasts stays bounded.
+  trace.clear();
+  auto& probe = net.add_nic("probe", *lans[0]);
+  for (int i = 0; i < 10; ++i) {
+    probe.transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(), probe.mac(),
+                                           ether::EtherType::kExperimental, {1}));
+  }
+  net.scheduler().run_for(netsim::seconds(2));
+  EXPECT_LT(trace.count_if([](const netsim::TraceEntry& e) {
+              return e.decoded_ok && e.dst.is_broadcast();
+            }),
+            100u);
+
+  // Connected: ping succeeds across the ring (retrying through loss).
+  stack::HostConfig ha;
+  ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
+  stack::HostStack host_a(net.scheduler(), net.add_nic("hostA", *lans[0]), ha);
+  stack::HostConfig hb;
+  hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
+  stack::HostStack host_b(net.scheduler(), net.add_nic("hostB", *lans[1]), hb);
+  apps::PingApp ping(net.scheduler(), host_a, host_b.ip());
+  ping.run(30, 64, netsim::milliseconds(200));
+  net.scheduler().run_for(netsim::seconds(10));
+  EXPECT_GT(ping.stats().received, 10);  // most pings survive 2x-5x loss rolls
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep, ::testing::Values(0.01, 0.05, 0.10));
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,144 @@
+#include "src/netsim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ab::netsim {
+namespace {
+
+TEST(CostModel, CostIsAffineInLength) {
+  CostModel m;
+  m.per_frame = microseconds(100);
+  m.per_byte = nanoseconds(10);
+  EXPECT_EQ(m.cost(0), microseconds(100));
+  EXPECT_EQ(m.cost(1000), microseconds(100) + microseconds(10));
+}
+
+TEST(CostModel, PresetsAreOrderedAsInThePaper) {
+  // Per-frame cost: ideal < host < repeater < bridge (paper Figs 9/10).
+  const std::size_t len = 1000;
+  EXPECT_EQ(CostModel::ideal().cost(len), Duration::zero());
+  EXPECT_LT(CostModel::linux_host().cost(len), CostModel::c_repeater().cost(len));
+  EXPECT_LT(CostModel::c_repeater().cost(len), CostModel::caml_bridge().cost(len));
+  // The two bridge calibrations (ping path vs ttcp path) cross: the ping
+  // path is dearer per frame, the ttcp path dearer per byte. At MTU-sized
+  // frames the ttcp calibration dominates.
+  EXPECT_LT(CostModel::caml_bridge_latency_path().cost(1480),
+            CostModel::caml_bridge().cost(1480));
+  EXPECT_GT(CostModel::caml_bridge_latency_path().cost(64),
+            CostModel::caml_bridge().cost(64));
+}
+
+TEST(CostModel, CamlBridgeMatchesThePapersAnchorPoints) {
+  // Paper section 7.3: 0.47 ms/frame inside Caml alone at ttcp's MTU-sized
+  // frames. In-Caml share = bridge cost - repeater cost at 1480 bytes.
+  const Duration in_caml = CostModel::caml_bridge().cost(1480) -
+                           CostModel::c_repeater().cost(1480);
+  EXPECT_GE(in_caml, microseconds(400));
+  EXPECT_LE(in_caml, microseconds(540));
+
+  // 16 Mb/s at MTU-sized fragments and ~1790 frames/s at 1024-byte frames.
+  const double mbps =
+      1480.0 * 8.0 / to_seconds(CostModel::caml_bridge().cost(1480)) / 1e6;
+  EXPECT_GT(mbps, 14.0);
+  EXPECT_LT(mbps, 18.0);
+  const double fps = 1.0 / to_seconds(CostModel::caml_bridge().cost(1024));
+  EXPECT_GT(fps, 1600.0);
+  EXPECT_LT(fps, 2000.0);
+
+  // The bridge achieves "about 44%" of the repeater's throughput.
+  const double ratio = to_seconds(CostModel::c_repeater().cost(1480)) /
+                       to_seconds(CostModel::caml_bridge().cost(1480));
+  EXPECT_GT(ratio, 0.38);
+  EXPECT_LT(ratio, 0.50);
+
+  // The unbridged host baseline lands at the paper's 76 Mb/s.
+  const double host_mbps =
+      1500.0 * 8.0 / to_seconds(CostModel::linux_host().cost(1500)) / 1e6;
+  EXPECT_GT(host_mbps, 72.0);
+  EXPECT_LT(host_mbps, 80.0);
+}
+
+TEST(ProcessingElement, ChargesServiceTime) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = milliseconds(1);
+  ProcessingElement pe(s, m);
+  TimePoint done{};
+  pe.submit(0, [&] { done = s.now(); });
+  s.run();
+  EXPECT_EQ(done.time_since_epoch(), milliseconds(1));
+  EXPECT_EQ(pe.processed(), 1u);
+}
+
+TEST(ProcessingElement, SerializesConcurrentWork) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = milliseconds(1);
+  ProcessingElement pe(s, m);
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 3; ++i) pe.submit(0, [&] { done.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].time_since_epoch(), milliseconds(1));
+  EXPECT_EQ(done[1].time_since_epoch(), milliseconds(2));
+  EXPECT_EQ(done[2].time_since_epoch(), milliseconds(3));
+}
+
+TEST(ProcessingElement, ThroughputCeilingMatchesPerFrameCost) {
+  // The paper derives a 2100 frames/s ceiling from 0.47 ms/frame. Submit a
+  // second's worth of frames at a 0.5 ms/frame model: ~2000 complete.
+  Scheduler s;
+  CostModel m;
+  m.per_frame = microseconds(500);
+  ProcessingElement pe(s, m);
+  int completed = 0;
+  for (int i = 0; i < 5000; ++i) pe.submit(0, [&] { ++completed; });
+  s.run_until(TimePoint{} + seconds(1));
+  EXPECT_EQ(completed, 2000);
+}
+
+TEST(ProcessingElement, GcPausesInjectEveryNFrames) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = microseconds(100);
+  m.gc_pause = milliseconds(5);
+  m.gc_every_frames = 10;
+  ProcessingElement pe(s, m);
+  for (int i = 0; i < 25; ++i) pe.submit(0, [] {});
+  s.run();
+  EXPECT_EQ(pe.gc_pauses(), 2u);
+  // 25 frames * 0.1ms + 2 pauses * 5ms
+  EXPECT_EQ(s.now().time_since_epoch(), microseconds(2500) + milliseconds(10));
+}
+
+TEST(ProcessingElement, IdleElementResumesAtNow) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = milliseconds(1);
+  ProcessingElement pe(s, m);
+  pe.submit(0, [] {});
+  s.run();
+  // Let virtual time pass with the element idle.
+  s.schedule_after(seconds(1), [] {});
+  s.run();
+  TimePoint done{};
+  pe.submit(0, [&] { done = s.now(); });
+  s.run();
+  EXPECT_EQ(done.time_since_epoch(), seconds(1) + milliseconds(1) + milliseconds(1));
+}
+
+TEST(ProcessingElement, BusyTimeAccumulates) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = milliseconds(2);
+  ProcessingElement pe(s, m);
+  pe.submit(0, [] {});
+  pe.submit(0, [] {});
+  s.run();
+  EXPECT_EQ(pe.busy_time(), milliseconds(4));
+}
+
+}  // namespace
+}  // namespace ab::netsim

@@ -1,0 +1,153 @@
+#include "src/netsim/lan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/trace.h"
+
+namespace ab::netsim {
+namespace {
+
+ether::Frame test_frame(ether::MacAddress dst, ether::MacAddress src,
+                        std::size_t len = 64) {
+  return ether::Frame::ethernet2(dst, src, ether::EtherType::kExperimental,
+                                 util::ByteBuffer(len, 0x33));
+}
+
+TEST(LanSegment, SerializationDelayMatchesBitRate) {
+  Network net;
+  LanConfig cfg;
+  cfg.bit_rate = 100e6;  // 100 Mb/s
+  LanSegment& lan = net.add_segment("lan", cfg);
+  // 1250 bytes = 10000 bits = 100 us at 100 Mb/s.
+  EXPECT_EQ(lan.serialization_delay(1250), microseconds(100));
+}
+
+TEST(LanSegment, RejectsNonPositiveBitRate) {
+  Network net;
+  LanConfig cfg;
+  cfg.bit_rate = 0;
+  EXPECT_THROW(net.add_segment("bad", cfg), std::invalid_argument);
+}
+
+TEST(LanSegment, BroadcastReachesAllButSender) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  Nic& c = net.add_nic("c", lan);
+
+  int b_got = 0, c_got = 0;
+  b.set_rx_handler([&](const ether::Frame&) { ++b_got; });
+  c.set_rx_handler([&](const ether::Frame&) { ++c_got; });
+
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+  EXPECT_EQ(a.stats().rx_frames, 0u);  // sender does not hear itself
+}
+
+TEST(LanSegment, PropagationDelayIsApplied) {
+  Network net;
+  LanConfig cfg;
+  cfg.propagation = microseconds(50);
+  LanSegment& lan = net.add_segment("lan", cfg);
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+
+  TimePoint delivered{};
+  b.set_rx_handler([&](const ether::Frame&) { delivered = net.now(); });
+  const ether::Frame f = test_frame(b.mac(), a.mac());
+  const Duration ser = lan.serialization_delay(f.wire_size());
+  a.transmit(f);
+  net.scheduler().run();
+  EXPECT_EQ(delivered.time_since_epoch(), (ser + cfg.propagation).count() * Duration(1));
+}
+
+TEST(LanSegment, LossModelDropsApproximatelyTheConfiguredFraction) {
+  Network net;
+  LanConfig cfg;
+  cfg.loss = 0.5;
+  cfg.seed = 42;
+  LanSegment& lan = net.add_segment("lossy", cfg);
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+
+  int got = 0;
+  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  const int kFrames = 1000;
+  a.set_tx_queue_limit(kFrames + 1);
+  for (int i = 0; i < kFrames; ++i) {
+    a.transmit(test_frame(b.mac(), a.mac()));
+  }
+  net.scheduler().run();
+  EXPECT_GT(got, 350);
+  EXPECT_LT(got, 650);
+  EXPECT_EQ(lan.stats().frames_lost, static_cast<std::uint64_t>(kFrames - got));
+}
+
+TEST(LanSegment, StatsCountCarriedFrames) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  net.add_nic("b", lan);
+  for (int i = 0; i < 5; ++i) a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(lan.stats().frames_carried, 5u);
+  EXPECT_GT(lan.stats().bytes_carried, 0u);
+}
+
+TEST(LanSegment, DetachedNicMissesInFlightFrames) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  int got = 0;
+  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  a.transmit(test_frame(b.mac(), a.mac()));
+  b.detach();  // detach before delivery event fires
+  net.scheduler().run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(FrameTrace, RecordsCarriedFrames) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan1");
+  FrameTrace trace;
+  trace.watch(lan);
+  Nic& a = net.add_nic("a", lan);
+  net.add_nic("b", lan);
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac(), 100));
+  net.scheduler().run();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.entries()[0].segment, "lan1");
+  EXPECT_TRUE(trace.entries()[0].decoded_ok);
+  EXPECT_EQ(trace.entries()[0].src, a.mac());
+  EXPECT_EQ(trace.count_on("lan1"), 1u);
+  EXPECT_EQ(trace.count_on("other"), 0u);
+  EXPECT_NE(trace.dump().find("lan1"), std::string::npos);
+}
+
+TEST(Network, FindSegmentAndDuplicateNames) {
+  Network net;
+  net.add_segment("x");
+  EXPECT_NE(net.find_segment("x"), nullptr);
+  EXPECT_EQ(net.find_segment("y"), nullptr);
+  EXPECT_THROW(net.add_segment("x"), std::invalid_argument);
+}
+
+TEST(Network, AutoAssignedMacsAreUnique) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  Nic& c = net.add_nic("c", lan);
+  EXPECT_NE(a.mac(), b.mac());
+  EXPECT_NE(b.mac(), c.mac());
+  EXPECT_NE(a.mac(), c.mac());
+}
+
+}  // namespace
+}  // namespace ab::netsim

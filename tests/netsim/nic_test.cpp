@@ -1,0 +1,139 @@
+#include "src/netsim/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+
+namespace ab::netsim {
+namespace {
+
+ether::Frame to(ether::MacAddress dst, ether::MacAddress src, std::size_t len = 64) {
+  return ether::Frame::ethernet2(dst, src, ether::EtherType::kExperimental,
+                                 util::ByteBuffer(len, 0x44));
+}
+
+struct TwoNics {
+  Network net;
+  LanSegment* lan;
+  Nic* a;
+  Nic* b;
+  TwoNics() {
+    lan = &net.add_segment("lan");
+    a = &net.add_nic("a", *lan);
+    b = &net.add_nic("b", *lan);
+  }
+};
+
+TEST(Nic, AddressFilterAcceptsOwnUnicast) {
+  TwoNics t;
+  int got = 0;
+  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.a->transmit(to(t.b->mac(), t.a->mac()));
+  t.net.scheduler().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Nic, AddressFilterRejectsForeignUnicast) {
+  TwoNics t;
+  int got = 0;
+  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  const auto other = ether::MacAddress::parse("02:aa:aa:aa:aa:aa").value();
+  t.a->transmit(to(other, t.a->mac()));
+  t.net.scheduler().run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(t.b->stats().rx_filtered, 1u);
+}
+
+TEST(Nic, PromiscuousModeAcceptsEverything) {
+  // The paper: binding an input port puts it into promiscuous mode.
+  TwoNics t;
+  int got = 0;
+  t.b->set_promiscuous(true);
+  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  const auto other = ether::MacAddress::parse("02:aa:aa:aa:aa:aa").value();
+  t.a->transmit(to(other, t.a->mac()));
+  t.net.scheduler().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Nic, BroadcastAndMulticastPassTheFilter) {
+  TwoNics t;
+  int got = 0;
+  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.a->transmit(to(ether::MacAddress::broadcast(), t.a->mac()));
+  t.a->transmit(to(ether::MacAddress::all_bridges(), t.a->mac()));
+  t.net.scheduler().run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Nic, TransmitFailsWhenDetached) {
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  a.detach();
+  EXPECT_FALSE(a.transmit(to(ether::MacAddress::broadcast(), a.mac())));
+  EXPECT_EQ(a.stats().tx_dropped, 1u);
+}
+
+TEST(Nic, TxQueueTailDropsWhenFull) {
+  TwoNics t;
+  t.a->set_tx_queue_limit(4);
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (t.a->transmit(to(t.b->mac(), t.a->mac(), 1000))) ++accepted;
+  }
+  // One frame may already be in the transmitter plus 4 queued.
+  EXPECT_LE(accepted, 6);
+  EXPECT_GT(t.a->stats().tx_dropped, 0u);
+  t.net.scheduler().run();
+  EXPECT_EQ(t.a->stats().tx_frames, static_cast<std::uint64_t>(accepted));
+}
+
+TEST(Nic, FramesSerializeBackToBack) {
+  TwoNics t;
+  std::vector<TimePoint> arrivals;
+  t.b->set_rx_handler([&](const ether::Frame&) { arrivals.push_back(t.net.now()); });
+  const ether::Frame f = to(t.b->mac(), t.a->mac(), 1000);
+  const Duration ser = t.lan->serialization_delay(f.wire_size());
+  t.a->transmit(f);
+  t.a->transmit(f);
+  t.net.scheduler().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second frame leaves one serialization time after the first.
+  EXPECT_EQ((arrivals[1] - arrivals[0]), ser);
+}
+
+TEST(Nic, StatsCountRxTx) {
+  TwoNics t;
+  t.b->set_rx_handler([](const ether::Frame&) {});
+  t.a->transmit(to(t.b->mac(), t.a->mac()));
+  t.net.scheduler().run();
+  EXPECT_EQ(t.a->stats().tx_frames, 1u);
+  EXPECT_GT(t.a->stats().tx_bytes, 0u);
+  EXPECT_EQ(t.b->stats().rx_frames, 1u);
+}
+
+TEST(Nic, ReattachToAnotherSegment) {
+  Network net;
+  LanSegment& lan1 = net.add_segment("lan1");
+  LanSegment& lan2 = net.add_segment("lan2");
+  Nic& a = net.add_nic("a", lan1);
+  Nic& b = net.add_nic("b", lan2);
+  int got = 0;
+  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  a.attach(lan2);
+  EXPECT_EQ(a.segment(), &lan2);
+  a.transmit(to(b.mac(), a.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Nic, NoHandlerMeansFrameIsDroppedQuietly) {
+  TwoNics t;
+  t.a->transmit(to(t.b->mac(), t.a->mac()));
+  t.net.scheduler().run();  // must not crash
+  EXPECT_EQ(t.b->stats().rx_frames, 1u);
+}
+
+}  // namespace
+}  // namespace ab::netsim

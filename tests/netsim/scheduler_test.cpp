@@ -1,0 +1,157 @@
+#include "src/netsim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ab::netsim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), TimePoint{});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_after(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(30));
+}
+
+TEST(Scheduler, TiesBreakInSubmissionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  TimePoint seen{};
+  s.schedule_after(seconds(2), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen.time_since_epoch(), seconds(2));
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) s.schedule_after(milliseconds(1), chain);
+  };
+  s.schedule_after(milliseconds(1), chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(5));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(10), [&] { ++fired; });
+  s.schedule_after(milliseconds(30), [&] { ++fired; });
+  const std::size_t n = s.run_until(TimePoint{} + milliseconds(20));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(20));
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunUntilIncludesEventsAtTheBoundary) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(20), [&] { ++fired; });
+  s.run_until(TimePoint{} + milliseconds(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunForIsRelative) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(5), [&] { ++fired; });
+  s.run_for(milliseconds(10));
+  s.schedule_after(milliseconds(5), [&] { ++fired; });
+  s.run_for(milliseconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(20));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.schedule_after(milliseconds(1), [&] { ++fired; });
+  s.schedule_after(milliseconds(2), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelAfterFireIsHarmless) {
+  Scheduler s;
+  const EventId id = s.schedule_after(milliseconds(1), [] {});
+  s.run();
+  s.cancel(id);  // no effect, no crash
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, StepRunsExactlyOneEvent) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(1), [&] { ++fired; });
+  s.schedule_after(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule_after(seconds(1), [] {});
+  s.run();
+  TimePoint seen{};
+  s.schedule_at(TimePoint{}, [&] { seen = s.now(); });  // in the past
+  s.run();
+  EXPECT_EQ(seen.time_since_epoch(), seconds(1));
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(-5), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RejectsNullCallback) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_after(milliseconds(1), nullptr), std::invalid_argument);
+}
+
+TEST(Scheduler, RunWithEventBudget) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_after(milliseconds(i), [&] { ++fired; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 4; ++i) s.schedule_after(milliseconds(1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 4u);
+}
+
+}  // namespace
+}  // namespace ab::netsim

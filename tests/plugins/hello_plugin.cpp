@@ -1,0 +1,30 @@
+// A well-formed native switchlet plugin used by the DynLoader tests and the
+// plugin example: registers one function and counts frames through a bound
+// port if one is free.
+#include "src/active/plugin_abi.h"
+
+namespace {
+
+class HelloSwitchlet final : public ab::active::Switchlet {
+ public:
+  std::string_view name() const override { return "plugin.hello"; }
+
+  void start(ab::active::SafeEnv& env) override {
+    env_ = &env;
+    env.funcs().register_func("plugin.hello.greet", [](const std::string& arg) {
+      return "hello, " + (arg.empty() ? std::string("bridge") : arg);
+    });
+    env.log().info("plugin.hello", "native switchlet started");
+  }
+
+  void stop() override {
+    if (env_ != nullptr) env_->funcs().unregister_func("plugin.hello.greet");
+  }
+
+ private:
+  ab::active::SafeEnv* env_ = nullptr;
+};
+
+}  // namespace
+
+AB_DEFINE_SWITCHLET_PLUGIN(HelloSwitchlet, "plugin.hello")

@@ -1,0 +1,22 @@
+// A plugin that exports the ABI but claims a WRONG interface digest --
+// modeling a module compiled against a stale SafeEnv header. The loader
+// must refuse it before running any of its logic.
+#include "src/active/plugin_abi.h"
+
+namespace {
+
+class StaleSwitchlet final : public ab::active::Switchlet {
+ public:
+  std::string_view name() const override { return "plugin.stale"; }
+  void start(ab::active::SafeEnv&) override {}
+  void stop() override {}
+};
+
+}  // namespace
+
+extern "C" const char* ab_switchlet_name() { return "plugin.stale"; }
+extern "C" const char* ab_switchlet_interface_digest() {
+  // 32 hex chars of nonsense: a digest of an interface that never existed.
+  return "00112233445566778899aabbccddeeff";
+}
+extern "C" ab::active::Switchlet* ab_switchlet_create() { return new StaleSwitchlet(); }

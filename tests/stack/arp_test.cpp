@@ -1,0 +1,89 @@
+#include "src/stack/arp.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::stack {
+namespace {
+
+const ether::MacAddress kMacA({0x02, 0, 0, 0, 0, 1});
+const ether::MacAddress kMacB({0x02, 0, 0, 0, 0, 2});
+const Ipv4Addr kIpA(10, 0, 0, 1);
+const Ipv4Addr kIpB(10, 0, 0, 2);
+
+TEST(Arp, RequestRoundTrip) {
+  const ArpPacket req = ArpPacket::request(kMacA, kIpA, kIpB);
+  const auto back = ArpPacket::decode(req.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, ArpOp::kRequest);
+  EXPECT_EQ(back->sender_mac, kMacA);
+  EXPECT_EQ(back->sender_ip, kIpA);
+  EXPECT_TRUE(back->target_mac.is_zero());
+  EXPECT_EQ(back->target_ip, kIpB);
+}
+
+TEST(Arp, ReplyAnswersTheRequest) {
+  const ArpPacket req = ArpPacket::request(kMacA, kIpA, kIpB);
+  const ArpPacket reply = req.make_reply(kMacB);
+  EXPECT_EQ(reply.op, ArpOp::kReply);
+  EXPECT_EQ(reply.sender_mac, kMacB);
+  EXPECT_EQ(reply.sender_ip, kIpB);
+  EXPECT_EQ(reply.target_mac, kMacA);
+  EXPECT_EQ(reply.target_ip, kIpA);
+  const auto back = ArpPacket::decode(reply.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, ArpOp::kReply);
+}
+
+TEST(Arp, DecodeRejectsMalformed) {
+  EXPECT_FALSE(ArpPacket::decode(util::ByteBuffer(10, 0)).has_value());
+
+  ArpPacket req = ArpPacket::request(kMacA, kIpA, kIpB);
+  util::ByteBuffer wire = req.encode();
+  wire[0] = 0x00;
+  wire[1] = 0x02;  // not Ethernet htype
+  EXPECT_FALSE(ArpPacket::decode(wire).has_value());
+
+  wire = req.encode();
+  wire[6] = 0;
+  wire[7] = 9;  // unknown op
+  EXPECT_FALSE(ArpPacket::decode(wire).has_value());
+}
+
+TEST(ArpCache, InsertLookup) {
+  ArpCache cache;
+  const netsim::TimePoint t0{};
+  EXPECT_FALSE(cache.lookup(kIpA, t0).has_value());
+  cache.insert(kIpA, kMacA, t0);
+  const auto hit = cache.lookup(kIpA, t0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, kMacA);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArpCache, EntriesExpire) {
+  ArpCache cache(netsim::seconds(60));
+  const netsim::TimePoint t0{};
+  cache.insert(kIpA, kMacA, t0);
+  EXPECT_TRUE(cache.lookup(kIpA, t0 + netsim::seconds(59)).has_value());
+  EXPECT_FALSE(cache.lookup(kIpA, t0 + netsim::seconds(61)).has_value());
+}
+
+TEST(ArpCache, ReinsertionRefreshes) {
+  ArpCache cache(netsim::seconds(60));
+  const netsim::TimePoint t0{};
+  cache.insert(kIpA, kMacA, t0);
+  cache.insert(kIpA, kMacB, t0 + netsim::seconds(50));
+  const auto hit = cache.lookup(kIpA, t0 + netsim::seconds(100));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, kMacB);  // refreshed and updated
+}
+
+TEST(ArpCache, ZeroTtlNeverExpires) {
+  ArpCache cache;
+  const netsim::TimePoint t0{};
+  cache.insert(kIpA, kMacA, t0);
+  EXPECT_TRUE(cache.lookup(kIpA, t0 + netsim::seconds(100000)).has_value());
+}
+
+}  // namespace
+}  // namespace ab::stack

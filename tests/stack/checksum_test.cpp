@@ -1,0 +1,53 @@
+#include "src/stack/checksum.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::stack {
+namespace {
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // RFC 1071 section 3 example: words 0x0001 0xf203 0xf4f5 0xf6f7.
+  const util::ByteBuffer data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x2ddf0 -> fold -> 0xddf2 -> complement -> 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(InternetChecksum, ZeroBufferChecksumIsAllOnes) {
+  const util::ByteBuffer data(8, 0x00);
+  EXPECT_EQ(internet_checksum(data), 0xFFFF);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const util::ByteBuffer even = {0x12, 0x34, 0xAB, 0x00};
+  const util::ByteBuffer odd = {0x12, 0x34, 0xAB};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(InternetChecksum, VerificationOfSelfChecksummedBuffer) {
+  // Compute a checksum, embed it, verify the sum over the whole buffer.
+  util::ByteBuffer data = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00,
+                           0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                           0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum);
+  EXPECT_TRUE(checksum_ok(data));
+  data[12] ^= 0x01;
+  EXPECT_FALSE(checksum_ok(data));
+}
+
+TEST(InternetChecksum, IncrementalWordFeeding) {
+  InternetChecksum a;
+  a.update_word(0x0001);
+  a.update_word(0xf203);
+  a.update_word(0xf4f5);
+  a.update_word(0xf6f7);
+  EXPECT_EQ(a.finish(), 0x220D);
+}
+
+TEST(InternetChecksum, EmptyInput) {
+  EXPECT_EQ(internet_checksum(util::ByteBuffer{}), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace ab::stack

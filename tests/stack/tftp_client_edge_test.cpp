@@ -1,0 +1,111 @@
+// TFTP client edge cases beyond the happy-path harness: server ERRORs,
+// stale ACKs, wrong peers.
+#include <gtest/gtest.h>
+
+#include "src/stack/tftp.h"
+
+namespace ab::stack {
+namespace {
+
+const Ipv4Addr kServer(10, 0, 0, 1);
+
+struct ClientHarness {
+  netsim::Scheduler scheduler;
+  std::vector<std::pair<std::uint16_t, util::ByteBuffer>> sent;  // (local port, pkt)
+  TftpClient client{scheduler, [this](const TftpEndpoint&, std::uint16_t local,
+                                      util::ByteBuffer pkt) {
+                      sent.emplace_back(local, std::move(pkt));
+                    }};
+  bool done = false;
+  bool ok = false;
+  std::string error;
+
+  std::uint16_t start_put(util::ByteBuffer contents = {1, 2, 3}) {
+    client.put({kServer, TftpServer::kWellKnownPort}, "f.img", std::move(contents),
+               [this](bool success, const std::string& err) {
+                 done = true;
+                 ok = success;
+                 error = err;
+               });
+    return sent.at(0).first;
+  }
+};
+
+TEST(TftpClientEdge, ServerErrorAbortsTransfer) {
+  ClientHarness h;
+  const std::uint16_t port = h.start_put();
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpErrorPacket{TftpError::kAccessViolation,
+                                                   "denied"}));
+  EXPECT_TRUE(h.done);
+  EXPECT_FALSE(h.ok);
+  EXPECT_NE(h.error.find("denied"), std::string::npos);
+  EXPECT_EQ(h.client.active_transfers(), 0u);
+}
+
+TEST(TftpClientEdge, StaleAckIsIgnored) {
+  ClientHarness h;
+  const std::uint16_t port = h.start_put();
+  const std::size_t sent_before = h.sent.size();
+  // ACK for block 7 while we are waiting for ACK 0: ignored.
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpAck{7}));
+  EXPECT_EQ(h.sent.size(), sent_before);
+  EXPECT_FALSE(h.done);
+}
+
+TEST(TftpClientEdge, DatagramFromWrongServerIgnored) {
+  ClientHarness h;
+  const std::uint16_t port = h.start_put();
+  h.client.on_datagram({Ipv4Addr(9, 9, 9, 9), TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpAck{0}));
+  EXPECT_FALSE(h.done);  // impostor's ACK did not advance the transfer
+}
+
+TEST(TftpClientEdge, DatagramForUnknownPortIgnored) {
+  ClientHarness h;
+  h.start_put();
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, 1,
+                       encode_tftp(TftpAck{0}));
+  EXPECT_FALSE(h.done);
+}
+
+TEST(TftpClientEdge, AckDrivesDataThenCompletion) {
+  ClientHarness h;
+  const std::uint16_t port = h.start_put(util::ByteBuffer(600, 0x5A));
+  // ACK the WRQ: client sends DATA 1 (512 bytes).
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpAck{0}));
+  ASSERT_EQ(h.sent.size(), 2u);
+  const auto data1 = decode_tftp(h.sent[1].second);
+  ASSERT_TRUE(data1.has_value());
+  EXPECT_EQ(std::get<TftpData>(data1.value()).block, 1);
+  EXPECT_EQ(std::get<TftpData>(data1.value()).data.size(), 512u);
+  // ACK 1: final 88-byte block.
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpAck{1}));
+  ASSERT_EQ(h.sent.size(), 3u);
+  EXPECT_EQ(std::get<TftpData>(decode_tftp(h.sent[2].second).value()).data.size(),
+            88u);
+  // ACK 2: done.
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       encode_tftp(TftpAck{2}));
+  EXPECT_TRUE(h.done);
+  EXPECT_TRUE(h.ok);
+}
+
+TEST(TftpClientEdge, NullCompletionRejected) {
+  ClientHarness h;
+  EXPECT_THROW(h.client.put({kServer, 69}, "x", {}, nullptr), std::invalid_argument);
+}
+
+TEST(TftpClientEdge, GarbageDatagramIgnored) {
+  ClientHarness h;
+  const std::uint16_t port = h.start_put();
+  h.client.on_datagram({kServer, TftpServer::kWellKnownPort}, port,
+                       util::to_bytes("not tftp at all"));
+  EXPECT_FALSE(h.done);
+}
+
+}  // namespace
+}  // namespace ab::stack

@@ -1,0 +1,301 @@
+// TFTP state machines, exercised over a lossless and a lossy in-memory
+// "wire" between client and server (no simulator NICs needed).
+#include "src/stack/tftp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace ab::stack {
+namespace {
+
+const Ipv4Addr kServerIp(10, 0, 0, 1);
+const Ipv4Addr kClientIp(10, 0, 0, 2);
+
+TEST(TftpCodec, RequestRoundTrip) {
+  const TftpRequest req{TftpOp::kWrq, "switchlet.img", "octet"};
+  const auto back = decode_tftp(encode_tftp(TftpPacket{req}));
+  ASSERT_TRUE(back.has_value());
+  const auto* r = std::get_if<TftpRequest>(&back.value());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->op, TftpOp::kWrq);
+  EXPECT_EQ(r->filename, "switchlet.img");
+  EXPECT_EQ(r->mode, "octet");
+}
+
+TEST(TftpCodec, DataAckErrorRoundTrip) {
+  {
+    const TftpData d{7, util::ByteBuffer(100, 0xAB)};
+    const auto back = decode_tftp(encode_tftp(TftpPacket{d}));
+    ASSERT_TRUE(back.has_value());
+    const auto* p = std::get_if<TftpData>(&back.value());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->block, 7);
+    EXPECT_EQ(p->data.size(), 100u);
+  }
+  {
+    const auto back = decode_tftp(encode_tftp(TftpPacket{TftpAck{9}}));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(std::get<TftpAck>(back.value()).block, 9);
+  }
+  {
+    const TftpErrorPacket e{TftpError::kAccessViolation, "denied"};
+    const auto back = decode_tftp(encode_tftp(TftpPacket{e}));
+    ASSERT_TRUE(back.has_value());
+    const auto& err = std::get<TftpErrorPacket>(back.value());
+    EXPECT_EQ(err.code, TftpError::kAccessViolation);
+    EXPECT_EQ(err.message, "denied");
+  }
+}
+
+TEST(TftpCodec, RejectsMalformed) {
+  EXPECT_FALSE(decode_tftp(util::ByteBuffer{}).has_value());
+  EXPECT_FALSE(decode_tftp(util::ByteBuffer{0}).has_value());
+  EXPECT_FALSE(decode_tftp(util::ByteBuffer{0, 99}).has_value());  // unknown op
+  // WRQ missing the mode string terminator.
+  EXPECT_FALSE(decode_tftp(util::ByteBuffer{0, 2, 'f', 0, 'o'}).has_value());
+  // Oversized DATA.
+  TftpData big{1, util::ByteBuffer(kTftpBlockSize + 1, 0)};
+  EXPECT_THROW((void)encode_tftp(TftpPacket{big}), std::length_error);
+}
+
+/// A test harness wiring client and server over a direct (optionally
+/// lossy) datagram channel with simulated time.
+class TftpHarness {
+ public:
+  explicit TftpHarness(double loss = 0.0, std::uint64_t seed = 1)
+      : rng_(seed),
+        loss_(loss),
+        server_(
+            scheduler_,
+            [this](const TftpEndpoint& peer, std::uint16_t local, util::ByteBuffer b) {
+              deliver_to_client(peer, local, std::move(b));
+            },
+            [this](const std::string& name, util::ByteBuffer bytes) {
+              received[name] = std::move(bytes);
+            }),
+        client_(scheduler_, [this](const TftpEndpoint& peer, std::uint16_t local,
+                                   util::ByteBuffer b) {
+          deliver_to_server(peer, local, std::move(b));
+        }) {}
+
+  void deliver_to_server(const TftpEndpoint& server_ep, std::uint16_t client_port,
+                         util::ByteBuffer bytes) {
+    if (rng_.chance(loss_)) return;
+    scheduler_.schedule_after(netsim::milliseconds(1),
+                              [this, client_port, bytes = std::move(bytes)] {
+                                server_.on_datagram({kClientIp, client_port},
+                                                    TftpServer::kWellKnownPort, bytes);
+                              });
+    (void)server_ep;
+  }
+
+  void deliver_to_client(const TftpEndpoint& client_ep, std::uint16_t server_port,
+                         util::ByteBuffer bytes) {
+    if (rng_.chance(loss_)) return;
+    scheduler_.schedule_after(netsim::milliseconds(1),
+                              [this, client_ep, server_port, bytes = std::move(bytes)] {
+                                client_.on_datagram({kServerIp, server_port},
+                                                    client_ep.port, bytes);
+                              });
+  }
+
+  netsim::Scheduler scheduler_;
+  util::Rng rng_;
+  double loss_;
+  std::map<std::string, util::ByteBuffer> received;
+  TftpServer server_;
+  TftpClient client_;
+};
+
+TEST(Tftp, TransfersAFileEndToEnd) {
+  TftpHarness h;
+  util::ByteBuffer contents(1500, 0x5C);
+  bool done = false;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "mod.img", contents,
+                [&](bool ok, const std::string& err) {
+                  done = true;
+                  EXPECT_TRUE(ok) << err;
+                });
+  h.scheduler_.run();
+  EXPECT_TRUE(done);
+  ASSERT_EQ(h.received.count("mod.img"), 1u);
+  EXPECT_EQ(h.received["mod.img"], contents);
+  EXPECT_EQ(h.server_.stats().transfers_completed, 1u);
+  EXPECT_EQ(h.client_.active_transfers(), 0u);
+  EXPECT_EQ(h.server_.active_transfers(), 0u);
+}
+
+TEST(Tftp, EmptyFileTransfers) {
+  TftpHarness h;
+  bool ok_seen = false;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "empty", {},
+                [&](bool ok, const std::string&) { ok_seen = ok; });
+  h.scheduler_.run();
+  EXPECT_TRUE(ok_seen);
+  ASSERT_EQ(h.received.count("empty"), 1u);
+  EXPECT_TRUE(h.received["empty"].empty());
+}
+
+TEST(Tftp, ExactMultipleOf512GetsEmptyFinalBlock) {
+  TftpHarness h;
+  util::ByteBuffer contents(1024, 0x77);
+  bool ok_seen = false;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "x1024", contents,
+                [&](bool ok, const std::string&) { ok_seen = ok; });
+  h.scheduler_.run();
+  EXPECT_TRUE(ok_seen);
+  EXPECT_EQ(h.received["x1024"].size(), 1024u);
+}
+
+TEST(Tftp, LargeFileManyBlocks) {
+  TftpHarness h;
+  util::ByteBuffer contents(100 * 1024, 0);
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    contents[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  bool ok_seen = false;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "big", contents,
+                [&](bool ok, const std::string&) { ok_seen = ok; });
+  h.scheduler_.run();
+  EXPECT_TRUE(ok_seen);
+  EXPECT_EQ(h.received["big"], contents);
+}
+
+TEST(Tftp, SurvivesPacketLossViaRetransmission) {
+  TftpHarness h(/*loss=*/0.15, /*seed=*/7);
+  util::ByteBuffer contents(5000, 0xE1);
+  bool done = false, ok_seen = false;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "lossy", contents,
+                [&](bool ok, const std::string&) {
+                  done = true;
+                  ok_seen = ok;
+                });
+  h.scheduler_.run();
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(ok_seen);
+  EXPECT_EQ(h.received["lossy"], contents);
+}
+
+TEST(Tftp, TotalLossTimesOutWithError) {
+  TftpHarness h(/*loss=*/1.0);
+  bool done = false, ok_seen = true;
+  std::string error;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "void", {1, 2, 3},
+                [&](bool ok, const std::string& err) {
+                  done = true;
+                  ok_seen = ok;
+                  error = err;
+                });
+  h.scheduler_.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok_seen);
+  EXPECT_NE(error.find("timed out"), std::string::npos);
+}
+
+TEST(Tftp, ServerRefusesReadRequests) {
+  // The paper's loader "only services write requests".
+  netsim::Scheduler sched;
+  std::vector<util::ByteBuffer> to_client;
+  TftpServer server(
+      sched,
+      [&](const TftpEndpoint&, std::uint16_t, util::ByteBuffer b) {
+        to_client.push_back(std::move(b));
+      },
+      [](const std::string&, util::ByteBuffer) { FAIL() << "no file expected"; });
+  server.on_datagram({kClientIp, 5000}, TftpServer::kWellKnownPort,
+                     encode_tftp(TftpPacket{TftpRequest{TftpOp::kRrq, "f", "octet"}}));
+  ASSERT_EQ(to_client.size(), 1u);
+  const auto reply = decode_tftp(to_client[0]);
+  ASSERT_TRUE(reply.has_value());
+  const auto* err = std::get_if<TftpErrorPacket>(&reply.value());
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, TftpError::kAccessViolation);
+  EXPECT_EQ(server.stats().rejected_rrq, 1u);
+}
+
+TEST(Tftp, ServerRefusesNonOctetMode) {
+  // "...in binary format": netascii is refused.
+  netsim::Scheduler sched;
+  std::vector<util::ByteBuffer> to_client;
+  TftpServer server(
+      sched,
+      [&](const TftpEndpoint&, std::uint16_t, util::ByteBuffer b) {
+        to_client.push_back(std::move(b));
+      },
+      [](const std::string&, util::ByteBuffer) { FAIL() << "no file expected"; });
+  server.on_datagram(
+      {kClientIp, 5000}, TftpServer::kWellKnownPort,
+      encode_tftp(TftpPacket{TftpRequest{TftpOp::kWrq, "f", "netascii"}}));
+  ASSERT_EQ(to_client.size(), 1u);
+  const auto reply = decode_tftp(to_client[0]);
+  ASSERT_TRUE(reply.has_value());
+  const auto* err = std::get_if<TftpErrorPacket>(&reply.value());
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, TftpError::kIllegalOperation);
+  EXPECT_EQ(server.stats().rejected_mode, 1u);
+}
+
+TEST(Tftp, ServerAcceptsOctetModeCaseInsensitively) {
+  netsim::Scheduler sched;
+  std::vector<util::ByteBuffer> to_client;
+  TftpServer server(
+      sched,
+      [&](const TftpEndpoint&, std::uint16_t, util::ByteBuffer b) {
+        to_client.push_back(std::move(b));
+      },
+      [](const std::string&, util::ByteBuffer) {});
+  server.on_datagram({kClientIp, 5000}, TftpServer::kWellKnownPort,
+                     encode_tftp(TftpPacket{TftpRequest{TftpOp::kWrq, "f", "OCTET"}}));
+  ASSERT_EQ(to_client.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<TftpAck>(decode_tftp(to_client[0]).value()));
+}
+
+TEST(Tftp, ServerIgnoresDataWithoutTransfer) {
+  netsim::Scheduler sched;
+  std::vector<util::ByteBuffer> to_client;
+  TftpServer server(
+      sched,
+      [&](const TftpEndpoint&, std::uint16_t, util::ByteBuffer b) {
+        to_client.push_back(std::move(b));
+      },
+      [](const std::string&, util::ByteBuffer) {});
+  server.on_datagram({kClientIp, 5000}, TftpServer::kWellKnownPort,
+                     encode_tftp(TftpPacket{TftpData{1, {1, 2, 3}}}));
+  ASSERT_EQ(to_client.size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<TftpErrorPacket>(decode_tftp(to_client[0]).value()));
+}
+
+TEST(Tftp, ConcurrentTransfersFromDistinctClients) {
+  TftpHarness h;
+  util::ByteBuffer a(700, 0x01), b(1300, 0x02);
+  int completions = 0;
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "a", a,
+                [&](bool ok, const std::string&) { completions += ok ? 1 : 0; });
+  h.client_.put({kServerIp, TftpServer::kWellKnownPort}, "b", b,
+                [&](bool ok, const std::string&) { completions += ok ? 1 : 0; });
+  h.scheduler_.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(h.received["a"], a);
+  EXPECT_EQ(h.received["b"], b);
+}
+
+TEST(Tftp, StalledServerTransferIsReaped) {
+  netsim::Scheduler sched;
+  TftpServer server(
+      sched, [](const TftpEndpoint&, std::uint16_t, util::ByteBuffer) {},
+      [](const std::string&, util::ByteBuffer) {});
+  server.on_datagram({kClientIp, 5000}, TftpServer::kWellKnownPort,
+                     encode_tftp(TftpPacket{TftpRequest{TftpOp::kWrq, "f", "octet"}}));
+  EXPECT_EQ(server.active_transfers(), 1u);
+  sched.run();  // the reaper fires after kTransferTimeout
+  EXPECT_EQ(server.active_transfers(), 0u);
+  EXPECT_EQ(server.stats().transfers_timed_out, 1u);
+}
+
+}  // namespace
+}  // namespace ab::stack

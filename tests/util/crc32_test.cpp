@@ -1,0 +1,53 @@
+#include "src/util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace ab::util {
+namespace {
+
+ByteBuffer bytes_of(const std::string& s) { return to_bytes(s); }
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32/ISO-HDLC check values.
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const ByteBuffer data = bytes_of("incremental CRC computation must match one-shot");
+  const std::uint32_t want = crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    Crc32 c;
+    c.update(ByteView(data).first(cut));
+    c.update(ByteView(data).subspan(cut));
+    EXPECT_EQ(c.value(), want) << "split at " << cut;
+  }
+}
+
+TEST(Crc32, ValueIsNonDestructive) {
+  Crc32 c;
+  c.update(bytes_of("12345"));
+  const std::uint32_t mid = c.value();
+  EXPECT_EQ(mid, c.value());
+  c.update(bytes_of("6789"));
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SingleBitFlipChangesValue) {
+  ByteBuffer data = bytes_of("frame body for corruption test");
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32(data), clean) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace ab::util

@@ -1,0 +1,49 @@
+#include "src/util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::util {
+namespace {
+
+TEST(Hex, ToHex) {
+  const ByteBuffer b = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(to_hex(b), "deadbeef");
+  EXPECT_EQ(to_hex(ByteBuffer{}), "");
+}
+
+TEST(Hex, FromHexRoundTrip) {
+  const ByteBuffer b = {0x00, 0x01, 0x7F, 0x80, 0xFF};
+  const auto parsed = from_hex(to_hex(b));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, b);
+}
+
+TEST(Hex, FromHexAcceptsUpperCase) {
+  const auto parsed = from_hex("DEADBEEF");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, (ByteBuffer{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, FromHexRejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, FromHexRejectsNonHex) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, DumpShowsOffsetsAndAscii) {
+  const ByteBuffer b = to_bytes("Hello, bridge!");
+  const std::string dump = hex_dump(b);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("|Hello, bridge!|"), std::string::npos);
+}
+
+TEST(Hex, DumpMultipleLines) {
+  ByteBuffer b(40, 0x41);  // 'A' x 40 -> 3 lines
+  const std::string dump = hex_dump(b);
+  EXPECT_NE(dump.find("00000010"), std::string::npos);
+  EXPECT_NE(dump.find("00000020"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ab::util

@@ -1,0 +1,75 @@
+#include "src/util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ab::util {
+namespace {
+
+TEST(Logger, CaptureSinkRecordsMessages) {
+  auto sink = std::make_shared<CaptureSink>();
+  Logger log(sink);
+  log.info("stp", "elected root");
+  log.warn("loader", "digest mismatch");
+  const auto records = sink->records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].component, "stp");
+  EXPECT_EQ(records[0].message, "elected root");
+  EXPECT_EQ(records[1].level, LogLevel::kWarn);
+  EXPECT_TRUE(sink->contains("digest"));
+  EXPECT_FALSE(sink->contains("absent"));
+}
+
+TEST(Logger, LevelFilterSuppressesBelowThreshold) {
+  auto sink = std::make_shared<CaptureSink>();
+  Logger log(sink);
+  log.set_level(LogLevel::kWarn);
+  log.debug("x", "hidden");
+  log.info("x", "hidden too");
+  log.warn("x", "visible");
+  log.error("x", "also visible");
+  EXPECT_EQ(sink->records().size(), 2u);
+}
+
+TEST(Logger, SinkCanBeSwappedAtRuntime) {
+  // The paper's Log module can be redirected to terminal/disk/off at will.
+  auto first = std::make_shared<CaptureSink>();
+  auto second = std::make_shared<CaptureSink>();
+  Logger log(first);
+  log.info("a", "to first");
+  log.set_sink(second);
+  log.info("a", "to second");
+  EXPECT_TRUE(first->contains("to first"));
+  EXPECT_FALSE(first->contains("to second"));
+  EXPECT_TRUE(second->contains("to second"));
+}
+
+TEST(Logger, NullSinkDiscards) {
+  Logger log;  // defaults to NullSink
+  log.error("x", "nobody hears this");  // must not crash
+}
+
+TEST(Logger, RejectsNullSink) {
+  Logger log;
+  EXPECT_THROW(log.set_sink(nullptr), std::invalid_argument);
+  EXPECT_THROW(Logger(nullptr), std::invalid_argument);
+}
+
+TEST(Logger, ClearResetsCapture) {
+  auto sink = std::make_shared<CaptureSink>();
+  Logger log(sink);
+  log.info("x", "one");
+  sink->clear();
+  EXPECT_TRUE(sink->records().empty());
+}
+
+TEST(LogLevel, ToString) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace ab::util

@@ -1,0 +1,56 @@
+#include "src/util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ab::util {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v > 0) return v;
+  return Unexpected{std::string("not positive")};
+}
+
+TEST(Expected, HoldsValue) {
+  auto r = parse_positive(7);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(Expected, HoldsError) {
+  auto r = parse_positive(-1);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "not positive");
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  auto r = parse_positive(0);
+  EXPECT_THROW((void)r.value(), BadExpectedAccess);
+}
+
+TEST(Expected, ErrorOnValueThrows) {
+  auto r = parse_positive(3);
+  EXPECT_THROW((void)r.error(), BadExpectedAccess);
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(5).value_or(-1), 5);
+  EXPECT_EQ(parse_positive(-5).value_or(-1), -1);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> r(std::string("bridge"));
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> r(std::string("move me"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "move me");
+}
+
+}  // namespace
+}  // namespace ab::util

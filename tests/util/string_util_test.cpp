@@ -1,0 +1,51 @@
+#include "src/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto out = split("a:b:c", ':');
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[1], "b");
+  EXPECT_EQ(out[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto out = split(":x:", ':');
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "");
+  EXPECT_EQ(out[1], "x");
+  EXPECT_EQ(out[2], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto out = split("whole", ':');
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "whole");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n z \r"), "z");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("EtherNET"), "ethernet"); }
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("spanning-tree", "span"));
+  EXPECT_FALSE(starts_with("span", "spanning"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d frames in %.1f ms", 42, 1.5), "42 frames in 1.5 ms");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace ab::util
