@@ -4,7 +4,11 @@
 // Caml interpreter).
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "src/bridge/bpdu.h"
+#include "src/bridge/bridge_node.h"
 #include "src/bridge/learning.h"
 #include "src/ether/frame.h"
 #include "src/netsim/network.h"
@@ -44,6 +48,43 @@ void BM_FrameDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameDecode)->Arg(64)->Arg(512)->Arg(1500);
 
+// The fan-out contrast at the heart of the zero-copy refactor: queueing one
+// shared WireFrame per port versus re-encoding the frame per port (what the
+// seed datapath did).
+void BM_FanoutSharedWireFrame(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const ether::Frame f = ether::Frame::ethernet2(
+      ether::MacAddress::broadcast(), ether::MacAddress::local(2, 0),
+      ether::EtherType::kIpv4, util::ByteBuffer(size, 0x5A));
+  for (auto _ : state) {
+    ether::WireFrame wf(f);
+    std::size_t total = 0;
+    for (int port = 0; port < 8; ++port) {
+      ether::WireFrame queued = wf;  // what each NIC's tx queue stores
+      total += queued.wire().size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FanoutSharedWireFrame)->Arg(64)->Arg(1500);
+
+void BM_FanoutPerPortEncode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const ether::Frame f = ether::Frame::ethernet2(
+      ether::MacAddress::broadcast(), ether::MacAddress::local(2, 0),
+      ether::EtherType::kIpv4, util::ByteBuffer(size, 0x5A));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (int port = 0; port < 8; ++port) total += f.encode().size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FanoutPerPortEncode)->Arg(64)->Arg(1500);
+
 void BM_MacTableLearnLookup(benchmark::State& state) {
   bridge::MacTable table;
   const netsim::TimePoint now{};
@@ -72,9 +113,9 @@ void BM_DemuxDispatch(benchmark::State& state) {
                          [&count](const active::Packet&) { ++count; });
 
   active::Packet p;
-  p.frame = ether::Frame::ethernet2(ether::MacAddress::broadcast(),
-                                    ether::MacAddress::local(9, 9),
-                                    ether::EtherType::kExperimental, {1, 2, 3});
+  p.wire = ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                   ether::MacAddress::local(9, 9),
+                                   ether::EtherType::kExperimental, {1, 2, 3});
   p.ingress = 0;
   for (auto _ : state) {
     demux.dispatch(p);
@@ -127,6 +168,122 @@ void BM_Md5(benchmark::State& state) {
 }
 BENCHMARK(BM_Md5)->Arg(64)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// Datapath work accounting: flood one frame across an 8-port bridge and
+// count the encodes, CRC computations, and bytes copied via the
+// ether::DatapathCounters instrumentation, against the seed datapath's
+// per-hop re-encode/re-decode cost for the same topology. Written to
+// BENCH_datapath.json so later PRs have a perf trajectory to compare
+// against.
+
+struct FloodAccounting {
+  std::uint64_t encodes = 0;
+  std::uint64_t crc_computations = 0;  ///< FCS generated (encode) + verified
+  std::uint64_t bytes_copied = 0;
+  std::size_t deliveries = 0;
+};
+
+FloodAccounting measure_flood(int ports, std::size_t payload_len) {
+  netsim::Network net;
+  bridge::BridgeNode node(net.scheduler());
+  netsim::Nic* host = nullptr;
+  std::size_t deliveries = 0;
+  for (int i = 0; i < ports; ++i) {
+    auto& lan = net.add_segment("lan" + std::to_string(i));
+    auto& nic = net.add_nic("b" + std::to_string(i), lan);
+    node.add_port(nic);
+    if (i == 0) {
+      host = &net.add_nic("host", lan);
+    } else {
+      auto& peer = net.add_nic("peer" + std::to_string(i), lan);
+      peer.set_rx_handler([&deliveries](const ether::WireFrame&) { ++deliveries; });
+    }
+  }
+  node.load_dumb();
+
+  ether::datapath_counters() = {};
+  host->transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                         host->mac(), ether::EtherType::kExperimental,
+                                         util::ByteBuffer(payload_len, 0x5C)));
+  net.scheduler().run();
+
+  const ether::DatapathCounters& c = ether::datapath_counters();
+  FloodAccounting out;
+  out.encodes = c.encodes;
+  out.crc_computations = c.encodes + c.fcs_verifies;  // encode computes one FCS
+  out.bytes_copied = c.bytes_copied;
+  out.deliveries = deliveries;
+  return out;
+}
+
+/// What the seed datapath spent on the same flood: one encode per transmit
+/// (host + every egress port) and one decode per receiving NIC (the bridge
+/// port + every peer), each decode verifying the FCS and copying the
+/// payload out of the wire buffer.
+FloodAccounting seed_model(int ports, std::size_t payload_len) {
+  const ether::Frame f = ether::Frame::ethernet2(
+      ether::MacAddress::broadcast(), ether::MacAddress::local(1, 0),
+      ether::EtherType::kExperimental, util::ByteBuffer(payload_len, 0x5C));
+  const auto egress = static_cast<std::uint64_t>(ports - 1);
+  FloodAccounting out;
+  out.encodes = 1 + egress;                    // host + per-port re-encode
+  out.crc_computations = out.encodes + (1 + egress);  // + per-NIC verify
+  out.bytes_copied = out.encodes * f.wire_size() + (1 + egress) * payload_len;
+  out.deliveries = egress;
+  return out;
+}
+
+void write_datapath_report(const char* path) {
+  constexpr int kPorts = 8;
+  constexpr std::size_t kPayload = 1000;
+  const FloodAccounting now = measure_flood(kPorts, kPayload);
+  const FloodAccounting seed = seed_model(kPorts, kPayload);
+  if (now.deliveries != seed.deliveries) {
+    std::fprintf(stderr, "flood accounting: expected %zu deliveries, got %zu\n",
+                 seed.deliveries, now.deliveries);
+  }
+  const double copy_ratio =
+      static_cast<double>(seed.bytes_copied) / static_cast<double>(now.bytes_copied);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"experiment\": \"flood_8_port_bridge\",\n"
+               "  \"ports\": %d,\n"
+               "  \"payload_bytes\": %zu,\n"
+               "  \"deliveries\": %zu,\n"
+               "  \"wireframe\": {\"encodes\": %" PRIu64
+               ", \"crc_computations\": %" PRIu64 ", \"bytes_copied\": %" PRIu64
+               "},\n"
+               "  \"seed_model\": {\"encodes\": %" PRIu64
+               ", \"crc_computations\": %" PRIu64 ", \"bytes_copied\": %" PRIu64
+               "},\n"
+               "  \"bytes_copied_improvement\": %.2f\n"
+               "}\n",
+               kPorts, kPayload, now.deliveries, now.encodes, now.crc_computations,
+               now.bytes_copied, seed.encodes, seed.crc_computations,
+               seed.bytes_copied, copy_ratio);
+  std::fclose(f);
+  std::printf(
+      "flood across %d-port bridge: %" PRIu64 " encode(s), %" PRIu64
+      " CRC computation(s), %" PRIu64 " bytes copied (seed path: %" PRIu64
+      " encodes, %" PRIu64 " CRCs, %" PRIu64 " bytes; %.1fx fewer bytes copied)\n",
+      kPorts, now.encodes, now.crc_computations, now.bytes_copied, seed.encodes,
+      seed.crc_computations, seed.bytes_copied, copy_ratio);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_datapath_report("BENCH_datapath.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

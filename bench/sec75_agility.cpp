@@ -53,7 +53,9 @@ int main() {
   // Watch eth1 for (a) an IEEE BPDU, (b) our probe "ping".
   std::optional<netsim::TimePoint> ieee_seen, ping_seen;
   const bridge::IeeeBpduCodec ieee;
-  eth1.set_rx_handler([&](const ether::Frame& frame) {
+  eth1.set_rx_handler([&](const ether::WireFrame& wf) {
+    if (!wf.ok()) return;
+    const ether::Frame& frame = wf.frame();
     if (!ieee_seen.has_value() && frame.dst == ether::MacAddress::all_bridges() &&
         ieee.decode(frame).has_value()) {
       ieee_seen = net.now();

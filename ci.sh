@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify + sanitizer build, exactly what .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== ASan/UBSan build + ctest =="
+cmake -B build-asan -S . -DAB_SANITIZE=ON
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j)
+
+echo "== datapath accounting =="
+(cd build && ./micro_datapath --benchmark_filter='Fanout' && cat BENCH_datapath.json) || true

@@ -28,7 +28,7 @@ void Demux::unregister_ethertype(ether::EtherType type) {
 }
 
 void Demux::dispatch(const Packet& packet) {
-  const ether::Frame& frame = packet.frame;
+  const ether::Frame& frame = packet.frame();
 
   if (const auto it = by_address_.find(frame.dst); it != by_address_.end()) {
     stats_.to_address_handler += 1;

@@ -58,7 +58,7 @@ void NetLoaderSwitchlet::stop() {
 
 void NetLoaderSwitchlet::on_arp(const Packet& packet) {
   if (!running_ || packet.ingress == kNoPort) return;
-  auto decoded = stack::ArpPacket::decode(packet.frame.payload);
+  auto decoded = stack::ArpPacket::decode(packet.frame().payload);
   if (!decoded) return;
   const stack::ArpPacket& arp = decoded.value();
   if (arp.op != stack::ArpOp::kRequest || arp.target_ip != config_.ip) return;
@@ -72,7 +72,7 @@ void NetLoaderSwitchlet::on_arp(const Packet& packet) {
 
 void NetLoaderSwitchlet::on_ipv4(const Packet& packet) {
   if (!running_ || packet.ingress == kNoPort) return;
-  auto decoded = stack::Ipv4Header::decode(packet.frame.payload);
+  auto decoded = stack::Ipv4Header::decode(packet.frame().payload);
   if (!decoded) return;
   const stack::Ipv4Header& h = decoded->header;
   if (h.dst != config_.ip) return;
@@ -96,7 +96,7 @@ void NetLoaderSwitchlet::on_ipv4(const Packet& packet) {
 
   // Remember how to reach this peer for the reply path.
   const stack::TftpEndpoint peer{h.src, datagram->src_port};
-  routes_[peer] = PeerRoute{packet.frame.src, packet.ingress};
+  routes_[peer] = PeerRoute{packet.frame().src, packet.ingress};
 
   tftp_->on_datagram(peer, datagram->dst_port, datagram->payload);
 }

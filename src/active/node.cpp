@@ -14,10 +14,11 @@ ActiveNode::ActiveNode(netsim::Scheduler& scheduler, ActiveNodeConfig config)
 
 PortId ActiveNode::add_port(netsim::Nic& nic) {
   const PortId id = ports_.add_interface(nic);
-  nic.set_rx_handler([this, id](const ether::Frame& frame) {
+  nic.set_rx_handler([this, id](const ether::WireFrame& frame) {
     frames_received_ += 1;
-    // Figure 5 steps 2-4: into the node's software, charged per frame.
-    processing_.submit(frame.payload.size(), [this, id, frame] {
+    // Figure 5 steps 2-4: into the node's software, charged per frame. The
+    // WireFrame is captured by refcount; no payload copy enters the node.
+    processing_.submit(frame.frame().payload.size(), [this, id, frame] {
       demux_.dispatch(Packet{frame, id, scheduler_->now()});
     });
   });

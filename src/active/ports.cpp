@@ -49,7 +49,7 @@ bool OutputPort::ready_to_send() const {
   return nic->segment() != nullptr;
 }
 
-bool OutputPort::send(const ether::Frame& frame) {
+bool OutputPort::send(const ether::WireFrame& frame) {
   return table_->entry(id_).nic->transmit(frame);
 }
 

@@ -90,9 +90,11 @@ class OutputPort {
   /// false only when the interface is gone or its queue is saturated.
   [[nodiscard]] bool ready_to_send() const;
 
-  /// send_pkt_out: queues a frame for transmission. Returns false when the
-  /// NIC's transmit queue drops it.
-  bool send(const ether::Frame& frame);
+  /// send_pkt_out: queues a shared wire buffer for transmission (a frame
+  /// already encoded -- e.g. one being forwarded -- is queued by refcount,
+  /// never re-encoded). Returns false when the NIC's transmit queue drops
+  /// it. Frame-typed callers convert implicitly, encoding once.
+  bool send(const ether::WireFrame& frame);
 
  private:
   friend class PortTable;

@@ -60,8 +60,8 @@ class SafeEnv {
   /// The interface signature string. Any change to the switchlet-visible
   /// API must bump this; its MD5 is the digest checked at load time.
   static constexpr const char* kInterfaceSignature =
-      "ab.active.SafeEnv/1: timers=Timers/1 log=Logger/1 ports=PortTable/1 "
-      "demux=Demux/1 funcs=FuncRegistry/1";
+      "ab.active.SafeEnv/2: timers=Timers/1 log=Logger/1 ports=PortTable/2 "
+      "demux=Demux/2 funcs=FuncRegistry/1 packet=WireFrame/1";
 
   /// MD5 of kInterfaceSignature -- the loader's link-time check value.
   [[nodiscard]] static util::Md5Digest interface_digest();

@@ -12,8 +12,10 @@ BufferedRepeater::BufferedRepeater(netsim::Scheduler& scheduler, netsim::Nic& a,
 void BufferedRepeater::wire(netsim::Nic& from, netsim::Nic& to) {
   from.set_promiscuous(true);
   netsim::Nic* out = &to;
-  from.set_rx_handler([this, out](const ether::Frame& frame) {
-    pe_.submit(frame.payload.size(), [this, out, frame] {
+  from.set_rx_handler([this, out](const ether::WireFrame& frame) {
+    // The shared wire buffer crosses the repeater untouched: no re-encode,
+    // no copy -- only the modeled kernel-crossing cost is charged.
+    pe_.submit(frame.frame().payload.size(), [this, out, frame] {
       forwarded_ += 1;
       out->transmit(frame);
     });

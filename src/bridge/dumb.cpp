@@ -29,7 +29,8 @@ void DumbBridgeSwitchlet::start(active::SafeEnv& env) {
       plane->stats().dropped_ingress += 1;
       return;
     }
-    plane->flood(p.frame, p.ingress);
+    // The received WireFrame fans out by refcount: no re-encode per port.
+    plane->flood(p.wire, p.ingress);
   });
 
   running_ = true;

@@ -73,7 +73,8 @@ PortGate ForwardingPlane::gate(active::PortId id) const {
   return p->gate;
 }
 
-std::size_t ForwardingPlane::flood(const ether::Frame& frame, active::PortId except) {
+std::size_t ForwardingPlane::flood(const ether::WireFrame& frame,
+                                   active::PortId except) {
   std::size_t sent = 0;
   for (const Port& p : ports_) {
     if (p.id == except || p.gate != PortGate::kForwarding) continue;
@@ -86,7 +87,7 @@ std::size_t ForwardingPlane::flood(const ether::Frame& frame, active::PortId exc
   return sent;
 }
 
-bool ForwardingPlane::send_to(active::PortId id, const ether::Frame& frame) {
+bool ForwardingPlane::send_to(active::PortId id, const ether::WireFrame& frame) {
   const Port* p = find(id);
   if (p == nullptr || p->gate != PortGate::kForwarding) return false;
   if (!p->out->send(frame)) return false;

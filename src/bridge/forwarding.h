@@ -94,12 +94,14 @@ class ForwardingPlane {
 
   // ---- transmission helpers (switch functions) ----
 
-  /// Sends a frame out every Forwarding port except `except` (flooding).
+  /// Sends a shared wire buffer out every Forwarding port except `except`
+  /// (flooding). The buffer is encoded at most once -- a forwarded frame is
+  /// fanned out by refcount, one queue entry per port, zero copies.
   /// Returns the number of ports it was sent to.
-  std::size_t flood(const ether::Frame& frame, active::PortId except);
+  std::size_t flood(const ether::WireFrame& frame, active::PortId except);
 
-  /// Sends a frame out one port if its gate is Forwarding.
-  bool send_to(active::PortId id, const ether::Frame& frame);
+  /// Sends a shared wire buffer out one port if its gate is Forwarding.
+  bool send_to(active::PortId id, const ether::WireFrame& frame);
 
   [[nodiscard]] PlaneStats& stats() { return stats_; }
   [[nodiscard]] const PlaneStats& stats() const { return stats_; }

@@ -61,7 +61,7 @@ void LearningBridgeSwitchlet::stop() {
 }
 
 void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
-  const ether::Frame& frame = packet.frame;
+  const ether::Frame& frame = packet.frame();
   const netsim::TimePoint now = packet.received_at;
   table_.set_fast_aging(plane_->fast_aging());
 
@@ -76,10 +76,12 @@ void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
     return;
   }
 
-  // Group destinations always flood (footnote 3).
+  // Group destinations always flood (footnote 3). Forwarding hands the
+  // received wire buffer straight back out: encode-once, fan out by
+  // refcount.
   if (frame.dst.is_group()) {
     stats_.floods += 1;
-    plane_->flood(frame, packet.ingress);
+    plane_->flood(packet.wire, packet.ingress);
     return;
   }
 
@@ -87,7 +89,7 @@ void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
   if (!port.has_value()) {
     // Not yet learned: flood.
     stats_.floods += 1;
-    plane_->flood(frame, packet.ingress);
+    plane_->flood(packet.wire, packet.ingress);
     return;
   }
   if (*port == packet.ingress) {
@@ -97,7 +99,7 @@ void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
     return;
   }
   stats_.hits += 1;
-  plane_->send_to(*port, frame);
+  plane_->send_to(*port, packet.wire);
 }
 
 }  // namespace ab::bridge

@@ -41,10 +41,11 @@ MonitorSwitchlet::MonitorSwitchlet(std::shared_ptr<ForwardingPlane> plane)
 void MonitorSwitchlet::start(active::SafeEnv& env) {
   env_ = &env;
   wrapped_ = plane_->set_switch_function([this](const active::Packet& p) {
+    const ether::Frame& frame = p.frame();
     report_.frames += 1;
-    report_.bytes += p.frame.payload.size();
-    report_.by_ethertype[p.frame.is_ethernet2() ? *p.frame.ethertype : 0] += 1;
-    report_.by_source[p.frame.src] += 1;
+    report_.bytes += frame.payload.size();
+    report_.by_ethertype[frame.is_ethernet2() ? *frame.ethertype : 0] += 1;
+    report_.by_source[frame.src] += 1;
     report_.by_ingress[p.ingress] += 1;
     if (wrapped_) wrapped_(p);
   });

@@ -181,7 +181,7 @@ void MultiTreeSwitchlet::stop() {
 
 void MultiTreeSwitchlet::on_group_frame(const active::Packet& packet) {
   if (!running_) return;
-  auto decoded = MultiTreeBpduCodec::decode(packet.frame);
+  auto decoded = MultiTreeBpduCodec::decode(packet.frame());
   if (!decoded) {
     undecodable_ += 1;
     return;
@@ -199,7 +199,7 @@ bool MultiTreeSwitchlet::may_forward(const Tree& tree, active::PortId id) const 
   return tree.port_state[port_index(id)] == StpPortState::kForwarding;
 }
 
-void MultiTreeSwitchlet::flood_tree(const Tree& tree, const ether::Frame& frame,
+void MultiTreeSwitchlet::flood_tree(const Tree& tree, const ether::WireFrame& frame,
                                     active::PortId except) {
   for (active::PortId id : port_ids_) {
     if (id == except || !may_forward(tree, id)) continue;
@@ -208,7 +208,7 @@ void MultiTreeSwitchlet::flood_tree(const Tree& tree, const ether::Frame& frame,
 }
 
 void MultiTreeSwitchlet::switch_function(const active::Packet& packet) {
-  const ether::Frame& frame = packet.frame;
+  const ether::Frame& frame = packet.frame();
   // SC88 invariant: everything addressed to host H (including unknown-
   // destination floods seeking H) travels H's tree; group traffic travels
   // the source's tree. Then every bridge learns a host's location from
@@ -230,19 +230,19 @@ void MultiTreeSwitchlet::switch_function(const active::Packet& packet) {
     return;
   }
   if (frame.dst.is_group()) {
-    flood_tree(tree, frame, packet.ingress);
+    flood_tree(tree, packet.wire, packet.ingress);
     return;
   }
   const auto port = tree.table.lookup(frame.dst, packet.received_at);
   if (!port.has_value()) {
-    flood_tree(tree, frame, packet.ingress);
+    flood_tree(tree, packet.wire, packet.ingress);
     return;
   }
   if (*port == packet.ingress) {
     plane_->stats().dropped_local += 1;
     return;
   }
-  if (may_forward(tree, *port)) plane_->send_to(*port, frame);
+  if (may_forward(tree, *port)) plane_->send_to(*port, packet.wire);
 }
 
 }  // namespace ab::bridge

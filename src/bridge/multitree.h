@@ -89,8 +89,10 @@ class MultiTreeSwitchlet final : public active::Switchlet {
   [[nodiscard]] bool may_learn(const Tree& tree, active::PortId id) const;
   [[nodiscard]] bool may_forward(const Tree& tree, active::PortId id) const;
   std::size_t port_index(active::PortId id) const;
-  /// Sends a frame out every port Forwarding *in this tree* except ingress.
-  void flood_tree(const Tree& tree, const ether::Frame& frame, active::PortId except);
+  /// Sends a shared wire buffer out every port Forwarding *in this tree*
+  /// except ingress.
+  void flood_tree(const Tree& tree, const ether::WireFrame& frame,
+                  active::PortId except);
 
   std::shared_ptr<ForwardingPlane> plane_;
   MultiTreeConfig config_;

@@ -71,10 +71,10 @@ bool PolicySwitchlet::admit(Bucket& bucket, std::size_t bytes, netsim::TimePoint
 }
 
 void PolicySwitchlet::switch_function(const active::Packet& packet) {
-  const auto it = buckets_.find(packet.frame.src);
+  const auto it = buckets_.find(packet.frame().src);
   if (it != buckets_.end()) {
     Bucket& bucket = it->second;
-    const std::size_t bytes = packet.frame.payload.size();
+    const std::size_t bytes = packet.frame().payload.size();
     if (!admit(bucket, bytes, packet.received_at)) {
       bucket.counters.policed_frames += 1;
       bucket.counters.policed_bytes += bytes;

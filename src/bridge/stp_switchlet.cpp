@@ -84,7 +84,7 @@ void StpSwitchlet::resume() {
 
 void StpSwitchlet::on_group_frame(const active::Packet& packet) {
   if (!engine_ || !engine_->running()) return;
-  auto bpdu = codec_->decode(packet.frame);
+  auto bpdu = codec_->decode(packet.frame());
   if (!bpdu) {
     undecodable_ += 1;
     return;

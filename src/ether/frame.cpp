@@ -70,6 +70,7 @@ util::ByteBuffer Frame::encode() const {
   if (!is_ethernet2() && !is_llc()) {
     throw std::logic_error("Frame has neither ethertype nor LLC header");
   }
+  datapath_counters().encodes += 1;
   const std::size_t body = payload.size() + (is_llc() ? 3 : 0);
   if (body > kMaxPayload) {
     throw std::length_error(util::format("payload of %zu bytes exceeds Ethernet MTU",
@@ -95,16 +96,19 @@ util::ByteBuffer Frame::encode() const {
   tail.u32(fcs);
   const util::ByteBuffer fcs_bytes = tail.take();
   bytes.insert(bytes.end(), fcs_bytes.begin(), fcs_bytes.end());
+  datapath_counters().bytes_copied += bytes.size();
   return bytes;
 }
 
 util::Expected<Frame, std::string> Frame::decode(util::ByteView wire) {
+  datapath_counters().decodes += 1;
   if (wire.size() < kHeaderSize + kMinPayload + kFcsSize) {
     return util::Unexpected{util::format("runt frame: %zu bytes", wire.size())};
   }
   const util::ByteView covered = wire.first(wire.size() - kFcsSize);
   util::BufReader fcs_reader(wire.subspan(wire.size() - kFcsSize));
   const std::uint32_t got_fcs = fcs_reader.u32();
+  datapath_counters().fcs_verifies += 1;
   const std::uint32_t want_fcs = util::crc32(covered);
   if (got_fcs != want_fcs) {
     return util::Unexpected{util::format("bad FCS: got 0x%08x want 0x%08x", got_fcs,
@@ -139,7 +143,70 @@ util::Expected<Frame, std::string> Frame::decode(util::ByteView wire) {
     const util::ByteView body = r.view(type_or_len - 3);
     f.payload.assign(body.begin(), body.end());
   }
+  datapath_counters().bytes_copied += f.payload.size();
   return f;
+}
+
+DatapathCounters& datapath_counters() {
+  static DatapathCounters counters;
+  return counters;
+}
+
+namespace {
+
+/// Receivers reuse the transmit-side parse instead of re-decoding, so it
+/// must equal what Frame::decode(encode()) would return: Ethernet II keeps
+/// the wire's zero padding in the payload (802.3/LLC strips padding exactly
+/// via the length field, so LLC frames need no adjustment).
+Frame normalized(Frame frame) {
+  if (frame.is_ethernet2() && frame.payload.size() < Frame::kMinPayload) {
+    frame.payload.resize(Frame::kMinPayload, 0);
+  }
+  return frame;
+}
+
+}  // namespace
+
+WireFrame::WireFrame(const Frame& frame) {
+  datapath_counters().bytes_copied += frame.payload.size();
+  auto rep = std::make_shared<Rep>();
+  rep->parsed.emplace(normalized(frame));
+  rep_ = std::move(rep);
+}
+
+WireFrame::WireFrame(Frame&& frame) {
+  auto rep = std::make_shared<Rep>();
+  rep->parsed.emplace(normalized(std::move(frame)));
+  rep_ = std::move(rep);
+}
+
+WireFrame WireFrame::from_wire(util::ByteBuffer wire) {
+  auto rep = std::make_shared<Rep>();
+  rep->wire.emplace(std::move(wire));
+  return WireFrame(std::move(rep));
+}
+
+const WireFrame::Rep& WireFrame::rep() const {
+  if (rep_ == nullptr) throw std::logic_error("empty WireFrame");
+  return *rep_;
+}
+
+const util::Expected<Frame, std::string>& WireFrame::parsed() const {
+  const Rep& r = rep();
+  if (!r.parsed) r.parsed.emplace(Frame::decode(*r.wire));
+  return *r.parsed;
+}
+
+util::ByteView WireFrame::wire() const {
+  const Rep& r = rep();
+  if (!r.wire) r.wire.emplace(r.parsed->value().encode());
+  return *r.wire;
+}
+
+std::size_t WireFrame::wire_size() const {
+  const Rep& r = rep();
+  if (r.wire) return r.wire->size();
+  return r.parsed->value().wire_size();
 }
 
 std::string Frame::summary() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -100,6 +101,103 @@ struct Frame {
   [[nodiscard]] std::string summary() const;
 
   friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Datapath work counters, incremented by Frame::encode / Frame::decode and
+/// the buffer-materialization points of the wire path. The simulator is
+/// single-threaded, so plain integers suffice. Benchmarks and tests reset
+/// them with `datapath_counters() = {};` around a measured window.
+struct DatapathCounters {
+  std::uint64_t encodes = 0;       ///< Frame::encode calls (each computes one FCS)
+  std::uint64_t decodes = 0;       ///< Frame::decode calls
+  std::uint64_t fcs_verifies = 0;  ///< decode-side CRC-32 verifications
+  std::uint64_t bytes_copied = 0;  ///< bytes materialized into fresh buffers
+};
+
+/// The process-wide counter instance (mutable; assign {} to reset).
+[[nodiscard]] DatapathCounters& datapath_counters();
+
+/// WireFrame: the shared, immutable wire representation of one Ethernet
+/// frame, handed from layer to layer by the datapath so a frame is encoded
+/// at most once and decoded (with one FCS verification) at most once, no
+/// matter how many NICs, segments, queues, or switchlets it fans out to.
+///
+/// Ownership and sharing rules:
+///
+///  * A WireFrame is a cheap value: one shared_ptr. Copying shares the
+///    underlying representation and both of its caches; there is no deep
+///    copy anywhere on the datapath.
+///  * The representation is logically immutable. The encoded bytes and the
+///    parsed Frame never change after materialization; the only mutation is
+///    the one-time lazy fill of each cache. Consumers therefore must NOT
+///    mutate the Frame returned by frame() -- take a copy to modify.
+///  * Construction from a parsed Frame (the transmit side) stores the Frame
+///    and materializes wire bytes lazily on the first wire() call.
+///  * Construction from received bytes (from_wire, the receive side) stores
+///    the bytes and materializes the parsed Frame -- including the single
+///    CRC-32 FCS verification -- lazily on the first parsed()/ok()/frame()
+///    call. The result, valid or not, is cached: N promiscuous NICs on a
+///    segment share one decode and one FCS check.
+///  * Views returned by wire() and references returned by frame()/error()
+///    are valid for as long as any WireFrame sharing the representation is
+///    alive (scheduler events capture WireFrame copies, keeping them so).
+///  * The simulator is single-threaded; the lazy caches are unsynchronized.
+class WireFrame {
+ public:
+  /// An empty handle; every accessor except empty() throws.
+  WireFrame() = default;
+
+  /// Wraps a parsed frame (transmit side). Implicit by design: Frame-typed
+  /// call sites upgrade onto the shared-buffer path without ceremony.
+  /// Receivers will share this parse instead of re-decoding the wire
+  /// bytes, so construction normalizes it to what Frame::decode of the
+  /// encoded bytes would return: Ethernet II payloads shorter than
+  /// kMinPayload gain encode()'s zero padding (802.3/LLC payloads are
+  /// untouched -- their length field strips padding on decode).
+  /// The lvalue overload's payload copy is counted in
+  /// DatapathCounters::bytes_copied; pass an rvalue to move instead.
+  WireFrame(const Frame& frame);  // NOLINT(google-explicit-constructor)
+  WireFrame(Frame&& frame);       // NOLINT(google-explicit-constructor)
+
+  /// Wraps received wire bytes (receive side). Parsing is deferred.
+  [[nodiscard]] static WireFrame from_wire(util::ByteBuffer wire);
+
+  [[nodiscard]] bool empty() const { return rep_ == nullptr; }
+
+  /// Parse result; decodes (verifying the FCS) on first call, then cached.
+  [[nodiscard]] const util::Expected<Frame, std::string>& parsed() const;
+
+  /// True when the frame parsed and its FCS verified (cached).
+  [[nodiscard]] bool ok() const { return !empty() && parsed().has_value(); }
+
+  /// The parsed frame. Requires ok().
+  [[nodiscard]] const Frame& frame() const { return parsed().value(); }
+
+  /// The parse error. Requires !ok() (and !empty()).
+  [[nodiscard]] const std::string& error() const { return parsed().error(); }
+
+  /// Encoded bytes; encodes on first call, then cached. May throw what
+  /// Frame::encode throws (oversized payload) on the first call.
+  [[nodiscard]] util::ByteView wire() const;
+
+  /// Size on the wire, without forcing an encode.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  /// How many WireFrame handles share this representation (diagnostics).
+  [[nodiscard]] long use_count() const { return rep_.use_count(); }
+
+ private:
+  struct Rep {
+    /// At least one of the two is engaged at all times; each is filled at
+    /// most once (the lazy caches described above).
+    mutable std::optional<util::ByteBuffer> wire;
+    mutable std::optional<util::Expected<Frame, std::string>> parsed;
+  };
+
+  explicit WireFrame(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  const Rep& rep() const;
+
+  std::shared_ptr<const Rep> rep_;
 };
 
 }  // namespace ab::ether

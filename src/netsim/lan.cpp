@@ -22,13 +22,13 @@ Duration LanSegment::serialization_delay(std::size_t bytes) const {
   return Duration(static_cast<std::int64_t>(std::llround(seconds * 1e9)));
 }
 
-void LanSegment::broadcast(util::ByteBuffer wire, const Nic* sender) {
+void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   stats_.frames_carried += 1;
-  stats_.bytes_carried += wire.size();
-  if (tap_) tap_(scheduler_->now(), sender, wire);
+  stats_.bytes_carried += frame.wire_size();
+  if (tap_) tap_(scheduler_->now(), sender, frame.wire());
 
-  // Shared so all per-receiver delivery events reference one copy.
-  auto shared = std::make_shared<util::ByteBuffer>(std::move(wire));
+  // Every per-receiver delivery event captures the same WireFrame: one
+  // buffer, one (lazy) decode, one FCS check, shared by all receivers.
   for (Nic* nic : nics_) {
     if (nic == sender) continue;
     if (config_.loss > 0 && rng_.chance(config_.loss)) {
@@ -36,12 +36,16 @@ void LanSegment::broadcast(util::ByteBuffer wire, const Nic* sender) {
       continue;
     }
     Nic* receiver = nic;
-    scheduler_->schedule_after(config_.propagation, [this, receiver, shared] {
+    scheduler_->schedule_after(config_.propagation, [this, receiver, frame] {
       // The NIC may have detached while the frame was in flight.
       if (std::find(nics_.begin(), nics_.end(), receiver) == nics_.end()) return;
-      receiver->deliver_wire(*shared);
+      receiver->deliver(frame);
     });
   }
+}
+
+void LanSegment::broadcast(util::ByteBuffer wire, const Nic* sender) {
+  broadcast(ether::WireFrame::from_wire(std::move(wire)), sender);
 }
 
 void LanSegment::attach_nic(Nic& nic) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ether/frame.h"
 #include "src/netsim/scheduler.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
@@ -56,9 +57,14 @@ class LanSegment {
   /// Time to clock `bytes` onto the wire at this segment's bit rate.
   [[nodiscard]] Duration serialization_delay(std::size_t bytes) const;
 
-  /// Carries one encoded frame from `sender` to every other attached NIC.
-  /// Called by Nic's transmit path; tests may inject frames with a null
-  /// sender (delivered to everyone).
+  /// Carries one shared wire buffer from `sender` to every other attached
+  /// NIC. All delivery events reference the same WireFrame, so receivers
+  /// share one decode and one FCS verification. Called by Nic's transmit
+  /// path; tests may inject frames with a null sender (delivered to
+  /// everyone).
+  void broadcast(const ether::WireFrame& frame, const Nic* sender);
+
+  /// Legacy/test entry point taking raw encoded bytes.
   void broadcast(util::ByteBuffer wire, const Nic* sender);
 
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }

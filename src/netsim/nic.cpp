@@ -22,12 +22,16 @@ void Nic::detach() {
   }
 }
 
-bool Nic::transmit(const ether::Frame& frame) {
+bool Nic::transmit(ether::WireFrame frame) {
   if (segment_ == nullptr || tx_queue_.size() >= tx_queue_limit_) {
     stats_.tx_dropped += 1;
     return false;
   }
-  tx_queue_.push_back(frame.encode());
+  // Force the encode here (not inside a scheduler event) so an oversized
+  // payload still throws at the call site, and so the one encode is shared
+  // by every later consumer of this WireFrame.
+  (void)frame.wire();
+  tx_queue_.push_back(std::move(frame));
   if (!transmitting_) start_transmitter();
   return true;
 }
@@ -38,32 +42,38 @@ void Nic::start_transmitter() {
     return;
   }
   transmitting_ = true;
-  util::ByteBuffer wire = std::move(tx_queue_.front());
+  ether::WireFrame frame = std::move(tx_queue_.front());
   tx_queue_.pop_front();
-  const Duration ser = segment_->serialization_delay(wire.size());
+  const std::size_t wire_bytes = frame.wire_size();
+  const Duration ser = segment_->serialization_delay(wire_bytes);
   stats_.tx_frames += 1;
-  stats_.tx_bytes += wire.size();
-  scheduler_->schedule_after(ser, [this, wire = std::move(wire)]() mutable {
-    if (segment_ != nullptr) segment_->broadcast(std::move(wire), this);
+  stats_.tx_bytes += wire_bytes;
+  scheduler_->schedule_after(ser, [this, frame = std::move(frame)] {
+    if (segment_ != nullptr) segment_->broadcast(frame, this);
     start_transmitter();
   });
 }
 
-void Nic::deliver_wire(util::ByteView wire) {
-  auto decoded = ether::Frame::decode(wire);
-  if (!decoded) {
+void Nic::deliver(const ether::WireFrame& frame) {
+  // ok() triggers the shared lazy decode: the first NIC on the segment pays
+  // one parse + one CRC-32 check, every other receiver reuses the result.
+  if (!frame.ok()) {
     stats_.rx_bad += 1;
     return;
   }
-  const ether::Frame& frame = decoded.value();
-  const bool for_me = promiscuous_ || frame.dst == mac_ || frame.dst.is_group();
+  const ether::Frame& parsed = frame.frame();
+  const bool for_me = promiscuous_ || parsed.dst == mac_ || parsed.dst.is_group();
   if (!for_me) {
     stats_.rx_filtered += 1;
     return;
   }
   stats_.rx_frames += 1;
-  stats_.rx_bytes += wire.size();
+  stats_.rx_bytes += frame.wire_size();
   if (rx_handler_) rx_handler_(frame);
+}
+
+void Nic::deliver_wire(util::ByteView wire) {
+  deliver(ether::WireFrame::from_wire(util::ByteBuffer(wire.begin(), wire.end())));
 }
 
 }  // namespace ab::netsim

@@ -1,20 +1,24 @@
 // A simulated Ethernet adapter.
 //
-// Receive path: the segment delivers wire bytes; the NIC verifies the FCS,
-// applies its address filter (unicast-to-me, broadcast, group, or
+// Receive path: the segment delivers a shared WireFrame; the NIC checks
+// FCS validity (one decode + one CRC check shared by every receiver of the
+// frame), applies its address filter (unicast-to-me, broadcast, group, or
 // everything when promiscuous -- the paper's bridge "whenever an input port
-// is bound, it is put into promiscuous mode"), and hands the decoded frame
+// is bound, it is put into promiscuous mode"), and hands the shared frame
 // to the registered handler.
 //
-// Transmit path: frames queue FIFO behind the transmitter, which is busy
-// for the segment's serialization delay per frame; a full queue drops
-// (tail-drop, counted).
+// Transmit path: WireFrames queue FIFO behind the transmitter, which is
+// busy for the segment's serialization delay per frame; a full queue drops
+// (tail-drop, counted). A WireFrame that already carries encoded bytes
+// (a forwarded frame) is queued by reference count -- no re-encode, no
+// re-CRC, no copy.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "src/ether/frame.h"
 #include "src/netsim/lan.h"
@@ -38,7 +42,7 @@ struct NicStats {
 /// scheduled simulation events.
 class Nic {
  public:
-  using RxHandler = std::function<void(const ether::Frame&)>;
+  using RxHandler = std::function<void(const ether::WireFrame&)>;
 
   Nic(Scheduler& scheduler, std::string name, ether::MacAddress mac);
   ~Nic();
@@ -64,11 +68,24 @@ class Nic {
   /// Bounds the transmit queue (frames). Default 512.
   void set_tx_queue_limit(std::size_t limit) { tx_queue_limit_ = limit; }
 
-  /// Encodes and queues a frame for transmission. Returns false (and
-  /// counts a drop) if the queue is full or the NIC is detached.
-  bool transmit(const ether::Frame& frame);
+  /// Queues a shared wire buffer for transmission, forcing its bytes to be
+  /// materialized (encode-once: a frame already encoded upstream is queued
+  /// by refcount). Returns false (and counts a drop) if the queue is full
+  /// or the NIC is detached.
+  bool transmit(ether::WireFrame frame);
+
+  /// Convenience overloads for locally originated traffic: wrap the parsed
+  /// frame into a WireFrame (one encode at most, on this call). Temporaries
+  /// move in; lvalues pay one counted payload copy.
+  bool transmit(const ether::Frame& frame) { return transmit(ether::WireFrame(frame)); }
+  bool transmit(ether::Frame&& frame) {
+    return transmit(ether::WireFrame(std::move(frame)));
+  }
 
   /// Entry point for the segment's delivery events.
+  void deliver(const ether::WireFrame& frame);
+
+  /// Legacy/test entry point: wraps raw wire bytes and delivers them.
   void deliver_wire(util::ByteView wire);
 
   [[nodiscard]] const NicStats& stats() const { return stats_; }
@@ -82,7 +99,7 @@ class Nic {
   LanSegment* segment_ = nullptr;
   RxHandler rx_handler_;
   bool promiscuous_ = false;
-  std::deque<util::ByteBuffer> tx_queue_;
+  std::deque<ether::WireFrame> tx_queue_;
   std::size_t tx_queue_limit_ = 512;
   bool transmitting_ = false;
   NicStats stats_;

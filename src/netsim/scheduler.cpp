@@ -15,6 +15,7 @@ EventId Scheduler::schedule_at(TimePoint when, Callback fn) {
   if (when < now_) when = now_;
   const EventId id{next_seq_++};
   queue_.push(Event{when, id.seq, std::move(fn)});
+  live_.insert(id.seq);
   return id;
 }
 
@@ -24,7 +25,10 @@ EventId Scheduler::schedule_after(Duration delay, Callback fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.seq != 0) cancelled_.insert(id.seq);
+  // Erasing from the live set both cancels a pending event and makes
+  // cancel-after-fire / cancel-of-unknown-seq exact no-ops: there is never
+  // an entry to leak.
+  live_.erase(id.seq);
 }
 
 bool Scheduler::pop_and_run() {
@@ -33,10 +37,7 @@ bool Scheduler::pop_and_run() {
     // which is safe because the element is popped immediately after.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (live_.erase(ev.seq) == 0) continue;  // cancelled
     now_ = ev.when;
     ++executed_;
     ev.fn();
@@ -49,7 +50,12 @@ bool Scheduler::step() { return pop_and_run(); }
 
 std::size_t Scheduler::run_until(TimePoint until) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
+  while (!queue_.empty()) {
+    // Discard cancelled events at the head so the time bound is checked
+    // against a live event (a cancelled head must not let a live event
+    // beyond `until` run).
+    while (!queue_.empty() && live_.count(queue_.top().seq) == 0) queue_.pop();
+    if (queue_.empty() || queue_.top().when > until) break;
     if (pop_and_run()) ++count;
   }
   if (now_ < until) now_ = until;
@@ -64,15 +70,8 @@ std::size_t Scheduler::run(std::size_t max_events) {
   return count;
 }
 
-bool Scheduler::empty() const {
-  // Cancelled events still sit in the queue; treat a queue of only
-  // cancelled events as logically non-empty is harmless for callers, but we
-  // can do better cheaply when sizes match.
-  return queue_.empty() || queue_.size() == cancelled_.size();
-}
+bool Scheduler::empty() const { return live_.empty(); }
 
-std::size_t Scheduler::pending() const {
-  return queue_.size() - std::min(queue_.size(), cancelled_.size());
-}
+std::size_t Scheduler::pending() const { return live_.size(); }
 
 }  // namespace ab::netsim

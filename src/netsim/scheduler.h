@@ -37,7 +37,8 @@ class Scheduler {
   EventId schedule_after(Duration delay, Callback fn);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event
-  /// is a harmless no-op (timers race with the traffic that restarts them).
+  /// is a harmless no-op (timers race with the traffic that restarts them)
+  /// and leaves no bookkeeping behind.
   void cancel(EventId id);
 
   /// Runs the single next event. Returns false if the queue is empty.
@@ -74,7 +75,11 @@ class Scheduler {
   bool pop_and_run();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Sequence numbers of events that are queued and not cancelled. An entry
+  /// lives exactly as long as its event is live: inserted by schedule_at,
+  /// erased by cancel() or when the event pops — so neither firing nor
+  /// cancelling leaks bookkeeping, however long the simulation runs.
+  std::unordered_set<std::uint64_t> live_;
   TimePoint now_{};
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

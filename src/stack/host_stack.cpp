@@ -17,7 +17,8 @@ HostStack::HostStack(netsim::Scheduler& scheduler, netsim::Nic& nic, HostConfig 
   if (config_.mtu < Ipv4Header::kSize + 8) {
     throw std::invalid_argument("HostStack: MTU too small for IP");
   }
-  nic_->set_rx_handler([this](const ether::Frame& frame) { on_frame(frame); });
+  nic_->set_rx_handler(
+      [this](const ether::WireFrame& frame) { on_frame(frame.frame()); });
 }
 
 void HostStack::bind_udp(std::uint16_t port, UdpHandler handler) {

@@ -22,7 +22,7 @@ struct Fixture {
 
   Packet packet(ether::MacAddress dst, PortId ingress = 0) {
     Packet p;
-    p.frame = ether::Frame::ethernet2(dst, ether::MacAddress::local(5, 5),
+    p.wire = ether::Frame::ethernet2(dst, ether::MacAddress::local(5, 5),
                                       ether::EtherType::kExperimental, {1});
     p.ingress = ingress;
     return p;
@@ -120,7 +120,7 @@ TEST(Demux, LlcFramesSkipEthertypeRegistrations) {
   int stack = 0;
   f.demux.register_ethertype(ether::EtherType::kIpv4, [&](const Packet&) { ++stack; });
   Packet p;
-  p.frame = ether::Frame::llc_frame(f.eth0->mac(), ether::MacAddress::local(5, 5),
+  p.wire = ether::Frame::llc_frame(f.eth0->mac(), ether::MacAddress::local(5, 5),
                                     ether::LlcHeader::spanning_tree(), {1});
   p.ingress = 0;
   f.demux.dispatch(p);

@@ -25,9 +25,9 @@ struct Fixture {
 
 Packet make_packet(PortId ingress) {
   Packet p;
-  p.frame = ether::Frame::ethernet2(ether::MacAddress::broadcast(),
-                                    ether::MacAddress::local(9, 9),
-                                    ether::EtherType::kExperimental, {1, 2, 3});
+  p.wire = ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                   ether::MacAddress::local(9, 9),
+                                   ether::EtherType::kExperimental, {1, 2, 3});
   p.ingress = ingress;
   return p;
 }
@@ -135,7 +135,7 @@ TEST(OutputPort, SendTransmitsOnTheNic) {
   OutputPort& out = f.table.bind_out("eth0");
   EXPECT_TRUE(out.ready_to_send());
   int got = 0;
-  f.eth1->set_rx_handler([&](const ether::Frame&) { ++got; });
+  f.eth1->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   out.send(ether::Frame::ethernet2(f.eth1->mac(), f.eth0->mac(),
                                    ether::EtherType::kExperimental, {1}));
   f.net.scheduler().run();
@@ -145,7 +145,7 @@ TEST(OutputPort, SendTransmitsOnTheNic) {
 TEST(PortTable, SendOnBypassesOutputBindings) {
   Fixture f;
   int got = 0;
-  f.eth1->set_rx_handler([&](const ether::Frame&) { ++got; });
+  f.eth1->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   // No output bind exists; the loader-infrastructure path still sends.
   f.table.send_on(0, ether::Frame::ethernet2(f.eth1->mac(), f.eth0->mac(),
                                              ether::EtherType::kExperimental, {1}));

@@ -37,7 +37,7 @@ struct Fixture {
     std::vector<int> got(3, 0);
     for (int i = 0; i < 3; ++i) {
       peer[static_cast<std::size_t>(i)]->set_rx_handler(
-          [&got, i](const ether::Frame&) { ++got[static_cast<std::size_t>(i)]; });
+          [&got, i](const ether::WireFrame&) { ++got[static_cast<std::size_t>(i)]; });
     }
     net.scheduler().run();
     return got;
@@ -88,7 +88,7 @@ TEST(ForwardingPlane, SwitchFunctionSlotReplacesAndRestores) {
   int first = 0, second = 0;
   f.plane.set_switch_function([&](const active::Packet&) { ++first; });
   active::Packet p;
-  p.frame = f.frame();
+  p.wire = f.frame();
   p.ingress = 0;
   f.plane.handle(p);
   auto previous = f.plane.set_switch_function([&](const active::Packet&) { ++second; });

@@ -1,0 +1,141 @@
+#include "src/ether/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace ab::ether {
+namespace {
+
+Frame dix_frame(std::size_t len = 64) {
+  return Frame::ethernet2(MacAddress::local(1, 0), MacAddress::local(2, 0),
+                          EtherType::kExperimental, util::ByteBuffer(len, 0xAB));
+}
+
+Frame llc_frame() {
+  return Frame::llc_frame(MacAddress::all_bridges(), MacAddress::local(3, 0),
+                          LlcHeader::spanning_tree(), util::ByteBuffer(50, 0x42));
+}
+
+TEST(WireFrame, EmptyHandleThrowsOnAccess) {
+  WireFrame wf;
+  EXPECT_TRUE(wf.empty());
+  EXPECT_FALSE(wf.ok());
+  EXPECT_THROW((void)wf.parsed(), std::logic_error);
+  EXPECT_THROW((void)wf.wire(), std::logic_error);
+  EXPECT_THROW((void)wf.wire_size(), std::logic_error);
+}
+
+TEST(WireFrame, TransmitSideEncodesLazilyAndExactlyOnce) {
+  const WireFrame wf(dix_frame());
+  datapath_counters() = {};
+  EXPECT_EQ(wf.wire_size(), dix_frame().wire_size());  // no encode forced
+  EXPECT_EQ(datapath_counters().encodes, 0u);
+
+  const WireFrame copy = wf;  // shares the representation and its caches
+  (void)wf.wire();
+  (void)wf.wire();
+  (void)copy.wire();
+  EXPECT_EQ(datapath_counters().encodes, 1u);
+  EXPECT_EQ(copy.wire().data(), wf.wire().data());  // literally the same bytes
+}
+
+TEST(WireFrame, ReceiveSideDecodesLazilyAndExactlyOnce) {
+  const util::ByteBuffer wire = dix_frame().encode();
+  const WireFrame wf = WireFrame::from_wire(wire);
+  const WireFrame copy = wf;
+
+  datapath_counters() = {};
+  EXPECT_TRUE(wf.ok());
+  EXPECT_TRUE(copy.ok());
+  (void)wf.frame();
+  (void)copy.frame();
+  EXPECT_EQ(datapath_counters().decodes, 1u);
+  EXPECT_EQ(datapath_counters().fcs_verifies, 1u);
+  EXPECT_EQ(&wf.frame(), &copy.frame());  // one cached parse, shared
+}
+
+TEST(WireFrame, SharedBufferDecodeMatchesLegacyFrameDecode) {
+  for (const Frame& f : {dix_frame(), dix_frame(1500), llc_frame()}) {
+    const util::ByteBuffer wire = f.encode();
+    const auto legacy = Frame::decode(wire);
+    ASSERT_TRUE(legacy.has_value());
+    const WireFrame wf = WireFrame::from_wire(wire);
+    ASSERT_TRUE(wf.ok());
+    EXPECT_EQ(wf.frame(), legacy.value());
+  }
+}
+
+TEST(WireFrame, RoundTripThroughWireBytesPreservesTheFrame) {
+  const Frame original = dix_frame(200);
+  const WireFrame tx(original);
+  const util::ByteView wire = tx.wire();
+  const WireFrame rx = WireFrame::from_wire(util::ByteBuffer(wire.begin(), wire.end()));
+  ASSERT_TRUE(rx.ok());
+  EXPECT_EQ(rx.frame().dst, original.dst);
+  EXPECT_EQ(rx.frame().src, original.src);
+  EXPECT_EQ(rx.frame().ethertype, original.ethertype);
+  EXPECT_EQ(rx.frame().payload, original.payload);
+}
+
+TEST(WireFrame, ShortEthernet2ParseMatchesWhatReceiversDecodedFromTheWire) {
+  // Seed receivers decoded the wire bytes, so a sub-minimum Ethernet II
+  // payload arrived with encode()'s padding retained. The shared
+  // transmit-side parse must preserve that switchlet-visible behavior.
+  const WireFrame tx(dix_frame(28));
+  EXPECT_EQ(tx.frame().payload.size(), Frame::kMinPayload);
+  const auto legacy = Frame::decode(tx.wire());
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(tx.frame(), legacy.value());
+}
+
+TEST(WireFrame, ShortLlcParseStaysUnpadded) {
+  // 802.3's length field strips padding on decode, so the LLC parse keeps
+  // the caller's payload length.
+  const Frame f = Frame::llc_frame(MacAddress::all_bridges(), MacAddress::local(3, 0),
+                                   LlcHeader::spanning_tree(),
+                                   util::ByteBuffer(10, 0x42));
+  const WireFrame tx(f);
+  EXPECT_EQ(tx.frame().payload.size(), 10u);
+  const auto legacy = Frame::decode(tx.wire());
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(tx.frame(), legacy.value());
+}
+
+TEST(WireFrame, LvalueConstructionCountsThePayloadCopyAndRvalueMoves) {
+  const Frame f = dix_frame(200);
+  datapath_counters() = {};
+  const WireFrame copied(f);
+  EXPECT_EQ(datapath_counters().bytes_copied, 200u);
+  datapath_counters() = {};
+  const WireFrame moved(dix_frame(200));
+  EXPECT_EQ(datapath_counters().bytes_copied, 0u);
+}
+
+TEST(WireFrame, BadFcsIsCachedAsAnError) {
+  util::ByteBuffer wire = dix_frame().encode();
+  wire.back() ^= 0xFF;  // corrupt the FCS
+  const WireFrame wf = WireFrame::from_wire(std::move(wire));
+  datapath_counters() = {};
+  EXPECT_FALSE(wf.ok());
+  EXPECT_FALSE(wf.ok());  // second query reads the cached verdict
+  EXPECT_EQ(datapath_counters().fcs_verifies, 1u);
+  EXPECT_NE(wf.error().find("FCS"), std::string::npos);
+}
+
+TEST(WireFrame, CopiesShareOneRepresentation) {
+  const WireFrame wf(dix_frame());
+  EXPECT_EQ(wf.use_count(), 1);
+  const WireFrame a = wf;
+  const WireFrame b = wf;
+  EXPECT_EQ(wf.use_count(), 3);
+  EXPECT_EQ(a.use_count(), b.use_count());
+}
+
+TEST(WireFrame, WireSizeAgreesWithMaterializedBytes) {
+  const WireFrame tx(dix_frame(10));  // padded to the 64-byte minimum
+  EXPECT_EQ(tx.wire_size(), tx.wire().size());
+  const WireFrame rx = WireFrame::from_wire(dix_frame(10).encode());
+  EXPECT_EQ(rx.wire_size(), rx.wire().size());
+}
+
+}  // namespace
+}  // namespace ab::ether

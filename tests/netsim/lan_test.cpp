@@ -39,8 +39,8 @@ TEST(LanSegment, BroadcastReachesAllButSender) {
   Nic& c = net.add_nic("c", lan);
 
   int b_got = 0, c_got = 0;
-  b.set_rx_handler([&](const ether::Frame&) { ++b_got; });
-  c.set_rx_handler([&](const ether::Frame&) { ++c_got; });
+  b.set_rx_handler([&](const ether::WireFrame&) { ++b_got; });
+  c.set_rx_handler([&](const ether::WireFrame&) { ++c_got; });
 
   a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
   net.scheduler().run();
@@ -58,7 +58,7 @@ TEST(LanSegment, PropagationDelayIsApplied) {
   Nic& b = net.add_nic("b", lan);
 
   TimePoint delivered{};
-  b.set_rx_handler([&](const ether::Frame&) { delivered = net.now(); });
+  b.set_rx_handler([&](const ether::WireFrame&) { delivered = net.now(); });
   const ether::Frame f = test_frame(b.mac(), a.mac());
   const Duration ser = lan.serialization_delay(f.wire_size());
   a.transmit(f);
@@ -76,7 +76,7 @@ TEST(LanSegment, LossModelDropsApproximatelyTheConfiguredFraction) {
   Nic& b = net.add_nic("b", lan);
 
   int got = 0;
-  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  b.set_rx_handler([&](const ether::WireFrame&) { ++got; });
   const int kFrames = 1000;
   a.set_tx_queue_limit(kFrames + 1);
   for (int i = 0; i < kFrames; ++i) {
@@ -105,7 +105,7 @@ TEST(LanSegment, DetachedNicMissesInFlightFrames) {
   Nic& a = net.add_nic("a", lan);
   Nic& b = net.add_nic("b", lan);
   int got = 0;
-  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  b.set_rx_handler([&](const ether::WireFrame&) { ++got; });
   a.transmit(test_frame(b.mac(), a.mac()));
   b.detach();  // detach before delivery event fires
   net.scheduler().run();

@@ -27,7 +27,7 @@ struct TwoNics {
 TEST(Nic, AddressFilterAcceptsOwnUnicast) {
   TwoNics t;
   int got = 0;
-  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   t.a->transmit(to(t.b->mac(), t.a->mac()));
   t.net.scheduler().run();
   EXPECT_EQ(got, 1);
@@ -36,7 +36,7 @@ TEST(Nic, AddressFilterAcceptsOwnUnicast) {
 TEST(Nic, AddressFilterRejectsForeignUnicast) {
   TwoNics t;
   int got = 0;
-  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   const auto other = ether::MacAddress::parse("02:aa:aa:aa:aa:aa").value();
   t.a->transmit(to(other, t.a->mac()));
   t.net.scheduler().run();
@@ -49,7 +49,7 @@ TEST(Nic, PromiscuousModeAcceptsEverything) {
   TwoNics t;
   int got = 0;
   t.b->set_promiscuous(true);
-  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   const auto other = ether::MacAddress::parse("02:aa:aa:aa:aa:aa").value();
   t.a->transmit(to(other, t.a->mac()));
   t.net.scheduler().run();
@@ -59,7 +59,7 @@ TEST(Nic, PromiscuousModeAcceptsEverything) {
 TEST(Nic, BroadcastAndMulticastPassTheFilter) {
   TwoNics t;
   int got = 0;
-  t.b->set_rx_handler([&](const ether::Frame&) { ++got; });
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
   t.a->transmit(to(ether::MacAddress::broadcast(), t.a->mac()));
   t.a->transmit(to(ether::MacAddress::all_bridges(), t.a->mac()));
   t.net.scheduler().run();
@@ -92,7 +92,7 @@ TEST(Nic, TxQueueTailDropsWhenFull) {
 TEST(Nic, FramesSerializeBackToBack) {
   TwoNics t;
   std::vector<TimePoint> arrivals;
-  t.b->set_rx_handler([&](const ether::Frame&) { arrivals.push_back(t.net.now()); });
+  t.b->set_rx_handler([&](const ether::WireFrame&) { arrivals.push_back(t.net.now()); });
   const ether::Frame f = to(t.b->mac(), t.a->mac(), 1000);
   const Duration ser = t.lan->serialization_delay(f.wire_size());
   t.a->transmit(f);
@@ -105,7 +105,7 @@ TEST(Nic, FramesSerializeBackToBack) {
 
 TEST(Nic, StatsCountRxTx) {
   TwoNics t;
-  t.b->set_rx_handler([](const ether::Frame&) {});
+  t.b->set_rx_handler([](const ether::WireFrame&) {});
   t.a->transmit(to(t.b->mac(), t.a->mac()));
   t.net.scheduler().run();
   EXPECT_EQ(t.a->stats().tx_frames, 1u);
@@ -120,7 +120,7 @@ TEST(Nic, ReattachToAnotherSegment) {
   Nic& a = net.add_nic("a", lan1);
   Nic& b = net.add_nic("b", lan2);
   int got = 0;
-  b.set_rx_handler([&](const ether::Frame&) { ++got; });
+  b.set_rx_handler([&](const ether::WireFrame&) { ++got; });
   a.attach(lan2);
   EXPECT_EQ(a.segment(), &lan2);
   a.transmit(to(b.mac(), a.mac()));

@@ -104,6 +104,64 @@ TEST(Scheduler, CancelAfterFireIsHarmless) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(Scheduler, CancelOfUnknownSeqIsHarmless) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(milliseconds(1), [&] { ++fired; });
+  s.cancel(EventId{});       // the null id
+  s.cancel(EventId{12345});  // never issued
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PendingAndEmptyAreExactUnderCancellation) {
+  Scheduler s;
+  const EventId a = s.schedule_after(milliseconds(1), [] {});
+  const EventId b = s.schedule_after(milliseconds(2), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_FALSE(s.empty());
+  s.cancel(b);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Scheduler, StaleCancelsDoNotAccumulate) {
+  // Cancelling events that already fired must not leave bookkeeping behind:
+  // pending() stays exact through many fire-then-cancel rounds (the leak
+  // would have made a long-lived simulation's cancelled-set grow forever).
+  Scheduler s;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = s.schedule_after(milliseconds(1), [] {});
+    s.run();
+    s.cancel(id);  // stale: already fired
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_TRUE(s.empty());
+  }
+  int fired = 0;
+  s.schedule_after(milliseconds(1), [&] { ++fired; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunUntilDoesNotOvershootPastACancelledHead) {
+  Scheduler s;
+  int fired = 0;
+  const EventId head = s.schedule_after(milliseconds(10), [&] { ++fired; });
+  s.schedule_after(milliseconds(100), [&] { ++fired; });
+  s.cancel(head);
+  // The cancelled head must not let the t=100 event run inside a t<=50 run.
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(50)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(50));
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Scheduler, StepRunsExactlyOneEvent) {
   Scheduler s;
   int fired = 0;
