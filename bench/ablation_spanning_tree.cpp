@@ -3,10 +3,8 @@
 // three-bridge ring; we count frames on the wire over the following
 // simulated second, with and without STP.
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "src/bridge/bridge_node.h"
+#include "src/bridge/topology.h"
 #include "src/netsim/network.h"
 #include "src/netsim/trace.h"
 
@@ -16,29 +14,18 @@ namespace {
 
 std::size_t storm_frames(bool with_stp) {
   netsim::Network net;
-  std::vector<netsim::LanSegment*> lans;
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kRing;
+  spec.nodes = 3;
+  bridge::TopologyBuildOptions opts;
+  opts.stp = with_stp;
+  auto ring = bridge::build_topology(net, spec, {}, opts);
   netsim::FrameTrace trace;
-  for (int i = 0; i < 3; ++i) {
-    lans.push_back(&net.add_segment("lan" + std::to_string(i)));
-    trace.watch(*lans.back());
-  }
-  std::vector<std::unique_ptr<bridge::BridgeNode>> bridges;
-  for (int i = 0; i < 3; ++i) {
-    bridge::BridgeNodeConfig cfg;
-    cfg.name = "bridge" + std::to_string(i);
-    bridges.push_back(std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg));
-    auto& b = *bridges.back();
-    b.add_port(net.add_nic(cfg.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
-    b.add_port(
-        net.add_nic(cfg.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % 3)]));
-    b.load_dumb();
-    b.load_learning();
-    if (with_stp) b.load_ieee();
-  }
+  for (auto* lan : ring.shape.lans) trace.watch(*lan);
   if (with_stp) net.scheduler().run_for(netsim::seconds(45));  // converge
 
   trace.clear();
-  auto& probe = net.add_nic("probe", *lans[0]);
+  auto& probe = net.add_nic("probe", *ring.shape.lans[0]);
   probe.transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(), probe.mac(),
                                          ether::EtherType::kExperimental, {1}));
   net.scheduler().run_for(netsim::seconds(1));

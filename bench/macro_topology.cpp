@@ -1,0 +1,90 @@
+// Macro-bench: whole-simulation throughput across parametric topologies.
+//
+// Each cell builds a TopologySpec (TopologyBuilder + bridge assembly),
+// waits out STP convergence, then runs the flood + neighbor-ping workload
+// (learning tables populate, directed forwarding kicks in) and reports
+// scheduler events/sec and wall time -- the capacity trajectory of the
+// simulation core itself. The headline cell is the ring of 32 bridges with
+// 4 hosts on every LAN (160 stations, 64 bridge ports) driven to STP
+// convergence, written to BENCH_topology.json along with the sweep.
+//
+// `--smoke` runs a reduced grid once (CI compiles-and-exercises the perf
+// path on every PR; the numbers only mean something on quiet machines).
+#include <cstdio>
+#include <cstring>
+
+#include "src/apps/scenario.h"
+
+using namespace ab;
+
+namespace {
+
+netsim::TopologySpec spec_of(netsim::TopologyShape shape, int nodes, int hosts) {
+  netsim::TopologySpec spec;
+  spec.shape = shape;
+  spec.nodes = nodes;
+  spec.hosts_per_lan = hosts;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::vector<netsim::TopologySpec> grid;
+  if (smoke) {
+    grid.push_back(spec_of(netsim::TopologyShape::kRing, 4, 1));
+    grid.push_back(spec_of(netsim::TopologyShape::kLine, 4, 1));
+  } else {
+    for (int n : {4, 8, 16}) grid.push_back(spec_of(netsim::TopologyShape::kRing, n, 4));
+    grid.push_back(spec_of(netsim::TopologyShape::kLine, 16, 2));
+    grid.push_back(spec_of(netsim::TopologyShape::kStar, 16, 2));
+    grid.push_back(spec_of(netsim::TopologyShape::kTree, 15, 2));
+    grid.push_back(spec_of(netsim::TopologyShape::kMesh, 6, 1));
+  }
+  // The headline cell, always present: ring-32 x 4 hosts per LAN under
+  // flood + learning, driven to 802.1D convergence.
+  grid.push_back(spec_of(netsim::TopologyShape::kRing, 32, 4));
+
+  apps::TopologySweep sweep;
+  const std::vector<apps::SweepResult> cells = sweep.run_grid(grid);
+  std::printf("%s", apps::TopologySweep::format_table(cells).c_str());
+
+  const apps::SweepResult& headline = cells.back();
+  if (!headline.stp_converged) {
+    std::fprintf(stderr, "ring-32x4 did NOT converge -- investigate\n");
+  }
+  std::printf(
+      "\nheadline ring-32x4: converged=%s, %llu events in %.3f s wall "
+      "(%.0f events/sec, %.1f s simulated)\n",
+      headline.stp_converged ? "yes" : "no",
+      static_cast<unsigned long long>(headline.events), headline.wall_seconds,
+      headline.events_per_sec, headline.virtual_seconds);
+
+  std::FILE* f = std::fopen("BENCH_topology.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_topology.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"experiment\": \"topology_sweep\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"headline\": {\"cell\": \"%s\", \"stp_converged\": %s,\n"
+               "    \"events\": %llu, \"wall_seconds\": %.6f, "
+               "\"events_per_sec\": %.0f},\n"
+               "  \"cells\": %s"
+               "}\n",
+               smoke ? "true" : "false", headline.label.c_str(),
+               headline.stp_converged ? "true" : "false",
+               static_cast<unsigned long long>(headline.events),
+               headline.wall_seconds, headline.events_per_sec,
+               apps::TopologySweep::format_json(cells).c_str());
+  std::fclose(f);
+  std::printf("wrote BENCH_topology.json\n");
+  return headline.stp_converged ? 0 : 1;
+}

@@ -1,0 +1,187 @@
+// Scheduler core microbench: the indexed 4-ary heap (src/netsim/scheduler)
+// against the PR 1 priority_queue + live-set core (baseline_scheduler.h),
+// on the workloads the simulator actually generates.
+//
+//   timer_churn   the cancel-heavy pattern of protocol timers (STP
+//                 hello/max-age, TFTP retransmit, MAC aging): a large
+//                 standing population of pending timers where most are
+//                 cancelled and rescheduled before they ever fire. The
+//                 baseline pays a hash insert+erase per event and drags
+//                 cancelled entries through the priority_queue; the
+//                 indexed heap cancels in place.
+//   fire_all      pure schedule-then-drain throughput (frame deliveries).
+//
+// Writes BENCH_scheduler.json with events/sec for both cores and the
+// speedup ratio, tracked across PRs. `--smoke` runs one small repetition
+// (CI compiles-and-exercises; numbers are not meaningful there).
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/netsim/baseline_scheduler.h"
+#include "src/netsim/scheduler.h"
+#include "src/util/rng.h"
+
+using namespace ab;
+
+namespace {
+
+struct WorkloadResult {
+  std::uint64_t events = 0;  ///< schedule operations performed
+  double seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+/// What a real simulator event closes over: the LAN delivery path captures
+/// a this-pointer, a receiver, and a WireFrame (32 bytes) -- beyond
+/// std::function's 16-byte inline buffer, inside InlineFunction's.
+struct DeliveryCapture {
+  std::uint64_t* counter;
+  void* receiver = nullptr;
+  void* buffer = nullptr;
+  std::uint64_t tag = 0;
+  void operator()() const { ++*counter; }
+};
+
+/// Cancel-heavy timer churn: a standing population of pending timers where
+/// almost every timer is cancelled and re-armed before it fires -- the
+/// restart pattern of a protocol timer (STP max-age, TFTP retransmit) that
+/// arriving traffic keeps pushing out. Each simulated-microsecond tick
+/// restarts `kRestartsPerTick` random victims; at the chosen delays ~90%
+/// of timers die by cancel, so the baseline's tombstones pile up (its
+/// queue carries several dead entries per live one) while the indexed heap
+/// stays at exactly `population` entries. Randomness is precomputed so the
+/// clock measures scheduler work, not the RNG.
+template <typename SchedulerT>
+WorkloadResult timer_churn(std::size_t population, std::size_t rounds) {
+  using Id = decltype(std::declval<SchedulerT&>().schedule_after(netsim::Duration{},
+                                                                 [] {}));
+  constexpr std::size_t kRestartsPerTick = 64;
+
+  util::Rng rng(42);
+  std::vector<std::int64_t> delays(population + rounds * kRestartsPerTick);
+  for (auto& d : delays) d = static_cast<std::int64_t>(50 + rng.uniform(0, 4999));
+  std::vector<std::uint32_t> victims(rounds * kRestartsPerTick);
+  for (auto& v : victims) v = static_cast<std::uint32_t>(rng.index(population));
+
+  SchedulerT sched;
+  std::uint64_t fired = 0;
+  std::vector<Id> timers(population);
+  std::size_t next_delay = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < population; ++i) {
+    timers[i] = sched.schedule_after(netsim::microseconds(delays[next_delay++]),
+                                     DeliveryCapture{&fired});
+  }
+  std::size_t next_victim = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t k = 0; k < kRestartsPerTick; ++k) {
+      const std::uint32_t victim = victims[next_victim++];
+      sched.cancel(timers[victim]);
+      timers[victim] = sched.schedule_after(netsim::microseconds(delays[next_delay++]),
+                                            DeliveryCapture{&fired});
+    }
+    sched.run_for(netsim::microseconds(1));
+  }
+  sched.run(population);  // drain what's left
+
+  WorkloadResult out;
+  out.events = next_delay;  // total schedule operations
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+/// Pure throughput: schedule `count` deliveries at staggered times, drain.
+template <typename SchedulerT>
+WorkloadResult fire_all(std::size_t count) {
+  SchedulerT sched;
+  std::uint64_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    sched.schedule_after(netsim::microseconds(static_cast<std::int64_t>(i % 997)),
+                         DeliveryCapture{&fired});
+  }
+  sched.run();
+  WorkloadResult out;
+  out.events = fired;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+struct Comparison {
+  const char* workload;
+  WorkloadResult baseline;
+  WorkloadResult indexed;
+  [[nodiscard]] double speedup() const {
+    return baseline.events_per_sec() > 0
+               ? indexed.events_per_sec() / baseline.events_per_sec()
+               : 0.0;
+  }
+};
+
+void print(const Comparison& c) {
+  std::printf("%-12s baseline %12.0f ev/s   indexed %12.0f ev/s   speedup %.2fx\n",
+              c.workload, c.baseline.events_per_sec(), c.indexed.events_per_sec(),
+              c.speedup());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t population = smoke ? 1024 : 65536;
+  const std::size_t rounds = smoke ? 100 : 20000;
+  const std::size_t fires = smoke ? 20000 : 2000000;
+  const int reps = smoke ? 1 : 3;
+
+  // Best-of-N to shake scheduler noise out of the wall clock.
+  Comparison churn{"timer_churn", {}, {}};
+  Comparison drain{"fire_all", {}, {}};
+  for (int r = 0; r < reps; ++r) {
+    const auto b1 = timer_churn<netsim::BaselineScheduler>(population, rounds);
+    const auto i1 = timer_churn<netsim::Scheduler>(population, rounds);
+    const auto b2 = fire_all<netsim::BaselineScheduler>(fires);
+    const auto i2 = fire_all<netsim::Scheduler>(fires);
+    if (r == 0 || b1.seconds < churn.baseline.seconds) churn.baseline = b1;
+    if (r == 0 || i1.seconds < churn.indexed.seconds) churn.indexed = i1;
+    if (r == 0 || b2.seconds < drain.baseline.seconds) drain.baseline = b2;
+    if (r == 0 || i2.seconds < drain.indexed.seconds) drain.indexed = i2;
+  }
+  print(churn);
+  print(drain);
+
+  std::FILE* f = std::fopen("BENCH_scheduler.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scheduler.json\n");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"experiment\": \"scheduler_core\",\n"
+      "  \"smoke\": %s,\n"
+      "  \"timer_churn\": {\"population\": %zu, \"rounds\": %zu,\n"
+      "    \"baseline_events_per_sec\": %.0f, \"indexed_events_per_sec\": %.0f,\n"
+      "    \"speedup\": %.3f},\n"
+      "  \"fire_all\": {\"count\": %zu,\n"
+      "    \"baseline_events_per_sec\": %.0f, \"indexed_events_per_sec\": %.0f,\n"
+      "    \"speedup\": %.3f}\n"
+      "}\n",
+      smoke ? "true" : "false", population, rounds,
+      churn.baseline.events_per_sec(), churn.indexed.events_per_sec(),
+      churn.speedup(), fires, drain.baseline.events_per_sec(),
+      drain.indexed.events_per_sec(), drain.speedup());
+  std::fclose(f);
+  std::printf("wrote BENCH_scheduler.json\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verify + sanitizer build, exactly what .github/workflows/ci.yml runs.
+# Tier-1 verify + sanitizer build + Release bench smoke, exactly what
+# .github/workflows/ci.yml runs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,3 +16,11 @@ cmake --build build-asan -j
 
 echo "== datapath accounting =="
 (cd build && ./micro_datapath --benchmark_filter='Fanout' && cat BENCH_datapath.json) || true
+
+echo "== Release bench smoke (one repetition; compiles + exercises the perf path) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j
+(cd build-release && ./micro_scheduler --smoke && cat BENCH_scheduler.json)
+(cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
+(cd build-release && ./ablation_spanning_tree && ./ablation_learning \
+  && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

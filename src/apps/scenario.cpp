@@ -1,6 +1,7 @@
 #include "src/apps/scenario.h"
 
 #include <charconv>
+#include <chrono>
 #include <map>
 
 #include "src/util/string_util.h"
@@ -288,6 +289,137 @@ util::Expected<std::string, std::string> ScenarioRunner::run_text(
     report += "\n";
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// TopologySweep
+
+SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  netsim::Network net;
+  bridge::BridgedTopology topo =
+      bridge::build_topology(net, spec, options_.node_config, options_.build);
+
+  SweepResult r;
+  r.spec = spec;
+  r.label = spec.label();
+  r.bridges = static_cast<int>(topo.bridges.size());
+  r.lans = static_cast<int>(topo.shape.lans.size());
+  r.hosts = static_cast<int>(topo.hosts.size());
+  for (const auto& b : topo.bridges) {
+    r.ports += static_cast<int>(b->plane().bridge_ports().size());
+  }
+
+  net.scheduler().run_for(options_.convergence_window);
+  r.stp_converged = topo.stp_converged();
+
+  // Flood workload: a burst of broadcasts from a probe on lan0. On a loopy
+  // shape without STP this measures the storm; with STP it measures the
+  // pruned flood.
+  if (options_.probe_broadcasts > 0) {
+    auto& probe = net.add_nic(spec.label() + ".probe", *topo.shape.lans[0]);
+    for (int i = 0; i < options_.probe_broadcasts; ++i) {
+      probe.transmit(ether::Frame::ethernet2(
+          ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
+          {static_cast<std::uint8_t>(i)}));
+    }
+  }
+
+  // Learning workload: every host pings its successor, so the bridges
+  // learn every host location and the second half of each exchange rides
+  // directed forwarding.
+  int answered = 0;
+  if (options_.neighbor_pings && topo.hosts.size() >= 2) {
+    for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+      stack::HostStack& src = *topo.hosts[i];
+      stack::HostStack& dst = *topo.hosts[(i + 1) % topo.hosts.size()];
+      src.set_echo_handler(
+          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
+      src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
+      ++r.pings_sent;
+    }
+  }
+
+  net.scheduler().run_for(options_.traffic_window);
+
+  r.pings_answered = answered;
+  r.blocked_ports = topo.count_gates(bridge::PortGate::kBlocked);
+  r.forwarding_ports = topo.count_gates(bridge::PortGate::kForwarding);
+  r.mac_entries = topo.mac_entries();
+  for (netsim::LanSegment* lan : topo.shape.lans) {
+    r.frames_carried += lan->stats().frames_carried;
+    r.bytes_carried += lan->stats().bytes_carried;
+    r.frames_lost += lan->stats().frames_lost;
+  }
+  r.events = net.scheduler().executed();
+  r.virtual_seconds = netsim::to_seconds(net.now().time_since_epoch());
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  r.events_per_sec = r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
+                                        : 0.0;
+  return r;
+}
+
+std::vector<SweepResult> TopologySweep::run_grid(
+    const std::vector<netsim::TopologySpec>& grid) {
+  std::vector<SweepResult> cells;
+  cells.reserve(grid.size());
+  for (const netsim::TopologySpec& spec : grid) cells.push_back(run_cell(spec));
+  return cells;
+}
+
+std::vector<netsim::TopologySpec> TopologySweep::make_grid(
+    const std::vector<netsim::TopologyShape>& shapes,
+    const std::vector<int>& node_counts, int hosts_per_lan) {
+  std::vector<netsim::TopologySpec> grid;
+  for (netsim::TopologyShape shape : shapes) {
+    for (int nodes : node_counts) {
+      netsim::TopologySpec spec;
+      spec.shape = shape;
+      spec.nodes = nodes;
+      spec.hosts_per_lan = hosts_per_lan;
+      grid.push_back(spec);
+    }
+  }
+  return grid;
+}
+
+std::string TopologySweep::format_table(const std::vector<SweepResult>& cells) {
+  std::string out = util::format(
+      "%-12s %8s %6s %6s %5s %9s %12s %10s %10s %7s\n", "cell", "bridges", "lans",
+      "hosts", "conv", "frames", "events", "events/s", "wall_ms", "pings");
+  for (const SweepResult& c : cells) {
+    out += util::format(
+        "%-12s %8d %6d %6d %5s %9llu %12llu %10.0f %10.2f %3d/%-3d\n",
+        c.label.c_str(), c.bridges, c.lans, c.hosts, c.stp_converged ? "yes" : "no",
+        static_cast<unsigned long long>(c.frames_carried),
+        static_cast<unsigned long long>(c.events), c.events_per_sec,
+        c.wall_seconds * 1e3, c.pings_answered, c.pings_sent);
+  }
+  return out;
+}
+
+std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepResult& c = cells[i];
+    out += util::format(
+        "  {\"cell\": \"%s\", \"shape\": \"%s\", \"bridges\": %d, \"lans\": %d, "
+        "\"hosts\": %d, \"stp_converged\": %s, \"blocked_ports\": %d, "
+        "\"forwarding_ports\": %d, \"frames_carried\": %llu, \"mac_entries\": %zu, "
+        "\"pings_sent\": %d, \"pings_answered\": %d, \"events\": %llu, "
+        "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
+        c.label.c_str(), std::string(to_string(c.spec.shape)).c_str(), c.bridges,
+        c.lans, c.hosts, c.stp_converged ? "true" : "false", c.blocked_ports,
+        c.forwarding_ports, static_cast<unsigned long long>(c.frames_carried),
+        c.mac_entries, c.pings_sent, c.pings_answered,
+        static_cast<unsigned long long>(c.events), c.virtual_seconds, c.wall_seconds,
+        c.events_per_sec, i + 1 < cells.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
 }
 
 }  // namespace ab::apps

@@ -2,6 +2,11 @@
 // the front door for a user who wants to try topologies without writing
 // C++. Used by the `scenario_sim` example and the scenario tests.
 //
+// TopologySweep (below) is the batch counterpart: run one canned workload
+// (flood burst + neighbor pings + learning + optional STP convergence)
+// across a grid of TopologySpecs and collect per-cell stats -- events/sec,
+// wall time, convergence, table sizes -- for benches and capacity planning.
+//
 // Grammar (one directive per line; '#' starts a comment):
 //
 //   segment <name> [rate=<bits/s>] [loss=<probability>]
@@ -24,6 +29,7 @@
 #include "src/apps/ping.h"
 #include "src/apps/ttcp.h"
 #include "src/bridge/bridge_node.h"
+#include "src/bridge/topology.h"
 #include "src/netsim/network.h"
 #include "src/netsim/pcap.h"
 #include "src/stack/host_stack.h"
@@ -78,6 +84,82 @@ class ScenarioRunner {
   std::vector<TtcpJob> ttcps_;
   std::vector<std::unique_ptr<netsim::PcapWriter>> pcaps_;
   std::uint16_t next_ttcp_port_ = 5001;
+};
+
+// ---------------------------------------------------------------------------
+// Topology sweeps
+
+/// One measured cell of a topology sweep.
+struct SweepResult {
+  netsim::TopologySpec spec;
+  std::string label;
+
+  // topology size
+  int bridges = 0;
+  int lans = 0;
+  int hosts = 0;
+  int ports = 0;
+
+  // spanning-tree outcome
+  bool stp_converged = false;
+  int blocked_ports = 0;
+  int forwarding_ports = 0;
+
+  // workload outcome
+  std::uint64_t frames_carried = 0;
+  std::uint64_t bytes_carried = 0;
+  std::uint64_t frames_lost = 0;
+  std::size_t mac_entries = 0;
+  int pings_sent = 0;
+  int pings_answered = 0;
+
+  // cost
+  std::uint64_t events = 0;      ///< scheduler events executed for the cell
+  double virtual_seconds = 0.0;  ///< simulated time elapsed
+  double wall_seconds = 0.0;     ///< real time the cell took
+  double events_per_sec = 0.0;   ///< events / wall_seconds
+};
+
+/// Knobs shared by every cell of a sweep.
+struct SweepOptions {
+  /// Simulated settle time before traffic (2 x forward delay + margin when
+  /// STP is on).
+  netsim::Duration convergence_window = netsim::seconds(45);
+  /// Simulated time the workload runs.
+  netsim::Duration traffic_window = netsim::seconds(5);
+  /// Broadcast frames injected on lan0 after convergence (flood workload).
+  int probe_broadcasts = 10;
+  /// Every host pings its successor host (learning + directed workload).
+  bool neighbor_pings = true;
+  bridge::BridgeNodeConfig node_config;
+  bridge::TopologyBuildOptions build;
+};
+
+/// Runs a canned flood+learning workload over a grid of topology specs.
+class TopologySweep {
+ public:
+  explicit TopologySweep(SweepOptions options = {}) : options_(std::move(options)) {}
+
+  /// Builds one cell in a fresh Network, drives the workload, measures.
+  [[nodiscard]] SweepResult run_cell(const netsim::TopologySpec& spec);
+
+  /// run_cell over every spec, in order.
+  [[nodiscard]] std::vector<SweepResult> run_grid(
+      const std::vector<netsim::TopologySpec>& grid);
+
+  /// Cross product helper: every shape x every node count, fixed hosts.
+  [[nodiscard]] static std::vector<netsim::TopologySpec> make_grid(
+      const std::vector<netsim::TopologyShape>& shapes,
+      const std::vector<int>& node_counts, int hosts_per_lan);
+
+  /// Human-readable summary table.
+  [[nodiscard]] static std::string format_table(const std::vector<SweepResult>& cells);
+
+  /// JSON array for BENCH_*.json trajectories.
+  [[nodiscard]] static std::string format_json(const std::vector<SweepResult>& cells);
+
+ private:
+  SweepOptions options_;
 };
 
 }  // namespace ab::apps

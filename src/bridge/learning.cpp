@@ -1,5 +1,7 @@
 #include "src/bridge/learning.h"
 
+#include <algorithm>
+
 namespace ab::bridge {
 
 void MacTable::learn(ether::MacAddress src, active::PortId port,
@@ -30,9 +32,16 @@ std::size_t MacTable::expire(netsim::TimePoint now) {
 }
 
 LearningBridgeSwitchlet::LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
-                                                 netsim::Duration aging)
-    : plane_(std::move(plane)), table_(aging) {
+                                                 netsim::Duration aging,
+                                                 netsim::Duration sweep_interval)
+    : plane_(std::move(plane)), table_(aging), sweep_interval_(sweep_interval) {
   if (!plane_) throw std::invalid_argument("LearningBridgeSwitchlet: null plane");
+  if (sweep_interval_ <= netsim::Duration::zero()) {
+    // aging/4, floored at 1 s, but never longer than the aging horizon
+    // itself (sub-second aging keeps sweep == aging; a clamp() would hit
+    // its lo > hi precondition there).
+    sweep_interval_ = std::min(std::max(aging / 4, netsim::seconds(1)), aging);
+  }
 }
 
 void LearningBridgeSwitchlet::start(active::SafeEnv& env) {
@@ -49,15 +58,40 @@ void LearningBridgeSwitchlet::start(active::SafeEnv& env) {
     return std::string("flushed");
   });
   running_ = true;
+  if (table_.size() > 0) schedule_sweep();  // restart with a warm table
   env.log().info("bridge.learning", "self-learning enabled");
 }
 
 void LearningBridgeSwitchlet::stop() {
   if (!running_) return;
+  env_->timers().cancel(sweep_timer_);
+  sweep_armed_ = false;
   plane_->set_switch_function(std::move(previous_));
   env_->funcs().unregister_func("bridge.learning.table_size");
   env_->funcs().unregister_func("bridge.learning.flush");
   running_ = false;
+}
+
+LearningBridgeSwitchlet::~LearningBridgeSwitchlet() { *alive_ = false; }
+
+void LearningBridgeSwitchlet::schedule_sweep() {
+  // Periodically drop expired entries so an idle, long-lived bridge does
+  // not keep every MAC it ever heard (lookup alone never erases). The
+  // timer only lives while the table has something to age: it re-arms
+  // after a sweep that left entries behind, or on the next learn -- so a
+  // quiet bridge keeps the scheduler empty and an unbounded run() still
+  // terminates. Cancelled on stop(); stale fires after a stop/start are
+  // harmless because the new timer replaces sweep_timer_.
+  sweep_armed_ = true;
+  sweep_timer_ =
+      env_->timers().schedule_after(sweep_interval_, [this, alive = alive_] {
+        if (!*alive || !running_) return;
+        sweep_armed_ = false;
+        table_.set_fast_aging(plane_->fast_aging());
+        stats_.expired += table_.expire(env_->timers().now());
+        stats_.sweeps += 1;
+        if (table_.size() > 0) schedule_sweep();
+      });
 }
 
 void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
@@ -69,6 +103,7 @@ void LearningBridgeSwitchlet::switch_function(const active::Packet& packet) {
   if (plane_->may_learn(packet.ingress)) {
     table_.learn(frame.src, packet.ingress, now);
     stats_.learned += 1;
+    if (!sweep_armed_ && table_.size() > 0) schedule_sweep();
   }
 
   if (!plane_->may_forward(packet.ingress)) {

@@ -75,12 +75,20 @@ struct LearningStats {
   std::uint64_t hits = 0;          ///< destination found and current
   std::uint64_t floods = 0;        ///< unknown or group destination
   std::uint64_t filtered = 0;      ///< destination behind the ingress port
+  std::uint64_t expired = 0;       ///< entries dropped by the periodic sweep
+  std::uint64_t sweeps = 0;        ///< periodic expiry sweeps run
 };
 
 class LearningBridgeSwitchlet final : public active::Switchlet {
  public:
+  /// `sweep_interval` controls the periodic expiry sweep; zero picks
+  /// aging/4 clamped to [1s, aging]. (lookup() already ignores stale
+  /// entries, but without the sweep a long simulation's table would keep
+  /// every MAC it ever saw.)
   LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
-                          netsim::Duration aging = netsim::seconds(300));
+                          netsim::Duration aging = netsim::seconds(300),
+                          netsim::Duration sweep_interval = netsim::Duration::zero());
+  ~LearningBridgeSwitchlet() override;
 
   [[nodiscard]] std::string_view name() const override { return "bridge.learning"; }
 
@@ -90,15 +98,24 @@ class LearningBridgeSwitchlet final : public active::Switchlet {
   [[nodiscard]] const MacTable& table() const { return table_; }
   [[nodiscard]] MacTable& table() { return table_; }
   [[nodiscard]] const LearningStats& stats() const { return stats_; }
+  [[nodiscard]] netsim::Duration sweep_interval() const { return sweep_interval_; }
 
  private:
   void switch_function(const active::Packet& packet);
+  void schedule_sweep();
 
   std::shared_ptr<ForwardingPlane> plane_;
   active::SafeEnv* env_ = nullptr;
   MacTable table_;
   LearningStats stats_;
   ForwardingPlane::SwitchFunction previous_;
+  netsim::Duration sweep_interval_;
+  netsim::EventId sweep_timer_{};
+  bool sweep_armed_ = false;
+  /// Lifetime token captured by the sweep timer: a switchlet destroyed
+  /// without stop() (whole node torn down) must not leave a timer that
+  /// fires into freed memory.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool running_ = false;
 };
 

@@ -337,6 +337,13 @@ void StpEngine::receive(active::PortId port_id, const Bpdu& bpdu) {
 
   if (bpdu.type == BpduType::kTcn) {
     stats_.tcns_received += 1;
+    // 802.1D: a TCN is addressed to the segment's designated bridge; only
+    // it relays toward the root. Anyone else on a shared segment must
+    // ignore it -- a bridge whose root port IS that segment would resend
+    // the TCN onto the same wire, and with three or more bridges attached
+    // each TCN would be re-amplified by every hearer (exponential storm on
+    // star hubs and tree trunk LANs).
+    if (p.role != StpPortRole::kDesignated) return;
     if (is_root()) {
       begin_topology_change();
     } else if (root_port_ != active::kNoPort) {

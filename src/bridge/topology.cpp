@@ -1,0 +1,102 @@
+#include "src/bridge/topology.h"
+
+#include "src/netsim/cost_model.h"
+
+namespace ab::bridge {
+
+int BridgedTopology::count_gates(PortGate gate) const {
+  int count = 0;
+  for (const auto& b : bridges) {
+    for (const auto& p : b->plane().bridge_ports()) {
+      if (p.gate == gate) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<StpEngine*> BridgedTopology::stp_engines() const {
+  std::vector<StpEngine*> engines;
+  for (const auto& b : bridges) {
+    auto* stp = dynamic_cast<StpSwitchlet*>(b->node().loader().find("stp.ieee"));
+    if (stp != nullptr && stp->engine() != nullptr) engines.push_back(stp->engine());
+  }
+  return engines;
+}
+
+bool BridgedTopology::stp_converged() const {
+  const std::vector<StpEngine*> engines = stp_engines();
+  if (engines.empty()) return false;
+  int roots = 0;
+  for (StpEngine* e : engines) {
+    if (e->is_root()) ++roots;
+    if (!(e->root_id() == engines.front()->root_id())) return false;
+    for (const auto& p : e->snapshot().ports) {
+      if (p.state == StpPortState::kListening || p.state == StpPortState::kLearning) {
+        return false;
+      }
+    }
+  }
+  return roots == 1;
+}
+
+std::size_t BridgedTopology::mac_entries() const {
+  std::size_t total = 0;
+  for (const auto& b : bridges) {
+    auto* learning =
+        dynamic_cast<LearningBridgeSwitchlet*>(b->node().loader().find("bridge.learning"));
+    if (learning != nullptr) total += learning->table().size();
+  }
+  return total;
+}
+
+BridgedTopology build_topology(netsim::Network& net, const netsim::TopologySpec& spec,
+                               BridgeNodeConfig node_config,
+                               TopologyBuildOptions options) {
+  // The 10.<lan hi>.<lan lo>.<host> assignment scheme below caps what fits
+  // without octet wraparound; beyond it hosts would silently collide (see
+  // ROADMAP: widen the addressing before simulating thousands of stations).
+  if (spec.hosts_per_lan > 253) {
+    throw std::invalid_argument("build_topology: hosts_per_lan > 253 overflows the "
+                                "10.x.y.z host addressing scheme");
+  }
+  if (netsim::TopologyBuilder::segment_count(spec) > 65534) {
+    throw std::invalid_argument(
+        "build_topology: more than 65534 segments overflows the "
+        "10.x.y.z host addressing scheme");
+  }
+
+  BridgedTopology built;
+  built.shape = netsim::TopologyBuilder(net).build(spec);
+
+  for (std::size_t i = 0; i < built.shape.node_ports.size(); ++i) {
+    BridgeNodeConfig cfg = node_config;
+    cfg.name = built.shape.node_names[i];
+    auto node = std::make_unique<BridgeNode>(net.scheduler(), std::move(cfg));
+    int port = 0;
+    for (netsim::LanSegment* seg : built.shape.node_ports[i]) {
+      node->add_port(
+          net.add_nic(built.shape.node_names[i] + ".eth" + std::to_string(port++), *seg));
+    }
+    if (options.dumb) node->load_dumb();
+    if (options.learning) node->load_learning();
+    if (options.stp) node->load_ieee();
+    built.bridges.push_back(std::move(node));
+  }
+
+  for (const netsim::Topology::HostAttach& h : built.shape.hosts) {
+    stack::HostConfig cfg;
+    const int lan_ordinal = h.lan + 1;
+    cfg.ip = stack::Ipv4Addr(10, static_cast<std::uint8_t>((lan_ordinal >> 8) & 0xFF),
+                             static_cast<std::uint8_t>(lan_ordinal & 0xFF),
+                             static_cast<std::uint8_t>(h.index + 1));
+    if (options.host_cost_model) cfg.tx_cost = netsim::CostModel::linux_host();
+    auto host = std::make_unique<stack::HostStack>(
+        net.scheduler(),
+        net.add_nic(h.name, *built.shape.lans[static_cast<std::size_t>(h.lan)]), cfg);
+    host->nic().set_tx_queue_limit(options.host_tx_queue_limit);
+    built.hosts.push_back(std::move(host));
+  }
+  return built;
+}
+
+}  // namespace ab::bridge

@@ -1,0 +1,65 @@
+// build_topology: turn a netsim::TopologySpec wiring plan into a running
+// extended LAN -- one BridgeNode per node position (ports attached,
+// switchlets loaded) and one HostStack per planned host attachment point.
+//
+// This is the assembly half of the TopologyBuilder split: netsim generates
+// shapes without knowing what a bridge is; this header owns the
+// bridge/stack layers' side of the contract. The hand-wired two-LAN and
+// ring helpers the tests, examples, and benches used to copy around are
+// one-liners over this.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/bridge/bridge_node.h"
+#include "src/netsim/network.h"
+#include "src/stack/host_stack.h"
+
+namespace ab::bridge {
+
+/// What to stand up at each node/host position.
+struct TopologyBuildOptions {
+  bool dumb = true;      ///< switchlet 1: flooding repeater (port owner)
+  bool learning = true;  ///< switchlet 2: self-learning
+  bool stp = true;       ///< switchlet 3: IEEE 802.1D spanning tree
+  /// Charge the calibrated Linux-host tx cost at every host.
+  bool host_cost_model = false;
+  std::size_t host_tx_queue_limit = 1 << 20;
+};
+
+/// A built topology: the netsim wiring plan plus the assembled nodes.
+/// Bridges and hosts are positionally aligned with shape.node_ports /
+/// shape.hosts.
+struct BridgedTopology {
+  netsim::Topology shape;
+  std::vector<std::unique_ptr<BridgeNode>> bridges;
+  std::vector<std::unique_ptr<stack::HostStack>> hosts;
+
+  [[nodiscard]] BridgeNode& bridge(std::size_t i) { return *bridges[i]; }
+  [[nodiscard]] stack::HostStack& host(std::size_t i) { return *hosts[i]; }
+
+  /// Ports across all bridges whose data-plane gate is `gate`.
+  [[nodiscard]] int count_gates(PortGate gate) const;
+
+  /// The IEEE STP engines, in bridge order (empty when stp was off).
+  [[nodiscard]] std::vector<StpEngine*> stp_engines() const;
+
+  /// True once the spanning tree has settled: exactly one bridge believes
+  /// it is root, every bridge agrees who that is, and no port is still in
+  /// a transitional (Listening/Learning) state.
+  [[nodiscard]] bool stp_converged() const;
+
+  /// MAC-table entries across all learning switchlets.
+  [[nodiscard]] std::size_t mac_entries() const;
+};
+
+/// Builds `spec` inside `net` and assembles bridges and hosts on the plan.
+/// `node_config.name` is overridden per node with the plan's names; host
+/// IPs are assigned 10.<lan+1 hi>.<lan+1 lo>.<host+1>.
+[[nodiscard]] BridgedTopology build_topology(netsim::Network& net,
+                                             const netsim::TopologySpec& spec,
+                                             BridgeNodeConfig node_config = {},
+                                             TopologyBuildOptions options = {});
+
+}  // namespace ab::bridge

@@ -1,0 +1,116 @@
+// BaselineScheduler: the PR 1 event loop (std::priority_queue + live-set),
+// kept verbatim as a reference implementation.
+//
+// It is not used by the simulator. It exists for two clients:
+//   * tests/netsim/scheduler_property_test.cpp runs random interleaved
+//     schedule/cancel/run programs against both cores and requires
+//     identical firing orders -- the baseline is the ordering oracle for
+//     the indexed-heap rewrite;
+//   * bench/micro_scheduler.cpp measures the rewrite's events/sec against
+//     this core on the cancel-heavy timer workloads the bridge generates
+//     (BENCH_scheduler.json tracks the ratio across PRs).
+//
+// Contract (shared with Scheduler): events at equal timestamps fire in
+// submission order; cancel of a fired or unknown id is a no-op; run_until
+// never runs an event past the bound even when the queue head is cancelled;
+// pending()/empty() are exact under cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "src/netsim/time.h"
+
+namespace ab::netsim {
+
+/// Handle for cancelling a BaselineScheduler event.
+struct BaselineEventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const BaselineEventId&, const BaselineEventId&) = default;
+};
+
+class BaselineScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  BaselineEventId schedule_at(TimePoint when, Callback fn) {
+    if (!fn) throw std::invalid_argument("BaselineScheduler: null callback");
+    if (when < now_) when = now_;
+    const BaselineEventId id{next_seq_++};
+    queue_.push(Event{when, id.seq, std::move(fn)});
+    live_.insert(id.seq);
+    return id;
+  }
+
+  BaselineEventId schedule_after(Duration delay, Callback fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void cancel(BaselineEventId id) { live_.erase(id.seq); }
+
+  bool step() { return pop_and_run(); }
+
+  std::size_t run_until(TimePoint until) {
+    std::size_t count = 0;
+    while (!queue_.empty()) {
+      while (!queue_.empty() && live_.count(queue_.top().seq) == 0) queue_.pop();
+      if (queue_.empty() || queue_.top().when > until) break;
+      if (pop_and_run()) ++count;
+    }
+    if (now_ < until) now_ = until;
+    return count;
+  }
+
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    std::size_t count = 0;
+    while (count < max_events && pop_and_run()) ++count;
+    return count;
+  }
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (live_.erase(ev.seq) == 0) continue;  // cancelled
+      now_ = ev.when;
+      ++executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ab::netsim

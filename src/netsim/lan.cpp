@@ -44,10 +44,6 @@ void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   }
 }
 
-void LanSegment::broadcast(util::ByteBuffer wire, const Nic* sender) {
-  broadcast(ether::WireFrame::from_wire(std::move(wire)), sender);
-}
-
 void LanSegment::attach_nic(Nic& nic) {
   if (std::find(nics_.begin(), nics_.end(), &nic) == nics_.end()) {
     nics_.push_back(&nic);

@@ -64,9 +64,6 @@ class LanSegment {
   /// everyone).
   void broadcast(const ether::WireFrame& frame, const Nic* sender);
 
-  /// Legacy/test entry point taking raw encoded bytes.
-  void broadcast(util::ByteBuffer wire, const Nic* sender);
-
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
 
   // Nic::attach/detach call these.

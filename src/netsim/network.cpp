@@ -1,6 +1,9 @@
 #include "src/netsim/network.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/util/string_util.h"
 
 namespace ab::netsim {
 
@@ -30,6 +33,145 @@ LanSegment* Network::find_segment(const std::string& name) const {
     if (seg->name() == name) return seg.get();
   }
   return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TopologyBuilder
+
+std::string_view to_string(TopologyShape shape) {
+  switch (shape) {
+    case TopologyShape::kLine:
+      return "line";
+    case TopologyShape::kRing:
+      return "ring";
+    case TopologyShape::kStar:
+      return "star";
+    case TopologyShape::kTree:
+      return "tree";
+    case TopologyShape::kMesh:
+      return "mesh";
+  }
+  return "?";
+}
+
+std::string TopologySpec::label() const {
+  return util::format("%s%s-%dx%d", prefix.c_str(),
+                      std::string(to_string(shape)).c_str(), nodes, hosts_per_lan);
+}
+
+namespace {
+
+void validate(const TopologySpec& spec) {
+  const auto bad = [&](const char* what) {
+    throw std::invalid_argument(util::format("TopologySpec %s: %s",
+                                             spec.label().c_str(), what));
+  };
+  if (spec.nodes < 1) bad("needs at least one node");
+  if (spec.hosts_per_lan < 0) bad("negative hosts_per_lan");
+  if (spec.tree_arity < 1 && spec.shape == TopologyShape::kTree) {
+    bad("tree_arity must be >= 1");
+  }
+  // A one-node "ring" degenerates to a bridge with both ports on one LAN;
+  // tests use it, so only mesh (which would have zero segments) is rejected.
+  if (spec.nodes < 2 && spec.shape == TopologyShape::kMesh) {
+    bad("mesh needs at least two nodes");
+  }
+}
+
+/// Index of the segment a tree node bridges upward into: the root LAN for
+/// node 0, otherwise the parent node's down-segment (node j's down-segment
+/// is j+1).
+int tree_up_segment(int node, int arity) {
+  if (node == 0) return 0;
+  return (node - 1) / arity + 1;
+}
+
+}  // namespace
+
+int TopologyBuilder::segment_count(const TopologySpec& spec) {
+  switch (spec.shape) {
+    case TopologyShape::kLine:
+    case TopologyShape::kStar:
+    case TopologyShape::kTree:
+      return spec.nodes + 1;
+    case TopologyShape::kRing:
+      return spec.nodes;
+    case TopologyShape::kMesh:
+      return spec.nodes * (spec.nodes - 1) / 2;
+  }
+  return 0;
+}
+
+int TopologyBuilder::port_count(const TopologySpec& spec, int node) {
+  switch (spec.shape) {
+    case TopologyShape::kLine:
+    case TopologyShape::kRing:
+    case TopologyShape::kStar:
+    case TopologyShape::kTree:
+      return 2;
+    case TopologyShape::kMesh:
+      return spec.nodes - 1;
+  }
+  (void)node;
+  return 0;
+}
+
+Topology TopologyBuilder::build(const TopologySpec& spec) {
+  validate(spec);
+  Topology topo;
+  topo.spec = spec;
+
+  const int segments = segment_count(spec);
+  topo.lans.reserve(static_cast<std::size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    const auto it = spec.lan_overrides.find(i);
+    const LanConfig cfg = it != spec.lan_overrides.end() ? it->second : spec.lan;
+    topo.lans.push_back(
+        &net_->add_segment(spec.prefix + "lan" + std::to_string(i), cfg));
+  }
+
+  const auto lan = [&](int i) { return topo.lans[static_cast<std::size_t>(i)]; };
+  topo.node_ports.resize(static_cast<std::size_t>(spec.nodes));
+  topo.node_names.reserve(static_cast<std::size_t>(spec.nodes));
+  for (int i = 0; i < spec.nodes; ++i) {
+    topo.node_names.push_back(spec.prefix + "bridge" + std::to_string(i));
+    auto& ports = topo.node_ports[static_cast<std::size_t>(i)];
+    switch (spec.shape) {
+      case TopologyShape::kLine:
+        ports = {lan(i), lan(i + 1)};
+        break;
+      case TopologyShape::kRing:
+        ports = {lan(i), lan((i + 1) % spec.nodes)};
+        break;
+      case TopologyShape::kStar:
+        // Leaf segment first so hosts on "node i's LAN" read naturally.
+        ports = {lan(i + 1), lan(0)};
+        break;
+      case TopologyShape::kTree:
+        ports = {lan(tree_up_segment(i, spec.tree_arity)), lan(i + 1)};
+        break;
+      case TopologyShape::kMesh: {
+        // Pair (a, b), a < b, owns segment index  a*(2n-a-1)/2 + (b-a-1).
+        for (int peer = 0; peer < spec.nodes; ++peer) {
+          if (peer == i) continue;
+          const int a = std::min(i, peer);
+          const int b = std::max(i, peer);
+          const int seg = a * (2 * spec.nodes - a - 1) / 2 + (b - a - 1);
+          ports.push_back(lan(seg));
+        }
+        break;
+      }
+    }
+  }
+
+  for (int l = 0; l < segments; ++l) {
+    for (int h = 0; h < spec.hosts_per_lan; ++h) {
+      topo.hosts.push_back(Topology::HostAttach{
+          l, h,
+          spec.prefix + "host" + std::to_string(l) + "_" + std::to_string(h)});
+    }
+  }
+  return topo;
 }
 
 }  // namespace ab::netsim

@@ -1,9 +1,18 @@
 // Network: the owning container for a simulation -- one scheduler, the LAN
-// segments, and the NICs -- plus topology-building helpers for the shapes
-// the paper's experiments use (two bridged LANs, the three-bridge ring of
-// section 7.5).
+// segments, and the NICs -- plus TopologyBuilder, the declarative generator
+// for parametric extended-LAN shapes (line / ring / star / tree / mesh).
+//
+// The paper's evaluation runs on two bridged LANs and a three-bridge ring;
+// the builder generalizes those to N-node shapes with M host attachment
+// points per LAN so tests, benches, and scenario sweeps can dial topology
+// size instead of hand-wiring segments. netsim knows nothing about bridges
+// or host stacks (they live layers above), so the builder creates the
+// segments and hands back a wiring plan: which segments each node connects
+// and where hosts attach. src/bridge/topology.h turns that plan into
+// assembled BridgeNodes and HostStacks.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +59,80 @@ class Network {
   std::vector<std::unique_ptr<LanSegment>> segments_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::uint32_t next_mac_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Parametric topology generation
+
+/// The extended-LAN shapes the builder can generate.
+enum class TopologyShape {
+  kLine,  ///< nodes+1 segments in a chain; node i joins seg i and seg i+1
+  kRing,  ///< nodes segments in a cycle; node i joins seg i and seg (i+1)%n
+  kStar,  ///< hub segment 0; node i joins its leaf segment i+1 to the hub
+  kTree,  ///< arity-ary tree; node i joins its parent's down-segment and its own
+  kMesh,  ///< one point-to-point segment per node pair; n-1 ports per node
+};
+
+[[nodiscard]] std::string_view to_string(TopologyShape shape);
+
+/// Declarative description of a topology. `nodes` counts bridge positions,
+/// `hosts_per_lan` host attachment points generated on every segment.
+struct TopologySpec {
+  TopologyShape shape = TopologyShape::kRing;
+  int nodes = 3;
+  int hosts_per_lan = 0;
+  /// Children per node for kTree.
+  int tree_arity = 2;
+  /// Default physical parameters for every segment.
+  LanConfig lan;
+  /// Per-segment-index overrides (loss on one link, a slow uplink, ...).
+  std::map<int, LanConfig> lan_overrides;
+  /// Prepended to every generated segment/node/host name, so several
+  /// topologies can share one Network.
+  std::string prefix;
+
+  /// "ring-32x4" style tag used in sweep tables and bench JSON.
+  [[nodiscard]] std::string label() const;
+};
+
+/// The wiring plan for one generated topology. Segments are live (created
+/// in the Network); nodes and hosts are attachment plans for the layers
+/// above.
+struct Topology {
+  /// One planned host attachment point.
+  struct HostAttach {
+    int lan = 0;    ///< index into `lans`
+    int index = 0;  ///< host ordinal on that segment
+    std::string name;
+  };
+
+  TopologySpec spec;
+  std::vector<LanSegment*> lans;
+  /// node_ports[i] lists the segments node i bridges, in port order.
+  std::vector<std::vector<LanSegment*>> node_ports;
+  std::vector<std::string> node_names;
+  std::vector<HostAttach> hosts;
+};
+
+/// Generates segments and wiring plans for TopologySpecs inside one
+/// Network. Pure netsim: the caller (or bridge::build_topology) decides
+/// what actually sits at each node position.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(Network& net) : net_(&net) {}
+
+  /// Creates the spec's segments in the Network and returns the plan.
+  /// Throws std::invalid_argument on malformed specs (too few nodes for
+  /// the shape, negative host counts, non-positive arity).
+  Topology build(const TopologySpec& spec);
+
+  /// Segments the spec will create (without building anything).
+  [[nodiscard]] static int segment_count(const TopologySpec& spec);
+  /// Ports node `node` will have under this spec.
+  [[nodiscard]] static int port_count(const TopologySpec& spec, int node);
+
+ private:
+  Network* net_;
 };
 
 }  // namespace ab::netsim

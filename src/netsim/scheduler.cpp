@@ -1,5 +1,6 @@
 #include "src/netsim/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/util/string_util.h"
@@ -13,10 +14,28 @@ std::string time_to_string(TimePoint t) {
 EventId Scheduler::schedule_at(TimePoint when, Callback fn) {
   if (!fn) throw std::invalid_argument("Scheduler: null callback");
   if (when < now_) when = now_;
-  const EventId id{next_seq_++};
-  queue_.push(Event{when, id.seq, std::move(fn)});
-  live_.insert(id.seq);
-  return id;
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    // Generations start at 1 so a hand-rolled EventId{small int} (gen 0)
+    // can never match a live slot.
+    slots_.back().gen = 1;
+  }
+  slots_[slot].fn = std::move(fn);
+
+  HeapEntry entry;
+  entry.when = when;
+  entry.order = next_order_++;
+  entry.slot = slot;
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(entry);
+  sift_up(pos, entry);
+  return EventId{(static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot};
 }
 
 EventId Scheduler::schedule_after(Duration delay, Callback fn) {
@@ -25,38 +44,93 @@ EventId Scheduler::schedule_after(Duration delay, Callback fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  // Erasing from the live set both cancels a pending event and makes
-  // cancel-after-fire / cancel-of-unknown-seq exact no-ops: there is never
-  // an entry to leak.
-  live_.erase(id.seq);
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // A live slot's generation matches the stamp in exactly one outstanding
+  // id; firing or cancelling bumps it, so stale handles fall through here.
+  // (Live generations are never 0, so null/forged ids miss too.)
+  if (s.gen != id_gen(id)) return;
+  heap_remove(s.heap_pos);
+  free_slot(slot);
+}
+
+void Scheduler::heap_place(std::uint32_t pos, const HeapEntry& entry) {
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = pos;
+}
+
+void Scheduler::sift_up(std::uint32_t pos, const HeapEntry& entry) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!entry.earlier_than(heap_[parent])) break;
+    heap_place(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_place(pos, entry);
+}
+
+void Scheduler::sift_down(std::uint32_t pos, const HeapEntry& entry) {
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint64_t first = std::uint64_t{pos} * kArity + 1;
+    if (first >= size) break;
+    const auto last =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(first + kArity, size));
+    auto best = static_cast<std::uint32_t>(first);
+    for (std::uint32_t c = best + 1; c < last; ++c) {
+      if (heap_[c].earlier_than(heap_[best])) best = c;
+    }
+    if (!heap_[best].earlier_than(entry)) break;
+    heap_place(pos, heap_[best]);
+    pos = best;
+  }
+  heap_place(pos, entry);
+}
+
+void Scheduler::heap_remove(std::uint32_t pos) {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  // Re-seat the displaced tail entry: it may need to move either way.
+  if (pos > 0 && moved.earlier_than(heap_[(pos - 1) / kArity])) {
+    sift_up(pos, moved);
+  } else {
+    sift_down(pos, moved);
+  }
+}
+
+void Scheduler::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (++s.gen == 0) s.gen = 1;  // never hand out the unissuable generation
+  s.fn = nullptr;
+  free_.push_back(slot);
 }
 
 bool Scheduler::pop_and_run() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we move the callback out via const_cast,
-    // which is safe because the element is popped immediately after.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (live_.erase(ev.seq) == 0) continue;  // cancelled
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  now_ = heap_[0].when;
+  heap_remove(0);
+  ++executed_;
+  // Retire the slot before running so a cancel of this event's own id from
+  // inside the callback is already a stale no-op, and pending() excludes
+  // the running event (matching the baseline core's semantics).
+  Callback fn = std::move(slots_[slot].fn);
+  free_slot(slot);
+  fn();
+  return true;
 }
 
 bool Scheduler::step() { return pop_and_run(); }
 
 std::size_t Scheduler::run_until(TimePoint until) {
   std::size_t count = 0;
-  while (!queue_.empty()) {
-    // Discard cancelled events at the head so the time bound is checked
-    // against a live event (a cancelled head must not let a live event
-    // beyond `until` run).
-    while (!queue_.empty() && live_.count(queue_.top().seq) == 0) queue_.pop();
-    if (queue_.empty() || queue_.top().when > until) break;
-    if (pop_and_run()) ++count;
+  // The heap never holds cancelled entries, so the head is always a live
+  // event and the time bound is checked against real work.
+  while (!heap_.empty() && heap_[0].when <= until) {
+    pop_and_run();
+    ++count;
   }
   if (now_ < until) now_ = until;
   return count;
@@ -69,9 +143,5 @@ std::size_t Scheduler::run(std::size_t max_events) {
   while (count < max_events && pop_and_run()) ++count;
   return count;
 }
-
-bool Scheduler::empty() const { return live_.empty(); }
-
-std::size_t Scheduler::pending() const { return live_.size(); }
 
 }  // namespace ab::netsim

@@ -1,22 +1,39 @@
 // Deterministic discrete-event scheduler.
 //
 // Events at equal timestamps fire in submission order (a monotonically
-// increasing sequence number breaks ties), so every simulation in the test
+// increasing order number breaks ties), so every simulation in the test
 // and bench suites is bit-for-bit reproducible.
+//
+// The event core is an indexed 4-ary min-heap over a slot table:
+//
+//   * schedule is O(log n) with no per-event heap allocation -- slots are
+//     recycled through a free list and the callback type keeps small
+//     captures (a few pointers, a WireFrame) in inline storage;
+//   * cancel is O(log n) and in-place: the handle's generation stamp is
+//     checked against the slot, the slot is unlinked from the heap
+//     immediately, and nothing dead is ever left behind -- no tombstones to
+//     skip at pop time, no live-set hash lookups on the hot path;
+//   * pending()/empty() are exact by construction (the heap only ever
+//     contains live events).
+//
+// A cancelled, fired, or never-issued EventId is recognized by its
+// generation stamp, so stale cancels are harmless no-ops (timers race with
+// the traffic that restarts them). src/netsim/baseline_scheduler.h keeps
+// the previous priority_queue core as the ordering oracle for the
+// determinism property test and as the microbench baseline.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/netsim/time.h"
+#include "src/util/inline_function.h"
 
 namespace ab::netsim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Opaque: the low 32 bits are a
+/// slot index, the high 32 bits the slot's generation at issue time, so a
+/// handle stops matching the moment its event fires or is cancelled.
 struct EventId {
   std::uint64_t seq = 0;
   friend bool operator==(const EventId&, const EventId&) = default;
@@ -25,7 +42,9 @@ struct EventId {
 /// The simulator's event loop and clock.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity fits the datapath's delivery closures (this + NIC +
+  /// WireFrame) and a moved-in std::function without touching the heap.
+  using Callback = util::InlineFunction<void(), 48>;
 
   /// Current virtual time. Advances only while events run.
   [[nodiscard]] TimePoint now() const { return now_; }
@@ -36,9 +55,9 @@ class Scheduler {
   /// Schedules `fn` after a delay relative to now().
   EventId schedule_after(Duration delay, Callback fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event
-  /// is a harmless no-op (timers race with the traffic that restarts them)
-  /// and leaves no bookkeeping behind.
+  /// Cancels a pending event in place. Cancelling an already-fired or
+  /// unknown event is a harmless no-op (timers race with the traffic that
+  /// restarts them) and leaves no bookkeeping behind.
   void cancel(EventId id);
 
   /// Runs the single next event. Returns false if the queue is empty.
@@ -54,34 +73,59 @@ class Scheduler {
   /// Runs until the queue is empty or `max_events` have executed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    TimePoint when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  /// Heap arity. Quads trade a slightly deeper compare per sift-down level
+  /// for half the tree depth and contiguous child cache lines.
+  static constexpr std::uint32_t kArity = 4;
+
+  /// The heap stores the full sort key next to the slot index, so sifting
+  /// compares contiguous memory and never chases into the slot table (the
+  /// slot is touched only at schedule / cancel / fire).
+  struct HeapEntry {
+    TimePoint when{};
+    std::uint64_t order = 0;  ///< FIFO tiebreak for equal timestamps
+    std::uint32_t slot = 0;
+
+    [[nodiscard]] bool earlier_than(const HeapEntry& o) const {
+      if (when != o.when) return when < o.when;
+      return order < o.order;
     }
   };
 
-  /// Pops and runs the next non-cancelled event; false when queue empty.
+  struct Slot {
+    std::uint32_t gen = 0;  ///< matches the EventId stamp while live
+    std::uint32_t heap_pos = 0;
+    Callback fn;
+  };
+
+  [[nodiscard]] static std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id.seq & 0xFFFFFFFFu);
+  }
+  [[nodiscard]] static std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id.seq >> 32);
+  }
+
+  void heap_place(std::uint32_t pos, const HeapEntry& entry);
+  void sift_up(std::uint32_t pos, const HeapEntry& entry);
+  void sift_down(std::uint32_t pos, const HeapEntry& entry);
+  /// Unlinks the heap entry at `pos`, restoring the heap property.
+  void heap_remove(std::uint32_t pos);
+  /// Retires a slot: bumps its generation (invalidating outstanding ids),
+  /// drops the callback, and recycles the index.
+  void free_slot(std::uint32_t slot);
+
+  /// Pops and runs the next event; false when the queue is empty.
   bool pop_and_run();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  /// Sequence numbers of events that are queued and not cancelled. An entry
-  /// lives exactly as long as its event is live: inserted by schedule_at,
-  /// erased by cancel() or when the event pops — so neither firing nor
-  /// cancelling leaks bookkeeping, however long the simulation runs.
-  std::unordered_set<std::uint64_t> live_;
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;      ///< 4-ary min-heap on (when, order)
+  std::vector<std::uint32_t> free_;  ///< recycled slot indices
   TimePoint now_{};
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_order_ = 1;
   std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,143 @@
+// InlineFunction: a move-only callable wrapper with small-buffer storage.
+//
+// The simulator schedules millions of short-lived events whose captures are
+// a handful of pointers (a NIC, a WireFrame, a switchlet). std::function
+// heap-allocates once a capture outgrows its tiny internal buffer (16 bytes
+// in libstdc++), which puts an allocator round-trip on the scheduler's hot
+// path. InlineFunction stores any nothrow-movable callable of up to
+// kInlineBytes directly inside the object; only oversized or
+// throwing-to-move callables fall back to the heap.
+//
+// Differences from std::function, chosen for the scheduler:
+//   * move-only (no copy; a scheduled event runs once, from one place),
+//   * invocation is undefined on an empty instance (the scheduler rejects
+//     null callbacks at the door),
+//   * moves are always noexcept, so vector<Slot> growth can relocate slots.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ab::util {
+
+template <typename Signature, std::size_t kInlineBytes = 48>
+class InlineFunction;
+
+namespace detail {
+/// Detects callables with a null state observable via `f == nullptr`
+/// (function pointers, std::function, other wrappers), so wrapping a null
+/// one yields an empty InlineFunction instead of a call-time crash.
+template <typename T, typename = void>
+struct NullComparable : std::false_type {};
+template <typename T>
+struct NullComparable<T,
+                      std::void_t<decltype(std::declval<const T&>() == nullptr)>>
+    : std::true_type {};
+}  // namespace detail
+
+template <typename R, typename... Args, std::size_t kInlineBytes>
+class InlineFunction<R(Args...), kInlineBytes> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (detail::NullComparable<D>::value) {
+      if (fn == nullptr) return;  // wrap a null callable as empty
+    }
+    if constexpr (fits_inline<D>()) {
+      ::new (storage_) D(std::forward<F>(fn));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        D* self = std::launder(reinterpret_cast<D*>(s));
+        if (op == Op::kDestroy) {
+          self->~D();
+        } else {
+          ::new (other) D(std::move(*self));
+          self->~D();
+        }
+      };
+    } else {
+      // Oversized (or throwing-to-move) callable: one heap cell, moved by
+      // pointer thereafter.
+      ::new (storage_) D*(new D(std::forward<F>(fn)));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        D** self = std::launder(reinterpret_cast<D**>(s));
+        if (op == Op::kDestroy) {
+          delete *self;
+        } else {
+          ::new (other) D*(*self);
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Calls the target. Precondition: *this is non-empty.
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when a callable of type D would live in the inline buffer.
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveTo };
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.manage_ != nullptr) other.manage_(Op::kMoveTo, other.storage_, storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes] = {};
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+}  // namespace ab::util

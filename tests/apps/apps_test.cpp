@@ -141,8 +141,8 @@ TEST(Ttcp, ThroughTheActiveBridgeIsSlowerThanRepeater) {
     }
     std::unique_ptr<BufferedRepeater> repeater;
     if (!use_bridge) {
-      auto& r1 = f.net.add_nic("rep0", *f.lan1);
-      auto& r2 = f.net.add_nic("rep1", *f.lan2);
+      auto& r1 = f.net.add_nic("rep0", *f.lan_a);
+      auto& r2 = f.net.add_nic("rep1", *f.lan_b);
       repeater = std::make_unique<BufferedRepeater>(f.net.scheduler(), r1, r2);
     }
     f.host_a->nic().set_tx_queue_limit(100000);

@@ -1,10 +1,14 @@
-// Shared topology builders for the bridge test suite.
+// Shared topology fixtures for the bridge test suite, built on the
+// parametric TopologyBuilder (netsim generates the shape, bridge::build_
+// topology assembles the nodes). Switchlets are NOT preloaded: each test
+// loads exactly the modules it exercises.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "src/bridge/bridge_node.h"
+#include "src/bridge/topology.h"
 #include "src/netsim/network.h"
 #include "src/netsim/trace.h"
 #include "src/stack/host_stack.h"
@@ -12,34 +16,38 @@
 namespace ab::bridge::testing {
 
 /// Two LANs joined by one bridge, with one host on each LAN:
-///   hostA -- lan1 -- [bridge] -- lan2 -- hostB
+///   hostA -- lan0 -- [bridge0] -- lan1 -- hostB
 struct TwoLanFixture {
   netsim::Network net;
-  netsim::LanSegment* lan1;
-  netsim::LanSegment* lan2;
+  netsim::LanSegment* lan_a;
+  netsim::LanSegment* lan_b;
   std::unique_ptr<BridgeNode> bridge;
   std::unique_ptr<stack::HostStack> host_a;
   std::unique_ptr<stack::HostStack> host_b;
   netsim::FrameTrace trace;
 
   explicit TwoLanFixture(BridgeNodeConfig cfg = {}) {
-    lan1 = &net.add_segment("lan1");
-    lan2 = &net.add_segment("lan2");
-    trace.watch(*lan1);
-    trace.watch(*lan2);
+    netsim::TopologySpec spec;
+    spec.shape = netsim::TopologyShape::kLine;
+    spec.nodes = 1;
+    TopologyBuildOptions opts;
+    opts.dumb = opts.learning = opts.stp = false;
+    auto built = build_topology(net, spec, std::move(cfg), opts);
+    lan_a = built.shape.lans[0];
+    lan_b = built.shape.lans[1];
+    trace.watch(*lan_a);
+    trace.watch(*lan_b);
+    bridge = std::move(built.bridges[0]);
 
-    bridge = std::make_unique<BridgeNode>(net.scheduler(), std::move(cfg));
-    bridge->add_port(net.add_nic("eth0", *lan1));
-    bridge->add_port(net.add_nic("eth1", *lan2));
-
+    // Hosts are wired by hand: the tests rely on these exact IPs.
     stack::HostConfig ha;
     ha.ip = stack::Ipv4Addr(10, 0, 0, 1);
     host_a = std::make_unique<stack::HostStack>(net.scheduler(),
-                                                net.add_nic("hostA", *lan1), ha);
+                                                net.add_nic("hostA", *lan_a), ha);
     stack::HostConfig hb;
     hb.ip = stack::Ipv4Addr(10, 0, 0, 2);
     host_b = std::make_unique<stack::HostStack>(net.scheduler(),
-                                                net.add_nic("hostB", *lan2), hb);
+                                                net.add_nic("hostB", *lan_b), hb);
   }
 
   /// Ping A -> B and run for a bounded window (the spanning-tree hello
@@ -65,19 +73,15 @@ struct RingFixture {
   netsim::FrameTrace trace;
 
   explicit RingFixture(int n = 3, BridgeNodeConfig cfg = {}) {
-    for (int i = 0; i < n; ++i) {
-      lans.push_back(&net.add_segment("lan" + std::to_string(i)));
-      trace.watch(*lans.back());
-    }
-    for (int i = 0; i < n; ++i) {
-      BridgeNodeConfig c = cfg;
-      c.name = "bridge" + std::to_string(i);
-      bridges.push_back(std::make_unique<BridgeNode>(net.scheduler(), std::move(c)));
-      auto& b = *bridges.back();
-      b.add_port(net.add_nic(c.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
-      b.add_port(
-          net.add_nic(c.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % n)]));
-    }
+    netsim::TopologySpec spec;
+    spec.shape = netsim::TopologyShape::kRing;
+    spec.nodes = n;
+    TopologyBuildOptions opts;
+    opts.dumb = opts.learning = opts.stp = false;
+    auto built = build_topology(net, spec, std::move(cfg), opts);
+    lans = built.shape.lans;
+    for (auto* lan : lans) trace.watch(*lan);
+    bridges = std::move(built.bridges);
   }
 
   /// Count of ports in each gate state across all bridges.

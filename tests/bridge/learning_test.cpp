@@ -70,6 +70,62 @@ TEST(MacTable, ExpireSweepsStaleEntries) {
 
 // ---- switchlet behaviour over a real two-LAN topology ----
 
+TEST(LearningBridge, PeriodicSweepDropsStaleEntries) {
+  // An idle bridge must shed entries it will never look up again: the
+  // switchlet's periodic sweep runs on the scheduler and counts what it
+  // drops. Aging is shortened so the test stays fast.
+  BridgeNodeConfig cfg;
+  cfg.mac_aging = netsim::seconds(8);  // sweep every 2 s (aging / 4)
+  TwoLanFixture f(cfg);
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+  EXPECT_EQ(learning->sweep_interval(), netsim::seconds(2));
+
+  ASSERT_EQ(f.ping_a_to_b(1), 1);  // populates the table
+  const std::size_t learned = learning->table().size();
+  ASSERT_GE(learned, 2u);
+
+  // No traffic for longer than the aging horizon: the sweep (not any
+  // lookup -- nothing is looking) must empty the table.
+  f.net.scheduler().run_for(netsim::seconds(12));
+  EXPECT_EQ(learning->table().size(), 0u);
+  EXPECT_EQ(learning->stats().expired, learned);
+  EXPECT_GE(learning->stats().sweeps, 4u);
+}
+
+TEST(LearningBridge, StopCancelsTheSweepTimer) {
+  BridgeNodeConfig cfg;
+  cfg.mac_aging = netsim::seconds(8);
+  TwoLanFixture f(cfg);
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+  ASSERT_EQ(f.ping_a_to_b(1), 1);  // arms the sweep
+  ASSERT_TRUE(f.bridge->node().loader().stop("bridge.learning"));
+  const std::uint64_t sweeps = learning->stats().sweeps;
+  f.net.scheduler().run_for(netsim::seconds(30));
+  EXPECT_EQ(learning->stats().sweeps, sweeps);  // timer is gone
+
+  // Restarting with a warm table re-arms it.
+  ASSERT_TRUE(f.bridge->node().loader().start("bridge.learning"));
+  (void)f.ping_a_to_b(1);
+  f.net.scheduler().run_for(netsim::seconds(5));
+  EXPECT_GT(learning->stats().sweeps, sweeps);
+}
+
+TEST(LearningBridge, IdleBridgeLeavesTheSchedulerEmpty) {
+  // The sweep must not keep an idle simulation alive: once the table has
+  // emptied, no timer is pending and an unbounded run() terminates.
+  BridgeNodeConfig cfg;
+  cfg.mac_aging = netsim::seconds(8);
+  TwoLanFixture f(cfg);
+  f.bridge->load_dumb();
+  auto* learning = f.bridge->load_learning();
+  ASSERT_EQ(f.ping_a_to_b(1), 1);
+  f.net.scheduler().run();  // would hang if the sweep re-armed forever
+  EXPECT_EQ(learning->table().size(), 0u);
+  EXPECT_TRUE(f.net.scheduler().empty());
+}
+
 TEST(LearningBridge, PingWorksThroughTheBridge) {
   TwoLanFixture f;
   f.bridge->load_dumb();
@@ -78,29 +134,32 @@ TEST(LearningBridge, PingWorksThroughTheBridge) {
 }
 
 TEST(LearningBridge, IsolatesLocalTraffic) {
-  // Two hosts on lan1 talk; after learning, their frames must not appear
-  // on lan2 -- the whole point of a learning bridge.
+  // Two hosts on the first LAN talk; after learning, their frames must not appear
+  // on the second LAN -- the whole point of a learning bridge.
   TwoLanFixture f;
   f.bridge->load_dumb();
   auto* learning = f.bridge->load_learning();
 
   stack::HostConfig hc;
   hc.ip = stack::Ipv4Addr(10, 0, 0, 3);
-  stack::HostStack host_c(f.net.scheduler(), f.net.add_nic("hostC", *f.lan1), hc);
+  stack::HostStack host_c(f.net.scheduler(), f.net.add_nic("hostC", *f.lan_a), hc);
 
-  // hostA <-> hostC are both on lan1.
+  // hostA <-> hostC are both on lan0.
+  // Bounded runs: an unbounded run() would idle through the whole aging
+  // horizon (the sweep keeps ticking until the table empties) and the
+  // second exchange would start from an empty table again.
   int replies = 0;
   f.host_a->set_echo_handler([&](const stack::HostStack::EchoReply&) { ++replies; });
   f.host_a->send_echo_request(host_c.ip(), 1, 1, {});
-  f.net.scheduler().run();
+  f.net.scheduler().run_for(netsim::seconds(2));
   ASSERT_EQ(replies, 1);
 
-  const std::size_t lan2_before = f.trace.count_on("lan2");
+  const std::size_t far_before = f.trace.count_on("lan1");
   f.host_a->send_echo_request(host_c.ip(), 1, 2, {});
-  f.net.scheduler().run();
+  f.net.scheduler().run_for(netsim::seconds(2));
   EXPECT_EQ(replies, 2);
-  // The second exchange is fully learned: nothing new crosses to lan2.
-  EXPECT_EQ(f.trace.count_on("lan2"), lan2_before);
+  // The second exchange is fully learned: nothing new crosses over.
+  EXPECT_EQ(f.trace.count_on("lan1"), far_before);
   EXPECT_GT(learning->stats().filtered, 0u);
 }
 
@@ -109,11 +168,11 @@ TEST(LearningBridge, UnknownDestinationFloods) {
   f.bridge->load_dumb();
   auto* learning = f.bridge->load_learning();
   // A frame to a never-seen unicast address floods to the other LAN.
-  auto& nic = f.net.add_nic("probe", *f.lan1);
+  auto& nic = f.net.add_nic("probe", *f.lan_a);
   nic.transmit(ether::Frame::ethernet2(kHost2, nic.mac(),
                                        ether::EtherType::kExperimental, {1}));
   f.net.scheduler().run();
-  EXPECT_GT(f.trace.count_on("lan2"), 0u);
+  EXPECT_GT(f.trace.count_on("lan1"), 0u);
   EXPECT_GT(learning->stats().floods, 0u);
 }
 
@@ -156,9 +215,9 @@ TEST(DumbBridge, FloodsEverythingBothWays) {
   f.bridge->load_dumb();
   EXPECT_EQ(f.ping_a_to_b(2), 2);
   // Without learning, even known unicast keeps crossing: every frame from
-  // lan1 appears on lan2 and vice versa.
-  const std::size_t lan2 = f.trace.count_on("lan2");
-  EXPECT_GT(lan2, 0u);
+  // one LAN appears on the other and vice versa.
+  const std::size_t far_lan = f.trace.count_on("lan1");
+  EXPECT_GT(far_lan, 0u);
 }
 
 TEST(DumbBridge, StopUnbindsPorts) {
@@ -175,6 +234,21 @@ TEST(DumbBridge, StopUnbindsPorts) {
 TEST(LearningBridge, RequiresPlane) {
   EXPECT_THROW(LearningBridgeSwitchlet(nullptr), std::invalid_argument);
   EXPECT_THROW(DumbBridgeSwitchlet(nullptr), std::invalid_argument);
+}
+
+TEST(LearningBridge, SweepIntervalDefaults) {
+  const auto plane = std::make_shared<ForwardingPlane>();
+  // aging/4, floored at 1 s, never longer than aging itself.
+  EXPECT_EQ(LearningBridgeSwitchlet(plane, netsim::seconds(300)).sweep_interval(),
+            netsim::seconds(75));
+  EXPECT_EQ(LearningBridgeSwitchlet(plane, netsim::seconds(2)).sweep_interval(),
+            netsim::seconds(1));
+  EXPECT_EQ(
+      LearningBridgeSwitchlet(plane, netsim::milliseconds(500)).sweep_interval(),
+      netsim::milliseconds(500));
+  EXPECT_EQ(LearningBridgeSwitchlet(plane, netsim::seconds(300), netsim::seconds(7))
+                .sweep_interval(),
+            netsim::seconds(7));
 }
 
 }  // namespace

@@ -64,33 +64,17 @@ class ChainProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ChainProperty, NoPortBlockedOnALoopFreeTopology) {
   const int n = GetParam();
-  // A chain: lan0 - B0 - lan1 - B1 - ... - lan[n].
+  // A chain: lan0 - B0 - lan1 - B1 - ... - lan[n], via the line shape.
   netsim::Network net;
-  std::vector<netsim::LanSegment*> lans;
-  for (int i = 0; i <= n; ++i) {
-    lans.push_back(&net.add_segment("lan" + std::to_string(i)));
-  }
-  std::vector<std::unique_ptr<BridgeNode>> bridges;
-  for (int i = 0; i < n; ++i) {
-    BridgeNodeConfig cfg;
-    cfg.name = "bridge" + std::to_string(i);
-    bridges.push_back(std::make_unique<BridgeNode>(net.scheduler(), cfg));
-    auto& b = *bridges.back();
-    b.add_port(net.add_nic(cfg.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
-    b.add_port(net.add_nic(cfg.name + ".eth1", *lans[static_cast<std::size_t>(i + 1)]));
-    b.load_dumb();
-    b.load_learning();
-    b.load_ieee();
-  }
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kLine;
+  spec.nodes = n;
+  auto chain = build_topology(net, spec);
+  const auto& lans = chain.shape.lans;
   net.scheduler().run_for(netsim::seconds(45));
 
-  int blocked = 0;
-  for (auto& b : bridges) {
-    for (const auto& p : b->plane().bridge_ports()) {
-      if (p.gate == PortGate::kBlocked) ++blocked;
-    }
-  }
-  EXPECT_EQ(blocked, 0);  // nothing to cut on a tree
+  EXPECT_EQ(chain.count_gates(PortGate::kBlocked), 0);  // nothing to cut on a tree
+  EXPECT_TRUE(chain.stp_converged());
 
   // End-to-end connectivity along the whole chain.
   netsim::FrameTrace trace;

@@ -200,7 +200,7 @@ TEST(StpEngine, IeeeIgnoresDecFramesAndViceVersa) {
   // switchlet must not be confused (they do not even share an address).
   TwoLanFixture f;
   load_full(*f.bridge);
-  auto& rogue = f.net.add_nic("rogue", *f.lan1);
+  auto& rogue = f.net.add_nic("rogue", *f.lan_a);
   DecBpduCodec dec;
   Bpdu fake;
   fake.root = BridgeId{0, ether::MacAddress::local(0, 1)};  // "best" root ever
@@ -214,7 +214,7 @@ TEST(StpEngine, IeeeIgnoresDecFramesAndViceVersa) {
 TEST(StpEngine, UndecodableGroupTrafficIsCounted) {
   TwoLanFixture f;
   load_full(*f.bridge);
-  auto& rogue = f.net.add_nic("rogue", *f.lan1);
+  auto& rogue = f.net.add_nic("rogue", *f.lan_a);
   // Garbage LLC frame to the All Bridges address.
   rogue.transmit(ether::Frame::llc_frame(ether::MacAddress::all_bridges(), rogue.mac(),
                                          ether::LlcHeader::spanning_tree(),

@@ -1,0 +1,122 @@
+// bridge::build_topology: assembled parametric topologies must carry real
+// traffic -- STP converges on loopy shapes, hosts ping across the extended
+// LAN, and shared segments with many bridges (star hubs, tree trunks) must
+// not melt down (regression for the TCN amplification storm).
+#include "src/bridge/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/trace.h"
+
+namespace ab::bridge {
+namespace {
+
+netsim::TopologySpec spec_of(netsim::TopologyShape shape, int nodes, int hosts = 0) {
+  netsim::TopologySpec spec;
+  spec.shape = shape;
+  spec.nodes = nodes;
+  spec.hosts_per_lan = hosts;
+  return spec;
+}
+
+int ping_across(netsim::Network& net, stack::HostStack& src, stack::HostStack& dst) {
+  int replies = 0;
+  src.set_echo_handler([&](const stack::HostStack::EchoReply&) { ++replies; });
+  src.send_echo_request(dst.ip(), 7, 1, {});
+  net.scheduler().run_for(netsim::seconds(3));
+  return replies;
+}
+
+TEST(BuildTopology, RingConvergesAndCarriesTraffic) {
+  netsim::Network net;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kRing, 4, 1));
+  ASSERT_EQ(topo.bridges.size(), 4u);
+  ASSERT_EQ(topo.hosts.size(), 4u);
+  net.scheduler().run_for(netsim::seconds(45));
+  EXPECT_TRUE(topo.stp_converged());
+  // One loop, one cut.
+  EXPECT_EQ(topo.count_gates(PortGate::kBlocked), 1);
+  EXPECT_EQ(topo.count_gates(PortGate::kForwarding), 7);
+  // Hosts on opposite sides reach each other.
+  EXPECT_EQ(ping_across(net, topo.host(0), topo.host(2)), 1);
+  EXPECT_GT(topo.mac_entries(), 0u);
+}
+
+TEST(BuildTopology, HostAddressesAreUniqueAndOrdered) {
+  netsim::Network net;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kLine, 2, 2));
+  ASSERT_EQ(topo.hosts.size(), 6u);  // 3 segments x 2 hosts
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.hosts.size(); ++j) {
+      EXPECT_FALSE(topo.host(i).ip() == topo.host(j).ip());
+    }
+  }
+}
+
+TEST(BuildTopology, RejectsHostCountsTheAddressingCannotHold) {
+  netsim::Network net;
+  EXPECT_THROW(build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 254)),
+               std::invalid_argument);
+  // 253 per LAN is the last count that fits the 10.x.y.z scheme.
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 253),
+                             {}, TopologyBuildOptions{});
+  EXPECT_EQ(topo.hosts.size(), 2u * 253u);
+}
+
+TEST(BuildTopology, OptionsSelectModules) {
+  netsim::Network net;
+  TopologyBuildOptions opts;
+  opts.stp = false;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 0), {}, opts);
+  EXPECT_NE(topo.bridges[0]->node().loader().find("bridge.dumb"), nullptr);
+  EXPECT_NE(topo.bridges[0]->node().loader().find("bridge.learning"), nullptr);
+  EXPECT_EQ(topo.bridges[0]->node().loader().find("stp.ieee"), nullptr);
+  EXPECT_TRUE(topo.stp_engines().empty());
+  EXPECT_FALSE(topo.stp_converged());
+}
+
+// Regression: a segment shared by many bridges (a star hub) used to melt
+// down because every bridge on the segment re-propagated TCNs onto the
+// same wire (exponential amplification). The hub must stay quiet: the
+// whole convergence window plus traffic is a few thousand frames, not
+// millions.
+TEST(BuildTopology, StarHubDoesNotAmplifyTcns) {
+  netsim::Network net;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kStar, 8, 1));
+  netsim::FrameTrace trace;
+  trace.watch(*topo.shape.lans[0]);  // the hub
+  net.scheduler().run_for(netsim::seconds(60));
+  EXPECT_TRUE(topo.stp_converged());
+  // Loop-free: nothing to block.
+  EXPECT_EQ(topo.count_gates(PortGate::kBlocked), 0);
+  // 60 s of hellos + the forwarding-transition TCN burst across 8 bridges:
+  // linear traffic. The storm this guards against was ~10^6 frames.
+  EXPECT_LT(trace.size(), 2000u);
+  EXPECT_EQ(ping_across(net, topo.host(0), topo.host(8)), 1);
+}
+
+TEST(BuildTopology, TreeTrunkSegmentsStayQuiet) {
+  netsim::Network net;
+  netsim::TopologySpec spec = spec_of(netsim::TopologyShape::kTree, 7, 0);
+  spec.tree_arity = 2;
+  auto topo = build_topology(net, spec);
+  net.scheduler().run_for(netsim::seconds(60));
+  EXPECT_TRUE(topo.stp_converged());
+  EXPECT_EQ(topo.count_gates(PortGate::kBlocked), 0);
+  std::uint64_t frames = 0;
+  for (auto* lan : topo.shape.lans) frames += lan->stats().frames_carried;
+  EXPECT_LT(frames, 5000u);
+}
+
+TEST(BuildTopology, MeshConvergesWithManyLoopsCut) {
+  netsim::Network net;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kMesh, 4, 0));
+  net.scheduler().run_for(netsim::seconds(60));
+  EXPECT_TRUE(topo.stp_converged());
+  // 6 p2p segments, 12 bridge ports, spanning tree keeps 4 nodes on 3
+  // active links: every redundant pair is cut somewhere.
+  EXPECT_GT(topo.count_gates(PortGate::kBlocked), 0);
+}
+
+}  // namespace
+}  // namespace ab::bridge

@@ -5,7 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/ping.h"
-#include "tests/bridge/bridge_test_util.h"
+#include "src/bridge/topology.h"
+#include "src/netsim/trace.h"
 
 namespace ab {
 namespace {
@@ -15,41 +16,30 @@ class LossSweep : public ::testing::TestWithParam<double> {};
 TEST_P(LossSweep, RingStaysLoopFreeAndConnectedUnderLoss) {
   const double loss = GetParam();
   netsim::Network net;
-  std::vector<netsim::LanSegment*> lans;
-  netsim::FrameTrace trace;
+  // A lossy three-bridge ring, declared: every segment carries the same
+  // loss rate with a distinct deterministic seed via lan_overrides.
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kRing;
+  spec.nodes = 3;
   for (int i = 0; i < 3; ++i) {
     netsim::LanConfig cfg;
     cfg.loss = loss;
     cfg.seed = 1000 + static_cast<std::uint64_t>(i);
-    lans.push_back(&net.add_segment("lan" + std::to_string(i), cfg));
-    trace.watch(*lans.back());
+    spec.lan_overrides[i] = cfg;
   }
-  std::vector<std::unique_ptr<bridge::BridgeNode>> bridges;
-  for (int i = 0; i < 3; ++i) {
-    bridge::BridgeNodeConfig cfg;
-    cfg.name = "bridge" + std::to_string(i);
-    bridges.push_back(std::make_unique<bridge::BridgeNode>(net.scheduler(), cfg));
-    auto& b = *bridges.back();
-    b.add_port(net.add_nic(cfg.name + ".eth0", *lans[static_cast<std::size_t>(i)]));
-    b.add_port(
-        net.add_nic(cfg.name + ".eth1", *lans[static_cast<std::size_t>((i + 1) % 3)]));
-    b.load_dumb();
-    b.load_learning();
-    b.load_ieee();
-  }
+  auto ring = bridge::build_topology(net, spec);
+  const auto& lans = ring.shape.lans;
+  netsim::FrameTrace trace;
+  for (auto* lan : lans) trace.watch(*lan);
   net.scheduler().run_for(netsim::seconds(60));
 
   // Still exactly one root, unanimously agreed, despite lost BPDUs.
-  std::vector<bridge::StpEngine*> engines;
-  for (auto& b : bridges) {
-    engines.push_back(
-        dynamic_cast<bridge::StpSwitchlet*>(b->node().loader().find("stp.ieee"))
-            ->engine());
-  }
+  const std::vector<bridge::StpEngine*> engines = ring.stp_engines();
   int roots = 0;
   for (auto* e : engines) roots += e->is_root() ? 1 : 0;
   EXPECT_EQ(roots, 1);
   for (auto* e : engines) EXPECT_EQ(e->root_id(), engines[0]->root_id());
+  EXPECT_TRUE(ring.stp_converged());
 
   // Loop-free: a burst of broadcasts stays bounded.
   trace.clear();

@@ -1,0 +1,177 @@
+// Determinism property test for the scheduler rewrite: seeded random
+// programs of interleaved schedule_at / schedule_after / cancel /
+// run_until / step / run are executed against both cores -- the indexed
+// 4-ary heap (Scheduler) and the PR 1 priority_queue + live-set core
+// (BaselineScheduler), whose observable contract is the oracle. Firing
+// order, the clock after every op, and pending() after every op must be
+// identical, including events scheduled from inside callbacks and cancels
+// of already-fired ids.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netsim/baseline_scheduler.h"
+#include "src/netsim/scheduler.h"
+#include "src/util/rng.h"
+
+namespace ab::netsim {
+namespace {
+
+struct Op {
+  enum Kind { kSchedule, kCancel, kRunUntil, kStep, kRunBudget };
+  Kind kind = kSchedule;
+  std::int64_t delay_us = 0;   ///< kSchedule: delay (may be negative); kRunUntil: window
+  bool spawn_child = false;    ///< kSchedule: callback schedules a child event
+  std::int64_t child_delay_us = 0;
+  std::size_t cancel_sel = 0;  ///< kCancel: index into issued ids (mod size)
+  std::size_t budget = 0;      ///< kRunBudget: max events
+};
+
+std::vector<Op> generate_program(std::uint64_t seed, int length) {
+  util::Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    Op op;
+    const std::uint64_t roll = rng.uniform(0, 99);
+    if (roll < 45) {
+      op.kind = Op::kSchedule;
+      // Mostly future, occasionally negative to exercise the clamp.
+      op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 2100)) - 100;
+      op.spawn_child = rng.chance(0.3);
+      op.child_delay_us = static_cast<std::int64_t>(rng.uniform(0, 500));
+    } else if (roll < 70) {
+      op.kind = Op::kCancel;
+      op.cancel_sel = static_cast<std::size_t>(rng.uniform(0, 1 << 20));
+    } else if (roll < 85) {
+      op.kind = Op::kRunUntil;
+      op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 3000));
+    } else if (roll < 95) {
+      op.kind = Op::kStep;
+    } else {
+      op.kind = Op::kRunBudget;
+      op.budget = static_cast<std::size_t>(rng.uniform(0, 5));
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Everything observable about one execution.
+struct Observation {
+  std::vector<int> fired;              ///< event labels in firing order
+  std::vector<std::int64_t> clock_ns;  ///< now() after every op
+  std::vector<std::size_t> pending;    ///< pending() after every op
+  bool empty_at_end = false;
+  std::uint64_t executed = 0;
+};
+
+template <typename SchedulerT>
+Observation execute(const std::vector<Op>& ops) {
+  using Id = decltype(std::declval<SchedulerT&>().schedule_after(Duration{}, [] {}));
+  SchedulerT sched;
+  Observation obs;
+  std::vector<Id> ids;
+
+  int label = 0;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kSchedule: {
+        const int this_label = label++;
+        const int child_label = label++;
+        if (op.spawn_child) {
+          const auto child_delay = microseconds(op.child_delay_us);
+          ids.push_back(sched.schedule_after(
+              microseconds(op.delay_us),
+              [&obs, &sched, &ids, this_label, child_label, child_delay] {
+                obs.fired.push_back(this_label);
+                ids.push_back(sched.schedule_after(
+                    child_delay,
+                    [&obs, child_label] { obs.fired.push_back(child_label); }));
+              }));
+        } else {
+          ids.push_back(sched.schedule_after(
+              microseconds(op.delay_us),
+              [&obs, this_label] { obs.fired.push_back(this_label); }));
+        }
+        break;
+      }
+      case Op::kCancel:
+        if (!ids.empty()) sched.cancel(ids[op.cancel_sel % ids.size()]);
+        break;
+      case Op::kRunUntil:
+        sched.run_until(sched.now() + microseconds(op.delay_us));
+        break;
+      case Op::kStep:
+        sched.step();
+        break;
+      case Op::kRunBudget:
+        sched.run(op.budget);
+        break;
+    }
+    obs.clock_ns.push_back(sched.now().time_since_epoch().count());
+    obs.pending.push_back(sched.pending());
+  }
+  sched.run();  // drain
+  obs.empty_at_end = sched.empty();
+  obs.executed = sched.executed();
+  return obs;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerEquivalence, RandomProgramsFireIdenticallyOnBothCores) {
+  const std::vector<Op> program = generate_program(GetParam(), 400);
+  const Observation baseline = execute<BaselineScheduler>(program);
+  const Observation indexed = execute<Scheduler>(program);
+
+  EXPECT_EQ(baseline.fired, indexed.fired) << "seed " << GetParam();
+  EXPECT_EQ(baseline.clock_ns, indexed.clock_ns) << "seed " << GetParam();
+  EXPECT_EQ(baseline.pending, indexed.pending) << "seed " << GetParam();
+  EXPECT_EQ(baseline.executed, indexed.executed) << "seed " << GetParam();
+  EXPECT_TRUE(baseline.empty_at_end);
+  EXPECT_TRUE(indexed.empty_at_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Equal-time FIFO at scale: many events on one timestamp interleaved with
+// cancels must fire in exact submission order on both cores.
+TEST(SchedulerEquivalenceFifo, EqualTimestampsKeepSubmissionOrderUnderCancellation) {
+  constexpr int kEvents = 500;
+  util::Rng rng(7);
+  std::vector<bool> cancel_mask;
+  for (int i = 0; i < kEvents; ++i) cancel_mask.push_back(rng.chance(0.4));
+
+  const auto run = [&](auto sched) {
+    std::vector<int> fired;
+    using Id = decltype(sched.schedule_after(Duration{}, [] {}));
+    std::vector<Id> ids;
+    for (int i = 0; i < kEvents; ++i) {
+      ids.push_back(
+          sched.schedule_after(milliseconds(5), [&fired, i] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < kEvents; ++i) {
+      if (cancel_mask[static_cast<std::size_t>(i)]) {
+        sched.cancel(ids[static_cast<std::size_t>(i)]);
+      }
+    }
+    sched.run();
+    return fired;
+  };
+
+  const std::vector<int> baseline = run(BaselineScheduler{});
+  const std::vector<int> indexed = run(Scheduler{});
+  EXPECT_EQ(baseline, indexed);
+  // And the order is the submission order of the survivors.
+  std::vector<int> survivors;
+  for (int i = 0; i < kEvents; ++i) {
+    if (!cancel_mask[static_cast<std::size_t>(i)]) survivors.push_back(i);
+  }
+  EXPECT_EQ(indexed, survivors);
+}
+
+}  // namespace
+}  // namespace ab::netsim

@@ -196,12 +196,73 @@ TEST(Scheduler, RejectsNullCallback) {
   EXPECT_THROW(s.schedule_after(milliseconds(1), nullptr), std::invalid_argument);
 }
 
+TEST(Scheduler, RejectsEmptyStdFunctionAtTheDoor) {
+  // A null std::function (or function pointer) must fail at the call site,
+  // not as a bad_function_call when the event fires.
+  Scheduler s;
+  std::function<void()> empty;
+  EXPECT_THROW(s.schedule_after(milliseconds(1), std::move(empty)),
+               std::invalid_argument);
+  void (*null_fp)() = nullptr;
+  EXPECT_THROW(s.schedule_after(milliseconds(1), null_fp), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+}
+
 TEST(Scheduler, RunWithEventBudget) {
   Scheduler s;
   int fired = 0;
   for (int i = 0; i < 10; ++i) s.schedule_after(milliseconds(i), [&] { ++fired; });
   EXPECT_EQ(s.run(3), 3u);
   EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, StaleCancelCannotKillASlotReuser) {
+  // Cancelling the same id twice must not cancel whichever event recycled
+  // the slot in between: the generation stamp makes the second cancel a
+  // no-op.
+  Scheduler s;
+  int fired = 0;
+  const EventId a = s.schedule_after(milliseconds(1), [&] { ++fired; });
+  s.cancel(a);
+  s.schedule_after(milliseconds(1), [&] { ++fired; });  // may reuse a's slot
+  s.cancel(a);                                          // stale: must not hit b
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelOfOwnIdInsideCallbackIsHarmless) {
+  Scheduler s;
+  int fired = 0;
+  EventId id{};
+  id = s.schedule_after(milliseconds(1), [&] {
+    ++fired;
+    s.cancel(id);  // already firing: stale no-op
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, ManyCancelsKeepHeapExact) {
+  // Interleaved schedule/cancel at scale: pending() is exact and the
+  // survivors fire in time order.
+  Scheduler s;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.schedule_after(milliseconds(100 - i), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 0; i < 100; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending(), 50u);
+  s.run();
+  ASSERT_EQ(order.size(), 50u);
+  // Odd i scheduled at (100 - i) ms: later i fires earlier.
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_GT(order[k - 1], order[k]);
+  }
 }
 
 TEST(Scheduler, ExecutedCounter) {

@@ -1,0 +1,172 @@
+// TopologyBuilder shape math: segment counts, wiring plans, overrides,
+// host attachment plans, and validation -- all without any bridge layer.
+#include "src/netsim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ab::netsim {
+namespace {
+
+TopologySpec spec_of(TopologyShape shape, int nodes, int hosts = 0) {
+  TopologySpec spec;
+  spec.shape = shape;
+  spec.nodes = nodes;
+  spec.hosts_per_lan = hosts;
+  return spec;
+}
+
+TEST(TopologyBuilder, LineWiring) {
+  Network net;
+  const Topology t = TopologyBuilder(net).build(spec_of(TopologyShape::kLine, 4));
+  ASSERT_EQ(t.lans.size(), 5u);
+  ASSERT_EQ(t.node_ports.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& ports = t.node_ports[static_cast<std::size_t>(i)];
+    ASSERT_EQ(ports.size(), 2u);
+    EXPECT_EQ(ports[0], t.lans[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(ports[1], t.lans[static_cast<std::size_t>(i + 1)]);
+  }
+  EXPECT_EQ(t.node_names[0], "bridge0");
+  EXPECT_EQ(net.find_segment("lan0"), t.lans[0]);
+}
+
+TEST(TopologyBuilder, RingWrapsAround) {
+  Network net;
+  const Topology t = TopologyBuilder(net).build(spec_of(TopologyShape::kRing, 5));
+  ASSERT_EQ(t.lans.size(), 5u);
+  EXPECT_EQ(t.node_ports[4][0], t.lans[4]);
+  EXPECT_EQ(t.node_ports[4][1], t.lans[0]);  // the wrap that makes the loop
+}
+
+TEST(TopologyBuilder, StarSharesTheHub) {
+  Network net;
+  const Topology t = TopologyBuilder(net).build(spec_of(TopologyShape::kStar, 6));
+  ASSERT_EQ(t.lans.size(), 7u);
+  for (int i = 0; i < 6; ++i) {
+    const auto& ports = t.node_ports[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ports[0], t.lans[static_cast<std::size_t>(i + 1)]);  // own leaf
+    EXPECT_EQ(ports[1], t.lans[0]);                                // the hub
+  }
+}
+
+TEST(TopologyBuilder, TreeParentsAreConsistent) {
+  Network net;
+  TopologySpec spec = spec_of(TopologyShape::kTree, 7);
+  spec.tree_arity = 2;
+  const Topology t = TopologyBuilder(net).build(spec);
+  ASSERT_EQ(t.lans.size(), 8u);
+  // Node 0 hangs off the root LAN; its down-segment is lan1.
+  EXPECT_EQ(t.node_ports[0][0], t.lans[0]);
+  EXPECT_EQ(t.node_ports[0][1], t.lans[1]);
+  // Nodes 1 and 2 are node 0's children: their up-port is node 0's
+  // down-segment.
+  EXPECT_EQ(t.node_ports[1][0], t.lans[1]);
+  EXPECT_EQ(t.node_ports[2][0], t.lans[1]);
+  // Nodes 3 and 4 hang off node 1's down-segment (lan2).
+  EXPECT_EQ(t.node_ports[3][0], t.lans[2]);
+  EXPECT_EQ(t.node_ports[4][0], t.lans[2]);
+}
+
+TEST(TopologyBuilder, MeshIsFullyConnectedAndLoopFreePerPair) {
+  Network net;
+  const int n = 5;
+  const Topology t = TopologyBuilder(net).build(spec_of(TopologyShape::kMesh, n));
+  ASSERT_EQ(t.lans.size(), static_cast<std::size_t>(n * (n - 1) / 2));
+  // Every node has n-1 ports; every pair of nodes shares exactly one LAN.
+  for (const auto& ports : t.node_ports) EXPECT_EQ(ports.size(), 4u);
+  std::set<const LanSegment*> used;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const LanSegment* shared = nullptr;
+      for (auto* pa : t.node_ports[static_cast<std::size_t>(a)]) {
+        for (auto* pb : t.node_ports[static_cast<std::size_t>(b)]) {
+          if (pa == pb) {
+            EXPECT_EQ(shared, nullptr) << "pair shares two segments";
+            shared = pa;
+          }
+        }
+      }
+      ASSERT_NE(shared, nullptr) << "pair " << a << "," << b << " unconnected";
+      EXPECT_TRUE(used.insert(shared).second)
+          << "segment serves more than one pair";
+    }
+  }
+}
+
+TEST(TopologyBuilder, LanOverridesApply) {
+  Network net;
+  TopologySpec spec = spec_of(TopologyShape::kLine, 2);
+  spec.lan.bit_rate = 100e6;
+  LanConfig slow;
+  slow.bit_rate = 10e6;
+  slow.loss = 0.25;
+  spec.lan_overrides[1] = slow;
+  const Topology t = TopologyBuilder(net).build(spec);
+  EXPECT_EQ(t.lans[0]->config().bit_rate, 100e6);
+  EXPECT_EQ(t.lans[1]->config().bit_rate, 10e6);
+  EXPECT_EQ(t.lans[1]->config().loss, 0.25);
+  EXPECT_EQ(t.lans[2]->config().bit_rate, 100e6);
+}
+
+TEST(TopologyBuilder, HostPlanCoversEveryLan) {
+  Network net;
+  const Topology t =
+      TopologyBuilder(net).build(spec_of(TopologyShape::kRing, 3, /*hosts=*/2));
+  ASSERT_EQ(t.hosts.size(), 6u);
+  EXPECT_EQ(t.hosts[0].lan, 0);
+  EXPECT_EQ(t.hosts[0].index, 0);
+  EXPECT_EQ(t.hosts[0].name, "host0_0");
+  EXPECT_EQ(t.hosts[5].lan, 2);
+  EXPECT_EQ(t.hosts[5].index, 1);
+}
+
+TEST(TopologyBuilder, PrefixKeepsTopologiesApart) {
+  Network net;
+  TopologySpec a = spec_of(TopologyShape::kRing, 3);
+  a.prefix = "a.";
+  TopologySpec b = spec_of(TopologyShape::kRing, 3);
+  b.prefix = "b.";
+  TopologyBuilder builder(net);
+  (void)builder.build(a);
+  (void)builder.build(b);  // would throw on duplicate segment names
+  EXPECT_NE(net.find_segment("a.lan0"), nullptr);
+  EXPECT_NE(net.find_segment("b.lan0"), nullptr);
+}
+
+TEST(TopologyBuilder, LabelNamesShapeAndSize) {
+  EXPECT_EQ(spec_of(TopologyShape::kRing, 32, 4).label(), "ring-32x4");
+  EXPECT_EQ(spec_of(TopologyShape::kMesh, 6).label(), "mesh-6x0");
+}
+
+TEST(TopologyBuilder, RejectsMalformedSpecs) {
+  Network net;
+  TopologyBuilder builder(net);
+  EXPECT_THROW(builder.build(spec_of(TopologyShape::kLine, 0)), std::invalid_argument);
+  EXPECT_THROW(builder.build(spec_of(TopologyShape::kMesh, 1)), std::invalid_argument);
+  EXPECT_THROW(builder.build(spec_of(TopologyShape::kRing, 3, -1)),
+               std::invalid_argument);
+  TopologySpec bad_tree = spec_of(TopologyShape::kTree, 3);
+  bad_tree.tree_arity = 0;
+  EXPECT_THROW(builder.build(bad_tree), std::invalid_argument);
+}
+
+TEST(TopologyBuilder, SegmentAndPortCountsMatchBuild) {
+  for (const TopologyShape shape :
+       {TopologyShape::kLine, TopologyShape::kRing, TopologyShape::kStar,
+        TopologyShape::kTree, TopologyShape::kMesh}) {
+    Network net;
+    const TopologySpec spec = spec_of(shape, 4);
+    const Topology t = TopologyBuilder(net).build(spec);
+    EXPECT_EQ(t.lans.size(),
+              static_cast<std::size_t>(TopologyBuilder::segment_count(spec)));
+    for (int i = 0; i < spec.nodes; ++i) {
+      EXPECT_EQ(t.node_ports[static_cast<std::size_t>(i)].size(),
+                static_cast<std::size_t>(TopologyBuilder::port_count(spec, i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ab::netsim
