@@ -1,15 +1,24 @@
-// Macro-bench: whole-simulation throughput across parametric topologies.
+// Macro-bench: whole-simulation throughput across parametric topologies,
+// driven by the pluggable workload engine (apps::Workload).
 //
-// Each cell builds a TopologySpec (TopologyBuilder + bridge assembly),
-// waits out STP convergence, then runs the flood + neighbor-ping workload
-// (learning tables populate, directed forwarding kicks in) and reports
-// scheduler events/sec and wall time -- the capacity trajectory of the
-// simulation core itself. The headline cell is the ring of 32 bridges with
-// 4 hosts on every LAN (160 stations, 64 bridge ports) driven to STP
-// convergence, written to BENCH_topology.json along with the sweep.
+// Three workloads run over spec grids (see docs/BENCHMARKS.md):
+//   * flood+pings  -- the simulation-core capacity trajectory (PR 2's
+//     workload): broadcast burst + every host pings its successor;
+//   * ttcp-streams -- K concurrent ttcp pairs placed across LANs,
+//     per-stream goodput/loss (the paper's fig. 10 traffic at scale);
+//   * rollout      -- the paper's section 5.2 staged switchlet deployment
+//     over the bridge set, mid-traffic, per-bridge load time + old/new
+//     code frame split.
 //
-// `--smoke` runs a reduced grid once (CI compiles-and-exercises the perf
-// path on every PR; the numbers only mean something on quiet machines).
+// The ttcp and rollout grids always include the acceptance cells: ring-32
+// (4 hosts/LAN), kregular-32 (random 4-regular), and a star with 1000
+// hosts per LAN (the widened addressing at work). The flood headline stays
+// ring-32 x 4 driven to 802.1D convergence.
+//
+// `--smoke` runs a reduced flood grid once but keeps the ttcp/rollout
+// acceptance cells (they are virtually cheap), so CI compiles-and-exercises
+// every workload path on each PR; the numbers only mean something on quiet
+// machines.
 #include <cstdio>
 #include <cstring>
 
@@ -27,6 +36,19 @@ netsim::TopologySpec spec_of(netsim::TopologyShape shape, int nodes, int hosts) 
   return spec;
 }
 
+/// The three acceptance cells every workload section must cover.
+std::vector<netsim::TopologySpec> acceptance_cells() {
+  std::vector<netsim::TopologySpec> grid;
+  grid.push_back(spec_of(netsim::TopologyShape::kRing, 32, 4));
+  netsim::TopologySpec kreg = spec_of(netsim::TopologyShape::kRandomKRegular, 32, 1);
+  kreg.degree = 4;
+  kreg.seed = 7;
+  grid.push_back(kreg);
+  // The thousand-station LANs the widened 10/8 address plan unlocked.
+  grid.push_back(spec_of(netsim::TopologyShape::kStar, 4, 1000));
+  return grid;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,23 +57,34 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
-  std::vector<netsim::TopologySpec> grid;
+  // ---- flood+pings over the shape grid ------------------------------------
+  std::vector<netsim::TopologySpec> flood_grid;
   if (smoke) {
-    grid.push_back(spec_of(netsim::TopologyShape::kRing, 4, 1));
-    grid.push_back(spec_of(netsim::TopologyShape::kLine, 4, 1));
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kRing, 4, 1));
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kLine, 4, 1));
   } else {
-    for (int n : {4, 8, 16}) grid.push_back(spec_of(netsim::TopologyShape::kRing, n, 4));
-    grid.push_back(spec_of(netsim::TopologyShape::kLine, 16, 2));
-    grid.push_back(spec_of(netsim::TopologyShape::kStar, 16, 2));
-    grid.push_back(spec_of(netsim::TopologyShape::kTree, 15, 2));
-    grid.push_back(spec_of(netsim::TopologyShape::kMesh, 6, 1));
+    for (int n : {4, 8, 16}) {
+      flood_grid.push_back(spec_of(netsim::TopologyShape::kRing, n, 4));
+    }
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kLine, 16, 2));
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kStar, 16, 2));
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kTree, 15, 2));
+    flood_grid.push_back(spec_of(netsim::TopologyShape::kMesh, 6, 1));
+    netsim::TopologySpec kreg = spec_of(netsim::TopologyShape::kRandomKRegular, 32, 1);
+    kreg.degree = 4;
+    kreg.seed = 7;
+    flood_grid.push_back(kreg);
+    netsim::TopologySpec sf = spec_of(netsim::TopologyShape::kScaleFree, 32, 1);
+    sf.attach = 2;
+    sf.seed = 7;
+    flood_grid.push_back(sf);
   }
   // The headline cell, always present: ring-32 x 4 hosts per LAN under
   // flood + learning, driven to 802.1D convergence.
-  grid.push_back(spec_of(netsim::TopologyShape::kRing, 32, 4));
+  flood_grid.push_back(spec_of(netsim::TopologyShape::kRing, 32, 4));
 
   apps::TopologySweep sweep;
-  const std::vector<apps::SweepResult> cells = sweep.run_grid(grid);
+  const std::vector<apps::SweepResult> cells = sweep.run_grid(flood_grid);
   std::printf("%s", apps::TopologySweep::format_table(cells).c_str());
 
   const apps::SweepResult& headline = cells.back();
@@ -65,6 +98,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(headline.events), headline.wall_seconds,
       headline.events_per_sec, headline.virtual_seconds);
 
+  // ---- ttcp streams across LANs -------------------------------------------
+  apps::TtcpStreamWorkload::Options ttcp_opts;
+  if (smoke) ttcp_opts.bytes_per_stream = 64 * 1024;
+  apps::TtcpStreamWorkload ttcp(ttcp_opts);
+  const std::vector<apps::SweepResult> ttcp_cells =
+      sweep.run_grid(acceptance_cells(), ttcp);
+  std::printf("\n%s", apps::TopologySweep::format_table(ttcp_cells).c_str());
+
+  // ---- staged switchlet rollout -------------------------------------------
+  apps::SweepOptions rollout_opts;
+  rollout_opts.build.netloader = true;
+  apps::TopologySweep rollout_sweep(rollout_opts);
+  apps::RolloutWorkload rollout;
+  const std::vector<apps::SweepResult> rollout_cells =
+      rollout_sweep.run_grid(acceptance_cells(), rollout);
+  std::printf("\n%s", apps::TopologySweep::format_table(rollout_cells).c_str());
+
+  bool rollouts_ok = true;
+  for (const apps::SweepResult& c : rollout_cells) {
+    if (!c.rollout_ok()) {
+      rollouts_ok = false;
+      std::fprintf(stderr, "%s: rollout had failing steps\n", c.label.c_str());
+    }
+  }
+
   std::FILE* f = std::fopen("BENCH_topology.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_topology.json\n");
@@ -77,14 +135,18 @@ int main(int argc, char** argv) {
                "  \"headline\": {\"cell\": \"%s\", \"stp_converged\": %s,\n"
                "    \"events\": %llu, \"wall_seconds\": %.6f, "
                "\"events_per_sec\": %.0f},\n"
-               "  \"cells\": %s"
+               "  \"cells\": %s,\n"
+               "  \"ttcp_streams\": %s,\n"
+               "  \"rollout\": %s"
                "}\n",
                smoke ? "true" : "false", headline.label.c_str(),
                headline.stp_converged ? "true" : "false",
                static_cast<unsigned long long>(headline.events),
                headline.wall_seconds, headline.events_per_sec,
-               apps::TopologySweep::format_json(cells).c_str());
+               apps::TopologySweep::format_json(cells).c_str(),
+               apps::TopologySweep::format_json(ttcp_cells).c_str(),
+               apps::TopologySweep::format_json(rollout_cells).c_str());
   std::fclose(f);
   std::printf("wrote BENCH_topology.json\n");
-  return headline.stp_converged ? 0 : 1;
+  return headline.stp_converged && rollouts_ok ? 0 : 1;
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify + sanitizer build + Release bench smoke, exactly what
-# .github/workflows/ci.yml runs.
+# Tier-1 verify + sanitizer build + Release bench smoke + docs link check,
+# exactly what .github/workflows/ci.yml runs.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== docs: relative markdown links resolve =="
+./scripts/check_links.sh
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
@@ -21,6 +24,8 @@ echo "== Release bench smoke (one repetition; compiles + exercises the perf path
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ./micro_scheduler --smoke && cat BENCH_scheduler.json)
+# macro_topology --smoke drives all three workloads (flood+pings, the ttcp
+# streams, and the staged rollout) over the acceptance cells.
 (cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
 (cd build-release && ./ablation_spanning_tree && ./ablation_learning \
   && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

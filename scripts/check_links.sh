@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fails when any *.md file in the repo contains a relative markdown link to
+# a file that does not exist. External links (http/https/mailto) and pure
+# anchors are skipped; "path#anchor" is checked as "path". Run from anywhere;
+# build trees are ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS= read -r -d '' md; do
+  dir=$(dirname "$md")
+  # Pull out every (target) of an inline []() link, one per line.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target" >&2
+      status=1
+    fi
+  done < <(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build*/*' -not -path './.git/*' -print0)
+
+if [ "$status" -eq 0 ]; then
+  echo "docs link check: all relative links resolve"
+fi
+exit "$status"

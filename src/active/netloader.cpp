@@ -32,11 +32,13 @@ void NetLoaderSwitchlet::start(SafeEnv& env) {
       },
       [this](const std::string& filename, util::ByteBuffer contents) {
         stats_.files_received += 1;
+        stats_.bytes_received += contents.size();
         env_->log().info("loader.net", util::format("TFTP delivered %s (%zu bytes)",
                                                     filename.c_str(), contents.size()));
         auto loaded = loader_->load_bytes(contents);
         if (loaded) {
           stats_.switchlets_loaded += 1;
+          stats_.last_loaded = std::string(loaded.value()->name());
         } else {
           stats_.switchlet_load_failures += 1;
           env_->log().warn("loader.net", "load failed: " + loaded.error());
@@ -62,6 +64,26 @@ void NetLoaderSwitchlet::on_arp(const Packet& packet) {
   if (!decoded) return;
   const stack::ArpPacket& arp = decoded.value();
   if (arp.op != stack::ArpOp::kRequest || arp.target_ip != config_.ip) return;
+  // A bridge hears one flooded broadcast once per attached segment, and
+  // every copy used to draw a reply advertising that ingress port's MAC --
+  // so the querier's ARP cache flapped between the loader's port
+  // identities, sometimes mid-transfer. Answer only the first copy of a
+  // burst: the suppression window is well below the host stack's ARP
+  // retry interval, so genuine retries (lost replies) still get answered.
+  const netsim::TimePoint now = env_->ports().scheduler().now();
+  const auto last = arp_replied_at_.find(arp.sender_ip);
+  if (last != arp_replied_at_.end() && now - last->second < kArpReplySuppression) {
+    stats_.arp_duplicates_suppressed += 1;
+    return;
+  }
+  if (arp_replied_at_.size() >= 1024) {
+    // Every entry is dead once its window passes; sweep before the map can
+    // grow with the querier population of a long-running simulation.
+    std::erase_if(arp_replied_at_, [&](const auto& entry) {
+      return now - entry.second >= kArpReplySuppression;
+    });
+  }
+  arp_replied_at_[arp.sender_ip] = now;
   stats_.arp_replies += 1;
   const ether::MacAddress my_mac = env_->ports().interface_mac(packet.ingress);
   const stack::ArpPacket reply = arp.make_reply(my_mac);

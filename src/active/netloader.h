@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "src/active/loader.h"
 #include "src/active/switchlet.h"
+#include "src/netsim/time.h"
 #include "src/stack/ipv4.h"
 #include "src/stack/tftp.h"
 
@@ -36,17 +38,33 @@ struct NetLoaderConfig {
 /// Statistics for the loader's mini stack.
 struct NetLoaderStats {
   std::uint64_t arp_replies = 0;
+  /// Extra flooded copies of a request heard within the suppression
+  /// window (answered once, so the querier's cache never flaps between
+  /// this node's port MACs).
+  std::uint64_t arp_duplicates_suppressed = 0;
   std::uint64_t ip_received = 0;
   std::uint64_t fragments_dropped = 0;   ///< minimal IP: no fragmentation
   std::uint64_t non_udp_dropped = 0;     ///< minimal IP: UDP only
   std::uint64_t udp_delivered = 0;
   std::uint64_t files_received = 0;
+  std::uint64_t bytes_received = 0;      ///< payload bytes of completed files
   std::uint64_t switchlets_loaded = 0;
   std::uint64_t switchlet_load_failures = 0;
+  /// Name of the most recently loaded switchlet (rollout telemetry).
+  std::string last_loaded;
 };
 
 class NetLoaderSwitchlet final : public Switchlet {
  public:
+  /// Window within which repeat ARP requests from the same querier are
+  /// treated as flooded duplicates of one broadcast. Flood copies of a
+  /// single request arrive within the network's flood traversal time
+  /// (sub-millisecond for the topologies simulated here), so the window
+  /// only needs to cover that -- keeping it an order of magnitude below
+  /// any plausible ARP retry interval (HostConfig default: 500 ms) so
+  /// genuine retries after a lost reply are always answered.
+  static constexpr netsim::Duration kArpReplySuppression = netsim::milliseconds(10);
+
   /// `loader` is where completed images are sent; it must outlive this
   /// switchlet (both are owned by the same ActiveNode in practice).
   NetLoaderSwitchlet(NetLoaderConfig config, SwitchletLoader& loader);
@@ -75,6 +93,7 @@ class NetLoaderSwitchlet final : public Switchlet {
   SafeEnv* env_ = nullptr;
   std::unique_ptr<stack::TftpServer> tftp_;
   std::map<stack::TftpEndpoint, PeerRoute> routes_;
+  std::map<stack::Ipv4Addr, netsim::TimePoint> arp_replied_at_;
   NetLoaderStats stats_;
   bool running_ = false;
 };

@@ -16,11 +16,12 @@ Deployer::Deployer(netsim::Scheduler& scheduler, stack::HostStack& admin)
         admin_->send_udp(peer.ip, local, peer.port, std::move(packet));
       }) {}
 
-void Deployer::deploy(std::vector<DeployStep> steps, Done done) {
+void Deployer::deploy(std::vector<DeployStep> steps, Done done, StepDone on_step) {
   if (busy_) throw std::logic_error("Deployer: a plan is already running");
   if (!done) throw std::invalid_argument("Deployer: null completion");
   steps_ = std::move(steps);
   done_ = std::move(done);
+  on_step_ = std::move(on_step);
   results_.clear();
   current_ = 0;
   busy_ = true;
@@ -34,8 +35,11 @@ void Deployer::run_step() {
     done(results_);
     return;
   }
-  results_.push_back(DeployResult{steps_[current_].node,
-                                  steps_[current_].image.name, false, 0, ""});
+  DeployResult result;
+  result.node = steps_[current_].node;
+  result.module = steps_[current_].image.name;
+  result.started = scheduler_->now();
+  results_.push_back(std::move(result));
   attempt(1);
 }
 
@@ -50,6 +54,8 @@ void Deployer::attempt(int attempt_number) {
         if (ok) {
           res.ok = true;
           res.error.clear();
+          res.finished = scheduler_->now();
+          if (on_step_) on_step_(res);
           const netsim::Duration settle = steps_[current_].settle;
           ++current_;
           scheduler_->schedule_after(settle, [this] { run_step(); });
@@ -64,6 +70,8 @@ void Deployer::attempt(int attempt_number) {
           return;
         }
         // Step failed for good; carry on with the rest of the plan.
+        res.finished = scheduler_->now();
+        if (on_step_) on_step_(res);
         ++current_;
         scheduler_->schedule_after(netsim::Duration::zero(), [this] { run_step(); });
       });

@@ -44,19 +44,30 @@ struct DeployResult {
   bool ok = false;
   int attempts = 0;
   std::string error;
+  /// Virtual time the step's first TFTP attempt started.
+  netsim::TimePoint started{};
+  /// Virtual time the step succeeded or exhausted its retries. The
+  /// difference is the paper's per-node "time to load a module".
+  netsim::TimePoint finished{};
+
+  [[nodiscard]] netsim::Duration load_time() const { return finished - started; }
 };
 
 class Deployer {
  public:
   /// All steps finished (check results for per-step status).
   using Done = std::function<void(const std::vector<DeployResult>&)>;
+  /// One step just finished (before its settle delay); the rollout
+  /// workload snapshots per-bridge counters here.
+  using StepDone = std::function<void(const DeployResult&)>;
 
   static constexpr int kMaxAttempts = 3;
 
   Deployer(netsim::Scheduler& scheduler, stack::HostStack& admin);
 
-  /// Starts the plan; exactly one plan may run at a time.
-  void deploy(std::vector<DeployStep> steps, Done done);
+  /// Starts the plan; exactly one plan may run at a time. `on_step`, when
+  /// set, fires as each step completes (ok or exhausted).
+  void deploy(std::vector<DeployStep> steps, Done done, StepDone on_step = nullptr);
 
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] const std::vector<DeployResult>& results() const { return results_; }
@@ -73,6 +84,7 @@ class Deployer {
   std::size_t current_ = 0;
   std::vector<DeployResult> results_;
   Done done_;
+  StepDone on_step_;
   bool busy_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "src/apps/scenario.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <map>
 
+#include "src/apps/deployer.h"
 #include "src/util/string_util.h"
 
 namespace ab::apps {
@@ -292,9 +294,284 @@ util::Expected<std::string, std::string> ScenarioRunner::run_text(
 }
 
 // ---------------------------------------------------------------------------
+// Workloads
+
+double SweepResult::total_goodput_mbps() const {
+  double total = 0.0;
+  for (const StreamResult& s : streams) total += s.goodput_mbps;
+  return total;
+}
+
+bool SweepResult::rollout_ok() const {
+  if (rollout.empty()) return false;
+  for (const RolloutStepResult& step : rollout) {
+    if (!step.ok) return false;
+  }
+  return true;
+}
+
+void FloodPingWorkload::run(WorkloadContext& ctx, SweepResult& result) {
+  // Flood: a burst of broadcasts from a probe on lan0. On a loopy shape
+  // without STP this measures the storm; with STP it measures the pruned
+  // flood.
+  if (ctx.options.probe_broadcasts > 0) {
+    auto& probe =
+        ctx.net.add_nic(result.label + ".probe", *ctx.topo.shape.lans[0]);
+    for (int i = 0; i < ctx.options.probe_broadcasts; ++i) {
+      probe.transmit(ether::Frame::ethernet2(
+          ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
+          {static_cast<std::uint8_t>(i)}));
+    }
+  }
+
+  // Learning: every host pings its successor, so the bridges learn every
+  // host location and the second half of each exchange rides directed
+  // forwarding.
+  int answered = 0;
+  if (ctx.options.neighbor_pings && ctx.topo.hosts.size() >= 2) {
+    for (std::size_t i = 0; i < ctx.topo.hosts.size(); ++i) {
+      stack::HostStack& src = *ctx.topo.hosts[i];
+      stack::HostStack& dst = *ctx.topo.hosts[(i + 1) % ctx.topo.hosts.size()];
+      src.set_echo_handler(
+          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
+      src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
+      ++result.pings_sent;
+    }
+  }
+
+  ctx.net.scheduler().run_for(ctx.options.traffic_window);
+  result.pings_answered = answered;
+}
+
+void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
+  const std::size_t host_count = ctx.topo.hosts.size();
+  if (host_count < 2 || options_.streams < 1) {
+    ctx.net.scheduler().run_for(ctx.options.traffic_window);
+    return;
+  }
+
+  struct Stream {
+    std::string label;
+    std::unique_ptr<TtcpSink> sink;
+    std::unique_ptr<TtcpSender> sender;
+  };
+  std::vector<Stream> live;
+
+  // Pair sender s with the host half the population away: with lan-major
+  // host ordering that lands sink and sender on different LANs whenever
+  // the topology has more than one populated segment.
+  for (int s = 0; s < options_.streams; ++s) {
+    const std::size_t src = static_cast<std::size_t>(s) % host_count;
+    const std::size_t dst = (src + host_count / 2) % host_count;
+    stack::HostStack& sender_host = *ctx.topo.hosts[src];
+    stack::HostStack& sink_host = *ctx.topo.hosts[dst];
+
+    Stream stream;
+    stream.label = ctx.topo.shape.hosts[src].name + " -> " +
+                   ctx.topo.shape.hosts[dst].name;
+    const std::uint16_t port = static_cast<std::uint16_t>(5001 + s);
+    stream.sink = std::make_unique<TtcpSink>(ctx.net.scheduler(), sink_host, port);
+    TtcpConfig cfg;
+    cfg.destination = sink_host.ip();
+    cfg.port = port;
+    cfg.write_size = options_.write_size;
+    cfg.total_bytes = options_.bytes_per_stream;
+    stream.sender = std::make_unique<TtcpSender>(sender_host, cfg);
+    TtcpSender* raw = stream.sender.get();
+    ctx.net.scheduler().schedule_after(options_.stagger * s, [raw] { raw->start(); });
+    live.push_back(std::move(stream));
+  }
+
+  ctx.net.scheduler().run_for(ctx.options.traffic_window);
+
+  for (const Stream& stream : live) {
+    StreamResult sr;
+    sr.label = stream.label;
+    sr.bytes_sent = stream.sender->bytes_issued();
+    sr.bytes_received = stream.sink->bytes_received();
+    sr.datagrams = stream.sink->datagrams_received();
+    sr.goodput_mbps = stream.sink->throughput_mbps();
+    sr.loss_fraction =
+        sr.bytes_sent > 0
+            ? 1.0 - static_cast<double>(sr.bytes_received) / sr.bytes_sent
+            : 0.0;
+    result.streams.push_back(std::move(sr));
+  }
+}
+
+namespace {
+
+/// BFS stage of every bridge from `start_lan` over the bridge/LAN
+/// incidence graph: a bridge touching a stage-d LAN deploys at stage d and
+/// exposes its other LANs at stage d+1 -- the paper's "diameter grows by
+/// one at each subsequent step".
+std::vector<int> rollout_stages(const netsim::Topology& shape, int start_lan) {
+  std::map<const netsim::LanSegment*, int> lan_index;
+  for (std::size_t i = 0; i < shape.lans.size(); ++i) {
+    lan_index[shape.lans[i]] = static_cast<int>(i);
+  }
+  std::vector<int> lan_stage(shape.lans.size(), -1);
+  std::vector<int> bridge_stage(shape.node_ports.size(), -1);
+  lan_stage[static_cast<std::size_t>(start_lan)] = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t b = 0; b < shape.node_ports.size(); ++b) {
+      int best = -1;
+      for (const netsim::LanSegment* lan : shape.node_ports[b]) {
+        const int stage = lan_stage[static_cast<std::size_t>(lan_index.at(lan))];
+        if (stage >= 0 && (best < 0 || stage < best)) best = stage;
+      }
+      if (best < 0) continue;
+      if (bridge_stage[b] < 0 || best < bridge_stage[b]) {
+        bridge_stage[b] = best;
+        progress = true;
+      }
+      for (const netsim::LanSegment* lan : shape.node_ports[b]) {
+        auto& stage = lan_stage[static_cast<std::size_t>(lan_index.at(lan))];
+        if (stage < 0 || bridge_stage[b] + 1 < stage) {
+          stage = bridge_stage[b] + 1;
+          progress = true;
+        }
+      }
+    }
+  }
+  return bridge_stage;
+}
+
+}  // namespace
+
+void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
+  if (!ctx.options.build.netloader) {
+    throw std::logic_error(
+        "RolloutWorkload: SweepOptions::build.netloader must be set so the "
+        "bridges run network loaders");
+  }
+
+  // The administrator station, on lan0 like the paper's console host.
+  stack::HostConfig admin_cfg;
+  admin_cfg.ip = bridge::topology_admin_ip(0);
+  stack::HostStack admin(ctx.net.scheduler(),
+                         ctx.net.add_nic(result.label + ".admin",
+                                         *ctx.topo.shape.lans[0]),
+                         admin_cfg);
+  admin.nic().set_tx_queue_limit(1 << 20);
+
+  // Background traffic: a capped set of neighbor ping pairs keeps frames
+  // crossing every stage while the rollout runs.
+  std::vector<std::unique_ptr<PingApp>> pings;
+  const double window_secs = netsim::to_seconds(ctx.options.traffic_window);
+  if (ctx.topo.hosts.size() >= 2) {
+    const std::size_t pairs =
+        std::min<std::size_t>(ctx.topo.hosts.size(),
+                              static_cast<std::size_t>(options_.max_background_pairs));
+    const int count = std::max(
+        1, static_cast<int>(window_secs /
+                            netsim::to_seconds(options_.ping_interval)) -
+               1);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      stack::HostStack& src = *ctx.topo.hosts[i];
+      stack::HostStack& dst = *ctx.topo.hosts[(i + 1) % ctx.topo.hosts.size()];
+      auto app = std::make_unique<PingApp>(
+          ctx.net.scheduler(), src, dst.ip(),
+          static_cast<std::uint16_t>(0x200 + i));
+      app->run(count, 64, options_.ping_interval);
+      result.pings_sent += count;
+      pings.push_back(std::move(app));
+    }
+  }
+
+  // The deployment plan: every bridge, nearest stage first.
+  const std::vector<int> stages = rollout_stages(ctx.topo.shape, 0);
+  std::vector<std::size_t> order(ctx.topo.bridges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return stages[a] < stages[b];
+  });
+
+  active::SwitchletImage image = active::SwitchletImage::named(options_.image);
+  image.payload.assign(options_.payload_padding, 0xAB);
+
+  std::vector<DeployStep> plan;
+  std::map<stack::Ipv4Addr, std::size_t> bridge_of;  // loader IP -> bridge index
+  for (const std::size_t b : order) {
+    DeployStep step;
+    step.node = *ctx.topo.bridges[b]->config().loader_ip;
+    step.image = image;
+    plan.push_back(std::move(step));
+    bridge_of[*ctx.topo.bridges[b]->config().loader_ip] = b;
+  }
+
+  Deployer deployer(ctx.net.scheduler(), admin);
+  bool plan_done = false;
+  std::vector<std::size_t> step_bridge;  // bridge index per rollout entry
+  deployer.deploy(
+      std::move(plan),
+      [&plan_done](const std::vector<DeployResult>&) { plan_done = true; },
+      [&](const DeployResult& step) {
+        // Snapshot the bridge the moment its new generation took over.
+        const std::size_t b = bridge_of.at(step.node);
+        RolloutStepResult rs;
+        rs.bridge = ctx.topo.shape.node_names[b];
+        rs.stage = stages[b];
+        rs.ok = step.ok;
+        rs.attempts = step.attempts;
+        rs.load_ms = netsim::to_millis(step.load_time());
+        rs.frames_before_load = ctx.topo.bridges[b]->plane().stats().received;
+        result.rollout.push_back(std::move(rs));
+        step_bridge.push_back(b);
+      });
+
+  ctx.net.scheduler().run_for(ctx.options.traffic_window);
+
+  // A plan that outlasted the traffic window (lossy links, long retry
+  // backoffs) must not read as success: record the bridges never reached
+  // as failed steps so rollout_ok() is false.
+  if (!plan_done) {
+    for (const std::size_t b : order) {
+      const bool seen =
+          std::find(step_bridge.begin(), step_bridge.end(), b) != step_bridge.end();
+      if (!seen) {
+        RolloutStepResult rs;
+        rs.bridge = ctx.topo.shape.node_names[b];
+        rs.stage = stages[b];
+        rs.ok = false;
+        result.rollout.push_back(std::move(rs));
+        step_bridge.push_back(b);
+      }
+    }
+  }
+
+  // Close the books: what each new generation processed after taking over.
+  for (std::size_t i = 0; i < result.rollout.size(); ++i) {
+    RolloutStepResult& rs = result.rollout[i];
+    auto& node = *ctx.topo.bridges[step_bridge[i]];
+    if (auto* monitor = dynamic_cast<bridge::MonitorSwitchlet*>(
+            node.node().loader().find(options_.image))) {
+      rs.frames_after_load = monitor->report().frames;
+    } else if (rs.ok) {
+      // Loaded but not the monitor image: fall back to plane work since
+      // the load. (Failed steps keep 0: no new generation ever ran.)
+      rs.frames_after_load = node.plane().stats().received - rs.frames_before_load;
+    }
+    if (auto* loader = dynamic_cast<active::NetLoaderSwitchlet*>(
+            node.node().loader().find("loader.net"))) {
+      rs.bytes_pushed = loader->stats().bytes_received;
+    }
+  }
+  for (const auto& ping : pings) result.pings_answered += ping->stats().received;
+}
+
+// ---------------------------------------------------------------------------
 // TopologySweep
 
 SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
+  FloodPingWorkload flood;
+  return run_cell(spec, flood);
+}
+
+SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
+                                    Workload& workload) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   netsim::Network net;
@@ -304,6 +581,7 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
   SweepResult r;
   r.spec = spec;
   r.label = spec.label();
+  r.workload = std::string(workload.name());
   r.bridges = static_cast<int>(topo.bridges.size());
   r.lans = static_cast<int>(topo.shape.lans.size());
   r.hosts = static_cast<int>(topo.hosts.size());
@@ -314,36 +592,9 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
   net.scheduler().run_for(options_.convergence_window);
   r.stp_converged = topo.stp_converged();
 
-  // Flood workload: a burst of broadcasts from a probe on lan0. On a loopy
-  // shape without STP this measures the storm; with STP it measures the
-  // pruned flood.
-  if (options_.probe_broadcasts > 0) {
-    auto& probe = net.add_nic(spec.label() + ".probe", *topo.shape.lans[0]);
-    for (int i = 0; i < options_.probe_broadcasts; ++i) {
-      probe.transmit(ether::Frame::ethernet2(
-          ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
-          {static_cast<std::uint8_t>(i)}));
-    }
-  }
+  WorkloadContext ctx{net, topo, options_};
+  workload.run(ctx, r);
 
-  // Learning workload: every host pings its successor, so the bridges
-  // learn every host location and the second half of each exchange rides
-  // directed forwarding.
-  int answered = 0;
-  if (options_.neighbor_pings && topo.hosts.size() >= 2) {
-    for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
-      stack::HostStack& src = *topo.hosts[i];
-      stack::HostStack& dst = *topo.hosts[(i + 1) % topo.hosts.size()];
-      src.set_echo_handler(
-          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
-      src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
-      ++r.pings_sent;
-    }
-  }
-
-  net.scheduler().run_for(options_.traffic_window);
-
-  r.pings_answered = answered;
   r.blocked_ports = topo.count_gates(bridge::PortGate::kBlocked);
   r.forwarding_ports = topo.count_gates(bridge::PortGate::kForwarding);
   r.mac_entries = topo.mac_entries();
@@ -364,9 +615,17 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
 
 std::vector<SweepResult> TopologySweep::run_grid(
     const std::vector<netsim::TopologySpec>& grid) {
+  FloodPingWorkload flood;
+  return run_grid(grid, flood);
+}
+
+std::vector<SweepResult> TopologySweep::run_grid(
+    const std::vector<netsim::TopologySpec>& grid, Workload& workload) {
   std::vector<SweepResult> cells;
   cells.reserve(grid.size());
-  for (const netsim::TopologySpec& spec : grid) cells.push_back(run_cell(spec));
+  for (const netsim::TopologySpec& spec : grid) {
+    cells.push_back(run_cell(spec, workload));
+  }
   return cells;
 }
 
@@ -388,15 +647,29 @@ std::vector<netsim::TopologySpec> TopologySweep::make_grid(
 
 std::string TopologySweep::format_table(const std::vector<SweepResult>& cells) {
   std::string out = util::format(
-      "%-12s %8s %6s %6s %5s %9s %12s %10s %10s %7s\n", "cell", "bridges", "lans",
-      "hosts", "conv", "frames", "events", "events/s", "wall_ms", "pings");
+      "%-16s %-12s %8s %6s %6s %5s %9s %12s %10s %10s %7s\n", "cell", "workload",
+      "bridges", "lans", "hosts", "conv", "frames", "events", "events/s", "wall_ms",
+      "pings");
   for (const SweepResult& c : cells) {
     out += util::format(
-        "%-12s %8d %6d %6d %5s %9llu %12llu %10.0f %10.2f %3d/%-3d\n",
-        c.label.c_str(), c.bridges, c.lans, c.hosts, c.stp_converged ? "yes" : "no",
+        "%-16s %-12s %8d %6d %6d %5s %9llu %12llu %10.0f %10.2f %3d/%-3d\n",
+        c.label.c_str(), c.workload.c_str(), c.bridges, c.lans, c.hosts,
+        c.stp_converged ? "yes" : "no",
         static_cast<unsigned long long>(c.frames_carried),
         static_cast<unsigned long long>(c.events), c.events_per_sec,
         c.wall_seconds * 1e3, c.pings_answered, c.pings_sent);
+    for (const StreamResult& s : c.streams) {
+      out += util::format("    stream %-28s %8zu/%-8zu bytes  %8.2f Mb/s  loss %.3f\n",
+                          s.label.c_str(), s.bytes_received, s.bytes_sent,
+                          s.goodput_mbps, s.loss_fraction);
+    }
+    for (const RolloutStepResult& s : c.rollout) {
+      out += util::format(
+          "    rollout %-12s stage %d  %-4s %d tries  %8.2f ms  old %llu / new %llu\n",
+          s.bridge.c_str(), s.stage, s.ok ? "ok" : "FAIL", s.attempts, s.load_ms,
+          static_cast<unsigned long long>(s.frames_before_load),
+          static_cast<unsigned long long>(s.frames_after_load));
+    }
   }
   return out;
 }
@@ -406,17 +679,49 @@ std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepResult& c = cells[i];
     out += util::format(
-        "  {\"cell\": \"%s\", \"shape\": \"%s\", \"bridges\": %d, \"lans\": %d, "
+        "  {\"cell\": \"%s\", \"shape\": \"%s\", \"workload\": \"%s\", "
+        "\"bridges\": %d, \"lans\": %d, "
         "\"hosts\": %d, \"stp_converged\": %s, \"blocked_ports\": %d, "
         "\"forwarding_ports\": %d, \"frames_carried\": %llu, \"mac_entries\": %zu, "
         "\"pings_sent\": %d, \"pings_answered\": %d, \"events\": %llu, "
-        "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
-        c.label.c_str(), std::string(to_string(c.spec.shape)).c_str(), c.bridges,
+        "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f",
+        c.label.c_str(), std::string(to_string(c.spec.shape)).c_str(),
+        c.workload.c_str(), c.bridges,
         c.lans, c.hosts, c.stp_converged ? "true" : "false", c.blocked_ports,
         c.forwarding_ports, static_cast<unsigned long long>(c.frames_carried),
         c.mac_entries, c.pings_sent, c.pings_answered,
         static_cast<unsigned long long>(c.events), c.virtual_seconds, c.wall_seconds,
-        c.events_per_sec, i + 1 < cells.size() ? "," : "");
+        c.events_per_sec);
+    if (!c.streams.empty()) {
+      out += util::format(",\n   \"goodput_mbps_total\": %.2f, \"streams\": [",
+                          c.total_goodput_mbps());
+      for (std::size_t s = 0; s < c.streams.size(); ++s) {
+        const StreamResult& sr = c.streams[s];
+        out += util::format(
+            "\n    {\"stream\": \"%s\", \"bytes_sent\": %zu, \"bytes_received\": %zu, "
+            "\"datagrams\": %zu, \"goodput_mbps\": %.2f, \"loss_fraction\": %.4f}%s",
+            sr.label.c_str(), sr.bytes_sent, sr.bytes_received, sr.datagrams,
+            sr.goodput_mbps, sr.loss_fraction,
+            s + 1 < c.streams.size() ? "," : "]");
+      }
+    }
+    if (!c.rollout.empty()) {
+      out += util::format(",\n   \"rollout_ok\": %s, \"rollout\": [",
+                          c.rollout_ok() ? "true" : "false");
+      for (std::size_t s = 0; s < c.rollout.size(); ++s) {
+        const RolloutStepResult& rs = c.rollout[s];
+        out += util::format(
+            "\n    {\"bridge\": \"%s\", \"stage\": %d, \"ok\": %s, \"attempts\": %d, "
+            "\"load_ms\": %.3f, \"frames_before_load\": %llu, "
+            "\"frames_after_load\": %llu, \"bytes_pushed\": %llu}%s",
+            rs.bridge.c_str(), rs.stage, rs.ok ? "true" : "false", rs.attempts,
+            rs.load_ms, static_cast<unsigned long long>(rs.frames_before_load),
+            static_cast<unsigned long long>(rs.frames_after_load),
+            static_cast<unsigned long long>(rs.bytes_pushed),
+            s + 1 < c.rollout.size() ? "," : "]");
+      }
+    }
+    out += util::format("}%s\n", i + 1 < cells.size() ? "," : "");
   }
   out += "]\n";
   return out;

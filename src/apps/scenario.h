@@ -2,10 +2,42 @@
 // the front door for a user who wants to try topologies without writing
 // C++. Used by the `scenario_sim` example and the scenario tests.
 //
-// TopologySweep (below) is the batch counterpart: run one canned workload
-// (flood burst + neighbor pings + learning + optional STP convergence)
-// across a grid of TopologySpecs and collect per-cell stats -- events/sec,
-// wall time, convergence, table sizes -- for benches and capacity planning.
+// TopologySweep (below) is the batch counterpart: build each TopologySpec
+// of a grid in a fresh Network, wait out STP convergence, then hand the
+// running extended LAN to a pluggable Workload and collect per-cell stats
+// -- events/sec, wall time, convergence, table sizes, plus whatever the
+// workload measured -- for benches and capacity planning.
+//
+// Three workloads ship here:
+//   * FloodPingWorkload  -- broadcast burst + neighbor pings (learning);
+//   * TtcpStreamWorkload -- K concurrent ttcp sender/sink pairs placed
+//     across LANs, per-stream goodput and loss (the paper's fig. 10
+//     traffic, scaled out);
+//   * RolloutWorkload    -- the paper's section 5.2 staged deployment: an
+//     admin host TFTPs a new switchlet generation to every bridge's
+//     network loader, nearest stage first, mid-traffic, measuring
+//     per-bridge load time and old- vs new-code frame counts.
+//
+// How to add a workload:
+//
+//   class JitterWorkload final : public Workload {
+//    public:
+//     std::string_view name() const override { return "jitter"; }
+//     void run(WorkloadContext& ctx, SweepResult& r) override {
+//       // 1. place apps on ctx.topo.hosts / ctx.topo.bridges;
+//       // 2. drive traffic: ctx.net.scheduler().run_for(
+//       //        ctx.options.traffic_window);
+//       // 3. record what you measured into `r` (reuse streams/rollout or
+//       //    the core counters).
+//     }
+//   };
+//   ...
+//   JitterWorkload jitter;
+//   auto cells = TopologySweep(opts).run_grid(grid, jitter);
+//
+// The sweep owns topology construction, convergence, and the cost
+// accounting; the workload owns everything that happens on the wire during
+// the traffic window.
 //
 // Grammar (one directive per line; '#' starts a comment):
 //
@@ -89,10 +121,36 @@ class ScenarioRunner {
 // ---------------------------------------------------------------------------
 // Topology sweeps
 
+/// One ttcp stream's outcome inside a sweep cell.
+struct StreamResult {
+  std::string label;              ///< "host3_0 -> host9_1"
+  std::size_t bytes_sent = 0;     ///< payload bytes the sender issued
+  std::size_t bytes_received = 0; ///< payload bytes the sink completed
+  std::size_t datagrams = 0;      ///< datagrams the sink reassembled
+  double goodput_mbps = 0.0;      ///< sink goodput, first to last byte
+  double loss_fraction = 0.0;     ///< 1 - received/sent
+};
+
+/// One bridge's outcome in a staged switchlet rollout.
+struct RolloutStepResult {
+  std::string bridge;        ///< node name ("bridge3")
+  int stage = 0;             ///< BFS distance from the admin's LAN
+  bool ok = false;           ///< the image loaded and started
+  int attempts = 0;          ///< TFTP attempts the deployer needed
+  double load_ms = 0.0;      ///< request leaving admin -> switchlet running
+  /// Frames the bridge's plane had forwarded when the new generation took
+  /// over (work done by the old code)...
+  std::uint64_t frames_before_load = 0;
+  /// ...and frames the freshly loaded generation itself processed after.
+  std::uint64_t frames_after_load = 0;
+  std::uint64_t bytes_pushed = 0;  ///< image bytes the loader received
+};
+
 /// One measured cell of a topology sweep.
 struct SweepResult {
   netsim::TopologySpec spec;
   std::string label;
+  std::string workload;  ///< name() of the workload that drove the cell
 
   // topology size
   int bridges = 0;
@@ -105,7 +163,7 @@ struct SweepResult {
   int blocked_ports = 0;
   int forwarding_ports = 0;
 
-  // workload outcome
+  // workload outcome (core counters every workload shares)
   std::uint64_t frames_carried = 0;
   std::uint64_t bytes_carried = 0;
   std::uint64_t frames_lost = 0;
@@ -113,11 +171,20 @@ struct SweepResult {
   int pings_sent = 0;
   int pings_answered = 0;
 
+  // workload outcome (per-workload detail; empty unless that workload ran)
+  std::vector<StreamResult> streams;        ///< TtcpStreamWorkload
+  std::vector<RolloutStepResult> rollout;   ///< RolloutWorkload
+
   // cost
   std::uint64_t events = 0;      ///< scheduler events executed for the cell
   double virtual_seconds = 0.0;  ///< simulated time elapsed
   double wall_seconds = 0.0;     ///< real time the cell took
   double events_per_sec = 0.0;   ///< events / wall_seconds
+
+  /// Sum of per-stream goodputs (0 when no streams ran).
+  [[nodiscard]] double total_goodput_mbps() const;
+  /// True when every rollout step loaded OK (false when none ran).
+  [[nodiscard]] bool rollout_ok() const;
 };
 
 /// Knobs shared by every cell of a sweep.
@@ -135,17 +202,122 @@ struct SweepOptions {
   bridge::TopologyBuildOptions build;
 };
 
-/// Runs a canned flood+learning workload over a grid of topology specs.
+/// Everything a Workload may touch while driving one built, converged
+/// cell. Owned by run_cell; valid only for the duration of Workload::run.
+struct WorkloadContext {
+  netsim::Network& net;
+  bridge::BridgedTopology& topo;
+  const SweepOptions& options;
+};
+
+/// A traffic pattern the sweep drives over each built topology. Implement
+/// run() to place apps, advance the scheduler through the traffic window,
+/// and record what you measured (see the "How to add a workload" example
+/// at the top of this header). Workloads are reused across cells, so keep
+/// per-cell state local to run().
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Stable tag recorded into SweepResult::workload and the bench JSON.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Drive traffic over a built topology (already converged for
+  /// options.convergence_window) and fill the workload fields of `result`.
+  /// The implementation advances ctx.net.scheduler() itself.
+  ///
+  /// Lifetime contract: run_cell never advances the scheduler after run()
+  /// returns, so apps owned by the workload (senders, deployers, extra
+  /// hosts) may live on run()'s stack even if their timers are still
+  /// queued when it returns. A workload that itself runs other workloads
+  /// (or otherwise advances the scheduler after inner apps are destroyed)
+  /// must cancel or outlive those apps' pending callbacks.
+  virtual void run(WorkloadContext& ctx, SweepResult& result) = 0;
+};
+
+/// The original canned workload: a broadcast burst from a probe NIC on
+/// lan0, then every host pings its successor (populates MAC tables, then
+/// rides directed forwarding). Knobs come from SweepOptions.
+class FloodPingWorkload final : public Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "flood+pings"; }
+  void run(WorkloadContext& ctx, SweepResult& result) override;
+};
+
+/// K concurrent ttcp streams placed across LANs (sender and sink on
+/// different segments whenever the topology has enough hosts). Fills
+/// SweepResult::streams.
+class TtcpStreamWorkload final : public Workload {
+ public:
+  struct Options {
+    int streams = 4;                       ///< concurrent sender/sink pairs
+    std::size_t bytes_per_stream = 256 * 1024;
+    std::size_t write_size = 8192;         ///< the paper's 8 KB writes
+    /// Successive streams start this far apart (ARP staggering).
+    netsim::Duration stagger = netsim::milliseconds(10);
+  };
+
+  TtcpStreamWorkload() = default;
+  explicit TtcpStreamWorkload(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ttcp-streams"; }
+  void run(WorkloadContext& ctx, SweepResult& result) override;
+
+ private:
+  Options options_;
+};
+
+/// The paper's section 5.2 staged deployment, replayed as a workload: an
+/// admin host on lan0 pushes a named switchlet image to every bridge's
+/// network loader -- bridges nearest the admin first, the stage growing
+/// with BFS distance exactly as the paper grows the extended LAN's
+/// diameter -- while background pings keep frames moving. Requires
+/// SweepOptions::build.netloader (throws std::logic_error otherwise).
+/// Fills SweepResult::rollout.
+class RolloutWorkload final : public Workload {
+ public:
+  struct Options {
+    /// Named image every bridge's registry can resolve.
+    std::string image = "bridge.monitor";
+    /// Padding appended to the image (simulated code size; drives TFTP
+    /// transfer time like bench/sec75_load_time).
+    std::size_t payload_padding = 4096;
+    /// Hosts pinging their successor during the rollout, capped so
+    /// thousand-station cells don't drown the deployment being measured.
+    int max_background_pairs = 32;
+    netsim::Duration ping_interval = netsim::milliseconds(500);
+  };
+
+  RolloutWorkload() = default;
+  explicit RolloutWorkload(Options options) : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "rollout"; }
+  void run(WorkloadContext& ctx, SweepResult& result) override;
+
+ private:
+  Options options_;
+};
+
+/// Builds each cell of a grid in a fresh Network, converges it, and hands
+/// it to a Workload (FloodPingWorkload when none is given).
 class TopologySweep {
  public:
   explicit TopologySweep(SweepOptions options = {}) : options_(std::move(options)) {}
 
-  /// Builds one cell in a fresh Network, drives the workload, measures.
+  /// Builds one cell, drives the default flood+pings workload, measures.
   [[nodiscard]] SweepResult run_cell(const netsim::TopologySpec& spec);
 
-  /// run_cell over every spec, in order.
+  /// Builds one cell, drives `workload`, measures.
+  [[nodiscard]] SweepResult run_cell(const netsim::TopologySpec& spec,
+                                     Workload& workload);
+
+  /// run_cell over every spec, in order, with the default workload.
   [[nodiscard]] std::vector<SweepResult> run_grid(
       const std::vector<netsim::TopologySpec>& grid);
+
+  /// run_cell over every spec, in order, with `workload`.
+  [[nodiscard]] std::vector<SweepResult> run_grid(
+      const std::vector<netsim::TopologySpec>& grid, Workload& workload);
 
   /// Cross product helper: every shape x every node count, fixed hosts.
   [[nodiscard]] static std::vector<netsim::TopologySpec> make_grid(
@@ -155,7 +327,8 @@ class TopologySweep {
   /// Human-readable summary table.
   [[nodiscard]] static std::string format_table(const std::vector<SweepResult>& cells);
 
-  /// JSON array for BENCH_*.json trajectories.
+  /// JSON array for BENCH_*.json trajectories; stream and rollout detail
+  /// is emitted for cells that carry it.
   [[nodiscard]] static std::string format_json(const std::vector<SweepResult>& cells);
 
  private:

@@ -133,6 +133,7 @@ void StpEngine::start() {
 void StpEngine::stop() {
   if (!running_) return;
   running_ = false;
+  tcn_pending_ = false;
   *life_ = ++epoch_;  // all pending timers become no-ops
   logf("stopped");
 }
@@ -275,7 +276,7 @@ void StpEngine::recompute() {
   }
 }
 
-void StpEngine::transmit_config(PortData& p) {
+void StpEngine::transmit_config(PortData& p, bool tc_ack) {
   Bpdu bpdu;
   bpdu.type = BpduType::kConfig;
   bpdu.root = root_;
@@ -287,7 +288,9 @@ void StpEngine::transmit_config(PortData& p) {
   bpdu.hello_time = config_.hello_time;
   bpdu.forward_delay = config_.forward_delay;
   bpdu.topology_change = tc_active_;
+  bpdu.tc_ack = tc_ack;
   stats_.configs_sent += 1;
+  if (tc_ack) stats_.tcas_sent += 1;
   callbacks_.send(p.id, bpdu);
 }
 
@@ -346,17 +349,22 @@ void StpEngine::receive(active::PortId port_id, const Bpdu& bpdu) {
     if (p.role != StpPortRole::kDesignated) return;
     if (is_root()) {
       begin_topology_change();
-    } else if (root_port_ != active::kNoPort) {
-      // Propagate toward the root.
-      Bpdu tcn;
-      tcn.type = BpduType::kTcn;
-      stats_.tcns_sent += 1;
-      callbacks_.send(root_port_, tcn);
+    } else {
+      originate_tcn();  // propagate toward the root, retransmit until acked
     }
+    // Acknowledge so the notifier stops retransmitting; ordered after the
+    // TC bookkeeping so a root's ack already carries the TC flag.
+    transmit_config(p, /*tc_ack=*/true);
     return;
   }
 
   stats_.configs_received += 1;
+  if (bpdu.tc_ack && p.id == root_port_ && tcn_pending_) {
+    // Our designated bridge heard the TCN: stop retransmitting.
+    tcn_pending_ = false;
+    stats_.tcas_received += 1;
+    timers_.cancel(tcn_timer_);
+  }
   if (bpdu.topology_change && !is_root()) {
     // The root is signalling a topology change: fast-age the MAC table.
     if (callbacks_.topology_change) callbacks_.topology_change(true);
@@ -402,12 +410,38 @@ void StpEngine::note_topology_event() {
   stats_.topology_changes += 1;
   if (is_root()) {
     begin_topology_change();
-  } else if (root_port_ != active::kNoPort) {
-    Bpdu tcn;
-    tcn.type = BpduType::kTcn;
-    stats_.tcns_sent += 1;
-    callbacks_.send(root_port_, tcn);
+  } else {
+    originate_tcn();
   }
+}
+
+void StpEngine::originate_tcn() {
+  if (root_port_ == active::kNoPort) return;
+  Bpdu tcn;
+  tcn.type = BpduType::kTcn;
+  stats_.tcns_sent += 1;
+  callbacks_.send(root_port_, tcn);
+  // Keep notifying every hello time until the designated bridge on the
+  // root segment acks with a TCA-flagged config (lossy links drop TCNs).
+  tcn_pending_ = true;
+  timers_.cancel(tcn_timer_);
+  schedule(config_.hello_time, [this] { retransmit_tcn(); }, &tcn_timer_);
+}
+
+void StpEngine::retransmit_tcn() {
+  if (!running_ || !tcn_pending_) return;
+  if (is_root() || root_port_ == active::kNoPort) {
+    // Became root (or lost the root port) while waiting: nobody upstream
+    // to notify any more.
+    tcn_pending_ = false;
+    return;
+  }
+  Bpdu tcn;
+  tcn.type = BpduType::kTcn;
+  stats_.tcns_sent += 1;
+  stats_.tcn_retransmits += 1;
+  callbacks_.send(root_port_, tcn);
+  schedule(config_.hello_time, [this] { retransmit_tcn(); }, &tcn_timer_);
 }
 
 void StpEngine::begin_topology_change() {

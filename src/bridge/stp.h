@@ -17,10 +17,13 @@
 //     root sets the TC flag for forward_delay + max_age, and bridges seeing
 //     the flag switch their MAC tables to fast aging.
 //
+//   * topology-change acknowledgment (TCA): the segment's designated
+//     bridge answers a TCN with a config BPDU carrying the ack flag; the
+//     notifying bridge retransmits its TCN every hello time until acked,
+//     so a lossy link cannot swallow a topology change silently.
+//
 // Simplifications vs. the full standard, documented here deliberately:
-// message age is carried but not used to shorten expiry; TCNs are not
-// retransmitted (the simulated wire is lossless unless a test injects
-// loss); there is no TCN ack bookkeeping beyond the flag itself.
+// message age is carried but not used to shorten expiry.
 #pragma once
 
 #include <cstdint>
@@ -133,6 +136,9 @@ class StpEngine {
     std::uint64_t configs_received = 0;
     std::uint64_t tcns_sent = 0;
     std::uint64_t tcns_received = 0;
+    std::uint64_t tcn_retransmits = 0;  ///< TCNs re-sent because no TCA arrived
+    std::uint64_t tcas_sent = 0;        ///< ack-flagged configs we emitted
+    std::uint64_t tcas_received = 0;    ///< acks that retired a pending TCN
     std::uint64_t info_expiries = 0;
     std::uint64_t topology_changes = 0;
   };
@@ -170,8 +176,12 @@ class StpEngine {
   void apply_role(PortData& port, StpPortRole role);
   void advance_state(active::PortId id, std::uint64_t epoch);
   void set_state(PortData& port, StpPortState state);
-  void transmit_config(PortData& port);
+  void transmit_config(PortData& port, bool tc_ack = false);
   void hello_tick();
+  /// Sends a TCN toward the root and keeps resending every hello time
+  /// until a TCA-flagged config arrives on the root port (802.1D 8.6.6).
+  void originate_tcn();
+  void retransmit_tcn();
   void relay_configs();
   void arm_age_timer(PortData& port, netsim::Duration delay);
   void schedule(netsim::Duration delay, std::function<void()> fn,
@@ -194,8 +204,10 @@ class StpEngine {
   active::PortId root_port_ = active::kNoPort;
   bool running_ = false;
   bool tc_active_ = false;
+  bool tcn_pending_ = false;  ///< we notified but have not been acked yet
   netsim::EventId hello_timer_{};
   netsim::EventId tc_timer_{};
+  netsim::EventId tcn_timer_{};
 
   /// Liveness guard: every scheduled lambda captures (guard, epoch) and
   /// bails when the epoch moved (stop/restart/destruction). Keeps dangling

@@ -1,5 +1,9 @@
 #include "src/bridge/topology.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include "src/netsim/cost_model.h"
 
 namespace ab::bridge {
@@ -49,28 +53,50 @@ std::size_t BridgedTopology::mac_entries() const {
   return total;
 }
 
+namespace {
+
+/// Maps an ordinal into a 10.<base+?>.?.? slice, skipping low octets 0 and
+/// 255 so nothing ever reads as a network/broadcast address.
+stack::Ipv4Addr slice_ip(std::uint32_t second_octet_base, std::size_t ordinal,
+                         std::size_t second_octet_span, const char* what) {
+  const std::uint32_t low = static_cast<std::uint32_t>(ordinal % 254) + 1;
+  const std::uint32_t rest = static_cast<std::uint32_t>(ordinal / 254);
+  const std::uint32_t third = rest % 256;
+  const std::uint32_t second = second_octet_base + rest / 256;
+  if (second >= second_octet_base + second_octet_span) {
+    throw std::invalid_argument(std::string("topology address plan: ") + what +
+                                " ordinal overflows its 10/8 slice");
+  }
+  return stack::Ipv4Addr(10, static_cast<std::uint8_t>(second),
+                         static_cast<std::uint8_t>(third),
+                         static_cast<std::uint8_t>(low));
+}
+
+}  // namespace
+
+stack::Ipv4Addr topology_host_ip(std::size_t ordinal) {
+  // 10.0.0.1 .. 10.253.255.254: ~16.5M stations.
+  return slice_ip(0, ordinal, 254, "host");
+}
+
+stack::Ipv4Addr topology_loader_ip(std::size_t ordinal) {
+  return slice_ip(254, ordinal, 1, "loader");
+}
+
+stack::Ipv4Addr topology_admin_ip(std::size_t ordinal) {
+  return slice_ip(255, ordinal, 1, "admin");
+}
+
 BridgedTopology build_topology(netsim::Network& net, const netsim::TopologySpec& spec,
                                BridgeNodeConfig node_config,
                                TopologyBuildOptions options) {
-  // The 10.<lan hi>.<lan lo>.<host> assignment scheme below caps what fits
-  // without octet wraparound; beyond it hosts would silently collide (see
-  // ROADMAP: widen the addressing before simulating thousands of stations).
-  if (spec.hosts_per_lan > 253) {
-    throw std::invalid_argument("build_topology: hosts_per_lan > 253 overflows the "
-                                "10.x.y.z host addressing scheme");
-  }
-  if (netsim::TopologyBuilder::segment_count(spec) > 65534) {
-    throw std::invalid_argument(
-        "build_topology: more than 65534 segments overflows the "
-        "10.x.y.z host addressing scheme");
-  }
-
   BridgedTopology built;
   built.shape = netsim::TopologyBuilder(net).build(spec);
 
   for (std::size_t i = 0; i < built.shape.node_ports.size(); ++i) {
     BridgeNodeConfig cfg = node_config;
     cfg.name = built.shape.node_names[i];
+    if (options.netloader) cfg.loader_ip = topology_loader_ip(i);
     auto node = std::make_unique<BridgeNode>(net.scheduler(), std::move(cfg));
     int port = 0;
     for (netsim::LanSegment* seg : built.shape.node_ports[i]) {
@@ -80,15 +106,19 @@ BridgedTopology build_topology(netsim::Network& net, const netsim::TopologySpec&
     if (options.dumb) node->load_dumb();
     if (options.learning) node->load_learning();
     if (options.stp) node->load_ieee();
+    if (options.netloader) node->load_netloader();
     built.bridges.push_back(std::move(node));
   }
 
-  for (const netsim::Topology::HostAttach& h : built.shape.hosts) {
+  for (std::size_t ordinal = 0; ordinal < built.shape.hosts.size(); ++ordinal) {
+    const netsim::Topology::HostAttach& h = built.shape.hosts[ordinal];
     stack::HostConfig cfg;
-    const int lan_ordinal = h.lan + 1;
-    cfg.ip = stack::Ipv4Addr(10, static_cast<std::uint8_t>((lan_ordinal >> 8) & 0xFF),
-                             static_cast<std::uint8_t>(lan_ordinal & 0xFF),
-                             static_cast<std::uint8_t>(h.index + 1));
+    cfg.ip = topology_host_ip(ordinal);
+    // Sized to the handful of peers a sweep workload makes each station
+    // resolve, NOT to the station count: a per-host reserve proportional
+    // to total hosts would make topology memory quadratic (measured
+    // ~200 MB of empty buckets on a 5000-station star).
+    cfg.arp_cache_reserve = std::min<std::size_t>(built.shape.hosts.size(), 32);
     if (options.host_cost_model) cfg.tx_cost = netsim::CostModel::linux_host();
     auto host = std::make_unique<stack::HostStack>(
         net.scheduler(),

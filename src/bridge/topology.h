@@ -23,10 +23,29 @@ struct TopologyBuildOptions {
   bool dumb = true;      ///< switchlet 1: flooding repeater (port owner)
   bool learning = true;  ///< switchlet 2: self-learning
   bool stp = true;       ///< switchlet 3: IEEE 802.1D spanning tree
+  /// Give every bridge a network loader (TFTP server at topology_loader_ip
+  /// of its index), so deployment workloads can push switchlets to it.
+  bool netloader = false;
   /// Charge the calibrated Linux-host tx cost at every host.
   bool host_cost_model = false;
   std::size_t host_tx_queue_limit = 1 << 20;
 };
+
+// ---------------------------------------------------------------------------
+// Address plan. One flat bridged broadcast domain, no subnetting: hosts,
+// bridge loaders, and workload admin stations each get a disjoint slice of
+// 10/8, assigned by ordinal. Low octets 0 and 255 are skipped everywhere so
+// no assigned address ever looks like a network or broadcast address.
+
+/// IP of the `ordinal`-th host attachment point (10.0.0.1 upward; ~16M
+/// stations before colliding with the loader slice). Throws beyond that.
+[[nodiscard]] stack::Ipv4Addr topology_host_ip(std::size_t ordinal);
+
+/// IP of bridge `ordinal`'s network loader (the 10.254.0.0/16 slice).
+[[nodiscard]] stack::Ipv4Addr topology_loader_ip(std::size_t ordinal);
+
+/// IP of the `ordinal`-th workload-owned admin/probe station (10.255.0.0/16).
+[[nodiscard]] stack::Ipv4Addr topology_admin_ip(std::size_t ordinal);
 
 /// A built topology: the netsim wiring plan plus the assembled nodes.
 /// Bridges and hosts are positionally aligned with shape.node_ports /
@@ -36,7 +55,9 @@ struct BridgedTopology {
   std::vector<std::unique_ptr<BridgeNode>> bridges;
   std::vector<std::unique_ptr<stack::HostStack>> hosts;
 
+  /// Bridge at node position `i` (aligned with shape.node_ports).
   [[nodiscard]] BridgeNode& bridge(std::size_t i) { return *bridges[i]; }
+  /// Host at attachment ordinal `i` (aligned with shape.hosts).
   [[nodiscard]] stack::HostStack& host(std::size_t i) { return *hosts[i]; }
 
   /// Ports across all bridges whose data-plane gate is `gate`.
@@ -55,8 +76,9 @@ struct BridgedTopology {
 };
 
 /// Builds `spec` inside `net` and assembles bridges and hosts on the plan.
-/// `node_config.name` is overridden per node with the plan's names; host
-/// IPs are assigned 10.<lan+1 hi>.<lan+1 lo>.<host+1>.
+/// `node_config.name` is overridden per node with the plan's names; hosts
+/// get topology_host_ip of their plan ordinal (lan-major order), so
+/// thousand-station LANs assign unique addresses.
 [[nodiscard]] BridgedTopology build_topology(netsim::Network& net,
                                              const netsim::TopologySpec& spec,
                                              BridgeNodeConfig node_config = {},

@@ -12,9 +12,11 @@
 // assembled BridgeNodes and HostStacks.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/netsim/lan.h"
@@ -33,7 +35,9 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// The simulation's single event queue; everything runs through it.
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  /// Current virtual time (shorthand for scheduler().now()).
   [[nodiscard]] TimePoint now() const { return scheduler_.now(); }
 
   /// Creates a broadcast segment.
@@ -46,9 +50,11 @@ class Network {
   /// Creates a NIC with an explicit MAC.
   Nic& add_nic(const std::string& name, LanSegment& segment, ether::MacAddress mac);
 
+  /// Every segment created so far, in creation order.
   [[nodiscard]] const std::vector<std::unique_ptr<LanSegment>>& segments() const {
     return segments_;
   }
+  /// Every NIC created so far, in creation order.
   [[nodiscard]] const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
 
   /// Finds a segment by name; nullptr if absent.
@@ -64,15 +70,21 @@ class Network {
 // ---------------------------------------------------------------------------
 // Parametric topology generation
 
-/// The extended-LAN shapes the builder can generate.
+/// The extended-LAN shapes the builder can generate. The first five are
+/// deterministic functions of `nodes`; the last two are seeded random
+/// graphs, regenerated identically for identical (spec, seed) pairs and
+/// rejected-and-retried until connected.
 enum class TopologyShape {
   kLine,  ///< nodes+1 segments in a chain; node i joins seg i and seg i+1
   kRing,  ///< nodes segments in a cycle; node i joins seg i and seg (i+1)%n
   kStar,  ///< hub segment 0; node i joins its leaf segment i+1 to the hub
   kTree,  ///< arity-ary tree; node i joins its parent's down-segment and its own
   kMesh,  ///< one point-to-point segment per node pair; n-1 ports per node
+  kRandomKRegular,  ///< random simple `degree`-regular graph (pairing model)
+  kScaleFree,  ///< Barabasi-Albert preferential attachment, `attach` edges/node
 };
 
+/// Short stable name ("ring", "kregular", "scalefree", ...) for labels/JSON.
 [[nodiscard]] std::string_view to_string(TopologyShape shape);
 
 /// Declarative description of a topology. `nodes` counts bridge positions,
@@ -83,6 +95,14 @@ struct TopologySpec {
   int hosts_per_lan = 0;
   /// Children per node for kTree.
   int tree_arity = 2;
+  /// Edges per node for kRandomKRegular (nodes * degree must be even,
+  /// degree in [2, nodes-1]).
+  int degree = 4;
+  /// Edges each newcomer adds for kScaleFree (>= 1; the first attach+1
+  /// nodes form a seed clique).
+  int attach = 2;
+  /// Seed for the random shapes. Same spec + same seed = same graph.
+  std::uint64_t seed = 1;
   /// Default physical parameters for every segment.
   LanConfig lan;
   /// Per-segment-index overrides (loss on one link, a slow uplink, ...).
@@ -123,13 +143,24 @@ class TopologyBuilder {
 
   /// Creates the spec's segments in the Network and returns the plan.
   /// Throws std::invalid_argument on malformed specs (too few nodes for
-  /// the shape, negative host counts, non-positive arity).
+  /// the shape, negative host counts, non-positive arity, infeasible
+  /// degree); std::runtime_error if a random shape cannot be made
+  /// connected after bounded retries.
   Topology build(const TopologySpec& spec);
 
-  /// Segments the spec will create (without building anything).
+  /// Segments the spec will create (without building anything). Exact for
+  /// every shape, including the random ones (their edge counts are fixed
+  /// by construction: nodes*degree/2 and C(attach+1,2)+(nodes-attach-1)*attach).
   [[nodiscard]] static int segment_count(const TopologySpec& spec);
-  /// Ports node `node` will have under this spec.
+  /// Ports node `node` will have under this spec. For kScaleFree this
+  /// generates the (seeded, deterministic) graph to count the node's edges.
   [[nodiscard]] static int port_count(const TopologySpec& spec, int node);
+
+  /// The node-pair edge list a random spec generates (seeded, connected,
+  /// deterministic). Exposed so tests can check connectivity/determinism
+  /// without building segments. Throws for the non-random shapes.
+  [[nodiscard]] static std::vector<std::pair<int, int>> random_edges(
+      const TopologySpec& spec);
 
  private:
   Network* net_;

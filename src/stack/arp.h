@@ -52,6 +52,11 @@ class ArpCache {
 
   void insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now);
 
+  /// Pre-sizes the table for `entries` peers so resolution-heavy hosts
+  /// don't rehash on the traffic path. Buckets are real memory: size to
+  /// the peers this host will talk to, not the station population.
+  void reserve(std::size_t entries) { entries_.reserve(entries); }
+
   /// Lookup honoring expiry.
   [[nodiscard]] std::optional<ether::MacAddress> lookup(Ipv4Addr ip,
                                                         netsim::TimePoint now) const;

@@ -17,6 +17,7 @@ HostStack::HostStack(netsim::Scheduler& scheduler, netsim::Nic& nic, HostConfig 
   if (config_.mtu < Ipv4Header::kSize + 8) {
     throw std::invalid_argument("HostStack: MTU too small for IP");
   }
+  if (config_.arp_cache_reserve > 0) arp_cache_.reserve(config_.arp_cache_reserve);
   nic_->set_rx_handler(
       [this](const ether::WireFrame& frame) { on_frame(frame.frame()); });
 }

@@ -42,6 +42,11 @@ struct HostConfig {
   /// ARP retransmit interval and attempt limit.
   netsim::Duration arp_retry = netsim::milliseconds(500);
   int arp_max_tries = 3;
+  /// Pre-size the ARP cache for this many expected peers (0: grow on
+  /// demand). Keep it proportional to the peers this host will actually
+  /// resolve, not the station population — the buckets are per-host
+  /// memory.
+  std::size_t arp_cache_reserve = 0;
 };
 
 /// Counters for assertions and benchmarks.

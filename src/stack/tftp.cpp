@@ -111,11 +111,33 @@ void TftpServer::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
       send_error(peer, TftpError::kIllegalOperation, "only octet mode accepted");
       return;
     }
+    if (const auto it = transfers_.find(peer); it != transfers_.end()) {
+      // Flooded duplicate copies of one WRQ arrive within the network's
+      // flood traversal time; a WRQ for an endpoint whose transfer has
+      // been idle longer than the client's retransmit interval is a
+      // genuinely new put (endpoint reuse after an abandoned transfer),
+      // not a duplicate. A live entry -- completed (dallying) or not --
+      // can only mean a duplicate, since clients never reuse a port
+      // back-to-back.
+      const bool stale =
+          scheduler_->now() - it->second.last_activity >= TftpClient::kRetransmit;
+      if (stale) {
+        transfers_.erase(it);
+      } else if (!it->second.completed && it->second.expected_block == 1) {
+        // Duplicate WRQ: re-ACK, but never reset an accepted transfer.
+        send_(peer, kWellKnownPort, encode_tftp(TftpAck{0}));
+        return;
+      } else {
+        // Late duplicate arriving mid-transfer or during the dally:
+        // ignore it.
+        return;
+      }
+    }
     Transfer t;
     t.filename = req->filename;
     t.last_activity = scheduler_->now();
     transfers_[peer] = std::move(t);
-    scheduler_->schedule_after(kTransferTimeout, [this] { reap_stalled(); });
+    arm_reaper();
     send_(peer, kWellKnownPort, encode_tftp(TftpAck{0}));
     if (log_) log_->info("tftp", "WRQ accepted: " + req->filename);
     return;
@@ -130,11 +152,12 @@ void TftpServer::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
     Transfer& t = it->second;
     t.last_activity = scheduler_->now();
     if (data->block == static_cast<std::uint16_t>(t.expected_block - 1)) {
-      // Duplicate of the previous block (our ACK was lost): re-ACK.
+      // Duplicate of the previous (possibly final) block -- our ACK was
+      // lost or the network delivered an extra copy: re-ACK.
       send_(peer, kWellKnownPort, encode_tftp(TftpAck{data->block}));
       return;
     }
-    if (data->block != t.expected_block) {
+    if (t.completed || data->block != t.expected_block) {
       send_error(peer, TftpError::kIllegalOperation,
                  util::format("expected block %u, got %u", t.expected_block,
                               data->block));
@@ -145,16 +168,19 @@ void TftpServer::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
     send_(peer, kWellKnownPort, encode_tftp(TftpAck{data->block}));
     t.expected_block += 1;
     if (data->data.size() < kTftpBlockSize) {
-      // Final block: transfer complete.
+      // Final block: transfer complete. The entry dallies (completed =
+      // true) until the stall reaper collects it, re-ACKing any duplicate
+      // final DATA in the meantime.
       stats_.transfers_completed += 1;
       if (log_) {
         log_->info("tftp", util::format("received %s (%zu bytes)", t.filename.c_str(),
                                         t.contents.size()));
       }
-      // Move out before erasing; the handler may start new transfers.
+      t.completed = true;
       const std::string filename = std::move(t.filename);
       util::ByteBuffer contents = std::move(t.contents);
-      transfers_.erase(it);
+      t.filename.clear();
+      t.contents.clear();
       on_file_(filename, std::move(contents));
     }
     return;
@@ -166,17 +192,32 @@ void TftpServer::on_datagram(const TftpEndpoint& peer, std::uint16_t local_port,
   }
 }
 
+void TftpServer::arm_reaper() {
+  // One chain at a time: every accepted WRQ arming its own self-renewing
+  // reap would leak a permanent timer per transfer on a busy server.
+  if (reap_armed_) return;
+  reap_armed_ = true;
+  scheduler_->schedule_after(kTransferTimeout, [this] { reap_stalled(); });
+}
+
 void TftpServer::reap_stalled() {
+  reap_armed_ = false;
   const netsim::TimePoint now = scheduler_->now();
   for (auto it = transfers_.begin(); it != transfers_.end();) {
     if (now - it->second.last_activity >= kTransferTimeout) {
-      stats_.transfers_timed_out += 1;
-      if (log_) log_->warn("tftp", "transfer timed out: " + it->second.filename);
+      if (!it->second.completed) {
+        // A dallying completed entry expiring is the normal end of its
+        // life, not a timeout.
+        stats_.transfers_timed_out += 1;
+        if (log_) log_->warn("tftp", "transfer timed out: " + it->second.filename);
+      }
       it = transfers_.erase(it);
     } else {
       ++it;
     }
   }
+  // Entries refreshed since this reap was armed still need collecting.
+  if (!transfers_.empty()) arm_reaper();
 }
 
 // ---------------------------------------------------------------- client

@@ -119,9 +119,14 @@ class TftpServer {
     util::ByteBuffer contents;
     std::uint16_t expected_block = 1;
     netsim::TimePoint last_activity{};
+    /// Final block delivered; entry retained ("dallying", RFC 1350 §6) so
+    /// duplicate copies of the last DATA are re-ACKed instead of answered
+    /// with a fatal "no transfer" error. Reaped with the stall timer.
+    bool completed = false;
   };
 
   void send_error(const TftpEndpoint& peer, TftpError code, const std::string& msg);
+  void arm_reaper();
   void reap_stalled();
 
   netsim::Scheduler* scheduler_;
@@ -129,6 +134,7 @@ class TftpServer {
   FileHandler on_file_;
   util::Logger* log_;
   std::map<TftpEndpoint, Transfer> transfers_;
+  bool reap_armed_ = false;  ///< exactly one reap chain pending at a time
   Stats stats_;
 };
 

@@ -9,6 +9,7 @@
 
 #include "src/active/node.h"
 #include "src/netsim/network.h"
+#include "src/stack/arp.h"
 #include "src/stack/host_stack.h"
 
 namespace ab::active {
@@ -90,8 +91,42 @@ TEST(NetLoader, LoadsASwitchletDeliveredOverTftp) {
   EXPECT_NE(f.node->loader().find("marker"), nullptr);
   EXPECT_EQ(f.node->funcs().eval("marker.loaded").value(), "yes");
   EXPECT_EQ(f.netloader->stats().files_received, 1u);
+  EXPECT_GT(f.netloader->stats().bytes_received, 0u);
   EXPECT_EQ(f.netloader->stats().switchlets_loaded, 1u);
+  EXPECT_EQ(f.netloader->stats().last_loaded, "marker");
   EXPECT_GE(f.netloader->stats().arp_replies, 1u);  // host resolved the node
+}
+
+TEST(NetLoader, FloodedArpDuplicatesDrawOneReply) {
+  // A multi-port node hears a flooded broadcast once per attached segment;
+  // a burst of copies must be answered exactly once so the querier's ARP
+  // cache never flaps between port identities (regression: the cache flip
+  // mid-TFTP-transfer wedged staged rollouts on k-regular graphs).
+  Fixture f;
+  const stack::ArpPacket request = stack::ArpPacket::request(
+      f.host_nic->mac(), f.host_ip, f.node_ip);
+  int replies_on_wire = 0;
+  f.lan->set_frame_tap([&](netsim::TimePoint, const netsim::Nic* sender,
+                           util::ByteView) {
+    if (sender == f.node_nic) ++replies_on_wire;
+  });
+  for (int copy = 0; copy < 3; ++copy) {
+    f.host_nic->transmit(ether::Frame::ethernet2(
+        ether::MacAddress::broadcast(), f.host_nic->mac(), ether::EtherType::kArp,
+        request.encode()));
+  }
+  f.net.scheduler().run_for(netsim::milliseconds(10));
+  EXPECT_EQ(f.netloader->stats().arp_replies, 1u);
+  EXPECT_EQ(f.netloader->stats().arp_duplicates_suppressed, 2u);
+  EXPECT_EQ(replies_on_wire, 1);
+  // Past the suppression window a fresh request (a genuine retry) is
+  // answered again.
+  f.net.scheduler().run_for(NetLoaderSwitchlet::kArpReplySuppression);
+  f.host_nic->transmit(ether::Frame::ethernet2(
+      ether::MacAddress::broadcast(), f.host_nic->mac(), ether::EtherType::kArp,
+      request.encode()));
+  f.net.scheduler().run_for(netsim::milliseconds(10));
+  EXPECT_EQ(f.netloader->stats().arp_replies, 2u);
 }
 
 TEST(NetLoader, RejectsImageWithWrongDigestButTransferSucceeds) {

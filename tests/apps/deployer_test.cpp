@@ -94,6 +94,30 @@ TEST(Deployer, UnreachableNodeFailsAfterRetriesAndPlanContinues) {
   EXPECT_TRUE(results[1].ok);  // the plan carried on
 }
 
+TEST(Deployer, StepCallbackAndTimestampsMeasureLoadTime) {
+  World w;
+  std::vector<DeployResult> step_results;
+  std::vector<DeployResult> final_results;
+  w.deployer->deploy(
+      {
+          {w.loader_ip, active::SwitchletImage::named("bridge.dumb"), {}},
+          {w.loader_ip, active::SwitchletImage::named("bridge.learning"), {}},
+      },
+      [&](const std::vector<DeployResult>& r) { final_results = r; },
+      [&](const DeployResult& r) { step_results.push_back(r); });
+  w.net.scheduler().run_for(netsim::seconds(30));
+  ASSERT_EQ(step_results.size(), 2u);
+  ASSERT_EQ(final_results.size(), 2u);
+  for (const DeployResult& r : step_results) {
+    EXPECT_TRUE(r.ok);
+    // The TFTP exchange takes real virtual time; load_time measures it.
+    EXPECT_GT(r.load_time(), netsim::Duration::zero());
+    EXPECT_EQ(r.finished - r.started, r.load_time());
+  }
+  // Steps are strictly ordered: step 2 started after step 1 finished.
+  EXPECT_GE(step_results[1].started, step_results[0].finished);
+}
+
 TEST(Deployer, RejectsConcurrentPlansAndNullCompletion) {
   World w;
   w.deployer->deploy({{w.loader_ip, active::SwitchletImage::named("bridge.dumb"), {}}},

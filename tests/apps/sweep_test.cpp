@@ -68,6 +68,103 @@ TEST(TopologySweep, GridPreservesOrderAndFormats) {
   EXPECT_NE(json.find("\"stp_converged\": true"), std::string::npos);
 }
 
+TEST(TopologySweep, TtcpWorkloadMovesBytesAcrossLans) {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kRing;
+  spec.nodes = 4;
+  spec.hosts_per_lan = 1;
+
+  TtcpStreamWorkload::Options wopts;
+  wopts.streams = 2;
+  wopts.bytes_per_stream = 32 * 1024;
+  TtcpStreamWorkload ttcp(wopts);
+  TopologySweep sweep;
+  const SweepResult r = sweep.run_cell(spec, ttcp);
+
+  EXPECT_EQ(r.workload, "ttcp-streams");
+  EXPECT_TRUE(r.stp_converged);
+  ASSERT_EQ(r.streams.size(), 2u);
+  for (const StreamResult& s : r.streams) {
+    EXPECT_EQ(s.bytes_sent, 32u * 1024u);
+    // Lossless segments, generous window: every byte arrives.
+    EXPECT_EQ(s.bytes_received, s.bytes_sent);
+    EXPECT_DOUBLE_EQ(s.loss_fraction, 0.0);
+    EXPECT_GT(s.goodput_mbps, 0.0);
+    EXPECT_GT(s.datagrams, 0u);
+  }
+  EXPECT_GT(r.total_goodput_mbps(), 0.0);
+
+  const std::string json = TopologySweep::format_json({r});
+  EXPECT_NE(json.find("\"workload\": \"ttcp-streams\""), std::string::npos);
+  EXPECT_NE(json.find("\"streams\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_mbps_total\""), std::string::npos);
+}
+
+TEST(TopologySweep, RolloutWorkloadDeploysToEveryBridgeInStages) {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kLine;
+  spec.nodes = 3;
+  spec.hosts_per_lan = 1;
+
+  SweepOptions opts;
+  opts.build.netloader = true;
+  TopologySweep sweep(opts);
+  RolloutWorkload rollout;
+  const SweepResult r = sweep.run_cell(spec, rollout);
+
+  EXPECT_EQ(r.workload, "rollout");
+  EXPECT_TRUE(r.stp_converged);
+  ASSERT_EQ(r.rollout.size(), 3u);
+  EXPECT_TRUE(r.rollout_ok());
+  // The admin sits on lan0: stages grow with the line, and the plan runs
+  // nearest-first.
+  EXPECT_EQ(r.rollout[0].bridge, "bridge0");
+  EXPECT_EQ(r.rollout[0].stage, 0);
+  EXPECT_EQ(r.rollout[1].stage, 1);
+  EXPECT_EQ(r.rollout[2].stage, 2);
+  for (const RolloutStepResult& step : r.rollout) {
+    EXPECT_GT(step.load_ms, 0.0);
+    EXPECT_GE(step.attempts, 1);
+    EXPECT_GT(step.bytes_pushed, 0u);
+    // The monitor generation took over mid-traffic and saw frames.
+    EXPECT_GT(step.frames_after_load, 0u);
+  }
+  // Background pings flowed while the rollout ran.
+  EXPECT_GT(r.pings_sent, 0);
+  EXPECT_GT(r.pings_answered, 0);
+
+  const std::string json = TopologySweep::format_json({r});
+  EXPECT_NE(json.find("\"rollout_ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"load_ms\""), std::string::npos);
+}
+
+TEST(TopologySweep, RolloutThatOutlastsTheWindowIsNotReportedOk) {
+  // A traffic window too short for the whole plan: the unreached bridges
+  // must appear as failed steps so rollout_ok() is false (a partially
+  // deployed network is not a successful rollout).
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kLine;
+  spec.nodes = 3;
+
+  SweepOptions opts;
+  opts.build.netloader = true;
+  opts.traffic_window = netsim::microseconds(200);  // ~one ARP round trip
+  TopologySweep sweep(opts);
+  RolloutWorkload rollout;
+  const SweepResult r = sweep.run_cell(spec, rollout);
+  EXPECT_EQ(r.rollout.size(), 3u);  // every planned bridge is accounted for
+  EXPECT_FALSE(r.rollout_ok());
+}
+
+TEST(TopologySweep, RolloutWorkloadRequiresNetloaders) {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kLine;
+  spec.nodes = 1;
+  TopologySweep sweep;  // build.netloader defaults to false
+  RolloutWorkload rollout;
+  EXPECT_THROW((void)sweep.run_cell(spec, rollout), std::logic_error);
+}
+
 TEST(TopologySweep, StpOffMeasuresTheStorm) {
   // Without STP a 3-ring floods forever: the sweep must survive it (the
   // traffic window bounds the run) and report the loop clearly.

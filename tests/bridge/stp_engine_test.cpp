@@ -176,7 +176,7 @@ TEST(StpEngineUnit, RefreshKeepsInfoAlive) {
   EXPECT_EQ(h.engine->stats().info_expiries, 0u);
 }
 
-TEST(StpEngineUnit, TcnPropagatesTowardRoot) {
+TEST(StpEngineUnit, TcnPropagatesTowardRootAndIsAcked) {
   Harness h;
   h.engine->start();
   h.engine->receive(0, h.config_from(0x1000, 1, 0));  // root via port 0
@@ -184,9 +184,60 @@ TEST(StpEngineUnit, TcnPropagatesTowardRoot) {
   Bpdu tcn;
   tcn.type = BpduType::kTcn;
   h.engine->receive(1, tcn);
-  ASSERT_GE(h.sent.size(), 1u);
-  EXPECT_EQ(h.sent.back().port, 0);  // toward the root
-  EXPECT_EQ(h.sent.back().bpdu.type, BpduType::kTcn);
+  // Relayed toward the root on port 0, and acked back on port 1 with a
+  // TCA-flagged config (we are the segment's designated bridge).
+  bool relayed = false;
+  bool acked = false;
+  for (const SentBpdu& s : h.sent) {
+    if (s.port == 0 && s.bpdu.type == BpduType::kTcn) relayed = true;
+    if (s.port == 1 && s.bpdu.type == BpduType::kConfig && s.bpdu.tc_ack) acked = true;
+  }
+  EXPECT_TRUE(relayed);
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(h.engine->stats().tcas_sent, 1u);
+}
+
+TEST(StpEngineUnit, TcnRetransmitsUntilAcked) {
+  // Regression for lossy segments: before TCA support a single dropped
+  // TCN silently lost the topology change. The notifying bridge must now
+  // resend every hello time until a TCA-flagged config arrives.
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));  // root via port 0
+  h.sent.clear();
+  Bpdu tcn;
+  tcn.type = BpduType::kTcn;
+  h.engine->receive(1, tcn);  // we relay a TCN on our root port...
+  const auto count_tcns = [&h] {
+    int n = 0;
+    for (const SentBpdu& s : h.sent) {
+      if (s.port == 0 && s.bpdu.type == BpduType::kTcn) ++n;
+    }
+    return n;
+  };
+  ASSERT_EQ(count_tcns(), 1);
+  // ...nobody acks (the wire ate it): two hello times later it was re-sent
+  // twice more.
+  h.scheduler.run_for(netsim::seconds(5));
+  EXPECT_EQ(count_tcns(), 3);
+  EXPECT_EQ(h.engine->stats().tcn_retransmits, 2u);
+  // The ack arrives on the root port: retransmission stops for good.
+  Bpdu ack = h.config_from(0x1000, 1, 0);
+  ack.tc_ack = true;
+  h.engine->receive(0, ack);
+  EXPECT_EQ(h.engine->stats().tcas_received, 1u);
+  h.scheduler.run_for(netsim::seconds(10));
+  EXPECT_EQ(count_tcns(), 3);
+}
+
+TEST(StpEngineUnit, AckWithoutPendingTcnIsIgnored) {
+  Harness h;
+  h.engine->start();
+  h.engine->receive(0, h.config_from(0x1000, 1, 0));
+  Bpdu ack = h.config_from(0x1000, 1, 0);
+  ack.tc_ack = true;
+  h.engine->receive(0, ack);
+  EXPECT_EQ(h.engine->stats().tcas_received, 0u);
 }
 
 TEST(StpEngineUnit, RootSetsTopologyChangeFlagOnTcn) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/netsim/trace.h"
 
 namespace ab::bridge {
@@ -53,14 +55,50 @@ TEST(BuildTopology, HostAddressesAreUniqueAndOrdered) {
   }
 }
 
-TEST(BuildTopology, RejectsHostCountsTheAddressingCannotHold) {
+TEST(BuildTopology, ThousandStationLansGetUniqueAddresses) {
+  // The old 10.<lan>.<lan>.<host> scheme capped at 253 hosts per LAN; the
+  // flat ordinal plan must hold thousand-station LANs without collisions.
   netsim::Network net;
-  EXPECT_THROW(build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 254)),
-               std::invalid_argument);
-  // 253 per LAN is the last count that fits the 10.x.y.z scheme.
-  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 253),
-                             {}, TopologyBuildOptions{});
-  EXPECT_EQ(topo.hosts.size(), 2u * 253u);
+  TopologyBuildOptions opts;
+  opts.stp = false;  // no convergence needed; this is an addressing test
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kLine, 1, 600), {},
+                             opts);
+  ASSERT_EQ(topo.hosts.size(), 2u * 600u);
+  std::set<std::uint32_t> seen;
+  for (const auto& host : topo.hosts) {
+    const stack::Ipv4Addr ip = host->ip();
+    EXPECT_TRUE(seen.insert(ip.value()).second) << ip.to_string() << " assigned twice";
+    // Nothing may read as a network/broadcast address.
+    EXPECT_NE(ip.value() & 0xFF, 0u) << ip.to_string();
+    EXPECT_NE(ip.value() & 0xFF, 255u) << ip.to_string();
+  }
+}
+
+TEST(BuildTopology, AddressPlanSlicesAreDisjoint) {
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(topology_host_ip(i).value()).second);
+  }
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_TRUE(seen.insert(topology_loader_ip(i).value()).second);
+    EXPECT_TRUE(seen.insert(topology_admin_ip(i).value()).second);
+  }
+  // The loader slice is one /16: ordinal 254*256 is the first that no
+  // longer fits.
+  EXPECT_THROW((void)topology_loader_ip(254u * 256u), std::invalid_argument);
+}
+
+TEST(BuildTopology, NetloaderOptionArmsEveryBridge) {
+  netsim::Network net;
+  TopologyBuildOptions opts;
+  opts.netloader = true;
+  auto topo = build_topology(net, spec_of(netsim::TopologyShape::kRing, 3, 1), {},
+                             opts);
+  for (std::size_t b = 0; b < topo.bridges.size(); ++b) {
+    ASSERT_TRUE(topo.bridges[b]->config().loader_ip.has_value());
+    EXPECT_EQ(*topo.bridges[b]->config().loader_ip, topology_loader_ip(b));
+    EXPECT_NE(topo.bridges[b]->node().loader().find("loader.net"), nullptr);
+  }
 }
 
 TEST(BuildTopology, OptionsSelectModules) {
@@ -116,6 +154,71 @@ TEST(BuildTopology, MeshConvergesWithManyLoopsCut) {
   // 6 p2p segments, 12 bridge ports, spanning tree keeps 4 nodes on 3
   // active links: every redundant pair is cut somewhere.
   EXPECT_GT(topo.count_gates(PortGate::kBlocked), 0);
+}
+
+TEST(BuildTopology, RandomKRegularConvergesAndCarriesTraffic) {
+  netsim::Network net;
+  netsim::TopologySpec spec = spec_of(netsim::TopologyShape::kRandomKRegular, 8, 1);
+  spec.degree = 3;
+  spec.seed = 42;
+  auto topo = build_topology(net, spec);
+  ASSERT_EQ(topo.bridges.size(), 8u);
+  ASSERT_EQ(topo.shape.lans.size(), 12u);  // 8*3/2 point-to-point segments
+  net.scheduler().run_for(netsim::seconds(60));
+  EXPECT_TRUE(topo.stp_converged());
+  // 12 edges over 8 nodes: 5 redundant links, each cut at one end.
+  EXPECT_EQ(topo.count_gates(PortGate::kBlocked), 5);
+  EXPECT_EQ(ping_across(net, topo.host(0), topo.host(topo.hosts.size() - 1)), 1);
+}
+
+TEST(BuildTopology, ScaleFreeConvergesAndCarriesTraffic) {
+  netsim::Network net;
+  netsim::TopologySpec spec = spec_of(netsim::TopologyShape::kScaleFree, 12, 1);
+  spec.attach = 2;
+  spec.seed = 3;
+  auto topo = build_topology(net, spec);
+  ASSERT_EQ(topo.bridges.size(), 12u);
+  // Seed clique C(3,2)=3 edges + 9 newcomers x 2.
+  ASSERT_EQ(topo.shape.lans.size(), 21u);
+  net.scheduler().run_for(netsim::seconds(60));
+  EXPECT_TRUE(topo.stp_converged());
+  EXPECT_EQ(ping_across(net, topo.host(0), topo.host(topo.hosts.size() - 1)), 1);
+}
+
+// Regression for the TCA satellite: a lossy segment between a notifying
+// bridge and the root used to swallow TCNs silently (they were sent once,
+// unacknowledged). With topology-change acknowledgment the notifier
+// retransmits every hello time until the designated bridge acks, so the
+// root reliably learns of the change even at 60% loss.
+TEST(BuildTopology, TopologyChangeSurvivesLossySegment) {
+  netsim::Network net;
+  netsim::TopologySpec spec = spec_of(netsim::TopologyShape::kLine, 3, 0);
+  netsim::LanConfig lossy;
+  lossy.loss = 0.6;
+  lossy.seed = 99;
+  spec.lan_overrides[1] = lossy;  // between bridge0 and bridge1
+  auto topo = build_topology(net, spec);
+  net.scheduler().run_for(netsim::seconds(60));
+  ASSERT_TRUE(topo.stp_converged());
+
+  // bridge0 (lowest MAC) is root on a line. The far bridge's ports going
+  // Forwarding at t=30 raised topology events that had to cross the lossy
+  // segment as TCNs; with 60% loss the first copy usually dies, so only
+  // retransmission gets them through.
+  const std::vector<StpEngine*> engines = topo.stp_engines();
+  ASSERT_EQ(engines.size(), 3u);
+  StpEngine* root = nullptr;
+  std::uint64_t retransmits = 0;
+  std::uint64_t tcas_received = 0;
+  for (StpEngine* e : engines) {
+    if (e->is_root()) root = e;
+    retransmits += e->stats().tcn_retransmits;
+    tcas_received += e->stats().tcas_received;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_GT(root->stats().tcns_received, 0u);  // the change reached the root
+  EXPECT_GT(retransmits, 0u);                  // ...because someone kept trying
+  EXPECT_GT(tcas_received, 0u);                // ...until the ack landed
 }
 
 }  // namespace

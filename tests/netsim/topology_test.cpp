@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace ab::netsim {
 namespace {
@@ -138,6 +141,16 @@ TEST(TopologyBuilder, PrefixKeepsTopologiesApart) {
 TEST(TopologyBuilder, LabelNamesShapeAndSize) {
   EXPECT_EQ(spec_of(TopologyShape::kRing, 32, 4).label(), "ring-32x4");
   EXPECT_EQ(spec_of(TopologyShape::kMesh, 6).label(), "mesh-6x0");
+  // Random shapes carry their generation parameters: cells differing only
+  // in seed or degree must stay distinguishable in bench JSON.
+  TopologySpec kreg = spec_of(TopologyShape::kRandomKRegular, 32, 1);
+  kreg.degree = 4;
+  kreg.seed = 7;
+  EXPECT_EQ(kreg.label(), "kregular-32x1-d4-s7");
+  TopologySpec sf = spec_of(TopologyShape::kScaleFree, 16, 2);
+  sf.attach = 3;
+  sf.seed = 9;
+  EXPECT_EQ(sf.label(), "scalefree-16x2-a3-s9");
 }
 
 TEST(TopologyBuilder, RejectsMalformedSpecs) {
@@ -155,9 +168,12 @@ TEST(TopologyBuilder, RejectsMalformedSpecs) {
 TEST(TopologyBuilder, SegmentAndPortCountsMatchBuild) {
   for (const TopologyShape shape :
        {TopologyShape::kLine, TopologyShape::kRing, TopologyShape::kStar,
-        TopologyShape::kTree, TopologyShape::kMesh}) {
+        TopologyShape::kTree, TopologyShape::kMesh, TopologyShape::kRandomKRegular,
+        TopologyShape::kScaleFree}) {
     Network net;
-    const TopologySpec spec = spec_of(shape, 4);
+    TopologySpec spec = spec_of(shape, 6);
+    spec.degree = 2;
+    spec.attach = 2;
     const Topology t = TopologyBuilder(net).build(spec);
     EXPECT_EQ(t.lans.size(),
               static_cast<std::size_t>(TopologyBuilder::segment_count(spec)));
@@ -165,6 +181,125 @@ TEST(TopologyBuilder, SegmentAndPortCountsMatchBuild) {
       EXPECT_EQ(t.node_ports[static_cast<std::size_t>(i)].size(),
                 static_cast<std::size_t>(TopologyBuilder::port_count(spec, i)));
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random shapes: seeded, connectivity-checked graph generation.
+
+namespace {
+
+/// True if the edge list spans all `n` nodes in one component.
+bool edges_connected(int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  while (!stack.empty()) {
+    const int at = stack.back();
+    stack.pop_back();
+    for (const auto& [a, b] : edges) {
+      const int peer = a == at ? b : (b == at ? a : -1);
+      if (peer >= 0 && !seen[static_cast<std::size_t>(peer)]) {
+        seen[static_cast<std::size_t>(peer)] = 1;
+        stack.push_back(peer);
+      }
+    }
+  }
+  for (const int s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(TopologyBuilder, KRegularIsRegularSimpleConnectedAndSeedStable) {
+  TopologySpec spec = spec_of(TopologyShape::kRandomKRegular, 16);
+  spec.degree = 4;
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    spec.seed = seed;
+    const auto edges = TopologyBuilder::random_edges(spec);
+    ASSERT_EQ(edges.size(), 32u);  // 16*4/2
+    std::vector<int> degree(16, 0);
+    std::set<std::pair<int, int>> unique_edges;
+    for (const auto& [a, b] : edges) {
+      EXPECT_NE(a, b) << "self loop";
+      EXPECT_TRUE(unique_edges.insert({a, b}).second) << "parallel edge";
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    for (const int d : degree) EXPECT_EQ(d, 4);
+    EXPECT_TRUE(edges_connected(16, edges));
+    // Determinism: the same spec regenerates the same graph.
+    EXPECT_EQ(edges, TopologyBuilder::random_edges(spec));
+  }
+  // Different seeds explore different graphs (overwhelmingly likely).
+  spec.seed = 1;
+  const auto a = TopologyBuilder::random_edges(spec);
+  spec.seed = 2;
+  EXPECT_NE(a, TopologyBuilder::random_edges(spec));
+}
+
+TEST(TopologyBuilder, ScaleFreeIsConnectedSeedStableAndSkewed) {
+  TopologySpec spec = spec_of(TopologyShape::kScaleFree, 40);
+  spec.attach = 2;
+  spec.seed = 5;
+  const auto edges = TopologyBuilder::random_edges(spec);
+  ASSERT_EQ(edges.size(),
+            static_cast<std::size_t>(TopologyBuilder::segment_count(spec)));
+  EXPECT_TRUE(edges_connected(40, edges));
+  EXPECT_EQ(edges, TopologyBuilder::random_edges(spec));
+  // Preferential attachment concentrates degree: some hub must beat the
+  // minimum degree (attach) by a wide margin.
+  std::vector<int> degree(40, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+  EXPECT_GE(*std::max_element(degree.begin(), degree.end()), 3 * spec.attach);
+  for (const int d : degree) EXPECT_GE(d, spec.attach);
+}
+
+TEST(TopologyBuilder, RandomShapeValidation) {
+  Network net;
+  TopologyBuilder builder(net);
+  TopologySpec odd = spec_of(TopologyShape::kRandomKRegular, 5);
+  odd.degree = 3;  // 5*3 odd: no such graph
+  EXPECT_THROW(builder.build(odd), std::invalid_argument);
+  TopologySpec too_dense = spec_of(TopologyShape::kRandomKRegular, 4);
+  too_dense.degree = 4;
+  EXPECT_THROW(builder.build(too_dense), std::invalid_argument);
+  TopologySpec matching = spec_of(TopologyShape::kRandomKRegular, 6);
+  matching.degree = 1;  // a perfect matching can never be connected
+  EXPECT_THROW(builder.build(matching), std::invalid_argument);
+  TopologySpec tiny_sf = spec_of(TopologyShape::kScaleFree, 2);
+  tiny_sf.attach = 2;
+  EXPECT_THROW(builder.build(tiny_sf), std::invalid_argument);
+  EXPECT_THROW(TopologyBuilder::random_edges(spec_of(TopologyShape::kRing, 3)),
+               std::invalid_argument);
+}
+
+TEST(TopologyBuilder, RandomShapeBuildMatchesEdgeList) {
+  Network net;
+  TopologySpec spec = spec_of(TopologyShape::kRandomKRegular, 8);
+  spec.degree = 4;
+  spec.seed = 11;
+  const auto edges = TopologyBuilder::random_edges(spec);
+  const Topology t = TopologyBuilder(net).build(spec);
+  ASSERT_EQ(t.lans.size(), edges.size());
+  // Segment e connects exactly the two endpoints of edge e.
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto& [a, b] = edges[e];
+    int touching = 0;
+    for (int node = 0; node < spec.nodes; ++node) {
+      const auto& ports = t.node_ports[static_cast<std::size_t>(node)];
+      const bool has = std::find(ports.begin(), ports.end(), t.lans[e]) != ports.end();
+      if (has) {
+        ++touching;
+        EXPECT_TRUE(node == a || node == b);
+      }
+    }
+    EXPECT_EQ(touching, 2);
   }
 }
 
