@@ -19,8 +19,16 @@
 // acceptance cells (they are virtually cheap), so CI compiles-and-exercises
 // every workload path on each PR; the numbers only mean something on quiet
 // machines.
+//
+// The flood-dominated profile (always run, smoke included) pins the
+// batched-delivery contract in BENCH_topology.json: a broadcast burst into
+// a thousand-station hub segment must cost O(1) scheduler events per
+// broadcast (one transmit event + one per-segment delivery walk), where
+// the per-receiver-event scheme cost receivers + 1. The CI bench-smoke
+// guard (scripts/check_bench_smoke.sh) fails the build if this regresses.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "src/apps/scenario.h"
 
@@ -34,6 +42,52 @@ netsim::TopologySpec spec_of(netsim::TopologyShape shape, int nodes, int hosts) 
   spec.nodes = nodes;
   spec.hosts_per_lan = hosts;
   return spec;
+}
+
+/// The flood-dominated star profile: a hub segment with `receivers`
+/// stations takes a burst of broadcasts, and we count scheduler events per
+/// broadcast. This is the paper's bread-and-butter traffic (Jain's
+/// DEC-TR-592: broadcast/flood dominates bridged-LAN event counts) and the
+/// cell the batched per-segment delivery is sized against.
+struct FloodProfile {
+  std::size_t receivers = 0;
+  int broadcasts = 0;
+  std::uint64_t events = 0;
+  std::uint64_t frames_delivered = 0;
+  double events_per_broadcast = 0.0;
+  /// What the same burst cost under one-event-per-receiver delivery.
+  [[nodiscard]] double per_receiver_model() const {
+    return static_cast<double>(receivers) + 1.0;
+  }
+};
+
+FloodProfile run_flood_profile(std::size_t receivers, int broadcasts) {
+  netsim::Network net;
+  netsim::LanSegment& hub = net.add_segment("hub");
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    netsim::Nic& nic = net.add_nic("rx" + std::to_string(i), hub);
+    nic.set_rx_handler([&delivered](const ether::WireFrame&) { ++delivered; });
+  }
+  netsim::Nic& probe = net.add_nic("probe", hub);
+  probe.set_tx_queue_limit(static_cast<std::size_t>(broadcasts) + 1);
+
+  const std::uint64_t before = net.scheduler().executed();
+  for (int b = 0; b < broadcasts; ++b) {
+    probe.transmit(ether::Frame::ethernet2(
+        ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
+        {static_cast<std::uint8_t>(b)}));
+  }
+  net.scheduler().run();
+
+  FloodProfile p;
+  p.receivers = receivers;
+  p.broadcasts = broadcasts;
+  p.events = net.scheduler().executed() - before;
+  p.frames_delivered = delivered;
+  p.events_per_broadcast =
+      broadcasts > 0 ? static_cast<double>(p.events) / broadcasts : 0.0;
+  return p;
 }
 
 /// The three acceptance cells every workload section must cover.
@@ -98,6 +152,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(headline.events), headline.wall_seconds,
       headline.events_per_sec, headline.virtual_seconds);
 
+  // ---- flood-dominated star profile (events per broadcast) ----------------
+  const FloodProfile flood = run_flood_profile(1000, 64);
+  std::printf(
+      "\nflood profile: %zu receivers, %d broadcasts -> %llu events "
+      "(%.2f events/broadcast; per-receiver model %.0f)\n",
+      flood.receivers, flood.broadcasts,
+      static_cast<unsigned long long>(flood.events), flood.events_per_broadcast,
+      flood.per_receiver_model());
+  // O(1) bound, with slack for future per-frame bookkeeping events. It must
+  // sit strictly below the per-receiver model (receivers + 1): a regression
+  // to one-event-per-receiver delivery costs exactly that, so a bound AT
+  // receivers + 1 would never fire.
+  constexpr double kMaxEventsPerBroadcast = 4.0;
+  const bool flood_ok =
+      flood.events_per_broadcast <= kMaxEventsPerBroadcast &&
+      flood.frames_delivered ==
+          flood.receivers * static_cast<std::uint64_t>(flood.broadcasts);
+  if (!flood_ok) {
+    std::fprintf(stderr,
+                 "flood profile regressed to per-receiver delivery events "
+                 "(or dropped frames) -- investigate\n");
+  }
+
   // ---- ttcp streams across LANs -------------------------------------------
   apps::TtcpStreamWorkload::Options ttcp_opts;
   if (smoke) ttcp_opts.bytes_per_stream = 64 * 1024;
@@ -128,6 +205,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_topology.json\n");
     return 1;
   }
+  // flood_profile stays on one line: scripts/check_bench_smoke.sh greps it.
   std::fprintf(f,
                "{\n"
                "  \"experiment\": \"topology_sweep\",\n"
@@ -135,6 +213,9 @@ int main(int argc, char** argv) {
                "  \"headline\": {\"cell\": \"%s\", \"stp_converged\": %s,\n"
                "    \"events\": %llu, \"wall_seconds\": %.6f, "
                "\"events_per_sec\": %.0f},\n"
+               "  \"flood_profile\": {\"receivers\": %zu, \"broadcasts\": %d, "
+               "\"events\": %llu, \"events_per_broadcast\": %.2f, "
+               "\"per_receiver_event_model\": %.0f},\n"
                "  \"cells\": %s,\n"
                "  \"ttcp_streams\": %s,\n"
                "  \"rollout\": %s"
@@ -142,11 +223,13 @@ int main(int argc, char** argv) {
                smoke ? "true" : "false", headline.label.c_str(),
                headline.stp_converged ? "true" : "false",
                static_cast<unsigned long long>(headline.events),
-               headline.wall_seconds, headline.events_per_sec,
+               headline.wall_seconds, headline.events_per_sec, flood.receivers,
+               flood.broadcasts, static_cast<unsigned long long>(flood.events),
+               flood.events_per_broadcast, flood.per_receiver_model(),
                apps::TopologySweep::format_json(cells).c_str(),
                apps::TopologySweep::format_json(ttcp_cells).c_str(),
                apps::TopologySweep::format_json(rollout_cells).c_str());
   std::fclose(f);
   std::printf("wrote BENCH_topology.json\n");
-  return headline.stp_converged && rollouts_ok ? 0 : 1;
+  return headline.stp_converged && rollouts_ok && flood_ok ? 0 : 1;
 }

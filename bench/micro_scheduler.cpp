@@ -10,6 +10,12 @@
 //                 cancelled entries through the priority_queue; the
 //                 indexed heap cancels in place.
 //   fire_all      pure schedule-then-drain throughput (frame deliveries).
+//   batch_insert  the flood fan-out pattern: every broadcast schedules k
+//                 same-time deliveries, a fraction of broadcasts is
+//                 cancelled wholesale before firing (a pruned flood, a
+//                 torn-down segment). Per-event inserts pay k sifts and k
+//                 cancels per broadcast; schedule_batch_at pays one sift
+//                 and one BatchId cancel for the whole run.
 //
 // Writes BENCH_scheduler.json with events/sec for both cores and the
 // speedup ratio, tracked across PRs. `--smoke` runs one small repetition
@@ -115,6 +121,48 @@ WorkloadResult fire_all(std::size_t count) {
   return out;
 }
 
+/// The flood fan-out insert pattern on the indexed core itself: per-event
+/// schedule_at loops vs one schedule_batch_at per broadcast, with every
+/// `cancel_every`-th broadcast cancelled wholesale before it fires. Both
+/// sides run the identical event program; only the insert/cancel API
+/// differs, so the ratio isolates what batching buys the hot path.
+template <bool kUseBatch>
+WorkloadResult flood_insert(std::size_t broadcasts, std::size_t fanout,
+                            std::size_t cancel_every) {
+  netsim::Scheduler sched;
+  std::uint64_t fired = 0;
+  std::vector<netsim::Scheduler::Callback> run(fanout);
+  std::vector<netsim::EventId> ids(fanout);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < broadcasts; ++b) {
+    const netsim::TimePoint when = sched.now() + netsim::microseconds(5);
+    const bool cancel = cancel_every != 0 && b % cancel_every == 0;
+    if constexpr (kUseBatch) {
+      for (std::size_t k = 0; k < fanout; ++k) run[k] = DeliveryCapture{&fired};
+      const netsim::BatchId id = sched.schedule_batch_at(when, run);
+      if (cancel) sched.cancel(id);
+    } else {
+      for (std::size_t k = 0; k < fanout; ++k) {
+        ids[k] = sched.schedule_at(when, DeliveryCapture{&fired});
+      }
+      if (cancel) {
+        for (std::size_t k = 0; k < fanout; ++k) sched.cancel(ids[k]);
+      }
+    }
+    // Drain every few broadcasts so the standing population stays at the
+    // LAN-burst scale rather than growing into a pathological heap.
+    if (b % 8 == 7) sched.run_for(netsim::microseconds(5));
+  }
+  sched.run();
+
+  WorkloadResult out;
+  out.events = broadcasts * fanout;  // schedule operations issued
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
 struct Comparison {
   const char* workload;
   WorkloadResult baseline;
@@ -142,23 +190,34 @@ int main(int argc, char** argv) {
   const std::size_t population = smoke ? 1024 : 65536;
   const std::size_t rounds = smoke ? 100 : 20000;
   const std::size_t fires = smoke ? 20000 : 2000000;
+  const std::size_t broadcasts = smoke ? 4000 : 200000;
+  const std::size_t fanout = 32;       // a well-populated LAN segment
+  const std::size_t cancel_every = 4;  // every 4th flood pruned before firing
   const int reps = smoke ? 1 : 3;
 
   // Best-of-N to shake scheduler noise out of the wall clock.
   Comparison churn{"timer_churn", {}, {}};
   Comparison drain{"fire_all", {}, {}};
+  // For batch_insert both sides run on the indexed core; "baseline" is the
+  // per-event insert loop the batch API replaces.
+  Comparison batch{"batch_insert", {}, {}};
   for (int r = 0; r < reps; ++r) {
     const auto b1 = timer_churn<netsim::BaselineScheduler>(population, rounds);
     const auto i1 = timer_churn<netsim::Scheduler>(population, rounds);
     const auto b2 = fire_all<netsim::BaselineScheduler>(fires);
     const auto i2 = fire_all<netsim::Scheduler>(fires);
+    const auto b3 = flood_insert<false>(broadcasts, fanout, cancel_every);
+    const auto i3 = flood_insert<true>(broadcasts, fanout, cancel_every);
     if (r == 0 || b1.seconds < churn.baseline.seconds) churn.baseline = b1;
     if (r == 0 || i1.seconds < churn.indexed.seconds) churn.indexed = i1;
     if (r == 0 || b2.seconds < drain.baseline.seconds) drain.baseline = b2;
     if (r == 0 || i2.seconds < drain.indexed.seconds) drain.indexed = i2;
+    if (r == 0 || b3.seconds < batch.baseline.seconds) batch.baseline = b3;
+    if (r == 0 || i3.seconds < batch.indexed.seconds) batch.indexed = i3;
   }
   print(churn);
   print(drain);
+  print(batch);
 
   std::FILE* f = std::fopen("BENCH_scheduler.json", "w");
   if (f == nullptr) {
@@ -175,12 +234,18 @@ int main(int argc, char** argv) {
       "    \"speedup\": %.3f},\n"
       "  \"fire_all\": {\"count\": %zu,\n"
       "    \"baseline_events_per_sec\": %.0f, \"indexed_events_per_sec\": %.0f,\n"
+      "    \"speedup\": %.3f},\n"
+      "  \"batch_insert\": {\"broadcasts\": %zu, \"fanout\": %zu, "
+      "\"cancel_every\": %zu,\n"
+      "    \"per_event_events_per_sec\": %.0f, \"batch_events_per_sec\": %.0f,\n"
       "    \"speedup\": %.3f}\n"
       "}\n",
       smoke ? "true" : "false", population, rounds,
       churn.baseline.events_per_sec(), churn.indexed.events_per_sec(),
       churn.speedup(), fires, drain.baseline.events_per_sec(),
-      drain.indexed.events_per_sec(), drain.speedup());
+      drain.indexed.events_per_sec(), drain.speedup(), broadcasts, fanout,
+      cancel_every, batch.baseline.events_per_sec(), batch.indexed.events_per_sec(),
+      batch.speedup());
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
   return 0;

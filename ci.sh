@@ -25,7 +25,11 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ./micro_scheduler --smoke && cat BENCH_scheduler.json)
 # macro_topology --smoke drives all three workloads (flood+pings, the ttcp
-# streams, and the staged rollout) over the acceptance cells.
+# streams, and the staged rollout) over the acceptance cells, plus the
+# flood-dominated star profile the bench guard below asserts on.
 (cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
+# Guards: the batch-insert cell exists and the flood profile stays at O(1)
+# delivery events per broadcast per segment.
+./scripts/check_bench_smoke.sh build-release
 (cd build-release && ./ablation_spanning_tree && ./ablation_learning \
   && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

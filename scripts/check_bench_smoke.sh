@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Bench-smoke guards for the batched-delivery fast path, run by CI and
+# ci.sh after the Release bench smoke:
+#
+#   1. BENCH_scheduler.json must carry the batch_insert cell (the
+#      schedule_batch_at microbench) -- a refactor that silently drops the
+#      cell would stop tracking the batch path across PRs.
+#   2. BENCH_topology.json's flood_profile must stay at O(1) scheduler
+#      events per broadcast. The bound is a small constant (the batched
+#      path measures 2.0: one transmit event + one per-segment delivery
+#      walk) -- deliberately NOT receivers + 1, because a regression to
+#      one-delivery-event-per-receiver costs exactly receivers + 1 and
+#      would slip through a bound at that value.
+#
+# Usage: scripts/check_bench_smoke.sh [build-dir]   (default: build-release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build-release}"
+sched_json="$build_dir/BENCH_scheduler.json"
+topo_json="$build_dir/BENCH_topology.json"
+
+fail() {
+  echo "check_bench_smoke: $1" >&2
+  exit 1
+}
+
+[ -f "$sched_json" ] || fail "missing $sched_json (run micro_scheduler first)"
+[ -f "$topo_json" ] || fail "missing $topo_json (run macro_topology first)"
+
+grep -q '"batch_insert"' "$sched_json" \
+  || fail "$sched_json has no batch_insert cell"
+
+# flood_profile is emitted on one line; pull its fields out with sed.
+profile_line=$(grep '"flood_profile"' "$topo_json") \
+  || fail "$topo_json has no flood_profile cell"
+receivers=$(echo "$profile_line" | sed -n 's/.*"receivers": \([0-9][0-9]*\).*/\1/p')
+epb=$(echo "$profile_line" | sed -n 's/.*"events_per_broadcast": \([0-9.][0-9.]*\).*/\1/p')
+[ -n "$receivers" ] && [ -n "$epb" ] \
+  || fail "could not parse receivers/events_per_broadcast from: $profile_line"
+
+# Matches kMaxEventsPerBroadcast in bench/macro_topology.cpp.
+max_epb=4
+if ! awk -v epb="$epb" -v max="$max_epb" 'BEGIN { exit !(epb <= max) }'; then
+  fail "flood cell regressed: $epb events/broadcast with $receivers receivers (limit: $max_epb)"
+fi
+
+echo "check_bench_smoke: OK (batch_insert cell present; flood profile at $epb events/broadcast for $receivers receivers)"

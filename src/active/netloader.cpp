@@ -71,19 +71,11 @@ void NetLoaderSwitchlet::on_arp(const Packet& packet) {
   // burst: the suppression window is well below the host stack's ARP
   // retry interval, so genuine retries (lost replies) still get answered.
   const netsim::TimePoint now = env_->ports().scheduler().now();
-  const auto last = arp_replied_at_.find(arp.sender_ip);
-  if (last != arp_replied_at_.end() && now - last->second < kArpReplySuppression) {
+  if (arp_reply_suppressor_.should_suppress(arp.sender_ip, now,
+                                            kArpReplySuppression)) {
     stats_.arp_duplicates_suppressed += 1;
     return;
   }
-  if (arp_replied_at_.size() >= 1024) {
-    // Every entry is dead once its window passes; sweep before the map can
-    // grow with the querier population of a long-running simulation.
-    std::erase_if(arp_replied_at_, [&](const auto& entry) {
-      return now - entry.second >= kArpReplySuppression;
-    });
-  }
-  arp_replied_at_[arp.sender_ip] = now;
   stats_.arp_replies += 1;
   const ether::MacAddress my_mac = env_->ports().interface_mac(packet.ingress);
   const stack::ArpPacket reply = arp.make_reply(my_mac);

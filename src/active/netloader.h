@@ -25,6 +25,7 @@
 #include "src/active/loader.h"
 #include "src/active/switchlet.h"
 #include "src/netsim/time.h"
+#include "src/stack/arp.h"
 #include "src/stack/ipv4.h"
 #include "src/stack/tftp.h"
 
@@ -93,7 +94,7 @@ class NetLoaderSwitchlet final : public Switchlet {
   SafeEnv* env_ = nullptr;
   std::unique_ptr<stack::TftpServer> tftp_;
   std::map<stack::TftpEndpoint, PeerRoute> routes_;
-  std::map<stack::Ipv4Addr, netsim::TimePoint> arp_replied_at_;
+  stack::ArpReplySuppressor arp_reply_suppressor_;
   NetLoaderStats stats_;
   bool running_ = false;
 };

@@ -22,36 +22,103 @@ Duration LanSegment::serialization_delay(std::size_t bytes) const {
   return Duration(static_cast<std::int64_t>(std::llround(seconds * 1e9)));
 }
 
+bool LanSegment::still_attached(const Nic* nic) const {
+  return std::find(nics_.begin(), nics_.end(), nic) != nics_.end();
+}
+
+std::uint32_t LanSegment::acquire_run() {
+  if (free_run_ != kNoRun) {
+    const std::uint32_t index = free_run_;
+    free_run_ = runs_[index].next_free;
+    runs_[index].next_free = kNoRun;
+    runs_[index].detach_epoch = detach_epoch_;
+    return index;
+  }
+  runs_.emplace_back();
+  runs_.back().detach_epoch = detach_epoch_;
+  return static_cast<std::uint32_t>(runs_.size() - 1);
+}
+
+void LanSegment::release_run(std::uint32_t index) {
+  runs_[index].receivers.clear();  // keeps capacity for the next broadcast
+  runs_[index].next_free = free_run_;
+  free_run_ = index;
+}
+
 void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   stats_.frames_carried += 1;
   stats_.bytes_carried += frame.wire_size();
   if (tap_) tap_(scheduler_->now(), sender, frame.wire());
 
-  // Every per-receiver delivery event captures the same WireFrame: one
-  // buffer, one (lazy) decode, one FCS check, shared by all receivers.
+  // Snapshot the receiver set now -- loss draws stay in attach order, so
+  // seeded loss sequences match the old per-receiver-event core exactly --
+  // and deliver the whole segment with ONE scheduled event that walks the
+  // snapshot. Every receiver shares the same WireFrame: one buffer, one
+  // (lazy) decode, one FCS check.
+  Nic* sole = nullptr;
+  std::uint32_t run = kNoRun;
   for (Nic* nic : nics_) {
     if (nic == sender) continue;
     if (config_.loss > 0 && rng_.chance(config_.loss)) {
       stats_.frames_lost += 1;
       continue;
     }
-    Nic* receiver = nic;
+    if (run == kNoRun) {
+      if (sole == nullptr) {
+        sole = nic;
+        continue;
+      }
+      run = acquire_run();
+      runs_[run].receivers.push_back(sole);
+      sole = nullptr;
+    }
+    runs_[run].receivers.push_back(nic);
+  }
+
+  if (sole != nullptr) {
+    // Single receiver (the point-to-point inter-bridge case): skip the run
+    // machinery; this closure is exactly the 48-byte inline capture.
+    Nic* receiver = sole;
     scheduler_->schedule_after(config_.propagation, [this, receiver, frame] {
       // The NIC may have detached while the frame was in flight.
-      if (std::find(nics_.begin(), nics_.end(), receiver) == nics_.end()) return;
+      if (!still_attached(receiver)) return;
       receiver->deliver(frame);
+    });
+  } else if (run != kNoRun) {
+    const std::uint32_t index = run;
+    scheduler_->schedule_after(config_.propagation, [this, index, frame] {
+      deliver_run(index, frame);
     });
   }
 }
 
-void LanSegment::attach_nic(Nic& nic) {
-  if (std::find(nics_.begin(), nics_.end(), &nic) == nics_.end()) {
-    nics_.push_back(&nic);
+void LanSegment::deliver_run(std::uint32_t index, const ether::WireFrame& frame) {
+  // Indexed access throughout: a handler could conceivably inject another
+  // broadcast synchronously and grow runs_ under us.
+  for (std::size_t i = 0; i < runs_[index].receivers.size(); ++i) {
+    Nic* receiver = runs_[index].receivers[i];
+    // A receiver detached since the snapshot -- including by an EARLIER
+    // receiver's handler inside this very walk -- must not be touched (it
+    // may even have been destroyed; still_attached compares pointers
+    // without dereferencing). While no detach has happened since the
+    // snapshot, membership is implied and the walk stays O(1) per NIC.
+    if (runs_[index].detach_epoch != detach_epoch_ && !still_attached(receiver)) {
+      continue;
+    }
+    receiver->deliver(frame);
   }
+  release_run(index);
+}
+
+void LanSegment::attach_nic(Nic& nic) {
+  if (!still_attached(&nic)) nics_.push_back(&nic);
 }
 
 void LanSegment::detach_nic(Nic& nic) {
-  nics_.erase(std::remove(nics_.begin(), nics_.end(), &nic), nics_.end());
+  const auto it = std::remove(nics_.begin(), nics_.end(), &nic);
+  if (it == nics_.end()) return;
+  nics_.erase(it, nics_.end());
+  detach_epoch_ += 1;  // in-flight runs fall back to membership checks
 }
 
 }  // namespace ab::netsim

@@ -3,6 +3,14 @@
 // a propagation delay, to every other attached NIC (which then applies its
 // own address filter / promiscuous mode). Serialization delay is charged at
 // the transmitting NIC using the segment's bit rate.
+//
+// Delivery is per SEGMENT, not per receiver: one broadcast schedules one
+// event whose callback walks a snapshot of the receiver set taken at
+// transmit time (loss already applied, sender excluded) -- a
+// thousand-station LAN costs one heap insert and one dispatch per frame
+// where the per-receiver scheme cost a thousand of each. A NIC detached
+// between transmit and delivery, or detached/destroyed by an earlier
+// receiver's handler inside the same walk, is skipped, never touched.
 #pragma once
 
 #include <cstdint>
@@ -58,10 +66,10 @@ class LanSegment {
   [[nodiscard]] Duration serialization_delay(std::size_t bytes) const;
 
   /// Carries one shared wire buffer from `sender` to every other attached
-  /// NIC. All delivery events reference the same WireFrame, so receivers
-  /// share one decode and one FCS verification. Called by Nic's transmit
-  /// path; tests may inject frames with a null sender (delivered to
-  /// everyone).
+  /// NIC with ONE scheduled delivery event for the whole segment. All
+  /// receivers reference the same WireFrame, so they share one decode and
+  /// one FCS verification. Called by Nic's transmit path; tests may inject
+  /// frames with a null sender (delivered to everyone).
   void broadcast(const ether::WireFrame& frame, const Nic* sender);
 
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
@@ -71,6 +79,29 @@ class LanSegment {
   void detach_nic(Nic& nic);
 
  private:
+  static constexpr std::uint32_t kNoRun = 0xFFFFFFFFu;
+
+  /// The receivers one in-flight broadcast will reach, snapshotted at
+  /// transmit time. Runs are pooled (index-linked free list, receiver
+  /// vectors keep their capacity) so steady-state fan-out allocates
+  /// nothing. `detach_epoch` records the segment's detach counter at
+  /// snapshot time: while it still matches, every receiver is trivially
+  /// attached and the walk skips the per-NIC membership check.
+  struct ReceiverRun {
+    std::vector<Nic*> receivers;
+    std::uint64_t detach_epoch = 0;
+    std::uint32_t next_free = kNoRun;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_run();
+  void release_run(std::uint32_t index);
+  /// Fires one delivery event: walks the run, delivering to every receiver
+  /// still attached, then recycles the run.
+  void deliver_run(std::uint32_t index, const ether::WireFrame& frame);
+  /// True while `nic` may still be delivered to (attached to this segment).
+  /// Compares stored pointers only -- `nic` may point at a destroyed NIC.
+  [[nodiscard]] bool still_attached(const Nic* nic) const;
+
   Scheduler* scheduler_;
   std::string name_;
   LanConfig config_;
@@ -78,6 +109,9 @@ class LanSegment {
   std::vector<Nic*> nics_;
   util::Rng rng_;
   FrameTap tap_;
+  std::vector<ReceiverRun> runs_;
+  std::uint32_t free_run_ = kNoRun;
+  std::uint64_t detach_epoch_ = 0;  ///< bumped by every detach_nic
 };
 
 }  // namespace ab::netsim

@@ -16,6 +16,10 @@ void Nic::attach(LanSegment& segment) {
 }
 
 void Nic::detach() {
+  // Detaching mid-simulation is safe against in-flight frames: the
+  // segment's delivery walk re-checks attachment per receiver, so a NIC
+  // removed between transmit and delivery -- or from a handler during the
+  // walk itself -- is skipped, never touched.
   if (segment_ != nullptr) {
     segment_->detach_nic(*this);
     segment_ = nullptr;

@@ -1,11 +1,14 @@
 // A simulated Ethernet adapter.
 //
-// Receive path: the segment delivers a shared WireFrame; the NIC checks
-// FCS validity (one decode + one CRC check shared by every receiver of the
-// frame), applies its address filter (unicast-to-me, broadcast, group, or
-// everything when promiscuous -- the paper's bridge "whenever an input port
-// is bound, it is put into promiscuous mode"), and hands the shared frame
-// to the registered handler.
+// Receive path: the segment's per-broadcast delivery walk hands every
+// receiver the same shared WireFrame (one scheduled event per segment, not
+// per NIC); the NIC checks FCS validity (one decode + one CRC check shared
+// by every receiver of the frame), applies its address filter
+// (unicast-to-me, broadcast, group, or everything when promiscuous -- the
+// paper's bridge "whenever an input port is bound, it is put into
+// promiscuous mode"), and hands the shared frame to the registered
+// handler. Detaching removes the NIC from in-flight delivery walks; it is
+// safe from inside another NIC's rx handler mid-walk.
 //
 // Transmit path: WireFrames queue FIFO behind the transmitter, which is
 // busy for the segment's serialization delay per frame; a full queue drops

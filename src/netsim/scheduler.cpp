@@ -11,21 +11,25 @@ std::string time_to_string(TimePoint t) {
   return util::format("%.6fs", to_seconds(t.time_since_epoch()));
 }
 
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  // Generations start at 1 so a hand-rolled EventId{small int} (gen 0)
+  // can never match a live slot.
+  slots_.back().gen = 1;
+  return slot;
+}
+
 EventId Scheduler::schedule_at(TimePoint when, Callback fn) {
   if (!fn) throw std::invalid_argument("Scheduler: null callback");
   if (when < now_) when = now_;
 
-  std::uint32_t slot;
-  if (!free_.empty()) {
-    slot = free_.back();
-    free_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-    // Generations start at 1 so a hand-rolled EventId{small int} (gen 0)
-    // can never match a live slot.
-    slots_.back().gen = 1;
-  }
+  const std::uint32_t slot = acquire_slot();
   slots_[slot].fn = std::move(fn);
 
   HeapEntry entry;
@@ -35,6 +39,7 @@ EventId Scheduler::schedule_at(TimePoint when, Callback fn) {
   const auto pos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(entry);
   sift_up(pos, entry);
+  pending_ += 1;
   return EventId{(static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot};
 }
 
@@ -43,14 +48,64 @@ EventId Scheduler::schedule_after(Duration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+BatchId Scheduler::schedule_batch_at(TimePoint when, std::span<Callback> entries) {
+  if (entries.empty()) return BatchId{};  // null handle: cancelling is a no-op
+  // Validate everything before admitting anything, so a bad entry cannot
+  // leave a half-scheduled run behind.
+  for (const Callback& fn : entries) {
+    if (!fn) throw std::invalid_argument("Scheduler: null callback in batch");
+  }
+  if (when < now_) when = now_;
+
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.batch = std::make_unique<Batch>();
+  s.batch->entries.reserve(entries.size());
+  for (Callback& fn : entries) s.batch->entries.push_back(std::move(fn));
+
+  // The run is keyed by its FIRST entry's order and occupies all k order
+  // numbers, so interleaving with singles at the same timestamp is exactly
+  // what k individual schedule_at calls would have produced.
+  HeapEntry entry;
+  entry.when = when;
+  entry.order = next_order_;
+  entry.slot = slot;
+  next_order_ += entries.size();
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(entry);
+  sift_up(pos, entry);
+  pending_ += entries.size();
+  return BatchId{(static_cast<std::uint64_t>(s.gen) << 32) | slot};
+}
+
+BatchId Scheduler::schedule_batch_after(Duration delay, std::span<Callback> entries) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_batch_at(now_ + delay, entries);
+}
+
 void Scheduler::cancel(EventId id) {
-  const std::uint32_t slot = id_slot(id);
+  const std::uint32_t slot = id_slot(id.seq);
   if (slot >= slots_.size()) return;
   Slot& s = slots_[slot];
   // A live slot's generation matches the stamp in exactly one outstanding
   // id; firing or cancelling bumps it, so stale handles fall through here.
   // (Live generations are never 0, so null/forged ids miss too.)
-  if (s.gen != id_gen(id)) return;
+  if (s.gen != id_gen(id.seq)) return;
+  // An EventId is never issued for a run; a forged/wrapped one must not
+  // unlink k entries while accounting for one.
+  if (s.batch != nullptr) return;
+  heap_remove(s.heap_pos);
+  free_slot(slot);
+  pending_ -= 1;
+}
+
+void Scheduler::cancel(BatchId id) {
+  const std::uint32_t slot = id_slot(id.seq);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != id_gen(id.seq)) return;
+  if (s.batch == nullptr) return;  // stale handle over a recycled single slot
+  pending_ -= s.batch->remaining();
   heap_remove(s.heap_pos);
   free_slot(slot);
 }
@@ -104,6 +159,7 @@ void Scheduler::free_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   if (++s.gen == 0) s.gen = 1;  // never hand out the unissuable generation
   s.fn = nullptr;
+  s.batch.reset();
   free_.push_back(slot);
 }
 
@@ -111,13 +167,33 @@ bool Scheduler::pop_and_run() {
   if (heap_.empty()) return false;
   const std::uint32_t slot = heap_[0].slot;
   now_ = heap_[0].when;
-  heap_remove(0);
   ++executed_;
-  // Retire the slot before running so a cancel of this event's own id from
-  // inside the callback is already a stale no-op, and pending() excludes
-  // the running event (matching the baseline core's semantics).
-  Callback fn = std::move(slots_[slot].fn);
-  free_slot(slot);
+  pending_ -= 1;
+  Slot& s = slots_[slot];
+  Callback fn;
+  if (s.batch != nullptr) {
+    // One entry per pop: a run is observably k individual events, so a
+    // budget or step() that splits it leaves the remainder pending, in
+    // order, at the heap head (nothing scheduled from here on can sort
+    // earlier than the run's first-order key at this timestamp). The slot
+    // is retired before the LAST entry runs, so a cancel of the run's own
+    // BatchId from inside that entry is already a stale no-op -- from any
+    // earlier entry it drops exactly the remaining ones.
+    Batch& b = *s.batch;
+    fn = std::move(b.entries[b.next]);
+    b.next += 1;
+    if (b.remaining() == 0) {
+      heap_remove(0);
+      free_slot(slot);
+    }
+  } else {
+    heap_remove(0);
+    // Retire the slot before running so a cancel of this event's own id
+    // from inside the callback is already a stale no-op, and pending()
+    // excludes the running event (matching the baseline core's semantics).
+    fn = std::move(s.fn);
+    free_slot(slot);
+  }
   fn();
   return true;
 }

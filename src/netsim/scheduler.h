@@ -14,7 +14,14 @@
 //     immediately, and nothing dead is ever left behind -- no tombstones to
 //     skip at pop time, no live-set hash lookups on the hot path;
 //   * pending()/empty() are exact by construction (the heap only ever
-//     contains live events).
+//     contains live events);
+//   * schedule_batch_at inserts k same-time events as ONE heap entry -- a
+//     run keyed by its first entry's FIFO order, occupying k order numbers
+//     -- so a flood fan-out pays one sift for the whole run instead of k,
+//     and one BatchId cancel unlinks everything still pending in O(log n).
+//     Observably a run behaves exactly like k individual events: entries
+//     fire one per pop in submission order, each counts against run()
+//     budgets and executed(), and pending() counts every unfired entry.
 //
 // A cancelled, fired, or never-issued EventId is recognized by its
 // generation stamp, so stale cancels are harmless no-ops (timers race with
@@ -24,6 +31,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/netsim/time.h"
@@ -37,6 +46,16 @@ namespace ab::netsim {
 struct EventId {
   std::uint64_t seq = 0;
   friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Handle for cancelling a whole same-time run scheduled with
+/// schedule_batch_at. Encoded like an EventId (slot + generation stamp) but
+/// deliberately a distinct type: a run is cancelled wholesale, never entry
+/// by entry, and the stamp goes stale the moment the run's last entry fires
+/// or the run is cancelled.
+struct BatchId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const BatchId&, const BatchId&) = default;
 };
 
 /// The simulator's event loop and clock.
@@ -55,10 +74,31 @@ class Scheduler {
   /// Schedules `fn` after a delay relative to now().
   EventId schedule_after(Duration delay, Callback fn);
 
+  /// Schedules every callback of `entries` (moved from) at absolute time
+  /// `when` (clamped to now()) as one same-time run: a single heap entry, a
+  /// single sift, one slot -- where k schedule_at calls would pay k of
+  /// each. The run occupies k consecutive order numbers, so FIFO within the
+  /// timestamp is exactly what k individual schedule_at calls would have
+  /// produced, and entries fire one per pop: run(max_events), run_until and
+  /// step() treat a partially executed run as its remaining individual
+  /// events (nothing is dropped or reordered by a budget that splits a
+  /// run). An empty span returns the null BatchId (cancelling it is a
+  /// no-op); a null callback anywhere throws before any entry is admitted.
+  BatchId schedule_batch_at(TimePoint when, std::span<Callback> entries);
+
+  /// schedule_batch_at(now() + delay, entries).
+  BatchId schedule_batch_after(Duration delay, std::span<Callback> entries);
+
   /// Cancels a pending event in place. Cancelling an already-fired or
   /// unknown event is a harmless no-op (timers race with the traffic that
   /// restarts them) and leaves no bookkeeping behind.
   void cancel(EventId id);
+
+  /// Cancels every still-unfired entry of a run in O(log n) -- one unlink,
+  /// no matter how many entries remain. From inside one of the run's own
+  /// callbacks this drops exactly the entries after the running one; after
+  /// the last entry fires the stamp is stale and the cancel a no-op.
+  void cancel(BatchId id);
 
   /// Runs the single next event. Returns false if the queue is empty.
   bool step();
@@ -74,7 +114,9 @@ class Scheduler {
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Exact count of unfired events; every unfired entry of a batch run
+  /// counts individually (a run is k events, not one).
+  [[nodiscard]] std::size_t pending() const { return pending_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -96,18 +138,32 @@ class Scheduler {
     }
   };
 
-  struct Slot {
-    std::uint32_t gen = 0;  ///< matches the EventId stamp while live
-    std::uint32_t heap_pos = 0;
-    Callback fn;
+  /// A same-time run: the entries of one schedule_batch_at call, fired
+  /// front to back. `next` is the cursor of a partially executed run (the
+  /// run stays at the heap head between its entries -- nothing scheduled
+  /// after it can sort earlier than its first-order key at that timestamp).
+  struct Batch {
+    std::vector<Callback> entries;
+    std::size_t next = 0;
+    [[nodiscard]] std::size_t remaining() const { return entries.size() - next; }
   };
 
-  [[nodiscard]] static std::uint32_t id_slot(EventId id) {
-    return static_cast<std::uint32_t>(id.seq & 0xFFFFFFFFu);
+  struct Slot {
+    std::uint32_t gen = 0;  ///< matches the EventId/BatchId stamp while live
+    std::uint32_t heap_pos = 0;
+    Callback fn;                    ///< single events
+    std::unique_ptr<Batch> batch;   ///< non-null: this slot is a run
+  };
+
+  [[nodiscard]] static std::uint32_t id_slot(std::uint64_t seq) {
+    return static_cast<std::uint32_t>(seq & 0xFFFFFFFFu);
   }
-  [[nodiscard]] static std::uint32_t id_gen(EventId id) {
-    return static_cast<std::uint32_t>(id.seq >> 32);
+  [[nodiscard]] static std::uint32_t id_gen(std::uint64_t seq) {
+    return static_cast<std::uint32_t>(seq >> 32);
   }
+
+  /// Pops a slot index off the free list (or grows the table).
+  [[nodiscard]] std::uint32_t acquire_slot();
 
   void heap_place(std::uint32_t pos, const HeapEntry& entry);
   void sift_up(std::uint32_t pos, const HeapEntry& entry);
@@ -127,6 +183,7 @@ class Scheduler {
   TimePoint now_{};
   std::uint64_t next_order_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;  ///< unfired events (batch entries counted each)
 };
 
 }  // namespace ab::netsim

@@ -74,6 +74,29 @@ void ArpCache::insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now)
   entries_[ip] = Entry{mac, now};
 }
 
+bool ArpCache::insert_unless_fresh(Ipv4Addr ip, ether::MacAddress mac,
+                                   netsim::TimePoint now, netsim::Duration window) {
+  const auto it = entries_.find(ip);
+  if (it != entries_.end() && it->second.mac == mac &&
+      now - it->second.inserted < window) {
+    return false;  // flooded duplicate: keep the original insertion age
+  }
+  entries_[ip] = Entry{mac, now};
+  return true;
+}
+
+bool ArpReplySuppressor::should_suppress(Ipv4Addr querier, netsim::TimePoint now,
+                                         netsim::Duration window) {
+  const auto last = replied_at_.find(querier);
+  if (last != replied_at_.end() && now - last->second < window) return true;
+  if (replied_at_.size() >= 1024) {
+    std::erase_if(replied_at_,
+                  [&](const auto& entry) { return now - entry.second >= window; });
+  }
+  replied_at_[querier] = now;
+  return false;
+}
+
 std::optional<ether::MacAddress> ArpCache::lookup(Ipv4Addr ip,
                                                   netsim::TimePoint now) const {
   const auto it = entries_.find(ip);

@@ -52,6 +52,14 @@ class ArpCache {
 
   void insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now);
 
+  /// Inserts `ip -> mac` unless the identical mapping was already written
+  /// less than `window` ago -- a flooded duplicate of the same reply must
+  /// not rewrite the entry and silently reset its age. A changed MAC (the
+  /// station really moved) always rewrites. Returns false when the
+  /// duplicate was suppressed, true when the entry was (re)written.
+  bool insert_unless_fresh(Ipv4Addr ip, ether::MacAddress mac,
+                           netsim::TimePoint now, netsim::Duration window);
+
   /// Pre-sizes the table for `entries` peers so resolution-heavy hosts
   /// don't rehash on the traffic path. Buckets are real memory: size to
   /// the peers this host will talk to, not the station population.
@@ -71,6 +79,27 @@ class ArpCache {
   };
   netsim::Duration ttl_;
   std::unordered_map<Ipv4Addr, Entry> entries_;
+};
+
+/// Per-querier suppression of flooded duplicate ARP requests: a flood
+/// delivers the same broadcast once per surviving path, and every copy
+/// used to draw a reply. Shared by the host stack's ARP responder and the
+/// netloader's mini-stack (which answers from per-port MACs, so duplicate
+/// replies there flapped the querier's cache mid-transfer). Keep the
+/// window well below the querier's retry interval so genuine retries (a
+/// lost reply) are always answered.
+class ArpReplySuppressor {
+ public:
+  /// True when a reply to `querier` was already sent less than `window`
+  /// ago (the caller should suppress this copy); otherwise records `now`
+  /// as the reply time and returns false. Entries are dead once their
+  /// window passes; the map is swept lazily when it reaches 1024 entries
+  /// so it cannot grow with the querier population of a long simulation.
+  bool should_suppress(Ipv4Addr querier, netsim::TimePoint now,
+                       netsim::Duration window);
+
+ private:
+  std::unordered_map<Ipv4Addr, netsim::TimePoint> replied_at_;
 };
 
 }  // namespace ab::stack

@@ -142,16 +142,39 @@ void HostStack::handle_arp(util::ByteView payload) {
   const ArpPacket& arp = decoded.value();
   // Opportunistic learning from any ARP we see that names us.
   if (arp.target_ip == config_.ip) {
-    arp_cache_.insert(arp.sender_ip, arp.sender_mac, scheduler_->now());
-    // Flush any traffic parked on this resolution.
-    if (auto it = pending_arp_.find(arp.sender_ip); it != pending_arp_.end()) {
-      auto queued = std::move(it->second.queued_ip_packets);
-      pending_arp_.erase(it);
-      for (auto& pkt : queued) {
-        transmit_frame(arp.sender_mac, ether::EtherType::kIpv4, std::move(pkt));
+    const netsim::TimePoint now = scheduler_->now();
+    // Floods deliver the same packet once per surviving path while the
+    // extended LAN is loopy or converging; every copy used to rewrite the
+    // cache entry, silently resetting its age. Only a fresh mapping (or a
+    // genuinely changed/aged one) writes; a suppressed duplicate REPLY
+    // carries no other obligation and is dropped here. A suppressed
+    // rewrite from a REQUEST falls through: the sender may never have
+    // heard a reply at all (reply-then-request within the window is not a
+    // duplicate), so answering is decided separately below.
+    if (arp_cache_.insert_unless_fresh(arp.sender_ip, arp.sender_mac, now,
+                                       config_.arp_dedupe_window)) {
+      // Flush any traffic parked on this resolution.
+      if (auto it = pending_arp_.find(arp.sender_ip); it != pending_arp_.end()) {
+        auto queued = std::move(it->second.queued_ip_packets);
+        pending_arp_.erase(it);
+        for (auto& pkt : queued) {
+          transmit_frame(arp.sender_mac, ether::EtherType::kIpv4, std::move(pkt));
+        }
       }
+    } else if (arp.op == ArpOp::kReply) {
+      stats_.arp_duplicate_replies += 1;
+      return;
     }
     if (arp.op == ArpOp::kRequest) {
+      // Reply suppression: flooded copies of one request draw a single
+      // reply per window, keyed on when we last ANSWERED the sender (not
+      // on the cache mapping, which a reply also refreshes). Genuine
+      // retries arrive at arp_retry spacing, well past the window.
+      if (arp_reply_suppressor_.should_suppress(arp.sender_ip, now,
+                                                config_.arp_dedupe_window)) {
+        stats_.arp_duplicate_replies += 1;
+        return;
+      }
       stats_.arp_replies_sent += 1;
       transmit_frame(arp.sender_mac, ether::EtherType::kArp,
                      arp.make_reply(nic_->mac()).encode());

@@ -42,6 +42,12 @@ struct HostConfig {
   /// ARP retransmit interval and attempt limit.
   netsim::Duration arp_retry = netsim::milliseconds(500);
   int arp_max_tries = 3;
+  /// Flooded copies of the same ARP packet heard within this window are
+  /// duplicates: the cache entry is not rewritten (its age would silently
+  /// reset per copy) and a duplicate request draws no extra reply --
+  /// mirroring the netloader's reply suppression. Kept well below
+  /// arp_retry so genuine retries (a lost reply) still get answered.
+  netsim::Duration arp_dedupe_window = netsim::milliseconds(10);
   /// Pre-size the ARP cache for this many expected peers (0: grow on
   /// demand). Keep it proportional to the peers this host will actually
   /// resolve, not the station population — the buckets are per-host
@@ -53,6 +59,9 @@ struct HostConfig {
 struct HostStats {
   std::uint64_t arp_requests_sent = 0;
   std::uint64_t arp_replies_sent = 0;
+  /// Flooded duplicate ARP packets naming us (reply or request) suppressed
+  /// within the dedupe window instead of rewriting the cache entry.
+  std::uint64_t arp_duplicate_replies = 0;
   std::uint64_t ip_packets_sent = 0;    ///< pre-fragmentation
   std::uint64_t fragments_sent = 0;     ///< frames carrying a fragment
   std::uint64_t reassemblies_done = 0;
@@ -138,6 +147,9 @@ class HostStack {
   netsim::ProcessingElement tx_pe_;
   ArpCache arp_cache_;
   std::unordered_map<Ipv4Addr, PendingArp> pending_arp_;
+  /// Flooded duplicate copies of one request draw a single reply per
+  /// dedupe window (shared implementation with the netloader).
+  ArpReplySuppressor arp_reply_suppressor_;
   std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
   std::map<ReassemblyKey, Reassembly> reassemblies_;
   EchoHandler echo_handler_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "src/netsim/network.h"
 #include "src/netsim/nic.h"
 #include "src/netsim/trace.h"
@@ -110,6 +113,87 @@ TEST(LanSegment, DetachedNicMissesInFlightFrames) {
   b.detach();  // detach before delivery event fires
   net.scheduler().run();
   EXPECT_EQ(got, 0);
+}
+
+TEST(LanSegment, NicDetachedFromTheDeliverySnapshotIsSkipped) {
+  // Multi-receiver variant: the broadcast's delivery walk snapshots b and
+  // c at transmit time; c detaches before the event fires and must be
+  // skipped while b still receives.
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  Nic& c = net.add_nic("c", lan);
+  int b_got = 0, c_got = 0;
+  b.set_rx_handler([&](const ether::WireFrame&) { ++b_got; });
+  c.set_rx_handler([&](const ether::WireFrame&) { ++c_got; });
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  c.detach();
+  net.scheduler().run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+}
+
+TEST(LanSegment, ReceiverDetachedMidWalkByAnEarlierHandlerIsNotTouched) {
+  // Regression for per-segment delivery: one event walks all receivers, so
+  // a handler running for receiver b can detach receiver c INSIDE the same
+  // walk -- c must then be skipped, not delivered to.
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  Nic& c = net.add_nic("c", lan);
+  int b_got = 0, c_got = 0;
+  b.set_rx_handler([&](const ether::WireFrame&) {
+    ++b_got;
+    c.detach();
+  });
+  c.set_rx_handler([&](const ether::WireFrame&) { ++c_got; });
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+  EXPECT_EQ(c.segment(), nullptr);
+}
+
+TEST(LanSegment, NicDestroyedWhileFramesAreInFlightIsNeverTouched) {
+  // Destruction (not just detach) between transmit and delivery: the walk
+  // must not dereference the dead NIC. Covers both the single-receiver
+  // fast path (one live receiver left) and the multi-receiver run.
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  int b_got = 0;
+  b.set_rx_handler([&](const ether::WireFrame&) { ++b_got; });
+  auto doomed = std::make_unique<Nic>(net.scheduler(), "doomed",
+                                      ether::MacAddress{{2, 0, 0, 0, 0, 0x99}});
+  doomed->attach(lan);
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  doomed.reset();  // destructor detaches; the snapshot still names it
+  net.scheduler().run();
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(LanSegment, BroadcastSchedulesOneDeliveryEventPerSegment) {
+  // The batched-delivery contract: a broadcast costs one transmit event
+  // plus ONE delivery event for the whole segment, independent of the
+  // receiver population.
+  Network net;
+  LanSegment& lan = net.add_segment("lan");
+  Nic& a = net.add_nic("a", lan);
+  constexpr int kReceivers = 50;
+  int got = 0;
+  for (int i = 0; i < kReceivers; ++i) {
+    Nic& rx = net.add_nic("rx" + std::to_string(i), lan);
+    rx.set_rx_handler([&](const ether::WireFrame&) { ++got; });
+  }
+  const std::uint64_t before = net.scheduler().executed();
+  a.transmit(test_frame(ether::MacAddress::broadcast(), a.mac()));
+  net.scheduler().run();
+  EXPECT_EQ(got, kReceivers);
+  // One serialization-done event at the NIC + one delivery walk.
+  EXPECT_EQ(net.scheduler().executed() - before, 2u);
 }
 
 TEST(FrameTrace, RecordsCarriedFrames) {

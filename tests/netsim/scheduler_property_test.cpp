@@ -1,14 +1,19 @@
 // Determinism property test for the scheduler rewrite: seeded random
-// programs of interleaved schedule_at / schedule_after / cancel /
-// run_until / step / run are executed against both cores -- the indexed
-// 4-ary heap (Scheduler) and the PR 1 priority_queue + live-set core
-// (BaselineScheduler), whose observable contract is the oracle. Firing
-// order, the clock after every op, and pending() after every op must be
-// identical, including events scheduled from inside callbacks and cancels
-// of already-fired ids.
+// programs of interleaved schedule_at / schedule_after / schedule_batch /
+// cancel (single ids and whole BatchId runs) / run_until / step / run are
+// executed against both cores -- the indexed 4-ary heap (Scheduler) and
+// the PR 1 priority_queue + live-set core (BaselineScheduler), whose
+// observable contract is the oracle. The baseline has no batch API, which
+// is the point: a run is DEFINED as k individual same-time events, so the
+// oracle schedules k events and cancels k ids where the indexed core takes
+// one batch insert and one BatchId cancel. Firing order, the clock after
+// every op, and pending() after every op must be identical, including
+// events scheduled from inside callbacks, budgets that split a run, and
+// cancels of already-fired ids.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "src/netsim/baseline_scheduler.h"
@@ -19,12 +24,23 @@ namespace ab::netsim {
 namespace {
 
 struct Op {
-  enum Kind { kSchedule, kCancel, kRunUntil, kStep, kRunBudget };
+  enum Kind {
+    kSchedule,
+    kScheduleBatch,
+    kCancel,
+    kCancelBatch,
+    kRunUntil,
+    kStep,
+    kRunBudget
+  };
   Kind kind = kSchedule;
-  std::int64_t delay_us = 0;   ///< kSchedule: delay (may be negative); kRunUntil: window
+  std::int64_t delay_us = 0;   ///< kSchedule/kScheduleBatch: delay (may be
+                               ///< negative); kRunUntil: window
   bool spawn_child = false;    ///< kSchedule: callback schedules a child event
   std::int64_t child_delay_us = 0;
-  std::size_t cancel_sel = 0;  ///< kCancel: index into issued ids (mod size)
+  std::size_t batch_size = 0;  ///< kScheduleBatch: entries (0 exercises the no-op)
+  std::size_t cancel_sel = 0;  ///< kCancel/kCancelBatch: index into issued
+                               ///< handles (mod size)
   std::size_t budget = 0;      ///< kRunBudget: max events
 };
 
@@ -35,14 +51,21 @@ std::vector<Op> generate_program(std::uint64_t seed, int length) {
   for (int i = 0; i < length; ++i) {
     Op op;
     const std::uint64_t roll = rng.uniform(0, 99);
-    if (roll < 45) {
+    if (roll < 35) {
       op.kind = Op::kSchedule;
       // Mostly future, occasionally negative to exercise the clamp.
       op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 2100)) - 100;
       op.spawn_child = rng.chance(0.3);
       op.child_delay_us = static_cast<std::int64_t>(rng.uniform(0, 500));
-    } else if (roll < 70) {
+    } else if (roll < 50) {
+      op.kind = Op::kScheduleBatch;
+      op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 2100)) - 100;
+      op.batch_size = static_cast<std::size_t>(rng.uniform(0, 5));
+    } else if (roll < 65) {
       op.kind = Op::kCancel;
+      op.cancel_sel = static_cast<std::size_t>(rng.uniform(0, 1 << 20));
+    } else if (roll < 73) {
+      op.kind = Op::kCancelBatch;
       op.cancel_sel = static_cast<std::size_t>(rng.uniform(0, 1 << 20));
     } else if (roll < 85) {
       op.kind = Op::kRunUntil;
@@ -67,12 +90,58 @@ struct Observation {
   std::uint64_t executed = 0;
 };
 
+/// Batch adapter for the indexed core: the real schedule_batch_at /
+/// BatchId-cancel API.
+struct IndexedBatchOps {
+  std::vector<BatchId> handles;
+
+  void schedule(Scheduler& sched, Observation& obs, Duration delay, int first_label,
+                std::size_t count) {
+    std::vector<Scheduler::Callback> fns;
+    for (std::size_t i = 0; i < count; ++i) {
+      const int label = first_label + static_cast<int>(i);
+      fns.emplace_back([&obs, label] { obs.fired.push_back(label); });
+    }
+    handles.push_back(sched.schedule_batch_after(delay, fns));
+  }
+
+  void cancel(Scheduler& sched, std::size_t sel) {
+    if (!handles.empty()) sched.cancel(handles[sel % handles.size()]);
+  }
+};
+
+/// Batch adapter for the baseline oracle, which has no batch API: a run IS
+/// k individual events by definition, so schedule k events and cancel all
+/// their ids -- the semantic contract the indexed core must match.
+struct BaselineBatchOps {
+  std::vector<std::vector<BaselineEventId>> handles;
+
+  void schedule(BaselineScheduler& sched, Observation& obs, Duration delay,
+                int first_label, std::size_t count) {
+    std::vector<BaselineEventId> ids;
+    for (std::size_t i = 0; i < count; ++i) {
+      const int label = first_label + static_cast<int>(i);
+      ids.push_back(sched.schedule_after(
+          delay, [&obs, label] { obs.fired.push_back(label); }));
+    }
+    handles.push_back(std::move(ids));
+  }
+
+  void cancel(BaselineScheduler& sched, std::size_t sel) {
+    if (handles.empty()) return;
+    for (const BaselineEventId id : handles[sel % handles.size()]) sched.cancel(id);
+  }
+};
+
 template <typename SchedulerT>
 Observation execute(const std::vector<Op>& ops) {
   using Id = decltype(std::declval<SchedulerT&>().schedule_after(Duration{}, [] {}));
   SchedulerT sched;
   Observation obs;
   std::vector<Id> ids;
+  std::conditional_t<std::is_same_v<SchedulerT, Scheduler>, IndexedBatchOps,
+                     BaselineBatchOps>
+      batches;
 
   int label = 0;
   for (const Op& op : ops) {
@@ -97,8 +166,18 @@ Observation execute(const std::vector<Op>& ops) {
         }
         break;
       }
+      case Op::kScheduleBatch: {
+        const int first_label = label;
+        label += static_cast<int>(op.batch_size);
+        batches.schedule(sched, obs, microseconds(op.delay_us), first_label,
+                         op.batch_size);
+        break;
+      }
       case Op::kCancel:
         if (!ids.empty()) sched.cancel(ids[op.cancel_sel % ids.size()]);
+        break;
+      case Op::kCancelBatch:
+        batches.cancel(sched, op.cancel_sel);
         break;
       case Op::kRunUntil:
         sched.run_until(sched.now() + microseconds(op.delay_us));
@@ -171,6 +250,72 @@ TEST(SchedulerEquivalenceFifo, EqualTimestampsKeepSubmissionOrderUnderCancellati
     if (!cancel_mask[static_cast<std::size_t>(i)]) survivors.push_back(i);
   }
   EXPECT_EQ(indexed, survivors);
+}
+
+// Batched runs mixed with singles on ONE timestamp, some runs cancelled
+// wholesale: the surviving labels must fire in exact submission order on
+// both cores (the run occupying its k order numbers in the FIFO).
+TEST(SchedulerEquivalenceFifo, BatchRunsKeepSubmissionOrderAmongSingles) {
+  constexpr int kGroups = 120;
+  util::Rng rng(11);
+  std::vector<std::size_t> group_size;  // 0: single event; >0: run of k
+  std::vector<bool> cancel_mask;
+  for (int g = 0; g < kGroups; ++g) {
+    group_size.push_back(rng.chance(0.5) ? static_cast<std::size_t>(rng.uniform(1, 4))
+                                         : 0);
+    cancel_mask.push_back(rng.chance(0.35));
+  }
+
+  std::vector<int> expected;
+  {
+    int label = 0;
+    for (int g = 0; g < kGroups; ++g) {
+      const int n = group_size[static_cast<std::size_t>(g)] == 0
+                        ? 1
+                        : static_cast<int>(group_size[static_cast<std::size_t>(g)]);
+      for (int i = 0; i < n; ++i, ++label) {
+        if (!cancel_mask[static_cast<std::size_t>(g)]) expected.push_back(label);
+      }
+    }
+  }
+
+  // Indexed core: real batches.
+  std::vector<int> indexed_fired;
+  {
+    Scheduler sched;
+    std::vector<EventId> single_ids(static_cast<std::size_t>(kGroups));
+    std::vector<BatchId> batch_ids(static_cast<std::size_t>(kGroups));
+    int label = 0;
+    for (int g = 0; g < kGroups; ++g) {
+      const std::size_t k = group_size[static_cast<std::size_t>(g)];
+      if (k == 0) {
+        const int this_label = label++;
+        single_ids[static_cast<std::size_t>(g)] = sched.schedule_after(
+            milliseconds(5),
+            [&indexed_fired, this_label] { indexed_fired.push_back(this_label); });
+      } else {
+        std::vector<Scheduler::Callback> fns;
+        for (std::size_t i = 0; i < k; ++i) {
+          const int this_label = label++;
+          fns.emplace_back(
+              [&indexed_fired, this_label] { indexed_fired.push_back(this_label); });
+        }
+        batch_ids[static_cast<std::size_t>(g)] =
+            sched.schedule_batch_after(milliseconds(5), fns);
+      }
+    }
+    for (int g = 0; g < kGroups; ++g) {
+      if (!cancel_mask[static_cast<std::size_t>(g)]) continue;
+      if (group_size[static_cast<std::size_t>(g)] == 0) {
+        sched.cancel(single_ids[static_cast<std::size_t>(g)]);
+      } else {
+        sched.cancel(batch_ids[static_cast<std::size_t>(g)]);
+      }
+    }
+    sched.run();
+  }
+
+  EXPECT_EQ(indexed_fired, expected);
 }
 
 }  // namespace

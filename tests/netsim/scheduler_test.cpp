@@ -272,5 +272,273 @@ TEST(Scheduler, ExecutedCounter) {
   EXPECT_EQ(s.executed(), 4u);
 }
 
+// ---------------------------------------------------------------------------
+// Batched same-time runs (schedule_batch_at / BatchId)
+
+namespace {
+
+/// Builds a run of callbacks that append their label to `order`.
+std::vector<Scheduler::Callback> labelled_batch(std::vector<int>& order, int first,
+                                                int count) {
+  std::vector<Scheduler::Callback> fns;
+  for (int i = 0; i < count; ++i) {
+    const int label = first + i;
+    fns.emplace_back([&order, label] { order.push_back(label); });
+  }
+  return fns;
+}
+
+}  // namespace
+
+TEST(SchedulerBatch, FiresEntriesInSubmissionOrderAtTheTimestamp) {
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 5);
+  s.schedule_batch_at(TimePoint{} + milliseconds(3), fns);
+  EXPECT_EQ(s.pending(), 5u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(3));
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(SchedulerBatch, InterleavesFifoWithSinglesAtTheSameTimestamp) {
+  // single, batch, single at one timestamp: firing order must be exactly
+  // the submission order, the run occupying its k order numbers.
+  Scheduler s;
+  std::vector<int> order;
+  const TimePoint when = TimePoint{} + milliseconds(1);
+  s.schedule_at(when, [&order] { order.push_back(0); });
+  auto fns = labelled_batch(order, 1, 3);
+  s.schedule_batch_at(when, fns);
+  s.schedule_at(when, [&order] { order.push_back(4); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerBatch, EmptyBatchIsANoOp) {
+  Scheduler s;
+  std::vector<Scheduler::Callback> none;
+  const BatchId id = s.schedule_batch_at(TimePoint{} + milliseconds(1), none);
+  EXPECT_EQ(id, BatchId{});
+  EXPECT_TRUE(s.empty());
+  s.cancel(id);  // null handle: harmless
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(SchedulerBatch, NullCallbackInBatchThrowsBeforeAdmittingAnything) {
+  Scheduler s;
+  std::vector<Scheduler::Callback> fns;
+  fns.emplace_back([] {});
+  fns.emplace_back(std::function<void()>{});  // null
+  EXPECT_THROW(s.schedule_batch_at(TimePoint{} + milliseconds(1), fns),
+               std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerBatch, CancelRemovesTheWholeRun) {
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 4);
+  const BatchId id = s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.schedule_at(TimePoint{} + milliseconds(2), [&order] { order.push_back(99); });
+  EXPECT_EQ(s.pending(), 5u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{99}));
+}
+
+TEST(SchedulerBatch, CancelAfterTheRunFiredIsHarmless) {
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 2);
+  const BatchId id = s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.run();
+  s.cancel(id);  // stale: the run completed
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+  // The recycled slot must not be killable through the stale BatchId.
+  int fired = 0;
+  s.schedule_after(milliseconds(1), [&fired] { ++fired; });
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerBatch, StaleEventIdCannotKillARunInTheRecycledSlot) {
+  // An EventId whose slot was recycled into a batch run must stay a no-op:
+  // the generation stamp (and the run guard) protect all k entries.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId a = s.schedule_after(milliseconds(1), [&order] { order.push_back(-1); });
+  s.cancel(a);
+  auto fns = labelled_batch(order, 0, 3);
+  s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);  // may reuse a's slot
+  s.cancel(a);  // stale
+  EXPECT_EQ(s.pending(), 3u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerBatch, RunBudgetSplitsARunWithoutDroppingOrReordering) {
+  // run(max_events) counts batch entries individually; a budget expiring
+  // mid-run leaves the remainder pending, in order.
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 3);
+  s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.schedule_at(TimePoint{} + milliseconds(1), [&order] { order.push_back(3); });
+
+  EXPECT_EQ(s.run(2), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(1));
+
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerBatch, StepExecutesOneEntryAtATime) {
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 3);
+  s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_TRUE(s.step());
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerBatch, RunUntilAtTheBoundaryDrainsTheWholeRun) {
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 3);
+  s.schedule_batch_at(TimePoint{} + milliseconds(10), fns);
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(5)), 0u);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(10)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerBatch, RunUntilAfterAPartialBudgetKeepsTheRemainder) {
+  // A budget splits the run, then a run_until to the run's own timestamp
+  // must finish exactly the remaining entries (satellite regression: the
+  // stepping limits must not drop or reorder a split run).
+  Scheduler s;
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 4);
+  s.schedule_batch_at(TimePoint{} + milliseconds(2), fns);
+  EXPECT_EQ(s.run(1), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(2)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerBatch, CancelMidExecutionDropsOnlyTheRemainingEntries) {
+  Scheduler s;
+  std::vector<int> order;
+  BatchId id{};
+  std::vector<Scheduler::Callback> fns;
+  fns.emplace_back([&order] { order.push_back(0); });
+  fns.emplace_back([&order, &s, &id] {
+    order.push_back(1);
+    s.cancel(id);  // from inside entry 1: entries 2 and 3 must not fire
+  });
+  fns.emplace_back([&order] { order.push_back(2); });
+  fns.emplace_back([&order] { order.push_back(3); });
+  id = s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerBatch, CancelInsideTheLastEntryIsAStaleNoOp) {
+  Scheduler s;
+  int fired = 0;
+  BatchId id{};
+  std::vector<Scheduler::Callback> fns;
+  fns.emplace_back([&fired, &s, &id] {
+    ++fired;
+    s.cancel(id);  // the run is already retired: harmless
+  });
+  id = s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerBatch, EventsScheduledInsideAnEntryFireAfterTheRun) {
+  // A same-timestamp event scheduled from inside entry 0 takes an order
+  // number past the whole run, so it fires after entry k-1 -- exactly as
+  // with k individual events.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<Scheduler::Callback> fns;
+  fns.emplace_back([&order, &s] {
+    order.push_back(0);
+    s.schedule_after(Duration::zero(), [&order] { order.push_back(9); });
+  });
+  fns.emplace_back([&order] { order.push_back(1); });
+  fns.emplace_back([&order] { order.push_back(2); });
+  s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(SchedulerBatch, PastBatchTimeClampsToNow) {
+  Scheduler s;
+  s.schedule_after(seconds(1), [] {});
+  s.run();
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 2);
+  s.schedule_batch_at(TimePoint{}, fns);  // in the past
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(1));
+}
+
+TEST(SchedulerBatch, ScheduleBatchAfterIsRelative) {
+  Scheduler s;
+  s.schedule_after(milliseconds(5), [] {});
+  s.run();
+  std::vector<int> order;
+  auto fns = labelled_batch(order, 0, 2);
+  s.schedule_batch_after(milliseconds(5), fns);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(10));
+}
+
+TEST(SchedulerBatch, ManyRunsInterleavedWithCancelsKeepPendingExact) {
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<BatchId> ids;
+  int label = 0;
+  for (int b = 0; b < 50; ++b) {
+    auto fns = labelled_batch(order, label, 4);
+    label += 4;
+    ids.push_back(
+        s.schedule_batch_at(TimePoint{} + milliseconds(1 + b % 3), fns));
+  }
+  EXPECT_EQ(s.pending(), 200u);
+  for (std::size_t b = 0; b < ids.size(); b += 2) s.cancel(ids[b]);
+  EXPECT_EQ(s.pending(), 100u);
+  s.run();
+  EXPECT_EQ(order.size(), 100u);
+  EXPECT_EQ(s.executed(), 100u);
+  EXPECT_TRUE(s.empty());
+}
+
 }  // namespace
 }  // namespace ab::netsim

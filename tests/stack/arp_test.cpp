@@ -85,5 +85,45 @@ TEST(ArpCache, ZeroTtlNeverExpires) {
   EXPECT_TRUE(cache.lookup(kIpA, t0 + netsim::seconds(100000)).has_value());
 }
 
+TEST(ArpCache, InsertUnlessFreshSuppressesIdenticalMappingInsideTheWindow) {
+  ArpCache cache;
+  const netsim::TimePoint t0{};
+  const netsim::Duration window = netsim::milliseconds(10);
+  EXPECT_TRUE(cache.insert_unless_fresh(kIpA, kMacA, t0, window));
+  // A flooded duplicate 2 ms later: suppressed.
+  EXPECT_FALSE(
+      cache.insert_unless_fresh(kIpA, kMacA, t0 + netsim::milliseconds(2), window));
+  // Past the window the same mapping is a genuine refresh.
+  EXPECT_TRUE(
+      cache.insert_unless_fresh(kIpA, kMacA, t0 + netsim::milliseconds(11), window));
+}
+
+TEST(ArpCache, InsertUnlessFreshRewritesAChangedMacImmediately) {
+  // The station really moved: a different MAC inside the window is not a
+  // duplicate and must take effect at once.
+  ArpCache cache;
+  const netsim::TimePoint t0{};
+  const netsim::Duration window = netsim::milliseconds(10);
+  EXPECT_TRUE(cache.insert_unless_fresh(kIpA, kMacA, t0, window));
+  EXPECT_TRUE(
+      cache.insert_unless_fresh(kIpA, kMacB, t0 + netsim::milliseconds(1), window));
+  EXPECT_EQ(*cache.lookup(kIpA, t0 + netsim::milliseconds(1)), kMacB);
+}
+
+TEST(ArpCache, SuppressedDuplicateKeepsTheOriginalAge) {
+  // The bug being fixed: every flooded copy used to rewrite the entry and
+  // silently reset its age. A suppressed duplicate must leave the original
+  // insertion time in place, so expiry still counts from the FIRST copy.
+  ArpCache cache(netsim::milliseconds(20));  // ttl
+  const netsim::TimePoint t0{};
+  const netsim::Duration window = netsim::milliseconds(10);
+  EXPECT_TRUE(cache.insert_unless_fresh(kIpA, kMacA, t0, window));
+  EXPECT_FALSE(
+      cache.insert_unless_fresh(kIpA, kMacA, t0 + netsim::milliseconds(5), window));
+  // Had the duplicate rewritten the entry, it would live until t0+25ms.
+  EXPECT_TRUE(cache.lookup(kIpA, t0 + netsim::milliseconds(19)).has_value());
+  EXPECT_FALSE(cache.lookup(kIpA, t0 + netsim::milliseconds(21)).has_value());
+}
+
 }  // namespace
 }  // namespace ab::stack

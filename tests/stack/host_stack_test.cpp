@@ -179,6 +179,104 @@ TEST(HostStack, RejectsInvalidConfig) {
   EXPECT_THROW(HostStack(net.scheduler(), nic, tiny), std::invalid_argument);
 }
 
+TEST(HostStack, FloodedDuplicateArpReplyIsCountedAndIgnored) {
+  // While the extended LAN is loopy or converging, a flood delivers the
+  // same ARP reply once per surviving path. Only the first copy may act;
+  // the rest are counted duplicates that must not rewrite the cache.
+  TwoHosts t;
+  t.a->set_echo_handler([](const HostStack::EchoReply&) {});
+  t.a->send_echo_request(t.b->ip(), 1, 1, {});
+  t.net.scheduler().run();  // resolves b, caches the mapping
+  EXPECT_EQ(t.a->stats().arp_duplicate_replies, 0u);
+
+  // Replay a three-copy burst of b's reply, microseconds apart (what a
+  // loopy flood delivers). The cached mapping is by now older than the
+  // dedupe window (run() drained through the 500 ms ARP retry no-op), so
+  // the first copy is a legitimate refresh; the two behind it are
+  // duplicates and must be suppressed.
+  ArpPacket dup;
+  dup.op = ArpOp::kReply;
+  dup.sender_mac = t.b->nic().mac();
+  dup.sender_ip = t.b->ip();
+  dup.target_mac = t.a->nic().mac();
+  dup.target_ip = t.a->ip();
+  for (int i = 0; i < 3; ++i) {
+    t.b->nic().transmit(ether::Frame::ethernet2(
+        t.a->nic().mac(), t.b->nic().mac(), ether::EtherType::kArp, dup.encode()));
+  }
+  t.net.scheduler().run();
+  EXPECT_EQ(t.a->stats().arp_duplicate_replies, 2u);
+  // The mapping still works (the original entry is intact).
+  t.a->send_echo_request(t.b->ip(), 1, 2, {});
+  t.net.scheduler().run();
+  EXPECT_EQ(t.a->stats().arp_requests_sent, 1u);
+  EXPECT_EQ(t.a->stats().echo_replies_received, 2u);
+}
+
+TEST(HostStack, DuplicateArpRequestInsideTheWindowDrawsOneReply) {
+  // Duplicate flooded copies of the same request must not each draw a
+  // reply (the netloader's suppression, applied to the host stack); a
+  // genuine retry after the window is answered again.
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  auto& nic_b = net.add_nic("hostB", lan);
+  HostConfig cfg;
+  cfg.ip = Ipv4Addr(10, 0, 0, 2);
+  HostStack b(net.scheduler(), nic_b, cfg);
+
+  auto& probe = net.add_nic("probe", lan);
+  const ArpPacket req =
+      ArpPacket::request(probe.mac(), Ipv4Addr(10, 0, 0, 7), b.ip());
+  const auto send_copy = [&] {
+    probe.transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                           probe.mac(), ether::EtherType::kArp,
+                                           req.encode()));
+  };
+  send_copy();
+  send_copy();  // flooded duplicate, microseconds apart
+  net.scheduler().run();
+  EXPECT_EQ(b.stats().arp_replies_sent, 1u);
+  EXPECT_EQ(b.stats().arp_duplicate_replies, 1u);
+
+  net.scheduler().run_for(netsim::milliseconds(20));  // past the window
+  send_copy();  // a real retry
+  net.scheduler().run();
+  EXPECT_EQ(b.stats().arp_replies_sent, 2u);
+  EXPECT_EQ(b.stats().arp_duplicate_replies, 1u);
+}
+
+TEST(HostStack, GenuineRequestRightAfterAReplyIsStillAnswered) {
+  // Dedupe must key the reply decision on when we last ANSWERED a sender,
+  // not on the cache mapping: an unsolicited reply from X followed
+  // microseconds later by X's genuine request (X never heard anything from
+  // us, its own entry may just have expired) is NOT a duplicate and must
+  // be answered, even though both carry the identical sender mapping.
+  netsim::Network net;
+  auto& lan = net.add_segment("lan");
+  auto& nic_b = net.add_nic("hostB", lan);
+  HostConfig cfg;
+  cfg.ip = Ipv4Addr(10, 0, 0, 2);
+  HostStack b(net.scheduler(), nic_b, cfg);
+
+  auto& probe = net.add_nic("probe", lan);
+  const Ipv4Addr probe_ip(10, 0, 0, 7);
+  ArpPacket reply;
+  reply.op = ArpOp::kReply;
+  reply.sender_mac = probe.mac();
+  reply.sender_ip = probe_ip;
+  reply.target_mac = nic_b.mac();
+  reply.target_ip = b.ip();
+  probe.transmit(ether::Frame::ethernet2(nic_b.mac(), probe.mac(),
+                                         ether::EtherType::kArp, reply.encode()));
+  const ArpPacket req = ArpPacket::request(probe.mac(), probe_ip, b.ip());
+  probe.transmit(ether::Frame::ethernet2(ether::MacAddress::broadcast(),
+                                         probe.mac(), ether::EtherType::kArp,
+                                         req.encode()));
+  net.scheduler().run();
+  EXPECT_EQ(b.stats().arp_replies_sent, 1u);
+  EXPECT_EQ(b.stats().arp_duplicate_replies, 0u);
+}
+
 TEST(HostStack, PingSweepAcrossSizes) {
   // Latency-bench smoke: all Fig. 9 packet sizes complete.
   TwoHosts t;
