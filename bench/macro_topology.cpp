@@ -26,11 +26,32 @@
 // broadcast (one transmit event + one per-segment delivery walk), where
 // the per-receiver-event scheme cost receivers + 1. The CI bench-smoke
 // guard (scripts/check_bench_smoke.sh) fails the build if this regresses.
+// Three transmit-path profiles pin the PR 5 burst-batching contract (all
+// always run; the CI guard asserts their bounds):
+//   * flood_profile gains inserts_per_broadcast: a burst of broadcasts
+//     drains the probe NIC's queue as one timed run, so the transmit side
+//     adds ~1/burst insert per broadcast where the self-rearming chain
+//     paid 1 per frame (the per-frame model is 2.0 with delivery);
+//   * egress_profile: an 8-port forwarding plane floods -- the TxBatch
+//     claims every idle egress transmitter and schedules ONE timed run, so
+//     a flood hop costs 1 insert where the per-port path cost 8;
+//   * ttcp_write_profile: an 8 KB write fragments into 6 frames that pace
+//     through the host's processing element as ONE timed run -- 1 insert
+//     per write, was 6.
+// A mac_lookup cell times the learning bridge's flat open-addressing MAC
+// table (with its last-destination cache) against the unordered_map it
+// replaced, on DEC-TR-592-style skewed destination traffic.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 
 #include "src/apps/scenario.h"
+#include "src/bridge/forwarding.h"
+#include "src/bridge/learning.h"
+#include "src/stack/host_stack.h"
+#include "src/util/rng.h"
 
 using namespace ab;
 
@@ -53,12 +74,17 @@ struct FloodProfile {
   std::size_t receivers = 0;
   int broadcasts = 0;
   std::uint64_t events = 0;
+  std::uint64_t inserts = 0;
   std::uint64_t frames_delivered = 0;
   double events_per_broadcast = 0.0;
+  double inserts_per_broadcast = 0.0;
   /// What the same burst cost under one-event-per-receiver delivery.
   [[nodiscard]] double per_receiver_model() const {
     return static_cast<double>(receivers) + 1.0;
   }
+  /// Inserts per broadcast under the per-frame transmitter chain (one
+  /// serialization completion + one delivery insert per broadcast).
+  [[nodiscard]] double per_frame_insert_model() const { return 2.0; }
 };
 
 FloodProfile run_flood_profile(std::size_t receivers, int broadcasts) {
@@ -72,21 +98,212 @@ FloodProfile run_flood_profile(std::size_t receivers, int broadcasts) {
   netsim::Nic& probe = net.add_nic("probe", hub);
   probe.set_tx_queue_limit(static_cast<std::size_t>(broadcasts) + 1);
 
-  const std::uint64_t before = net.scheduler().executed();
+  // The burst goes through transmit_burst: one queue admission pass, one
+  // timed run for the whole backlog (the serialization completions), one
+  // delivery insert per broadcast -- scheduler inserts per broadcast drop
+  // to ~1 where the per-frame chain paid 2.
+  std::vector<ether::WireFrame> burst;
+  burst.reserve(static_cast<std::size_t>(broadcasts));
   for (int b = 0; b < broadcasts; ++b) {
-    probe.transmit(ether::Frame::ethernet2(
+    burst.emplace_back(ether::Frame::ethernet2(
         ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
         {static_cast<std::uint8_t>(b)}));
   }
+  const std::uint64_t before = net.scheduler().executed();
+  const std::uint64_t inserts_before = net.scheduler().inserts();
+  probe.transmit_burst(burst);
   net.scheduler().run();
 
   FloodProfile p;
   p.receivers = receivers;
   p.broadcasts = broadcasts;
   p.events = net.scheduler().executed() - before;
+  p.inserts = net.scheduler().inserts() - inserts_before;
   p.frames_delivered = delivered;
   p.events_per_broadcast =
       broadcasts > 0 ? static_cast<double>(p.events) / broadcasts : 0.0;
+  p.inserts_per_broadcast =
+      broadcasts > 0 ? static_cast<double>(p.inserts) / broadcasts : 0.0;
+  return p;
+}
+
+/// The bridge egress hop: an N-port forwarding plane (idle transmitters)
+/// floods a frame -- the TxBatch claims every egress port and issues ONE
+/// timed run, so the hop costs 1 scheduler insert where the per-port path
+/// cost N. Inserts are measured across the flood() call itself (the
+/// deliveries it triggers later are the LAN layer's, profiled above).
+struct EgressProfile {
+  std::size_t ports = 0;
+  int floods = 0;
+  std::uint64_t inserts = 0;
+  double inserts_per_flood = 0.0;
+  [[nodiscard]] double per_port_model() const {
+    return static_cast<double>(ports) - 1.0;  // all but the ingress port
+  }
+};
+
+EgressProfile run_egress_profile(std::size_t ports, int floods) {
+  netsim::Network net;
+  active::PortTable table(net.scheduler());
+  bridge::ForwardingPlane plane;
+  for (std::size_t i = 0; i < ports; ++i) {
+    auto& lan = net.add_segment("lan" + std::to_string(i));
+    table.add_interface(net.add_nic("eth" + std::to_string(i), lan));
+  }
+  for (std::size_t i = 0; i < ports; ++i) {
+    active::InputPort& in = table.get_iport();
+    plane.add_port(in, table.bind_out(in.name()));
+  }
+
+  EgressProfile p;
+  p.ports = ports;
+  p.floods = floods;
+  for (int f = 0; f < floods; ++f) {
+    const ether::WireFrame frame(ether::Frame::ethernet2(
+        ether::MacAddress::broadcast(), ether::MacAddress::local(99, 0),
+        ether::EtherType::kExperimental, {static_cast<std::uint8_t>(f)}));
+    const std::uint64_t before = net.scheduler().inserts();
+    plane.flood(frame, 0);
+    p.inserts += net.scheduler().inserts() - before;
+    net.scheduler().run();  // drain so the next flood finds idle ports
+  }
+  p.inserts_per_flood =
+      floods > 0 ? static_cast<double>(p.inserts) / floods : 0.0;
+  return p;
+}
+
+/// The ttcp write hop: an 8 KB write fragments into a frame train that
+/// paces through the sender's processing element as ONE timed run -- 1
+/// scheduler insert per write where the per-fragment path paid one each.
+/// Measured across the send_udp call itself, ARP warm (the resolved fast
+/// path is the steady state fig. 10 runs in).
+struct TtcpWriteProfile {
+  std::size_t write_size = 0;
+  std::size_t fragments = 0;
+  int writes = 0;
+  std::uint64_t inserts = 0;
+  double inserts_per_write = 0.0;
+  [[nodiscard]] double per_fragment_model() const {
+    return static_cast<double>(fragments);
+  }
+};
+
+TtcpWriteProfile run_ttcp_write_profile(std::size_t write_size, int writes) {
+  netsim::Network net;
+  netsim::LanSegment& lan = net.add_segment("lan");
+  stack::HostConfig sender_cfg;
+  sender_cfg.ip = *stack::Ipv4Addr::parse("10.0.0.1");
+  sender_cfg.tx_cost = netsim::CostModel::linux_host();
+  stack::HostStack sender(net.scheduler(), net.add_nic("snd", lan), sender_cfg);
+  stack::HostConfig sink_cfg;
+  sink_cfg.ip = *stack::Ipv4Addr::parse("10.0.0.2");
+  stack::HostStack sink(net.scheduler(), net.add_nic("rcv", lan), sink_cfg);
+  sink.bind_udp(5001, [](stack::Ipv4Addr, const stack::UdpDatagram&) {});
+
+  // Warm ARP so the profile measures the resolved steady state.
+  sender.send_udp(sink.ip(), 5000, 5001, util::ByteBuffer(8));
+  net.scheduler().run();
+
+  TtcpWriteProfile p;
+  p.write_size = write_size;
+  p.writes = writes;
+  const std::size_t mtu_payload = (sender_cfg.mtu - stack::Ipv4Header::kSize) &
+                                  ~std::size_t{7};
+  const std::size_t udp_bytes = write_size + 8;  // UDP header
+  p.fragments = (udp_bytes + mtu_payload - 1) / mtu_payload;
+  for (int w = 0; w < writes; ++w) {
+    const std::uint64_t before = net.scheduler().inserts();
+    sender.send_udp(sink.ip(), 5000, 5001, util::ByteBuffer(write_size));
+    p.inserts += net.scheduler().inserts() - before;
+    net.scheduler().run();
+  }
+  p.inserts_per_write = writes > 0 ? static_cast<double>(p.inserts) / writes : 0.0;
+  return p;
+}
+
+/// The learning bridge's hottest line, replayed as the datapath runs it:
+/// per frame, learn the (uniform) source then look up the destination --
+/// skewed traffic (DEC-TR-592: a small hot working set plus a uniform
+/// tail). Times the flat open-addressing MacTable (last-destination cache
+/// included; learn never evicts it) against the std::unordered_map it
+/// replaced, identical access sequence on both sides.
+struct MacLookupProfile {
+  std::size_t entries = 0;
+  std::size_t lookups = 0;
+  double flat_ns_per_lookup = 0.0;
+  double map_ns_per_lookup = 0.0;
+  double speedup = 0.0;
+  /// Flat table and reference map agreed on every hit (the side-by-side
+  /// replay is a correctness check as much as a timing one).
+  bool hits_agree = true;
+};
+
+MacLookupProfile run_mac_lookup_profile(std::size_t entries, std::size_t lookups) {
+  const netsim::TimePoint now{};
+  std::vector<ether::MacAddress> macs;
+  macs.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    macs.push_back(ether::MacAddress::local(static_cast<std::uint32_t>(i / 16),
+                                            static_cast<std::uint16_t>(i % 16)));
+  }
+  // Per-frame (source, destination) sequence: sources uniform (every
+  // station talks), destinations 90% from 16 hot stations with repeat
+  // runs (frame bursts ride the last-destination cache), 10% uniform.
+  util::Rng rng(1997);
+  std::vector<std::uint32_t> srcs(lookups);
+  std::vector<std::uint32_t> dsts(lookups);
+  std::uint32_t hot = 0;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    srcs[i] = static_cast<std::uint32_t>(rng.index(entries));
+    if (i % 4 != 0) {
+      dsts[i] = hot;  // repeat the current hot destination (a frame burst)
+    } else if (rng.chance(0.9)) {
+      hot = static_cast<std::uint32_t>(rng.index(16));
+      dsts[i] = hot;
+    } else {
+      dsts[i] = static_cast<std::uint32_t>(rng.index(entries));
+    }
+  }
+
+  bridge::MacTable flat;
+  std::unordered_map<ether::MacAddress, active::PortId> map;
+  for (std::size_t i = 0; i < entries; ++i) {
+    flat.learn(macs[i], static_cast<active::PortId>(i % 8), now);
+    map[macs[i]] = static_cast<active::PortId>(i % 8);
+  }
+
+  std::uint64_t flat_hits = 0;
+  auto flat_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < lookups; ++i) {
+    flat.learn(macs[srcs[i]], static_cast<active::PortId>(srcs[i] % 8), now);
+    if (flat.lookup(macs[dsts[i]], now).has_value()) ++flat_hits;
+  }
+  const double flat_secs = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - flat_start)
+                               .count();
+
+  std::uint64_t map_hits = 0;
+  auto map_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < lookups; ++i) {
+    map[macs[srcs[i]]] = static_cast<active::PortId>(srcs[i] % 8);
+    if (map.find(macs[dsts[i]]) != map.end()) ++map_hits;
+  }
+  const double map_secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - map_start)
+                              .count();
+  MacLookupProfile p;
+  p.hits_agree = flat_hits == map_hits;
+  if (!p.hits_agree) {
+    std::fprintf(stderr, "mac_lookup: hit counts diverge (flat %llu, map %llu)\n",
+                 static_cast<unsigned long long>(flat_hits),
+                 static_cast<unsigned long long>(map_hits));
+  }
+  p.entries = entries;
+  p.lookups = lookups;
+  p.flat_ns_per_lookup = flat_secs * 1e9 / static_cast<double>(lookups);
+  p.map_ns_per_lookup = map_secs * 1e9 / static_cast<double>(lookups);
+  p.speedup = p.flat_ns_per_lookup > 0 ? p.map_ns_per_lookup / p.flat_ns_per_lookup
+                                       : 0.0;
   return p;
 }
 
@@ -153,26 +370,83 @@ int main(int argc, char** argv) {
       headline.events_per_sec, headline.virtual_seconds);
 
   // ---- flood-dominated star profile (events per broadcast) ----------------
-  const FloodProfile flood = run_flood_profile(1000, 64);
+  const FloodProfile flood = run_flood_profile(1000, 128);
   std::printf(
       "\nflood profile: %zu receivers, %d broadcasts -> %llu events "
-      "(%.2f events/broadcast; per-receiver model %.0f)\n",
+      "(%.2f events/broadcast; per-receiver model %.0f), %llu inserts "
+      "(%.2f inserts/broadcast; per-frame model %.1f)\n",
       flood.receivers, flood.broadcasts,
       static_cast<unsigned long long>(flood.events), flood.events_per_broadcast,
-      flood.per_receiver_model());
+      flood.per_receiver_model(), static_cast<unsigned long long>(flood.inserts),
+      flood.inserts_per_broadcast, flood.per_frame_insert_model());
   // O(1) bound, with slack for future per-frame bookkeeping events. It must
   // sit strictly below the per-receiver model (receivers + 1): a regression
   // to one-event-per-receiver delivery costs exactly that, so a bound AT
-  // receivers + 1 would never fire.
+  // receivers + 1 would never fire. The insert bound sits strictly below
+  // the per-frame transmitter chain's 2.0 (the burst drain leaves ~1
+  // delivery insert per broadcast plus one run for the whole burst).
   constexpr double kMaxEventsPerBroadcast = 4.0;
+  constexpr double kMaxInsertsPerBroadcast = 1.5;
   const bool flood_ok =
       flood.events_per_broadcast <= kMaxEventsPerBroadcast &&
+      flood.inserts_per_broadcast <= kMaxInsertsPerBroadcast &&
       flood.frames_delivered ==
           flood.receivers * static_cast<std::uint64_t>(flood.broadcasts);
   if (!flood_ok) {
     std::fprintf(stderr,
-                 "flood profile regressed to per-receiver delivery events "
-                 "(or dropped frames) -- investigate\n");
+                 "flood profile regressed to per-receiver delivery events, "
+                 "per-frame transmit inserts, or dropped frames -- "
+                 "investigate\n");
+  }
+
+  // ---- bridge egress hop (inserts per flood) ------------------------------
+  const EgressProfile egress = run_egress_profile(8, smoke ? 64 : 512);
+  std::printf(
+      "\negress profile: %zu ports, %d floods -> %llu inserts "
+      "(%.2f inserts/flood; per-port model %.0f)\n",
+      egress.ports, egress.floods, static_cast<unsigned long long>(egress.inserts),
+      egress.inserts_per_flood, egress.per_port_model());
+  // One TxBatch run per flood hop. Strictly below the per-port model: a
+  // regression to per-port Nic::transmit costs exactly ports - 1 inserts.
+  constexpr double kMaxInsertsPerFlood = 2.0;
+  const bool egress_ok = egress.inserts_per_flood <= kMaxInsertsPerFlood;
+  if (!egress_ok) {
+    std::fprintf(stderr,
+                 "egress profile regressed to per-port scheduler inserts -- "
+                 "investigate\n");
+  }
+
+  // ---- ttcp write hop (inserts per 8 KB write) ----------------------------
+  const TtcpWriteProfile write_profile =
+      run_ttcp_write_profile(8192, smoke ? 32 : 256);
+  std::printf(
+      "ttcp write profile: %zu B writes (%zu fragments), %d writes -> "
+      "%llu inserts (%.2f inserts/write; per-fragment model %.0f)\n",
+      write_profile.write_size, write_profile.fragments, write_profile.writes,
+      static_cast<unsigned long long>(write_profile.inserts),
+      write_profile.inserts_per_write, write_profile.per_fragment_model());
+  // One processing-element run per write. Strictly below the per-fragment
+  // model (6 for 8 KB writes at MTU 1500).
+  constexpr double kMaxInsertsPerWrite = 2.0;
+  const bool write_ok = write_profile.inserts_per_write <= kMaxInsertsPerWrite;
+  if (!write_ok) {
+    std::fprintf(stderr,
+                 "ttcp write profile regressed to per-fragment scheduler "
+                 "inserts -- investigate\n");
+  }
+
+  // ---- MAC table lookup (flat hash + last-destination cache) --------------
+  const MacLookupProfile mac = run_mac_lookup_profile(
+      4096, smoke ? std::size_t{200000} : std::size_t{4000000});
+  std::printf(
+      "mac_lookup: %zu entries, %zu lookups -> flat %.1f ns/lookup, "
+      "unordered_map %.1f ns/lookup (%.2fx)\n",
+      mac.entries, mac.lookups, mac.flat_ns_per_lookup, mac.map_ns_per_lookup,
+      mac.speedup);
+  if (!mac.hits_agree) {
+    std::fprintf(stderr,
+                 "mac_lookup: flat table disagrees with the reference map -- "
+                 "investigate\n");
   }
 
   // ---- ttcp streams across LANs -------------------------------------------
@@ -182,6 +456,22 @@ int main(int argc, char** argv) {
   const std::vector<apps::SweepResult> ttcp_cells =
       sweep.run_grid(acceptance_cells(), ttcp);
   std::printf("\n%s", apps::TopologySweep::format_table(ttcp_cells).c_str());
+
+  // ---- ttcp streams converging on a scale-free hub ------------------------
+  // The ROADMAP "stream placement strategies" knob at work: every sink on
+  // the hub segment of a Barabasi-Albert shape, so the new egress path is
+  // exercised where most spanning trees funnel.
+  apps::TtcpStreamWorkload::Options hub_opts = ttcp_opts;
+  hub_opts.placement = apps::TtcpStreamWorkload::Placement::kHubTargeted;
+  apps::TtcpStreamWorkload hub_ttcp(hub_opts);
+  std::vector<netsim::TopologySpec> hub_grid;
+  netsim::TopologySpec hub_spec = spec_of(netsim::TopologyShape::kScaleFree, 32, 2);
+  hub_spec.attach = 2;
+  hub_spec.seed = 7;
+  hub_grid.push_back(hub_spec);
+  const std::vector<apps::SweepResult> hub_cells =
+      sweep.run_grid(hub_grid, hub_ttcp);
+  std::printf("\n%s", apps::TopologySweep::format_table(hub_cells).c_str());
 
   // ---- staged switchlet rollout -------------------------------------------
   apps::SweepOptions rollout_opts;
@@ -205,7 +495,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_topology.json\n");
     return 1;
   }
-  // flood_profile stays on one line: scripts/check_bench_smoke.sh greps it.
+  // flood_profile, egress_profile, ttcp_write_profile and mac_lookup each
+  // stay on one line: scripts/check_bench_smoke.sh greps them.
   std::fprintf(f,
                "{\n"
                "  \"experiment\": \"topology_sweep\",\n"
@@ -215,9 +506,21 @@ int main(int argc, char** argv) {
                "\"events_per_sec\": %.0f},\n"
                "  \"flood_profile\": {\"receivers\": %zu, \"broadcasts\": %d, "
                "\"events\": %llu, \"events_per_broadcast\": %.2f, "
-               "\"per_receiver_event_model\": %.0f},\n"
+               "\"per_receiver_event_model\": %.0f, "
+               "\"inserts\": %llu, \"inserts_per_broadcast\": %.2f, "
+               "\"per_frame_insert_model\": %.1f},\n"
+               "  \"egress_profile\": {\"ports\": %zu, \"floods\": %d, "
+               "\"inserts\": %llu, \"inserts_per_flood\": %.2f, "
+               "\"per_port_model\": %.0f},\n"
+               "  \"ttcp_write_profile\": {\"write_size\": %zu, "
+               "\"fragments\": %zu, \"writes\": %d, \"inserts\": %llu, "
+               "\"inserts_per_write\": %.2f, \"per_fragment_model\": %.0f},\n"
+               "  \"mac_lookup\": {\"entries\": %zu, \"lookups\": %zu, "
+               "\"flat_ns_per_lookup\": %.1f, \"map_ns_per_lookup\": %.1f, "
+               "\"speedup\": %.2f},\n"
                "  \"cells\": %s,\n"
                "  \"ttcp_streams\": %s,\n"
+               "  \"ttcp_hub\": %s,\n"
                "  \"rollout\": %s"
                "}\n",
                smoke ? "true" : "false", headline.label.c_str(),
@@ -226,10 +529,25 @@ int main(int argc, char** argv) {
                headline.wall_seconds, headline.events_per_sec, flood.receivers,
                flood.broadcasts, static_cast<unsigned long long>(flood.events),
                flood.events_per_broadcast, flood.per_receiver_model(),
+               static_cast<unsigned long long>(flood.inserts),
+               flood.inserts_per_broadcast, flood.per_frame_insert_model(),
+               egress.ports, egress.floods,
+               static_cast<unsigned long long>(egress.inserts),
+               egress.inserts_per_flood, egress.per_port_model(),
+               write_profile.write_size, write_profile.fragments,
+               write_profile.writes,
+               static_cast<unsigned long long>(write_profile.inserts),
+               write_profile.inserts_per_write, write_profile.per_fragment_model(),
+               mac.entries, mac.lookups, mac.flat_ns_per_lookup,
+               mac.map_ns_per_lookup, mac.speedup,
                apps::TopologySweep::format_json(cells).c_str(),
                apps::TopologySweep::format_json(ttcp_cells).c_str(),
+               apps::TopologySweep::format_json(hub_cells).c_str(),
                apps::TopologySweep::format_json(rollout_cells).c_str());
   std::fclose(f);
   std::printf("wrote BENCH_topology.json\n");
-  return headline.stp_converged && rollouts_ok && flood_ok ? 0 : 1;
+  return headline.stp_converged && rollouts_ok && flood_ok && egress_ok &&
+                 write_ok && mac.hits_agree
+             ? 0
+             : 1;
 }

@@ -16,6 +16,13 @@
 //                 torn-down segment). Per-event inserts pay k sifts and k
 //                 cancels per broadcast; schedule_batch_at pays one sift
 //                 and one BatchId cancel for the whole run.
+//   timed_run     the transmit-burst pattern: a NIC (or processing
+//                 element) drains a k-frame backlog whose serialization
+//                 completion times are cumulative and known upfront --
+//                 k MONOTONE times, one run. Per-event inserts pay k
+//                 sifts; schedule_run_at pays one, with the head re-keyed
+//                 in place as entries fire. A fraction of bursts is
+//                 cancelled wholesale (a torn-down stream).
 //
 // Writes BENCH_scheduler.json with events/sec for both cores and the
 // speedup ratio, tracked across PRs. `--smoke` runs one small repetition
@@ -163,6 +170,55 @@ WorkloadResult flood_insert(std::size_t broadcasts, std::size_t fanout,
   return out;
 }
 
+/// The transmit-burst insert pattern on the indexed core itself: per-event
+/// schedule_at loops vs one schedule_run_at per k-frame burst with
+/// cumulative completion times (the NIC's back-to-back serialization
+/// chain), with every `cancel_every`-th burst cancelled wholesale before
+/// firing. Both sides run the identical event program.
+template <bool kUseRun>
+WorkloadResult burst_insert(std::size_t bursts, std::size_t burst_len,
+                            std::size_t cancel_every) {
+  netsim::Scheduler sched;
+  std::uint64_t fired = 0;
+  std::vector<netsim::Scheduler::TimedEntry> run(burst_len);
+  std::vector<netsim::EventId> ids(burst_len);
+  constexpr netsim::Duration kSerialization = netsim::microseconds(120);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const bool cancel = cancel_every != 0 && b % cancel_every == 0;
+    if constexpr (kUseRun) {
+      netsim::TimePoint completes = sched.now();
+      for (std::size_t k = 0; k < burst_len; ++k) {
+        completes += kSerialization;
+        run[k].when = completes;
+        run[k].fn = DeliveryCapture{&fired};
+      }
+      const netsim::BatchId id = sched.schedule_run_at(run);
+      if (cancel) sched.cancel(id);
+    } else {
+      netsim::TimePoint completes = sched.now();
+      for (std::size_t k = 0; k < burst_len; ++k) {
+        completes += kSerialization;
+        ids[k] = sched.schedule_at(completes, DeliveryCapture{&fired});
+      }
+      if (cancel) {
+        for (std::size_t k = 0; k < burst_len; ++k) sched.cancel(ids[k]);
+      }
+    }
+    // Drain every few bursts so the standing population stays at the
+    // queue-backlog scale rather than growing into a pathological heap.
+    if (b % 8 == 7) sched.run_for(kSerialization * 16);
+  }
+  sched.run();
+
+  WorkloadResult out;
+  out.events = bursts * burst_len;  // schedule operations issued
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
 struct Comparison {
   const char* workload;
   WorkloadResult baseline;
@@ -198,9 +254,12 @@ int main(int argc, char** argv) {
   // Best-of-N to shake scheduler noise out of the wall clock.
   Comparison churn{"timer_churn", {}, {}};
   Comparison drain{"fire_all", {}, {}};
-  // For batch_insert both sides run on the indexed core; "baseline" is the
-  // per-event insert loop the batch API replaces.
+  // For batch_insert and timed_run both sides run on the indexed core;
+  // "baseline" is the per-event insert loop the batch/run API replaces.
   Comparison batch{"batch_insert", {}, {}};
+  Comparison timed{"timed_run", {}, {}};
+  const std::size_t bursts = smoke ? 8000 : 400000;
+  const std::size_t burst_len = 6;  // an 8 KB write's fragment train
   for (int r = 0; r < reps; ++r) {
     const auto b1 = timer_churn<netsim::BaselineScheduler>(population, rounds);
     const auto i1 = timer_churn<netsim::Scheduler>(population, rounds);
@@ -208,16 +267,21 @@ int main(int argc, char** argv) {
     const auto i2 = fire_all<netsim::Scheduler>(fires);
     const auto b3 = flood_insert<false>(broadcasts, fanout, cancel_every);
     const auto i3 = flood_insert<true>(broadcasts, fanout, cancel_every);
+    const auto b4 = burst_insert<false>(bursts, burst_len, cancel_every);
+    const auto i4 = burst_insert<true>(bursts, burst_len, cancel_every);
     if (r == 0 || b1.seconds < churn.baseline.seconds) churn.baseline = b1;
     if (r == 0 || i1.seconds < churn.indexed.seconds) churn.indexed = i1;
     if (r == 0 || b2.seconds < drain.baseline.seconds) drain.baseline = b2;
     if (r == 0 || i2.seconds < drain.indexed.seconds) drain.indexed = i2;
     if (r == 0 || b3.seconds < batch.baseline.seconds) batch.baseline = b3;
     if (r == 0 || i3.seconds < batch.indexed.seconds) batch.indexed = i3;
+    if (r == 0 || b4.seconds < timed.baseline.seconds) timed.baseline = b4;
+    if (r == 0 || i4.seconds < timed.indexed.seconds) timed.indexed = i4;
   }
   print(churn);
   print(drain);
   print(batch);
+  print(timed);
 
   std::FILE* f = std::fopen("BENCH_scheduler.json", "w");
   if (f == nullptr) {
@@ -238,6 +302,10 @@ int main(int argc, char** argv) {
       "  \"batch_insert\": {\"broadcasts\": %zu, \"fanout\": %zu, "
       "\"cancel_every\": %zu,\n"
       "    \"per_event_events_per_sec\": %.0f, \"batch_events_per_sec\": %.0f,\n"
+      "    \"speedup\": %.3f},\n"
+      "  \"timed_run\": {\"bursts\": %zu, \"burst_len\": %zu, "
+      "\"cancel_every\": %zu,\n"
+      "    \"per_event_events_per_sec\": %.0f, \"run_events_per_sec\": %.0f,\n"
       "    \"speedup\": %.3f}\n"
       "}\n",
       smoke ? "true" : "false", population, rounds,
@@ -245,7 +313,9 @@ int main(int argc, char** argv) {
       churn.speedup(), fires, drain.baseline.events_per_sec(),
       drain.indexed.events_per_sec(), drain.speedup(), broadcasts, fanout,
       cancel_every, batch.baseline.events_per_sec(), batch.indexed.events_per_sec(),
-      batch.speedup());
+      batch.speedup(), bursts, burst_len, cancel_every,
+      timed.baseline.events_per_sec(), timed.indexed.events_per_sec(),
+      timed.speedup());
   std::fclose(f);
   std::printf("wrote BENCH_scheduler.json\n");
   return 0;

@@ -28,8 +28,10 @@ cmake --build build-release -j
 # streams, and the staged rollout) over the acceptance cells, plus the
 # flood-dominated star profile the bench guard below asserts on.
 (cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
-# Guards: the batch-insert cell exists and the flood profile stays at O(1)
-# delivery events per broadcast per segment.
+# Guards: the batch-insert and timed-run cells exist, the flood profile
+# stays at O(1) delivery events per broadcast per segment, and the
+# transmit hops (NIC burst drain, bridge egress TxBatch, fragmented write
+# through the processing element) stay at O(1) scheduler inserts per hop.
 ./scripts/check_bench_smoke.sh build-release
 (cd build-release && ./ablation_spanning_tree && ./ablation_learning \
   && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

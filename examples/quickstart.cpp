@@ -53,8 +53,8 @@ int main() {
               ping.stats().sent, netsim::to_millis(ping.stats().avg()));
 
   std::printf("== the bridge learned %zu hosts:\n", learning->table().size());
-  for (const auto& [mac, entry] : learning->table().entries()) {
-    std::printf("   %s -> port %u\n", mac.to_string().c_str(), entry.port);
+  for (const auto& entry : learning->table().entries()) {
+    std::printf("   %s -> port %u\n", entry.mac.to_string().c_str(), entry.port);
   }
 
   // Access points registered by the switchlets are callable by name --

@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
-# Bench-smoke guards for the batched-delivery fast path, run by CI and
-# ci.sh after the Release bench smoke:
+# Bench-smoke guards for the batched delivery + batched transmit fast
+# paths, run by CI and ci.sh after the Release bench smoke:
 #
-#   1. BENCH_scheduler.json must carry the batch_insert cell (the
-#      schedule_batch_at microbench) -- a refactor that silently drops the
-#      cell would stop tracking the batch path across PRs.
+#   1. BENCH_scheduler.json must carry the batch_insert AND timed_run cells
+#      (the schedule_batch_at / schedule_run_at microbenches) -- a refactor
+#      that silently drops either would stop tracking the batch paths
+#      across PRs.
 #   2. BENCH_topology.json's flood_profile must stay at O(1) scheduler
 #      events per broadcast. The bound is a small constant (the batched
 #      path measures 2.0: one transmit event + one per-segment delivery
 #      walk) -- deliberately NOT receivers + 1, because a regression to
 #      one-delivery-event-per-receiver costs exactly receivers + 1 and
-#      would slip through a bound at that value.
+#      would slip through a bound at that value. Its insert count must stay
+#      strictly below the per-frame transmitter chain's 2.0/broadcast (the
+#      burst drain costs ~1: one run for the whole burst + one delivery
+#      insert per broadcast).
+#   3. egress_profile: a bridge flood hop must cost O(1) scheduler inserts
+#      -- the TxBatch run -- strictly below the per-port model (ports - 1),
+#      which is exactly what a regression to per-port Nic::transmit costs.
+#   4. ttcp_write_profile: a fragmented write must cost O(1) scheduler
+#      inserts -- the processing-element run -- strictly below the
+#      per-fragment model.
+#   5. mac_lookup must be present (the flat MAC table trajectory; no speed
+#      bound, CI runners are noisy).
 #
 # Usage: scripts/check_bench_smoke.sh [build-dir]   (default: build-release)
 set -euo pipefail
@@ -25,24 +37,71 @@ fail() {
   exit 1
 }
 
+# Pulls "field": <number> out of a single-line JSON cell.
+field() {
+  echo "$1" | sed -n "s/.*\"$2\": \([0-9][0-9.]*\).*/\1/p"
+}
+
 [ -f "$sched_json" ] || fail "missing $sched_json (run micro_scheduler first)"
 [ -f "$topo_json" ] || fail "missing $topo_json (run macro_topology first)"
 
 grep -q '"batch_insert"' "$sched_json" \
   || fail "$sched_json has no batch_insert cell"
+grep -q '"timed_run"' "$sched_json" \
+  || fail "$sched_json has no timed_run cell"
 
-# flood_profile is emitted on one line; pull its fields out with sed.
+# Each profile is emitted on one line; pull its fields out with sed.
 profile_line=$(grep '"flood_profile"' "$topo_json") \
   || fail "$topo_json has no flood_profile cell"
-receivers=$(echo "$profile_line" | sed -n 's/.*"receivers": \([0-9][0-9]*\).*/\1/p')
-epb=$(echo "$profile_line" | sed -n 's/.*"events_per_broadcast": \([0-9.][0-9.]*\).*/\1/p')
-[ -n "$receivers" ] && [ -n "$epb" ] \
-  || fail "could not parse receivers/events_per_broadcast from: $profile_line"
+receivers=$(field "$profile_line" receivers)
+epb=$(field "$profile_line" events_per_broadcast)
+ipb=$(field "$profile_line" inserts_per_broadcast)
+[ -n "$receivers" ] && [ -n "$epb" ] && [ -n "$ipb" ] \
+  || fail "could not parse flood_profile from: $profile_line"
 
-# Matches kMaxEventsPerBroadcast in bench/macro_topology.cpp.
+# Matches kMaxEventsPerBroadcast / kMaxInsertsPerBroadcast in
+# bench/macro_topology.cpp.
 max_epb=4
 if ! awk -v epb="$epb" -v max="$max_epb" 'BEGIN { exit !(epb <= max) }'; then
   fail "flood cell regressed: $epb events/broadcast with $receivers receivers (limit: $max_epb)"
 fi
+max_ipb=1.5
+if ! awk -v ipb="$ipb" -v max="$max_ipb" 'BEGIN { exit !(ipb <= max) }'; then
+  fail "flood cell regressed to per-frame transmit inserts: $ipb inserts/broadcast (limit: $max_ipb, chain model: 2.0)"
+fi
 
-echo "check_bench_smoke: OK (batch_insert cell present; flood profile at $epb events/broadcast for $receivers receivers)"
+egress_line=$(grep '"egress_profile"' "$topo_json") \
+  || fail "$topo_json has no egress_profile cell"
+ports=$(field "$egress_line" ports)
+ipf=$(field "$egress_line" inserts_per_flood)
+[ -n "$ports" ] && [ -n "$ipf" ] \
+  || fail "could not parse egress_profile from: $egress_line"
+# Matches kMaxInsertsPerFlood in bench/macro_topology.cpp: constant, and
+# strictly below the per-port model (ports - 1) a regression would cost.
+max_ipf=2
+if ! awk -v ipf="$ipf" -v max="$max_ipf" -v ports="$ports" \
+     'BEGIN { exit !(ipf <= max && max < ports - 1) }'; then
+  fail "egress flood hop regressed: $ipf inserts/flood on $ports ports (limit: $max_ipf)"
+fi
+
+write_line=$(grep '"ttcp_write_profile"' "$topo_json") \
+  || fail "$topo_json has no ttcp_write_profile cell"
+frags=$(field "$write_line" fragments)
+ipw=$(field "$write_line" inserts_per_write)
+[ -n "$frags" ] && [ -n "$ipw" ] \
+  || fail "could not parse ttcp_write_profile from: $write_line"
+# Matches kMaxInsertsPerWrite: constant, strictly below the per-fragment
+# model a regression would cost.
+max_ipw=2
+if ! awk -v ipw="$ipw" -v max="$max_ipw" -v frags="$frags" \
+     'BEGIN { exit !(ipw <= max && max < frags) }'; then
+  fail "ttcp write hop regressed: $ipw inserts/write over $frags fragments (limit: $max_ipw)"
+fi
+
+grep -q '"mac_lookup"' "$topo_json" \
+  || fail "$topo_json has no mac_lookup cell"
+
+echo "check_bench_smoke: OK (batch_insert + timed_run cells present;" \
+  "flood profile at $epb events and $ipb inserts/broadcast for $receivers receivers;" \
+  "egress hop at $ipf inserts/flood on $ports ports;" \
+  "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present)"

@@ -53,6 +53,13 @@ bool OutputPort::send(const ether::WireFrame& frame) {
   return table_->entry(id_).nic->transmit(frame);
 }
 
+std::optional<netsim::Scheduler::TimedEntry> OutputPort::prepare(
+    const ether::WireFrame& frame) {
+  return table_->entry(id_).nic->try_prepare(frame);
+}
+
+netsim::Scheduler& OutputPort::scheduler() const { return *table_->scheduler_; }
+
 // --------------------------------------------------------------- PortTable
 
 PortId PortTable::add_interface(netsim::Nic& nic) {

@@ -96,6 +96,16 @@ class OutputPort {
   /// it. Frame-typed callers convert implicitly, encoding once.
   bool send(const ether::WireFrame& frame);
 
+  /// Claims the interface's idle transmitter for `frame` (see
+  /// Nic::try_prepare): the returned completion event MUST be scheduled by
+  /// the caller -- the bridge's egress TxBatch merges every port's claim
+  /// into one timed run. nullopt (busy / queued / detached, no side
+  /// effects): fall back to send().
+  std::optional<netsim::Scheduler::TimedEntry> prepare(const ether::WireFrame& frame);
+
+  /// The scheduler a claimed completion event must be issued on.
+  [[nodiscard]] netsim::Scheduler& scheduler() const;
+
  private:
   friend class PortTable;
   OutputPort(PortTable& table, PortId id) : table_(&table), id_(id) {}

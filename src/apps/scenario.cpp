@@ -302,6 +302,11 @@ double SweepResult::total_goodput_mbps() const {
   return total;
 }
 
+double SweepResult::insert_reduction() const {
+  if (heap_inserts == 0) return 0.0;
+  return static_cast<double>(scheduled_entries) / static_cast<double>(heap_inserts);
+}
+
 bool SweepResult::rollout_ok() const {
   if (rollout.empty()) return false;
   for (const RolloutStepResult& step : rollout) {
@@ -357,12 +362,58 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   };
   std::vector<Stream> live;
 
-  // Pair sender s with the host half the population away: with lan-major
-  // host ordering that lands sink and sender on different LANs whenever
-  // the topology has more than one populated segment.
+  // Hub-targeted placement: sinks live on the busiest segment (most
+  // attached stations -- a scale-free shape's hub), senders everywhere
+  // else, so every stream crosses the hub's links.
+  std::vector<std::size_t> hub_hosts;
+  std::vector<std::size_t> spoke_hosts;
+  if (options_.placement == Placement::kHubTargeted) {
+    int hub_lan = 0;
+    for (std::size_t l = 1; l < ctx.topo.shape.lans.size(); ++l) {
+      if (ctx.topo.shape.lans[l]->attached().size() >
+          ctx.topo.shape.lans[static_cast<std::size_t>(hub_lan)]->attached().size()) {
+        hub_lan = static_cast<int>(l);
+      }
+    }
+    for (std::size_t h = 0; h < host_count; ++h) {
+      if (ctx.topo.shape.hosts[h].lan == hub_lan) {
+        hub_hosts.push_back(h);
+      } else {
+        spoke_hosts.push_back(h);
+      }
+    }
+    // A single populated LAN degenerates to everything on the hub; fall
+    // back to splitting it so sender != sink below.
+    if (hub_hosts.empty() || spoke_hosts.empty()) {
+      hub_hosts.clear();
+      spoke_hosts.clear();
+    }
+  }
+
   for (int s = 0; s < options_.streams; ++s) {
-    const std::size_t src = static_cast<std::size_t>(s) % host_count;
-    const std::size_t dst = (src + host_count / 2) % host_count;
+    // Default (kPaired): sender s with the host half the population away;
+    // with lan-major host ordering that lands sink and sender on
+    // different LANs whenever more than one segment is populated.
+    std::size_t src = static_cast<std::size_t>(s) % host_count;
+    std::size_t dst = (src + host_count / 2) % host_count;
+    switch (options_.placement) {
+      case Placement::kPaired:
+        break;
+      case Placement::kHubTargeted:
+        if (!hub_hosts.empty()) {
+          src = spoke_hosts[static_cast<std::size_t>(s) % spoke_hosts.size()];
+          dst = hub_hosts[static_cast<std::size_t>(s) % hub_hosts.size()];
+        }
+        break;
+      case Placement::kAllPairs: {
+        // Distinct pairs: the sink stride grows once per full sender lap,
+        // cycling through 1..H-1 (stride H would collapse onto dst==src).
+        const std::size_t lap = static_cast<std::size_t>(s) / host_count;
+        dst = (src + 1 + lap % (host_count - 1)) % host_count;
+        break;
+      }
+    }
+    if (dst == src) dst = (dst + 1) % host_count;
     stack::HostStack& sender_host = *ctx.topo.hosts[src];
     stack::HostStack& sink_host = *ctx.topo.hosts[dst];
 
@@ -604,6 +655,8 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
     r.frames_lost += lan->stats().frames_lost;
   }
   r.events = net.scheduler().executed();
+  r.heap_inserts = net.scheduler().inserts();
+  r.scheduled_entries = net.scheduler().scheduled();
   r.virtual_seconds = netsim::to_seconds(net.now().time_since_epoch());
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
@@ -684,13 +737,18 @@ std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
         "\"hosts\": %d, \"stp_converged\": %s, \"blocked_ports\": %d, "
         "\"forwarding_ports\": %d, \"frames_carried\": %llu, \"mac_entries\": %zu, "
         "\"pings_sent\": %d, \"pings_answered\": %d, \"events\": %llu, "
+        "\"heap_inserts\": %llu, \"scheduled_entries\": %llu, "
+        "\"insert_reduction\": %.2f, "
         "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f",
         c.label.c_str(), std::string(to_string(c.spec.shape)).c_str(),
         c.workload.c_str(), c.bridges,
         c.lans, c.hosts, c.stp_converged ? "true" : "false", c.blocked_ports,
         c.forwarding_ports, static_cast<unsigned long long>(c.frames_carried),
         c.mac_entries, c.pings_sent, c.pings_answered,
-        static_cast<unsigned long long>(c.events), c.virtual_seconds, c.wall_seconds,
+        static_cast<unsigned long long>(c.events),
+        static_cast<unsigned long long>(c.heap_inserts),
+        static_cast<unsigned long long>(c.scheduled_entries), c.insert_reduction(),
+        c.virtual_seconds, c.wall_seconds,
         c.events_per_sec);
     if (!c.streams.empty()) {
       out += util::format(",\n   \"goodput_mbps_total\": %.2f, \"streams\": [",

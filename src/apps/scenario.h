@@ -177,12 +177,20 @@ struct SweepResult {
 
   // cost
   std::uint64_t events = 0;      ///< scheduler events executed for the cell
+  /// Scheduler heap inserts the cell performed, against what the same
+  /// event program costs when every entry is its own insert
+  /// (scheduled_entries): their ratio is the transmit-path batching win.
+  std::uint64_t heap_inserts = 0;
+  std::uint64_t scheduled_entries = 0;
   double virtual_seconds = 0.0;  ///< simulated time elapsed
   double wall_seconds = 0.0;     ///< real time the cell took
   double events_per_sec = 0.0;   ///< events / wall_seconds
 
   /// Sum of per-stream goodputs (0 when no streams ran).
   [[nodiscard]] double total_goodput_mbps() const;
+  /// scheduled_entries / heap_inserts -- how many entries the average
+  /// insert carried (1.0 with nothing batched; 0 when nothing ran).
+  [[nodiscard]] double insert_reduction() const;
   /// True when every rollout step loaded OK (false when none ran).
   [[nodiscard]] bool rollout_ok() const;
 };
@@ -249,12 +257,31 @@ class FloodPingWorkload final : public Workload {
 /// SweepResult::streams.
 class TtcpStreamWorkload final : public Workload {
  public:
+  /// Where each stream's sender and sink land (the ROADMAP "stream
+  /// placement strategies" knob).
+  enum class Placement {
+    /// Pair host s with the host half the population away: with lan-major
+    /// host ordering that crosses LANs whenever more than one segment is
+    /// populated. The original default.
+    kPaired,
+    /// Every sink sits on the busiest segment (the one with the most
+    /// attached stations -- a scale-free shape's hub), senders drawn from
+    /// the other LANs: all streams converge on the hub's links, the
+    /// bottleneck DEC-TR-592's skewed destination locality predicts.
+    kHubTargeted,
+    /// Round-robin over distinct (sender, sink) pairs: sender s % H with
+    /// sink advanced by a growing stride, so successive streams cover
+    /// different pairs instead of re-running one pairing.
+    kAllPairs,
+  };
+
   struct Options {
     int streams = 4;                       ///< concurrent sender/sink pairs
     std::size_t bytes_per_stream = 256 * 1024;
     std::size_t write_size = 8192;         ///< the paper's 8 KB writes
     /// Successive streams start this far apart (ARP staggering).
     netsim::Duration stagger = netsim::milliseconds(10);
+    Placement placement = Placement::kPaired;
   };
 
   TtcpStreamWorkload() = default;

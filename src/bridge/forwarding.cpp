@@ -76,14 +76,24 @@ PortGate ForwardingPlane::gate(active::PortId id) const {
 std::size_t ForwardingPlane::flood(const ether::WireFrame& frame,
                                    active::PortId except) {
   std::size_t sent = 0;
+  netsim::Scheduler* scheduler = nullptr;
   for (const Port& p : ports_) {
     if (p.id == except || p.gate != PortGate::kForwarding) continue;
-    if (p.out->send(frame)) {
+    // Claim the idle egress transmitter into the batch; ports already
+    // serializing (or with a backlog) take the frame through their FIFO
+    // queue as before.
+    if (auto claimed = p.out->prepare(frame)) {
+      tx_batch_.add(std::move(*claimed));
+      scheduler = &p.out->scheduler();
+      ++sent;
+      stats_.tx_frames += 1;
+    } else if (p.out->send(frame)) {
       ++sent;
       stats_.tx_frames += 1;
     }
   }
-  if (sent > 0) stats_.flooded += 1;
+  stats_.flooded += sent;  // per egress frame: tx_frames == flooded + directed
+  if (!tx_batch_.empty()) tx_batch_.flush(*scheduler);
   return sent;
 }
 

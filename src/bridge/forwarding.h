@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/active/packet.h"
 #include "src/active/ports.h"
+#include "src/util/inline_function.h"
 
 namespace ab::bridge {
 
@@ -30,10 +30,18 @@ enum class PortGate : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(PortGate gate);
 
-/// Forwarding statistics across the plane.
+/// Forwarding statistics across the plane. flooded and directed both count
+/// per EGRESS FRAME (an N-port flood adds N to flooded, a learned-port
+/// send adds 1 to directed), so the invariant
+///
+///   tx_frames == flooded + directed
+///
+/// holds across any mix of paths. (Before the TxBatch egress path landed,
+/// flooded counted whole flood operations while tx_frames counted per
+/// port, so the two could not be reconciled.)
 struct PlaneStats {
   std::uint64_t received = 0;
-  std::uint64_t flooded = 0;           ///< frames sent by flooding
+  std::uint64_t flooded = 0;           ///< egress frames sent by flooding
   std::uint64_t directed = 0;          ///< frames sent to a learned port
   std::uint64_t dropped_ingress = 0;   ///< ingress gate not forwarding
   std::uint64_t dropped_local = 0;     ///< destination was behind the ingress port
@@ -45,7 +53,12 @@ struct PlaneStats {
 /// list when it binds the interfaces.
 class ForwardingPlane {
  public:
-  using SwitchFunction = std::function<void(const active::Packet&)>;
+  /// The replaceable switch-function slot. An InlineFunction rather than a
+  /// std::function: handle() sits on every received frame's path, and the
+  /// switchlets' closures (a this-pointer, a captured previous function)
+  /// stay in the 48-byte inline buffer -- no allocation installing one, no
+  /// double indirection calling it.
+  using SwitchFunction = util::InlineFunction<void(const active::Packet&), 48>;
 
   /// One bridged interface (both directions bound).
   struct Port {
@@ -96,8 +109,11 @@ class ForwardingPlane {
 
   /// Sends a shared wire buffer out every Forwarding port except `except`
   /// (flooding). The buffer is encoded at most once -- a forwarded frame is
-  /// fanned out by refcount, one queue entry per port, zero copies.
-  /// Returns the number of ports it was sent to.
+  /// fanned out by refcount, one queue entry per port, zero copies -- and
+  /// the idle egress transmitters are claimed into the per-bridge TxBatch
+  /// and scheduled as ONE timed run: an N-port flood costs one scheduler
+  /// insert, not N (a busy port falls back to its FIFO queue). Returns the
+  /// number of ports it was sent to.
   std::size_t flood(const ether::WireFrame& frame, active::PortId except);
 
   /// Sends a shared wire buffer out one port if its gate is Forwarding.
@@ -113,6 +129,8 @@ class ForwardingPlane {
   std::vector<Port> ports_;
   SwitchFunction switch_fn_;
   PlaneStats stats_;
+  /// Egress claims of the flood in progress (capacity reused per flood).
+  netsim::TxBatch tx_batch_;
   bool fast_aging_ = false;
 };
 

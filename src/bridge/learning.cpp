@@ -1,34 +1,134 @@
 #include "src/bridge/learning.h"
 
 #include <algorithm>
+#include <array>
 
 namespace ab::bridge {
+
+void MacTable::grow(std::size_t for_size) {
+  // Size for a load factor under 1/2 at `for_size` live entries, so probe
+  // runs stay short; rebuilding drops every tombstone.
+  std::size_t capacity = 16;
+  while (capacity < for_size * 2) capacity *= 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  used_ = size_;
+  cached_key_ = kEmptyKey;
+  for (Slot& s : old) {
+    if (s.key == kEmptyKey || s.key == kTombstoneKey) continue;
+    std::size_t i = slot_index(s.key);
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = s;
+  }
+}
 
 void MacTable::learn(ether::MacAddress src, active::PortId port,
                      netsim::TimePoint now) {
   if (src.is_group() || src.is_zero()) return;  // footnote 3
-  entries_[src] = Entry{port, now};
+  // Keep live + tombstone occupancy under 3/4 so the probe below always
+  // terminates at an empty slot and stays short.
+  if (slots_.empty() || (used_ + 1) * 4 > slots_.size() * 3) grow(size_ + 1);
+
+  // learn() never touches the last-destination cache: the forwarding path
+  // learns the SOURCE immediately before looking up the DESTINATION, so
+  // writing the cache here would evict the hot destination on every
+  // frame. Not touching it is safe: a refresh updates its slot in place,
+  // and an insert lands only on an empty or tombstone slot -- never on
+  // the live slot a valid cache entry points at.
+  const std::uint64_t key = src.value();
+  std::size_t i = slot_index(key);
+  std::size_t insert_at = slots_.size();  // first tombstone on the probe path
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.key == key) {  // refresh in place
+      s.port = port;
+      s.learned = now;
+      return;
+    }
+    if (s.key == kEmptyKey) break;
+    if (s.key == kTombstoneKey && insert_at == slots_.size()) insert_at = i;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  if (insert_at == slots_.size()) {
+    insert_at = i;
+    used_ += 1;  // consuming a fresh slot, not recycling a tombstone
+  }
+  slots_[insert_at] = Slot{key, port, now};
+  size_ += 1;
 }
 
 std::optional<active::PortId> MacTable::lookup(ether::MacAddress dst,
                                                netsim::TimePoint now) const {
-  const auto it = entries_.find(dst);
-  if (it == entries_.end()) return std::nullopt;
-  if (now - it->second.learned > horizon()) return std::nullopt;  // stale
-  return it->second.port;
+  if (size_ == 0) return std::nullopt;
+  const std::uint64_t key = dst.value();
+  // The zero address doubles as the empty-slot sentinel (learn() rejects
+  // it, so no live entry can carry it); without this guard the probe
+  // would "find" the first empty slot and return its default port.
+  if (key == kEmptyKey) return std::nullopt;
+  // Last-destination fast path: re-validate the cached slot (learn and
+  // expire move or retire slots, and they reset the cache; a matching key
+  // in the cached slot is always the live entry).
+  if (key == cached_key_ && slots_[cached_slot_].key == key) {
+    const Slot& s = slots_[cached_slot_];
+    if (now - s.learned > horizon()) return std::nullopt;  // stale
+    return s.port;
+  }
+  std::size_t i = slot_index(key);
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.key == key) {
+      cached_key_ = key;
+      cached_slot_ = i;
+      if (now - s.learned > horizon()) return std::nullopt;  // stale
+      return s.port;
+    }
+    if (s.key == kEmptyKey) return std::nullopt;
+    i = (i + 1) & (slots_.size() - 1);
+  }
 }
 
 std::size_t MacTable::expire(netsim::TimePoint now) {
   std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.learned > horizon()) {
-      it = entries_.erase(it);
+  for (Slot& s : slots_) {
+    if (s.key == kEmptyKey || s.key == kTombstoneKey) continue;
+    if (now - s.learned > horizon()) {
+      s = Slot{};
+      s.key = kTombstoneKey;  // keeps probe chains over this slot intact
       ++removed;
-    } else {
-      ++it;
     }
   }
+  size_ -= removed;
+  // A sweep that removed nothing moved no slot: keep the hot cache (the
+  // common steady state -- the periodic sweep must not defeat it).
+  if (removed > 0) cached_key_ = kEmptyKey;
+  if (size_ == 0 && used_ != 0) {
+    // Nothing live: every slot is empty or tombstone, so probe chains are
+    // moot -- reset to a clean array instead of carrying the tombstones.
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    used_ = 0;
+  }
   return removed;
+}
+
+void MacTable::clear() {
+  slots_.clear();
+  size_ = 0;
+  used_ = 0;
+  cached_key_ = kEmptyKey;
+}
+
+std::vector<MacTable::Entry> MacTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (const Slot& s : slots_) {
+    if (s.key == kEmptyKey || s.key == kTombstoneKey) continue;
+    std::array<std::uint8_t, ether::MacAddress::kSize> octets{};
+    for (std::size_t b = 0; b < octets.size(); ++b) {
+      octets[b] = static_cast<std::uint8_t>(s.key >> (8 * (octets.size() - 1 - b)));
+    }
+    out.push_back(Entry{ether::MacAddress(octets), s.port, s.learned});
+  }
+  return out;
 }
 
 LearningBridgeSwitchlet::LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,

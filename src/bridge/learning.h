@@ -14,9 +14,10 @@
 // group destinations always flood.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "src/active/switchlet.h"
 #include "src/bridge/forwarding.h"
@@ -27,9 +28,20 @@ namespace ab::bridge {
 /// The host-location table: MAC -> (port, last-seen time), with aging. The
 /// 802.1D default aging time is 300 s; a topology change shortens it to the
 /// forward delay ("fast aging").
+///
+/// Storage is a single open-addressing hash table -- linear probing over a
+/// power-of-two slot array keyed on the raw 48-bit address -- so the
+/// per-frame destination lookup on the forwarding fast path touches one
+/// contiguous array with no bucket chains and no per-entry allocation.
+/// Expired entries leave tombstones that are recycled by the next learn of
+/// a colliding address and swept out whenever the table grows. On top sits
+/// a one-entry last-destination cache: Jain's DEC-TR-592 measured bridge
+/// traffic heavily skewed toward a small destination working set, so the
+/// common back-to-back lookup of one address skips the probe entirely.
 class MacTable {
  public:
   struct Entry {
+    ether::MacAddress mac;
     active::PortId port = active::kNoPort;
     netsim::TimePoint learned{};
   };
@@ -53,20 +65,54 @@ class MacTable {
   /// Drops entries older than the active horizon; returns how many.
   std::size_t expire(netsim::TimePoint now);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void clear();
 
-  [[nodiscard]] const std::unordered_map<ether::MacAddress, Entry>& entries() const {
-    return entries_;
-  }
+  /// Live entries in table order (a rebuilt snapshot: diagnostics/tests).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// Current slot-array size (tests assert growth/load-factor behavior).
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
  private:
+  /// Slot keys are the 48-bit address value; the two sentinels live
+  /// outside that range (kEmpty doubles as the zero address, which learn()
+  /// rejects, so it can never collide with a live key).
+  static constexpr std::uint64_t kEmptyKey = 0;
+  static constexpr std::uint64_t kTombstoneKey = std::uint64_t{1} << 48;
+
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    active::PortId port = active::kNoPort;
+    netsim::TimePoint learned{};
+  };
+
   [[nodiscard]] netsim::Duration horizon() const { return fast_ ? fast_aging_ : aging_; }
+
+  /// Fibonacci hash of a 48-bit key into the current power-of-two table.
+  [[nodiscard]] std::size_t slot_index(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           (slots_.size() - 1);
+  }
+
+  /// Rebuilds the slot array (live entries only, tombstones dropped) at a
+  /// capacity sized for `for_size` live entries.
+  void grow(std::size_t for_size);
 
   netsim::Duration aging_;
   netsim::Duration fast_aging_;
   bool fast_ = false;
-  std::unordered_map<ether::MacAddress, Entry> entries_;
+  std::vector<Slot> slots_;   ///< power-of-two; empty until the first learn
+  std::size_t size_ = 0;      ///< live entries
+  std::size_t used_ = 0;      ///< live entries + tombstones
+  /// Last-destination cache: the slot the previous successful lookup
+  /// landed on. Written ONLY by lookup() -- the datapath learns the source
+  /// right before looking up the destination, so a learn() that wrote the
+  /// cache would evict the hot destination every frame. Reset by anything
+  /// that moves or retires slots (grow/expire/clear); learn() never does
+  /// either to a live cached slot.
+  mutable std::uint64_t cached_key_ = kEmptyKey;
+  mutable std::size_t cached_slot_ = 0;
 };
 
 /// Per-switchlet counters.

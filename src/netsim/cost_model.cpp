@@ -58,7 +58,7 @@ CostModel CostModel::linux_host() {
   return CostModel{kHostPerFrame, kHostPerByte, Duration::zero(), 0};
 }
 
-void ProcessingElement::submit(std::size_t len, Scheduler::Callback done) {
+Duration ProcessingElement::next_service(std::size_t len) {
   Duration service = model_.cost(len);
   ++frames_since_gc_;
   if (model_.gc_every_frames != 0 && frames_since_gc_ >= model_.gc_every_frames) {
@@ -66,11 +66,39 @@ void ProcessingElement::submit(std::size_t len, Scheduler::Callback done) {
     service += model_.gc_pause;
     ++gc_pauses_;
   }
+  return service;
+}
+
+void ProcessingElement::submit(std::size_t len, Scheduler::Callback done) {
+  const Duration service = next_service(len);
   const TimePoint start = std::max(scheduler_->now(), busy_until_);
   busy_until_ = start + service;
   busy_time_ += service;
   ++processed_;
   scheduler_->schedule_at(busy_until_, std::move(done));
+}
+
+void ProcessingElement::submit_burst(std::span<Work> work) {
+  if (work.empty()) return;
+  if (work.size() == 1) {
+    submit(work.front().len, std::move(work.front().done));
+    return;
+  }
+  burst_scratch_.clear();
+  burst_scratch_.reserve(work.size());
+  for (Work& w : work) {
+    const Duration service = next_service(w.len);
+    const TimePoint start = std::max(scheduler_->now(), busy_until_);
+    busy_until_ = start + service;
+    busy_time_ += service;
+    ++processed_;
+    Scheduler::TimedEntry entry;
+    entry.when = busy_until_;
+    entry.fn = std::move(w.done);
+    burst_scratch_.push_back(std::move(entry));
+  }
+  scheduler_->schedule_run_at(burst_scratch_);
+  burst_scratch_.clear();
 }
 
 }  // namespace ab::netsim

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "src/netsim/scheduler.h"
 #include "src/netsim/time.h"
@@ -81,6 +83,19 @@ class ProcessingElement {
   /// Charges the cost of one `len`-byte frame, then runs `done`.
   void submit(std::size_t len, Scheduler::Callback done);
 
+  /// One frame of a submit_burst: its length plus the continuation.
+  struct Work {
+    std::size_t len = 0;
+    Scheduler::Callback done;
+  };
+
+  /// Charges every frame of `work` (moved from) in FIFO order, running
+  /// each continuation at its completion time -- the same cumulative
+  /// busy_until chain (GC pauses included) that k submit() calls produce,
+  /// but scheduled as ONE monotone timed run: a fragment train costs one
+  /// scheduler insert where k submit() calls cost k.
+  void submit_burst(std::span<Work> work);
+
   void set_model(CostModel model) { model_ = model; }
   [[nodiscard]] const CostModel& model() const { return model_; }
 
@@ -92,8 +107,12 @@ class ProcessingElement {
   [[nodiscard]] Duration busy_time() const { return busy_time_; }
 
  private:
+  /// Service time for the next frame, advancing the GC phase.
+  [[nodiscard]] Duration next_service(std::size_t len);
+
   Scheduler* scheduler_;
   CostModel model_;
+  std::vector<Scheduler::TimedEntry> burst_scratch_;  ///< capacity reused
   TimePoint busy_until_{};
   std::uint32_t frames_since_gc_ = 0;
   std::uint64_t processed_ = 0;

@@ -27,7 +27,7 @@ void Nic::detach() {
 }
 
 bool Nic::transmit(ether::WireFrame frame) {
-  if (segment_ == nullptr || tx_queue_.size() >= tx_queue_limit_) {
+  if (segment_ == nullptr || tx_queue_.size() + run_backlog_ >= tx_queue_limit_) {
     stats_.tx_dropped += 1;
     return false;
   }
@@ -40,22 +40,104 @@ bool Nic::transmit(ether::WireFrame frame) {
   return true;
 }
 
+std::size_t Nic::transmit_burst(std::span<ether::WireFrame> frames) {
+  std::size_t admitted = 0;
+  for (ether::WireFrame& frame : frames) {
+    if (segment_ == nullptr || tx_queue_.size() + run_backlog_ >= tx_queue_limit_) {
+      stats_.tx_dropped += 1;
+      continue;
+    }
+    (void)frame.wire();  // encode at the call site, as transmit() does
+    tx_queue_.push_back(std::move(frame));
+    ++admitted;
+  }
+  if (admitted > 0 && !transmitting_) start_transmitter();
+  return admitted;
+}
+
+std::optional<Scheduler::TimedEntry> Nic::try_prepare(ether::WireFrame frame) {
+  if (segment_ == nullptr || transmitting_ || !tx_queue_.empty()) return std::nullopt;
+  (void)frame.wire();
+  transmitting_ = true;
+  const std::size_t wire_bytes = frame.wire_size();
+  stats_.tx_frames += 1;
+  stats_.tx_bytes += wire_bytes;
+  LanSegment* const paced_for = segment_;
+  Scheduler::TimedEntry entry;
+  entry.when = scheduler_->now() + segment_->serialization_delay(wire_bytes);
+  entry.fn = [this, paced_for, frame = std::move(frame)] {
+    if (segment_ == paced_for) segment_->broadcast(frame, this);
+    start_transmitter();
+  };
+  return entry;
+}
+
 void Nic::start_transmitter() {
   if (tx_queue_.empty() || segment_ == nullptr) {
     transmitting_ = false;
     return;
   }
   transmitting_ = true;
-  ether::WireFrame frame = std::move(tx_queue_.front());
-  tx_queue_.pop_front();
-  const std::size_t wire_bytes = frame.wire_size();
-  const Duration ser = segment_->serialization_delay(wire_bytes);
-  stats_.tx_frames += 1;
-  stats_.tx_bytes += wire_bytes;
-  scheduler_->schedule_after(ser, [this, frame = std::move(frame)] {
-    if (segment_ != nullptr) segment_->broadcast(frame, this);
-    start_transmitter();
-  });
+  if (tx_queue_.size() == 1) {
+    // Single frame: the per-frame completion event, as the self-rearming
+    // chain always scheduled it -- with the same paced-for guard as the
+    // burst path, so detach/reattach semantics do not depend on backlog
+    // depth.
+    ether::WireFrame frame = std::move(tx_queue_.front());
+    tx_queue_.pop_front();
+    const std::size_t wire_bytes = frame.wire_size();
+    const Duration ser = segment_->serialization_delay(wire_bytes);
+    stats_.tx_frames += 1;
+    stats_.tx_bytes += wire_bytes;
+    LanSegment* const paced_for = segment_;
+    scheduler_->schedule_after(ser, [this, paced_for, frame = std::move(frame)] {
+      if (segment_ == paced_for) segment_->broadcast(frame, this);
+      start_transmitter();
+    });
+    return;
+  }
+  // Backlog: drain the whole queue as ONE monotone timed run. Completion
+  // times are the same back-to-back serialization chain the per-frame
+  // transmitter produced; only the scheduler inserts collapse to one. The
+  // frames beyond the first move from the queue into the run, so they
+  // keep counting against tx_queue_limit_ through run_backlog_ (each
+  // non-final entry decrements it as its frame starts serializing). The
+  // last entry restarts the transmitter so frames queued mid-run (or a
+  // reattached segment's traffic) drain as the next burst.
+  // Entries broadcast only onto the segment the burst was PACED for
+  // (captured here): a NIC detached -- or detached and reattached
+  // elsewhere -- mid-burst skips the remaining broadcasts rather than
+  // deliver them at another segment's wrong serialization times.
+  drain_scratch_.clear();
+  drain_scratch_.reserve(tx_queue_.size());
+  run_backlog_ = tx_queue_.size() - 1;
+  LanSegment* const paced_for = segment_;
+  TimePoint completes = scheduler_->now();
+  while (!tx_queue_.empty()) {
+    ether::WireFrame frame = std::move(tx_queue_.front());
+    tx_queue_.pop_front();
+    const std::size_t wire_bytes = frame.wire_size();
+    completes += segment_->serialization_delay(wire_bytes);
+    stats_.tx_frames += 1;
+    stats_.tx_bytes += wire_bytes;
+    Scheduler::TimedEntry entry;
+    entry.when = completes;
+    if (tx_queue_.empty()) {
+      entry.fn = [this, paced_for, frame = std::move(frame)] {
+        run_backlog_ = 0;
+        if (segment_ == paced_for) segment_->broadcast(frame, this);
+        start_transmitter();
+      };
+    } else {
+      entry.fn = [this, paced_for, frame = std::move(frame)] {
+        if (run_backlog_ > 0) run_backlog_ -= 1;
+        if (segment_ == paced_for) segment_->broadcast(frame, this);
+      };
+    }
+    drain_scratch_.push_back(std::move(entry));
+  }
+  scheduler_->schedule_run_at(drain_scratch_);
+  drain_scratch_.clear();
 }
 
 void Nic::deliver(const ether::WireFrame& frame) {
@@ -78,6 +160,27 @@ void Nic::deliver(const ether::WireFrame& frame) {
 
 void Nic::deliver_wire(util::ByteView wire) {
   deliver(ether::WireFrame::from_wire(util::ByteBuffer(wire.begin(), wire.end())));
+}
+
+BatchId TxBatch::flush(Scheduler& scheduler) {
+  if (entries_.empty()) return BatchId{};
+  // In-place stable insertion sort by completion time. N is the egress
+  // port count, and a typical flood's entries share one timestamp (idle
+  // ports, same frame), so this is one comparison per entry in the common
+  // case and never allocates (std::stable_sort may).
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (!(entries_[i].when < entries_[i - 1].when)) continue;
+    Scheduler::TimedEntry moved = std::move(entries_[i]);
+    std::size_t j = i;
+    while (j > 0 && moved.when < entries_[j - 1].when) {
+      entries_[j] = std::move(entries_[j - 1]);
+      --j;
+    }
+    entries_[j] = std::move(moved);
+  }
+  const BatchId id = scheduler.schedule_run_at(entries_);
+  entries_.clear();
+  return id;
 }
 
 }  // namespace ab::netsim

@@ -15,13 +15,30 @@
 // (tail-drop, counted). A WireFrame that already carries encoded bytes
 // (a forwarded frame) is queued by reference count -- no re-encode, no
 // re-CRC, no copy.
+//
+// Burst transmit: a backlog (a ttcp write's fragment train, a flood fan-
+// out's share of one port) drains as ONE monotone timed run -- the k
+// serialization completion times are cumulative and known upfront, so the
+// whole burst costs one scheduler insert where the self-rearming per-frame
+// chain cost k. Completion events still fire one per frame at the same
+// times the chain produced; only the insert count changes. Pacing is
+// fixed when a completion is scheduled: EVERY completion (single-frame,
+// try_prepare claim, or burst entry) broadcasts only onto the segment it
+// was paced for -- a NIC detached (or reattached elsewhere) in flight
+// skips the pending broadcasts instead of delivering them at the wrong
+// rate. Frames queued mid-burst drain after the burst's last entry;
+// tx_frames/tx_bytes count at schedule time (admission to the wire), so
+// transmissions cut short by a detach keep their counts.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/ether/frame.h"
 #include "src/netsim/lan.h"
@@ -68,7 +85,11 @@ class Nic {
   void set_promiscuous(bool on) { promiscuous_ = on; }
   [[nodiscard]] bool promiscuous() const { return promiscuous_; }
 
-  /// Bounds the transmit queue (frames). Default 512.
+  /// Bounds the transmit backlog (frames). Default 512. Occupancy counts
+  /// queued frames plus the unfired remainder of a scheduled burst run
+  /// beyond the frame currently serializing -- the same backlog the
+  /// per-frame chain kept in the queue -- so tail-drop behavior under
+  /// sustained overload is unchanged by burst draining.
   void set_tx_queue_limit(std::size_t limit) { tx_queue_limit_ = limit; }
 
   /// Queues a shared wire buffer for transmission, forcing its bytes to be
@@ -84,6 +105,25 @@ class Nic {
   bool transmit(ether::Frame&& frame) {
     return transmit(ether::WireFrame(std::move(frame)));
   }
+
+  /// Queues every frame of `frames` (moved from) for transmission as one
+  /// burst. Admission per frame matches transmit() -- a full queue
+  /// tail-drops (counted), a detached NIC drops everything -- and the
+  /// admitted backlog is scheduled as ONE monotone timed run: a K-frame
+  /// burst costs one scheduler insert where K transmit() calls cost K,
+  /// with identical frame timing. Returns the number of frames admitted.
+  std::size_t transmit_burst(std::span<ether::WireFrame> frames);
+
+  /// Claims the idle transmitter for `frame`: accounts stats, marks the
+  /// NIC busy, and returns the serialization-completion event -- time plus
+  /// the callback that broadcasts the frame and restarts the queue -- for
+  /// the CALLER to schedule (a bridge's TxBatch merges the claims of every
+  /// egress port into one run). The caller MUST schedule the entry, or the
+  /// transmitter stays claimed forever. Returns nullopt with NO side
+  /// effects when the transmitter is busy, frames are queued, or the NIC
+  /// is detached; fall back to transmit(), which preserves FIFO order and
+  /// counts drops.
+  std::optional<Scheduler::TimedEntry> try_prepare(ether::WireFrame frame);
 
   /// Entry point for the segment's delivery events.
   void deliver(const ether::WireFrame& frame);
@@ -106,6 +146,37 @@ class Nic {
   std::size_t tx_queue_limit_ = 512;
   bool transmitting_ = false;
   NicStats stats_;
+  /// Unfired frames of the scheduled burst run beyond the one currently
+  /// serializing. Counts toward the tx_queue_limit_ backlog (the chain
+  /// kept these frames in tx_queue_; the run holds them in the scheduler),
+  /// decremented as each non-final entry fires.
+  std::size_t run_backlog_ = 0;
+  /// Scratch for start_transmitter's burst drain (capacity reused).
+  std::vector<Scheduler::TimedEntry> drain_scratch_;
+};
+
+/// Collects claimed transmissions (Nic::try_prepare) across the NICs of
+/// one node and issues them as ONE monotone timed run: an N-port flood
+/// costs the bridge one scheduler insert instead of one per egress port.
+/// Idle ports serializing the same frame complete at the same timestamp,
+/// so a typical flood's entries coalesce onto one time and the in-place
+/// insertion sort in flush() does no work. The entry vector keeps its
+/// capacity across flushes, so steady-state floods allocate nothing.
+class TxBatch {
+ public:
+  void add(Scheduler::TimedEntry entry) { entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Orders the collected completions by time (stable: claim order breaks
+  /// ties, matching what per-port schedule calls would have produced) and
+  /// schedules them as one run. Clears the batch, keeping capacity.
+  /// Returns the run's handle (null when the batch was empty).
+  BatchId flush(Scheduler& scheduler);
+
+ private:
+  std::vector<Scheduler::TimedEntry> entries_;
 };
 
 }  // namespace ab::netsim

@@ -40,6 +40,8 @@ EventId Scheduler::schedule_at(TimePoint when, Callback fn) {
   heap_.push_back(entry);
   sift_up(pos, entry);
   pending_ += 1;
+  inserts_ += 1;
+  scheduled_ += 1;
   return EventId{(static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot};
 }
 
@@ -70,17 +72,64 @@ BatchId Scheduler::schedule_batch_at(TimePoint when, std::span<Callback> entries
   entry.when = when;
   entry.order = next_order_;
   entry.slot = slot;
+  s.batch->first_order = next_order_;
   next_order_ += entries.size();
   const auto pos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(entry);
   sift_up(pos, entry);
   pending_ += entries.size();
+  inserts_ += 1;
+  scheduled_ += entries.size();
   return BatchId{(static_cast<std::uint64_t>(s.gen) << 32) | slot};
 }
 
 BatchId Scheduler::schedule_batch_after(Duration delay, std::span<Callback> entries) {
   if (delay < Duration::zero()) delay = Duration::zero();
   return schedule_batch_at(now_ + delay, entries);
+}
+
+BatchId Scheduler::schedule_run_at(std::span<TimedEntry> entries) {
+  if (entries.empty()) return BatchId{};  // null handle: cancelling is a no-op
+  // Validate everything before admitting anything, so a bad entry cannot
+  // leave a half-scheduled run behind.
+  TimePoint prev = TimePoint::min();
+  for (const TimedEntry& e : entries) {
+    if (!e.fn) throw std::invalid_argument("Scheduler: null callback in run");
+    if (e.when < prev) {
+      throw std::invalid_argument("Scheduler: run times must be non-decreasing");
+    }
+    prev = e.when;
+  }
+
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.batch = std::make_unique<Batch>();
+  s.batch->entries.reserve(entries.size());
+  s.batch->times.reserve(entries.size());
+  for (TimedEntry& e : entries) {
+    s.batch->entries.push_back(std::move(e.fn));
+    // Clamping to now() preserves monotonicity: a prefix of past times all
+    // clamp to the same now().
+    s.batch->times.push_back(std::max(e.when, now_));
+  }
+
+  // Occupying k consecutive order numbers makes every entry's effective
+  // key (times[i], first_order + i) identical to what k individual
+  // schedule_at calls would have been issued; pop_and_run re-keys the heap
+  // entry to the next pair after each firing.
+  HeapEntry entry;
+  entry.when = s.batch->times.front();
+  entry.order = next_order_;
+  entry.slot = slot;
+  s.batch->first_order = next_order_;
+  next_order_ += entries.size();
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(entry);
+  sift_up(pos, entry);
+  pending_ += entries.size();
+  inserts_ += 1;
+  scheduled_ += entries.size();
+  return BatchId{(static_cast<std::uint64_t>(s.gen) << 32) | slot};
 }
 
 void Scheduler::cancel(EventId id) {
@@ -185,6 +234,15 @@ bool Scheduler::pop_and_run() {
     if (b.remaining() == 0) {
       heap_remove(0);
       free_slot(slot);
+    } else if (!b.times.empty()) {
+      // Timed run: re-key the head to the next entry's (time, order) --
+      // the key an individual schedule_at would have given it -- and
+      // re-seat it. The new key is never earlier than the one just fired,
+      // so a sift-down suffices.
+      HeapEntry head = heap_[0];
+      head.when = b.times[b.next];
+      head.order = b.first_order + b.next;
+      sift_down(0, head);
     }
   } else {
     heap_remove(0);

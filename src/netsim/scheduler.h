@@ -21,7 +21,16 @@
 //     and one BatchId cancel unlinks everything still pending in O(log n).
 //     Observably a run behaves exactly like k individual events: entries
 //     fire one per pop in submission order, each counts against run()
-//     budgets and executed(), and pending() counts every unfired entry.
+//     budgets and executed(), and pending() counts every unfired entry;
+//   * schedule_run_at generalizes a run to a MONOTONE TIMED run: k
+//     (time, callback) pairs with non-decreasing times, still one heap
+//     entry and one sift at insert -- the transmit side's burst pattern (a
+//     NIC draining its queue, a processing element pacing a fragment
+//     train) where the k completion times are known upfront. After each
+//     entry fires, the head entry is re-keyed to the next entry's
+//     (time, order) pair -- exactly the key an individual schedule_at would
+//     have given it -- so interleaving with every other event is
+//     bit-identical to k schedule_at calls at those times.
 //
 // A cancelled, fired, or never-issued EventId is recognized by its
 // generation stamp, so stale cancels are harmless no-ops (timers race with
@@ -89,6 +98,27 @@ class Scheduler {
   /// schedule_batch_at(now() + delay, entries).
   BatchId schedule_batch_after(Duration delay, std::span<Callback> entries);
 
+  /// One entry of a monotone timed run: an absolute firing time plus its
+  /// callback. Produced by the transmit paths (NIC burst drain, TxBatch,
+  /// ProcessingElement::submit_burst) whose completion times are computed
+  /// upfront.
+  struct TimedEntry {
+    TimePoint when{};
+    Callback fn;
+  };
+
+  /// Schedules every (time, callback) pair of `entries` (moved from) as
+  /// one monotone timed run: a single heap entry, a single sift, one slot
+  /// -- where k schedule_at calls would pay k of each. Times must be
+  /// non-decreasing (std::invalid_argument otherwise, before any entry is
+  /// admitted); each is clamped to now(). Entries fire one per pop at
+  /// their own times, in order, with the FIFO key an individual
+  /// schedule_at would have produced -- budgets, step(), run_until and
+  /// events scheduled in between observe exactly k individual events. The
+  /// whole remaining run cancels as a unit via the BatchId. An empty span
+  /// returns the null BatchId; a null callback anywhere throws.
+  BatchId schedule_run_at(std::span<TimedEntry> entries);
+
   /// Cancels a pending event in place. Cancelling an already-fired or
   /// unknown event is a harmless no-op (timers race with the traffic that
   /// restarts them) and leaves no bookkeeping behind.
@@ -118,6 +148,13 @@ class Scheduler {
   /// counts individually (a run is k events, not one).
   [[nodiscard]] std::size_t pending() const { return pending_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Heap insert operations performed: one per schedule_at, one per
+  /// batch/run no matter how many entries it carries. scheduled() vs
+  /// inserts() is the batching ratio the transmit-path benches guard.
+  [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
+  /// Entries admitted in total (a batch/run of k counts k) -- what
+  /// inserts() would be if every entry were its own schedule_at call.
+  [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
 
  private:
   /// Heap arity. Quads trade a slightly deeper compare per sift-down level
@@ -138,12 +175,18 @@ class Scheduler {
     }
   };
 
-  /// A same-time run: the entries of one schedule_batch_at call, fired
-  /// front to back. `next` is the cursor of a partially executed run (the
-  /// run stays at the heap head between its entries -- nothing scheduled
-  /// after it can sort earlier than its first-order key at that timestamp).
+  /// A run: the entries of one schedule_batch_at / schedule_run_at call,
+  /// fired front to back. `next` is the cursor of a partially executed
+  /// run. A same-time run (`times` empty) stays at the heap head between
+  /// its entries -- nothing scheduled after it can sort earlier than its
+  /// first-order key at that timestamp. A timed run carries the per-entry
+  /// firing times; after each pop the heap entry is re-keyed to
+  /// (times[next], first_order + next) and re-seated, which is exactly the
+  /// key entry `next` would have had as an individual schedule_at call.
   struct Batch {
     std::vector<Callback> entries;
+    std::vector<TimePoint> times;  ///< empty: same-time run at the heap key
+    std::uint64_t first_order = 0;
     std::size_t next = 0;
     [[nodiscard]] std::size_t remaining() const { return entries.size() - next; }
   };
@@ -183,6 +226,8 @@ class Scheduler {
   TimePoint now_{};
   std::uint64_t next_order_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t inserts_ = 0;    ///< heap insert ops (a run of k counts 1)
+  std::uint64_t scheduled_ = 0;  ///< entries admitted (a run of k counts k)
   std::size_t pending_ = 0;  ///< unfired events (batch entries counted each)
 };
 

@@ -70,17 +70,21 @@ void HostStack::send_ipv4(IpProto proto, Ipv4Addr dst, util::ByteView payload) {
     return;
   }
 
-  // Fragment on 8-byte boundaries, as RFC 791 requires.
+  // Fragment on 8-byte boundaries, as RFC 791 requires; the whole train
+  // then goes through ARP and the processing element as one burst.
   const std::size_t unit = max_payload_per_frame & ~std::size_t{7};
+  std::vector<util::ByteBuffer> fragments;
+  fragments.reserve((payload.size() + unit - 1) / unit);
   std::size_t offset = 0;
   while (offset < payload.size()) {
     const std::size_t chunk = std::min(unit, payload.size() - offset);
     Ipv4Header fh = h;
     fh.fragment_offset = static_cast<std::uint16_t>(offset / 8);
     fh.more_fragments = (offset + chunk) < payload.size();
-    transmit_ip_packet(dst, fh.encode(payload.subspan(offset, chunk)));
+    fragments.push_back(fh.encode(payload.subspan(offset, chunk)));
     offset += chunk;
   }
+  transmit_ip_burst(dst, std::move(fragments));
 }
 
 void HostStack::transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet) {
@@ -93,6 +97,22 @@ void HostStack::transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet) {
   // Queue behind ARP resolution; start resolving if not already.
   auto [it, inserted] = pending_arp_.try_emplace(dst);
   it->second.queued_ip_packets.push_back(std::move(packet));
+  if (inserted) send_arp_request(dst);
+}
+
+void HostStack::transmit_ip_burst(Ipv4Addr dst, std::vector<util::ByteBuffer> packets) {
+  stats_.fragments_sent += packets.size();
+  // One ARP decision for the whole train (it shares one destination), not
+  // one cache probe per fragment.
+  const auto mac = arp_cache_.lookup(dst, scheduler_->now());
+  if (mac.has_value()) {
+    transmit_frame_burst(*mac, ether::EtherType::kIpv4, std::move(packets));
+    return;
+  }
+  auto [it, inserted] = pending_arp_.try_emplace(dst);
+  for (util::ByteBuffer& packet : packets) {
+    it->second.queued_ip_packets.push_back(std::move(packet));
+  }
   if (inserted) send_arp_request(dst);
 }
 
@@ -120,6 +140,27 @@ void HostStack::transmit_frame(ether::MacAddress dst, ether::EtherType type,
   tx_pe_.submit(len, [this, dst, type, payload = std::move(payload)]() mutable {
     nic_->transmit(ether::Frame::ethernet2(dst, nic_->mac(), type, std::move(payload)));
   });
+}
+
+void HostStack::transmit_frame_burst(ether::MacAddress dst, ether::EtherType type,
+                                     std::vector<util::ByteBuffer> payloads) {
+  if (payloads.empty()) return;
+  if (payloads.size() == 1) {
+    transmit_frame(dst, type, std::move(payloads.front()));
+    return;
+  }
+  std::vector<netsim::ProcessingElement::Work> burst;
+  burst.reserve(payloads.size());
+  for (util::ByteBuffer& payload : payloads) {
+    netsim::ProcessingElement::Work w;
+    w.len = payload.size();
+    w.done = [this, dst, type, payload = std::move(payload)]() mutable {
+      nic_->transmit(
+          ether::Frame::ethernet2(dst, nic_->mac(), type, std::move(payload)));
+    };
+    burst.push_back(std::move(w));
+  }
+  tx_pe_.submit_burst(burst);
 }
 
 // ---------------------------------------------------------- receive path
@@ -153,13 +194,13 @@ void HostStack::handle_arp(util::ByteView payload) {
     // duplicate), so answering is decided separately below.
     if (arp_cache_.insert_unless_fresh(arp.sender_ip, arp.sender_mac, now,
                                        config_.arp_dedupe_window)) {
-      // Flush any traffic parked on this resolution.
+      // Flush any traffic parked on this resolution -- as one burst, so a
+      // write's worth of queued fragments costs one scheduler insert.
       if (auto it = pending_arp_.find(arp.sender_ip); it != pending_arp_.end()) {
         auto queued = std::move(it->second.queued_ip_packets);
         pending_arp_.erase(it);
-        for (auto& pkt : queued) {
-          transmit_frame(arp.sender_mac, ether::EtherType::kIpv4, std::move(pkt));
-        }
+        transmit_frame_burst(arp.sender_mac, ether::EtherType::kIpv4,
+                             std::move(queued));
       }
     } else if (arp.op == ArpOp::kReply) {
       stats_.arp_duplicate_replies += 1;

@@ -136,9 +136,17 @@ class HostStack {
   /// Builds the IP packet(s) for `payload` and routes them through ARP.
   void send_ipv4(IpProto proto, Ipv4Addr dst, util::ByteView payload);
   void transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet);
+  /// The fragment-train path: one ARP lookup for the whole burst, and the
+  /// resolved (or later flushed) frames pace through the processing
+  /// element as ONE timed run -- a K-fragment write costs one scheduler
+  /// insert where K transmit_ip_packet calls cost K.
+  void transmit_ip_burst(Ipv4Addr dst, std::vector<util::ByteBuffer> packets);
   void send_arp_request(Ipv4Addr target);
   void transmit_frame(ether::MacAddress dst, ether::EtherType type,
                       util::ByteBuffer payload);
+  /// Burst form of transmit_frame (same pacing, one scheduler insert).
+  void transmit_frame_burst(ether::MacAddress dst, ether::EtherType type,
+                            std::vector<util::ByteBuffer> payloads);
 
   netsim::Scheduler* scheduler_;
   netsim::Nic* nic_;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace ab::apps {
 namespace {
 
@@ -98,6 +100,76 @@ TEST(TopologySweep, TtcpWorkloadMovesBytesAcrossLans) {
   EXPECT_NE(json.find("\"workload\": \"ttcp-streams\""), std::string::npos);
   EXPECT_NE(json.find("\"streams\": ["), std::string::npos);
   EXPECT_NE(json.find("\"goodput_mbps_total\""), std::string::npos);
+}
+
+TEST(TopologySweep, TtcpHubTargetedPlacementSinksOnTheHubLan) {
+  // On a star, the hub segment (lan0 bridges every node) is the busiest;
+  // hub-targeted placement must sink every stream there, with senders
+  // drawn from the leaf LANs.
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kStar;
+  spec.nodes = 4;
+  spec.hosts_per_lan = 2;
+
+  TtcpStreamWorkload::Options wopts;
+  wopts.streams = 3;
+  wopts.bytes_per_stream = 16 * 1024;
+  wopts.placement = TtcpStreamWorkload::Placement::kHubTargeted;
+  TtcpStreamWorkload ttcp(wopts);
+  TopologySweep sweep;
+  const SweepResult r = sweep.run_cell(spec, ttcp);
+
+  EXPECT_TRUE(r.stp_converged);
+  ASSERT_EQ(r.streams.size(), 3u);
+  // The star's hub is lan0; its hosts are named host0_*.
+  for (const StreamResult& s : r.streams) {
+    const auto arrow = s.label.find(" -> ");
+    ASSERT_NE(arrow, std::string::npos);
+    const std::string sink = s.label.substr(arrow + 4);
+    EXPECT_EQ(sink.rfind("host0_", 0), 0u) << s.label;
+    EXPECT_NE(s.label.rfind("host0_", 0), 0u) << s.label;  // sender off-hub
+    EXPECT_EQ(s.bytes_received, s.bytes_sent) << s.label;
+  }
+}
+
+TEST(TopologySweep, TtcpAllPairsPlacementCoversDistinctPairs) {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kRing;
+  spec.nodes = 3;
+  spec.hosts_per_lan = 1;
+
+  TtcpStreamWorkload::Options wopts;
+  wopts.streams = 6;  // two laps over 3 hosts: strides 1 then 2
+  wopts.bytes_per_stream = 8 * 1024;
+  wopts.placement = TtcpStreamWorkload::Placement::kAllPairs;
+  TtcpStreamWorkload ttcp(wopts);
+  TopologySweep sweep;
+  const SweepResult r = sweep.run_cell(spec, ttcp);
+
+  ASSERT_EQ(r.streams.size(), 6u);
+  std::set<std::string> pairs;
+  for (const StreamResult& s : r.streams) {
+    pairs.insert(s.label);
+    EXPECT_EQ(s.bytes_received, s.bytes_sent) << s.label;
+  }
+  // 3 hosts x 2 strides: all 6 ordered cross pairs, no repeats.
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(TopologySweep, CellRecordsInsertAccounting) {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kLine;
+  spec.nodes = 2;
+  spec.hosts_per_lan = 1;
+  TopologySweep sweep;
+  const SweepResult r = sweep.run_cell(spec);
+  EXPECT_GT(r.heap_inserts, 0u);
+  // Batched transmit paths mean strictly fewer inserts than entries.
+  EXPECT_GE(r.scheduled_entries, r.heap_inserts);
+  EXPECT_GE(r.insert_reduction(), 1.0);
+  const std::string json = TopologySweep::format_json({r});
+  EXPECT_NE(json.find("\"heap_inserts\""), std::string::npos);
+  EXPECT_NE(json.find("\"insert_reduction\""), std::string::npos);
 }
 
 TEST(TopologySweep, RolloutWorkloadDeploysToEveryBridgeInStages) {

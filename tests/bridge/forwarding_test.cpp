@@ -126,5 +126,45 @@ TEST(ForwardingPlane, PortIdsListsAllPorts) {
   EXPECT_EQ(f.plane.port_ids().size(), 3u);
 }
 
+TEST(ForwardingPlane, FloodCountsEveryEgressFrame) {
+  // flooded counts per egress frame, like tx_frames and directed, so the
+  // books reconcile: tx_frames == flooded + directed.
+  Fixture f;
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 2u);
+  EXPECT_EQ(f.plane.stats().flooded, 2u);
+  EXPECT_EQ(f.plane.stats().tx_frames, 2u);
+  f.net.scheduler().run();
+  EXPECT_TRUE(f.plane.send_to(1, f.frame()));
+  EXPECT_EQ(f.plane.flood(f.frame(), 1), 2u);
+  EXPECT_EQ(f.plane.stats().flooded, 4u);
+  EXPECT_EQ(f.plane.stats().directed, 1u);
+  EXPECT_EQ(f.plane.stats().tx_frames,
+            f.plane.stats().flooded + f.plane.stats().directed);
+}
+
+TEST(ForwardingPlane, FloodCostsOneSchedulerInsertOnIdlePorts) {
+  // The tentpole contract: the TxBatch claims every idle egress
+  // transmitter and schedules ONE timed run for the whole fan-out.
+  Fixture f;
+  const std::uint64_t before = f.net.scheduler().inserts();
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 2u);
+  EXPECT_EQ(f.net.scheduler().inserts() - before, 1u);
+  EXPECT_EQ(f.deliveries(), (std::vector<int>{0, 1, 1}));  // nothing lost
+}
+
+TEST(ForwardingPlane, FloodFallsBackToTheQueueOnBusyPorts) {
+  // A port mid-serialization cannot be claimed: its copy queues FIFO
+  // behind the in-flight frame and still goes out.
+  Fixture f;
+  // Make port 1 busy (flood from ingress 2 claims ports 0 and 1).
+  f.plane.flood(f.frame(), 2);
+  // Immediately flood from ingress 0: port 1 is busy (falls back to its
+  // queue), port 2 idle (claimed).
+  EXPECT_EQ(f.plane.flood(f.frame(), 0), 2u);
+  EXPECT_EQ(f.deliveries(), (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(f.plane.stats().tx_frames, 4u);
+  EXPECT_EQ(f.plane.stats().flooded, 4u);
+}
+
 }  // namespace
 }  // namespace ab::bridge

@@ -68,6 +68,111 @@ TEST(MacTable, ExpireSweepsStaleEntries) {
   EXPECT_EQ(table.size(), 1u);
 }
 
+// ---- flat open-addressing storage ----
+
+TEST(MacTableFlatHash, MassInsertLookupAcrossGrowth) {
+  // Thousands of stations force several rehashes and long probe runs; every
+  // address must stay findable with its latest port.
+  MacTable table;
+  const netsim::TimePoint t0{};
+  constexpr int kStations = 3000;
+  for (int i = 0; i < kStations; ++i) {
+    table.learn(ether::MacAddress::local(static_cast<std::uint32_t>(i / 8),
+                                         static_cast<std::uint16_t>(i % 8)),
+                static_cast<active::PortId>(i % 5), t0);
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kStations));
+  // Occupancy is kept at or below 3/4, so probes terminate quickly.
+  EXPECT_GE(table.capacity() * 3, table.size() * 4);
+  for (int i = 0; i < kStations; ++i) {
+    const auto hit =
+        table.lookup(ether::MacAddress::local(static_cast<std::uint32_t>(i / 8),
+                                              static_cast<std::uint16_t>(i % 8)),
+                     t0);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, static_cast<active::PortId>(i % 5));
+  }
+  EXPECT_EQ(table.entries().size(), static_cast<std::size_t>(kStations));
+}
+
+TEST(MacTableFlatHash, ExpiryTombstonesKeepCollidingEntriesReachable) {
+  // Expire entries in the middle of probe chains, then verify every
+  // survivor is still found (the tombstones keep chains intact) and that
+  // re-learning reuses the holes without growing size() wrongly.
+  MacTable table(netsim::seconds(100));
+  const netsim::TimePoint t0{};
+  constexpr int kStations = 512;
+  for (int i = 0; i < kStations; ++i) {
+    table.learn(ether::MacAddress::local(7, static_cast<std::uint16_t>(i)),
+                static_cast<active::PortId>(i % 3), t0 + netsim::seconds(i % 2));
+  }
+  // Entries learned at t0 (even i) age out; odd ones survive.
+  const std::size_t removed = table.expire(t0 + netsim::seconds(101));
+  EXPECT_EQ(removed, static_cast<std::size_t>(kStations / 2));
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kStations / 2));
+  for (int i = 1; i < kStations; i += 2) {
+    EXPECT_TRUE(table
+                    .lookup(ether::MacAddress::local(7, static_cast<std::uint16_t>(i)),
+                            t0 + netsim::seconds(101))
+                    .has_value())
+        << i;
+  }
+  // Re-learn the expired half: size returns to kStations, everything hits.
+  for (int i = 0; i < kStations; i += 2) {
+    table.learn(ether::MacAddress::local(7, static_cast<std::uint16_t>(i)), 9,
+                t0 + netsim::seconds(102));
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kStations));
+  for (int i = 0; i < kStations; i += 2) {
+    EXPECT_EQ(*table.lookup(ether::MacAddress::local(7, static_cast<std::uint16_t>(i)),
+                            t0 + netsim::seconds(102)),
+              9);
+  }
+}
+
+TEST(MacTableFlatHash, LastDestinationCacheSurvivesMutation) {
+  // Back-to-back lookups of one address ride the cache; learn/expire/clear
+  // in between must never serve a stale port or a dead entry.
+  MacTable table(netsim::seconds(100));
+  const netsim::TimePoint t0{};
+  table.learn(kHost1, 1, t0);
+  EXPECT_EQ(*table.lookup(kHost1, t0), 1);
+  EXPECT_EQ(*table.lookup(kHost1, t0), 1);  // cached hit
+  table.learn(kHost1, 2, t0);               // moved ports: cache must follow
+  EXPECT_EQ(*table.lookup(kHost1, t0), 2);
+  table.expire(t0 + netsim::seconds(101));  // entry dies; cache invalidated
+  EXPECT_FALSE(table.lookup(kHost1, t0 + netsim::seconds(101)).has_value());
+  table.learn(kHost2, 5, t0 + netsim::seconds(101));
+  EXPECT_EQ(*table.lookup(kHost2, t0 + netsim::seconds(101)), 5);
+  table.clear();
+  EXPECT_FALSE(table.lookup(kHost2, t0 + netsim::seconds(101)).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(MacTableFlatHash, ZeroAddressNeverMatchesTheEmptySentinel) {
+  // The zero address shares its key with the empty-slot sentinel; a
+  // lookup must not "find" an empty slot and hand back its default port.
+  MacTable table;
+  const netsim::TimePoint t0{};
+  EXPECT_FALSE(table.lookup(ether::MacAddress(), t0).has_value());
+  table.learn(kHost1, 1, t0);
+  EXPECT_FALSE(table.lookup(ether::MacAddress(), t0).has_value());
+}
+
+TEST(MacTableFlatHash, FullyExpiredTableResetsItsTombstones) {
+  MacTable table(netsim::seconds(10));
+  const netsim::TimePoint t0{};
+  for (int i = 0; i < 64; ++i) {
+    table.learn(ether::MacAddress::local(3, static_cast<std::uint16_t>(i)), 1, t0);
+  }
+  EXPECT_EQ(table.expire(t0 + netsim::seconds(11)), 64u);
+  EXPECT_EQ(table.size(), 0u);
+  // A fresh learn after the wipe must behave like a young table.
+  table.learn(kHost1, 4, t0 + netsim::seconds(12));
+  EXPECT_EQ(*table.lookup(kHost1, t0 + netsim::seconds(12)), 4);
+  EXPECT_EQ(table.size(), 1u);
+}
+
 // ---- switchlet behaviour over a real two-LAN topology ----
 
 TEST(LearningBridge, PeriodicSweepDropsStaleEntries) {

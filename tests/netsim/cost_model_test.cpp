@@ -140,5 +140,62 @@ TEST(ProcessingElement, BusyTimeAccumulates) {
   EXPECT_EQ(pe.busy_time(), milliseconds(4));
 }
 
+TEST(ProcessingElement, BurstPacesIdenticallyToIndividualSubmits) {
+  // submit_burst must produce the same completion schedule -- GC pauses
+  // included -- as the equivalent submit() loop, with one scheduler insert.
+  CostModel m;
+  m.per_frame = microseconds(100);
+  m.per_byte = nanoseconds(65);
+  m.gc_pause = milliseconds(5);
+  m.gc_every_frames = 3;
+  const std::vector<std::size_t> lens{1480, 1480, 1480, 1480, 800};
+
+  std::vector<Duration> individual;
+  {
+    Scheduler s;
+    ProcessingElement pe(s, m);
+    for (std::size_t len : lens) {
+      pe.submit(len, [&individual, &s] {
+        individual.push_back(s.now().time_since_epoch());
+      });
+    }
+    s.run();
+  }
+
+  std::vector<Duration> burst_done;
+  Scheduler s;
+  ProcessingElement pe(s, m);
+  std::vector<ProcessingElement::Work> work;
+  for (std::size_t len : lens) {
+    ProcessingElement::Work w;
+    w.len = len;
+    w.done = [&burst_done, &s] { burst_done.push_back(s.now().time_since_epoch()); };
+    work.push_back(std::move(w));
+  }
+  const std::uint64_t before = s.inserts();
+  pe.submit_burst(work);
+  EXPECT_EQ(s.inserts() - before, 1u);
+  s.run();
+
+  EXPECT_EQ(burst_done, individual);
+  EXPECT_EQ(pe.processed(), lens.size());
+  EXPECT_EQ(pe.gc_pauses(), 1u);
+}
+
+TEST(ProcessingElement, SingleEntryBurstFallsBackToSubmit) {
+  Scheduler s;
+  CostModel m;
+  m.per_frame = milliseconds(1);
+  ProcessingElement pe(s, m);
+  TimePoint done{};
+  std::vector<ProcessingElement::Work> work(1);
+  work[0].len = 0;
+  work[0].done = [&] { done = s.now(); };
+  pe.submit_burst(work);
+  s.run();
+  EXPECT_EQ(done.time_since_epoch(), milliseconds(1));
+  EXPECT_EQ(pe.processed(), 1u);
+}
+
 }  // namespace
 }  // namespace ab::netsim

@@ -135,5 +135,250 @@ TEST(Nic, NoHandlerMeansFrameIsDroppedQuietly) {
   EXPECT_EQ(t.b->stats().rx_frames, 1u);
 }
 
+std::vector<ether::WireFrame> burst_of(std::size_t count, ether::MacAddress dst,
+                                       ether::MacAddress src, std::size_t len = 1000) {
+  std::vector<ether::WireFrame> frames;
+  for (std::size_t i = 0; i < count; ++i) {
+    frames.emplace_back(to(dst, src, len));
+  }
+  return frames;
+}
+
+TEST(NicBurst, BurstDeliversBackToBackLikeSequentialTransmits) {
+  // transmit_burst must produce the exact arrival schedule k transmit()
+  // calls do: one serialization time between consecutive frames.
+  TwoNics t;
+  std::vector<TimePoint> arrivals;
+  t.b->set_rx_handler([&](const ether::WireFrame&) { arrivals.push_back(t.net.now()); });
+  const Duration ser = t.lan->serialization_delay(to(t.b->mac(), t.a->mac(), 1000)
+                                                      .wire_size());
+  auto frames = burst_of(4, t.b->mac(), t.a->mac());
+  EXPECT_EQ(t.a->transmit_burst(frames), 4u);
+  t.net.scheduler().run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], ser);
+  }
+  EXPECT_EQ(t.a->stats().tx_frames, 4u);
+}
+
+TEST(NicBurst, BurstCostsOneSchedulerInsert) {
+  TwoNics t;
+  t.b->set_rx_handler([](const ether::WireFrame&) {});
+  auto frames = burst_of(8, t.b->mac(), t.a->mac());
+  const std::uint64_t before = t.net.scheduler().inserts();
+  t.a->transmit_burst(frames);
+  EXPECT_EQ(t.net.scheduler().inserts() - before, 1u);
+  t.net.scheduler().run();
+  EXPECT_EQ(t.b->stats().rx_frames, 8u);
+}
+
+TEST(NicBurst, BurstTailDropsAtTheQueueLimit) {
+  TwoNics t;
+  t.a->set_tx_queue_limit(4);
+  auto frames = burst_of(20, t.b->mac(), t.a->mac());
+  const std::size_t admitted = t.a->transmit_burst(frames);
+  EXPECT_EQ(admitted, 4u);
+  EXPECT_EQ(t.a->stats().tx_dropped, 16u);
+  t.net.scheduler().run();
+  EXPECT_EQ(t.a->stats().tx_frames, admitted);
+}
+
+TEST(NicBurst, InFlightBurstCountsAgainstTheQueueLimit) {
+  // The chain kept the backlog in tx_queue_; the run holds it in the
+  // scheduler. Backpressure must not change: with limit L and a full
+  // burst in flight, at most one more frame (the serializing slot) is
+  // admitted -- L + 1 in the system, exactly as sequential transmit()
+  // against the chain allowed.
+  TwoNics t;
+  t.a->set_tx_queue_limit(4);
+  t.b->set_rx_handler([](const ether::WireFrame&) {});
+  auto frames = burst_of(4, t.b->mac(), t.a->mac());
+  ASSERT_EQ(t.a->transmit_burst(frames), 4u);  // drained as one run
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (t.a->transmit(to(t.b->mac(), t.a->mac(), 1000))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);  // 3 run frames beyond the serializing one + 1 = limit
+  t.net.scheduler().run();
+  EXPECT_EQ(t.b->stats().rx_frames, 5u);
+  // Fully drained: the backlog accounting must return to zero.
+  EXPECT_TRUE(t.a->transmit(to(t.b->mac(), t.a->mac(), 1000)));
+}
+
+TEST(NicBurst, BurstOnDetachedNicDropsEverything) {
+  TwoNics t;
+  t.a->detach();
+  auto frames = burst_of(3, t.b->mac(), t.a->mac());
+  EXPECT_EQ(t.a->transmit_burst(frames), 0u);
+  EXPECT_EQ(t.a->stats().tx_dropped, 3u);
+}
+
+TEST(NicBurst, BurstSplitsAndResumesAcrossStepBudgets) {
+  // A burst is observably k individual completion events: step() fires one
+  // frame at a time, and a run(max) budget that splits the burst leaves
+  // the remaining frames to deliver afterwards, in order, on time.
+  TwoNics t;
+  std::vector<TimePoint> arrivals;
+  t.b->set_rx_handler([&](const ether::WireFrame&) { arrivals.push_back(t.net.now()); });
+  auto frames = burst_of(4, t.b->mac(), t.a->mac());
+  t.a->transmit_burst(frames);
+  // Each frame costs two events: its serialization completion (run entry)
+  // and the segment's delivery walk.
+  EXPECT_EQ(t.net.scheduler().run(3), 3u);  // completion, delivery, completion
+  EXPECT_EQ(arrivals.size(), 1u);
+  t.net.scheduler().run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  const Duration ser = t.lan->serialization_delay(to(t.b->mac(), t.a->mac(), 1000)
+                                                      .wire_size());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], ser);
+  }
+}
+
+TEST(NicBurst, FramesQueuedMidBurstDrainAfterIt) {
+  // A transmit() while the burst run is in flight queues behind it and
+  // serializes right after the burst's last frame -- the chain timing.
+  TwoNics t;
+  std::vector<TimePoint> arrivals;
+  t.b->set_rx_handler([&](const ether::WireFrame&) { arrivals.push_back(t.net.now()); });
+  const ether::Frame f = to(t.b->mac(), t.a->mac(), 1000);
+  const Duration ser = t.lan->serialization_delay(f.wire_size());
+  auto frames = burst_of(3, t.b->mac(), t.a->mac());
+  t.a->transmit_burst(frames);
+  // After the first completion fires, enqueue a straggler.
+  t.net.scheduler().run(1);
+  t.a->transmit(f);
+  t.net.scheduler().run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], ser);
+  }
+  EXPECT_EQ(t.a->stats().tx_frames, 4u);
+}
+
+TEST(NicBurst, DetachMidBurstSkipsTheRemainingBroadcasts) {
+  TwoNics t;
+  int got = 0;
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
+  auto frames = burst_of(3, t.b->mac(), t.a->mac());
+  t.a->transmit_burst(frames);
+  t.net.scheduler().run(2);  // first completion + its delivery
+  t.a->detach();
+  t.net.scheduler().run();  // remaining completions fire but do not broadcast
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NicBurst, ReattachMidBurstDoesNotLeakOldPacingOntoTheNewSegment) {
+  // A burst is paced for the segment it drained on; frames remaining when
+  // the NIC moves to another segment must NOT be delivered there at the
+  // old segment's completion times.
+  Network net;
+  LanSegment& lan1 = net.add_segment("lan1");
+  LanSegment& lan2 = net.add_segment("lan2");
+  Nic& a = net.add_nic("a", lan1);
+  Nic& b = net.add_nic("b", lan1);
+  Nic& c = net.add_nic("c", lan2);
+  int on_lan1 = 0;
+  int on_lan2 = 0;
+  b.set_rx_handler([&](const ether::WireFrame&) { ++on_lan1; });
+  c.set_promiscuous(true);
+  c.set_rx_handler([&](const ether::WireFrame&) { ++on_lan2; });
+  auto frames = burst_of(3, b.mac(), a.mac());
+  a.transmit_burst(frames);
+  net.scheduler().run(2);  // first completion + its delivery on lan1
+  a.attach(lan2);
+  net.scheduler().run();
+  EXPECT_EQ(on_lan1, 1);
+  EXPECT_EQ(on_lan2, 0);  // stale burst frames never reach the new segment
+  // The transmitter is free again for properly paced traffic on lan2.
+  EXPECT_TRUE(a.transmit(to(c.mac(), a.mac())));
+  net.scheduler().run();
+  EXPECT_EQ(on_lan2, 1);
+
+  // The same contract holds for the single-frame path and for claimed
+  // (try_prepare) transmissions: whether a stale frame leaks must not
+  // depend on backlog depth.
+  a.attach(lan1);
+  a.transmit(to(b.mac(), a.mac()));  // single in-flight frame, paced for lan1
+  a.attach(lan2);
+  net.scheduler().run();
+  EXPECT_EQ(on_lan1, 1);
+  EXPECT_EQ(on_lan2, 1);
+
+  a.attach(lan1);
+  auto claimed = a.try_prepare(ether::WireFrame(to(b.mac(), a.mac())));
+  ASSERT_TRUE(claimed.has_value());
+  std::vector<Scheduler::TimedEntry> run;
+  run.push_back(std::move(*claimed));
+  net.scheduler().schedule_run_at(run);
+  a.attach(lan2);
+  net.scheduler().run();
+  EXPECT_EQ(on_lan1, 1);
+  EXPECT_EQ(on_lan2, 1);
+}
+
+TEST(NicBurst, TryPrepareClaimsIdleTransmitterOnly) {
+  TwoNics t;
+  int got = 0;
+  t.b->set_rx_handler([&](const ether::WireFrame&) { ++got; });
+  const ether::WireFrame frame(to(t.b->mac(), t.a->mac(), 1000));
+  auto claimed = t.a->try_prepare(frame);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->when - t.net.now(),
+            t.lan->serialization_delay(frame.wire_size()));
+  // Busy transmitter (claimed above): a second prepare declines, with no
+  // side effects -- transmit() still queues behind the claim.
+  EXPECT_FALSE(t.a->try_prepare(frame).has_value());
+  EXPECT_EQ(t.a->stats().tx_frames, 1u);
+  EXPECT_TRUE(t.a->transmit(frame));
+  // Schedule the claimed completion, as a TxBatch would.
+  std::vector<Scheduler::TimedEntry> run;
+  run.push_back(std::move(*claimed));
+  t.net.scheduler().schedule_run_at(run);
+  t.net.scheduler().run();
+  EXPECT_EQ(got, 2);  // the claimed frame AND the queued one both made it
+  EXPECT_EQ(t.a->stats().tx_frames, 2u);
+}
+
+TEST(NicBurst, TryPrepareDeclinesWhenDetached) {
+  TwoNics t;
+  t.a->detach();
+  const ether::WireFrame frame(to(t.b->mac(), t.a->mac()));
+  EXPECT_FALSE(t.a->try_prepare(frame).has_value());
+  EXPECT_EQ(t.a->stats().tx_dropped, 0u);  // no side effects: caller decides
+}
+
+TEST(TxBatch, FlushSchedulesOneRunAndSortsByCompletionTime) {
+  Network net;
+  std::vector<int> order;
+  TxBatch batch;
+  // Out-of-order completion times with an equal-time pair: flush must sort
+  // by time, stable within the tie.
+  const auto entry = [&](int label, Duration when) {
+    Scheduler::TimedEntry e;
+    e.when = TimePoint{} + when;
+    e.fn = [&order, label] { order.push_back(label); };
+    return e;
+  };
+  batch.add(entry(0, milliseconds(5)));
+  batch.add(entry(1, milliseconds(2)));
+  batch.add(entry(2, milliseconds(5)));
+  batch.add(entry(3, milliseconds(2)));
+  const std::uint64_t before = net.scheduler().inserts();
+  batch.flush(net.scheduler());
+  EXPECT_EQ(net.scheduler().inserts() - before, 1u);
+  EXPECT_TRUE(batch.empty());
+  net.scheduler().run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2}));
+}
+
+TEST(TxBatch, FlushOfEmptyBatchIsANoOp) {
+  Network net;
+  TxBatch batch;
+  EXPECT_EQ(batch.flush(net.scheduler()), BatchId{});
+  EXPECT_TRUE(net.scheduler().empty());
+}
+
 }  // namespace
 }  // namespace ab::netsim

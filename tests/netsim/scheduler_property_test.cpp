@@ -1,17 +1,19 @@
 // Determinism property test for the scheduler rewrite: seeded random
 // programs of interleaved schedule_at / schedule_after / schedule_batch /
-// cancel (single ids and whole BatchId runs) / run_until / step / run are
-// executed against both cores -- the indexed 4-ary heap (Scheduler) and
-// the PR 1 priority_queue + live-set core (BaselineScheduler), whose
-// observable contract is the oracle. The baseline has no batch API, which
-// is the point: a run is DEFINED as k individual same-time events, so the
-// oracle schedules k events and cancels k ids where the indexed core takes
-// one batch insert and one BatchId cancel. Firing order, the clock after
-// every op, and pending() after every op must be identical, including
-// events scheduled from inside callbacks, budgets that split a run, and
-// cancels of already-fired ids.
+// schedule_run (monotone timed runs) / cancel (single ids and whole
+// BatchId runs) / run_until / step / run are executed against both cores
+// -- the indexed 4-ary heap (Scheduler) and the PR 1 priority_queue +
+// live-set core (BaselineScheduler), whose observable contract is the
+// oracle. The baseline has no batch or run API, which is the point: a
+// same-time run is DEFINED as k individual same-time events and a timed
+// run as k individual events at its k times, so the oracle schedules k
+// events and cancels k ids where the indexed core takes one insert and one
+// BatchId cancel. Firing order, the clock after every op, and pending()
+// after every op must be identical, including events scheduled from inside
+// callbacks, budgets that split a run, and cancels of already-fired ids.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <type_traits>
 #include <vector>
@@ -27,6 +29,7 @@ struct Op {
   enum Kind {
     kSchedule,
     kScheduleBatch,
+    kScheduleRun,  ///< monotone timed run (schedule_run_at)
     kCancel,
     kCancelBatch,
     kRunUntil,
@@ -38,7 +41,10 @@ struct Op {
                                ///< negative); kRunUntil: window
   bool spawn_child = false;    ///< kSchedule: callback schedules a child event
   std::int64_t child_delay_us = 0;
-  std::size_t batch_size = 0;  ///< kScheduleBatch: entries (0 exercises the no-op)
+  std::size_t batch_size = 0;  ///< kScheduleBatch/kScheduleRun: entries (0
+                               ///< exercises the no-op)
+  std::vector<std::int64_t> run_delays_us;  ///< kScheduleRun: sorted delays
+                                            ///< (may start negative)
   std::size_t cancel_sel = 0;  ///< kCancel/kCancelBatch: index into issued
                                ///< handles (mod size)
   std::size_t budget = 0;      ///< kRunBudget: max events
@@ -57,10 +63,20 @@ std::vector<Op> generate_program(std::uint64_t seed, int length) {
       op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 2100)) - 100;
       op.spawn_child = rng.chance(0.3);
       op.child_delay_us = static_cast<std::int64_t>(rng.uniform(0, 500));
-    } else if (roll < 50) {
+    } else if (roll < 45) {
       op.kind = Op::kScheduleBatch;
       op.delay_us = static_cast<std::int64_t>(rng.uniform(0, 2100)) - 100;
       op.batch_size = static_cast<std::size_t>(rng.uniform(0, 5));
+    } else if (roll < 50) {
+      op.kind = Op::kScheduleRun;
+      op.batch_size = static_cast<std::size_t>(rng.uniform(0, 5));
+      for (std::size_t e = 0; e < op.batch_size; ++e) {
+        op.run_delays_us.push_back(static_cast<std::int64_t>(rng.uniform(0, 2100)) -
+                                   100);
+      }
+      // The API takes non-decreasing times; sorting keeps random draws
+      // valid while exercising equal-time pairs.
+      std::sort(op.run_delays_us.begin(), op.run_delays_us.end());
     } else if (roll < 65) {
       op.kind = Op::kCancel;
       op.cancel_sel = static_cast<std::size_t>(rng.uniform(0, 1 << 20));
@@ -108,6 +124,21 @@ struct IndexedBatchOps {
   void cancel(Scheduler& sched, std::size_t sel) {
     if (!handles.empty()) sched.cancel(handles[sel % handles.size()]);
   }
+
+  /// Timed-run adapter: one schedule_run_at; the handle joins the same
+  /// pool BatchId cancels draw from.
+  void schedule_run(Scheduler& sched, Observation& obs,
+                    const std::vector<std::int64_t>& delays_us, int first_label) {
+    std::vector<Scheduler::TimedEntry> entries;
+    for (std::size_t i = 0; i < delays_us.size(); ++i) {
+      const int label = first_label + static_cast<int>(i);
+      Scheduler::TimedEntry e;
+      e.when = sched.now() + microseconds(delays_us[i]);
+      e.fn = [&obs, label] { obs.fired.push_back(label); };
+      entries.push_back(std::move(e));
+    }
+    handles.push_back(sched.schedule_run_at(entries));
+  }
 };
 
 /// Batch adapter for the baseline oracle, which has no batch API: a run IS
@@ -130,6 +161,20 @@ struct BaselineBatchOps {
   void cancel(BaselineScheduler& sched, std::size_t sel) {
     if (handles.empty()) return;
     for (const BaselineEventId id : handles[sel % handles.size()]) sched.cancel(id);
+  }
+
+  /// Timed-run oracle: a run IS k individual events at its k times, so
+  /// schedule k events (negative delays clamp exactly like the run's
+  /// per-entry clamp) and cancel all their ids as one group.
+  void schedule_run(BaselineScheduler& sched, Observation& obs,
+                    const std::vector<std::int64_t>& delays_us, int first_label) {
+    std::vector<BaselineEventId> ids;
+    for (std::size_t i = 0; i < delays_us.size(); ++i) {
+      const int label = first_label + static_cast<int>(i);
+      ids.push_back(sched.schedule_after(
+          microseconds(delays_us[i]), [&obs, label] { obs.fired.push_back(label); }));
+    }
+    handles.push_back(std::move(ids));
   }
 };
 
@@ -171,6 +216,12 @@ Observation execute(const std::vector<Op>& ops) {
         label += static_cast<int>(op.batch_size);
         batches.schedule(sched, obs, microseconds(op.delay_us), first_label,
                          op.batch_size);
+        break;
+      }
+      case Op::kScheduleRun: {
+        const int first_label = label;
+        label += static_cast<int>(op.run_delays_us.size());
+        batches.schedule_run(sched, obs, op.run_delays_us, first_label);
         break;
       }
       case Op::kCancel:

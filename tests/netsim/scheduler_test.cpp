@@ -520,6 +520,178 @@ TEST(SchedulerBatch, ScheduleBatchAfterIsRelative) {
   EXPECT_EQ(s.now().time_since_epoch(), milliseconds(10));
 }
 
+/// Builds a timed run of labelled callbacks at the given millisecond
+/// offsets (non-decreasing).
+std::vector<Scheduler::TimedEntry> labelled_run(std::vector<int>& order, int first,
+                                                std::initializer_list<int> at_ms) {
+  std::vector<Scheduler::TimedEntry> entries;
+  int label = first;
+  for (int ms : at_ms) {
+    Scheduler::TimedEntry e;
+    e.when = TimePoint{} + milliseconds(ms);
+    const int this_label = label++;
+    e.fn = [&order, this_label] { order.push_back(this_label); };
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(SchedulerTimedRun, FiresEntriesAtTheirOwnTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 3, 3, 7});
+  s.schedule_run_at(entries);
+  EXPECT_EQ(s.pending(), 4u);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(1));
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(3));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(7));
+  EXPECT_EQ(s.executed(), 4u);
+}
+
+TEST(SchedulerTimedRun, InterleavesWithSinglesExactlyLikeIndividualEvents) {
+  // Singles scheduled BEFORE the run at an inner entry's timestamp fire
+  // before that entry; singles scheduled AFTER fire after it -- the run's
+  // entries carry the consecutive order numbers individual schedule_at
+  // calls would have had.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint{} + milliseconds(3), [&order] { order.push_back(-1); });
+  auto entries = labelled_run(order, 0, {1, 3, 5});
+  s.schedule_run_at(entries);
+  s.schedule_at(TimePoint{} + milliseconds(3), [&order] { order.push_back(-2); });
+  s.schedule_at(TimePoint{} + milliseconds(2), [&order] { order.push_back(-3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, -3, -1, 1, -2, 2}));
+}
+
+TEST(SchedulerTimedRun, RunUntilSplitsAtTheTimeBoundary) {
+  // run_until between entry times executes exactly the due prefix; the
+  // remainder stays pending at its own later times.
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 4, 8});
+  s.schedule_run_at(entries);
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(5)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(5));  // clock advances
+  EXPECT_EQ(s.run_until(TimePoint{} + milliseconds(8)), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTimedRun, BudgetSplitsWithoutDroppingOrReordering) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2, 3});
+  s.schedule_run_at(entries);
+  s.schedule_at(TimePoint{} + milliseconds(2), [&order] { order.push_back(9); });
+  EXPECT_EQ(s.run(2), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_EQ(s.run(), 2u);
+  // The single at 2 ms was scheduled after the run, so it fires after the
+  // run's 2 ms entry but before the 3 ms one.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 9, 2}));
+}
+
+TEST(SchedulerTimedRun, CancelRemovesEverythingStillPending) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2, 3, 4});
+  const BatchId id = s.schedule_run_at(entries);
+  EXPECT_EQ(s.run(1), 1u);  // entry 0 fired
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+}
+
+TEST(SchedulerTimedRun, CancelFromInsideAnEntryDropsTheRemainder) {
+  Scheduler s;
+  std::vector<int> order;
+  BatchId id{};
+  std::vector<Scheduler::TimedEntry> entries;
+  Scheduler::TimedEntry e0;
+  e0.when = TimePoint{} + milliseconds(1);
+  e0.fn = [&order, &s, &id] {
+    order.push_back(0);
+    s.cancel(id);
+  };
+  entries.push_back(std::move(e0));
+  Scheduler::TimedEntry e1;
+  e1.when = TimePoint{} + milliseconds(2);
+  e1.fn = [&order] { order.push_back(1); };
+  entries.push_back(std::move(e1));
+  id = s.schedule_run_at(entries);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTimedRun, DecreasingTimesThrowBeforeAdmittingAnything) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {3, 3, 1});
+  EXPECT_THROW(s.schedule_run_at(entries), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTimedRun, NullCallbackThrowsBeforeAdmittingAnything) {
+  Scheduler s;
+  std::vector<Scheduler::TimedEntry> entries;
+  Scheduler::TimedEntry ok;
+  ok.when = TimePoint{} + milliseconds(1);
+  ok.fn = [] {};
+  entries.push_back(std::move(ok));
+  entries.emplace_back();  // null callback
+  entries.back().when = TimePoint{} + milliseconds(2);
+  EXPECT_THROW(s.schedule_run_at(entries), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTimedRun, EmptyRunIsANoOp) {
+  Scheduler s;
+  std::vector<Scheduler::TimedEntry> none;
+  const BatchId id = s.schedule_run_at(none);
+  EXPECT_EQ(id, BatchId{});
+  EXPECT_TRUE(s.empty());
+  s.cancel(id);
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(SchedulerTimedRun, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule_after(seconds(1), [] {});
+  s.run();
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2000});  // 1 ms is in the past
+  s.schedule_run_at(entries);
+  EXPECT_EQ(s.run(1), 1u);
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(1));  // clamped, not rewound
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.now().time_since_epoch(), seconds(2));
+}
+
+TEST(SchedulerTimedRun, OneInsertPerRun) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2, 3, 4});
+  const std::uint64_t inserts_before = s.inserts();
+  s.schedule_run_at(entries);
+  EXPECT_EQ(s.inserts() - inserts_before, 1u);
+  EXPECT_EQ(s.scheduled(), 4u);
+  s.run();
+  EXPECT_EQ(order.size(), 4u);
+}
+
 TEST(SchedulerBatch, ManyRunsInterleavedWithCancelsKeepPendingExact) {
   Scheduler s;
   std::vector<int> order;
