@@ -24,14 +24,17 @@ echo "== Release bench smoke (one repetition; compiles + exercises the perf path
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ./micro_scheduler --smoke && cat BENCH_scheduler.json)
-# macro_topology --smoke drives all three workloads (flood+pings, the ttcp
-# streams, and the staged rollout) over the acceptance cells, plus the
-# flood-dominated star profile the bench guard below asserts on.
+# macro_topology --smoke drives all four workloads (flood+pings, the ttcp
+# streams, the staged rollout, and the aggregate-hosts station-scale cell)
+# over the acceptance cells, plus the flood-dominated star profile the
+# bench guard below asserts on.
 (cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
 # Guards: the batch-insert and timed-run cells exist, the flood profile
-# stays at O(1) delivery events per broadcast per segment, and the
-# transmit hops (NIC burst drain, bridge egress TxBatch, fragmented write
-# through the processing element) stay at O(1) scheduler inserts per hop.
+# stays at O(1) delivery events per broadcast per segment, the transmit
+# hops (NIC burst drain, bridge egress TxBatch, fragmented write through
+# the processing element) stay at O(1) scheduler inserts per hop, and the
+# million-station cell stays inside its per-station memory and build-time
+# budgets with every ping answered.
 ./scripts/check_bench_smoke.sh build-release
 (cd build-release && ./ablation_spanning_tree && ./ablation_learning \
   && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

@@ -23,6 +23,14 @@
 #      per-fragment model.
 #   5. mac_lookup must be present (the flat MAC table trajectory; no speed
 #      bound, CI runners are noisy).
+#   6. aggregate_profile: the million-station cell (star-8x125000 under the
+#      aggregate-hosts workload) must have actually run at size, stayed
+#      within the per-station memory and build-time budgets, and answered
+#      every ping. The budgets sit between the arena + aggregate model's
+#      measured cost (804 B, 0.64-2.3 us per station) and the per-object
+#      model's (1433 B, 16.2 us), so a regression toward per-station heap
+#      objects or quadratic attach fails here even if the cell still
+#      completes.
 #
 # Usage: scripts/check_bench_smoke.sh [build-dir]   (default: build-release)
 set -euo pipefail
@@ -65,7 +73,10 @@ max_epb=4
 if ! awk -v epb="$epb" -v max="$max_epb" 'BEGIN { exit !(epb <= max) }'; then
   fail "flood cell regressed: $epb events/broadcast with $receivers receivers (limit: $max_epb)"
 fi
-max_ipb=1.5
+# Matches kMaxInsertsPerBroadcast: the k-broadcast flood drains as one
+# burst run plus one delivery run, so inserts/broadcast is ~2/k (measures
+# 0.02 at k=128), far below the per-frame chain's 2.0.
+max_ipb=0.25
 if ! awk -v ipb="$ipb" -v max="$max_ipb" 'BEGIN { exit !(ipb <= max) }'; then
   fail "flood cell regressed to per-frame transmit inserts: $ipb inserts/broadcast (limit: $max_ipb, chain model: 2.0)"
 fi
@@ -101,7 +112,37 @@ fi
 grep -q '"mac_lookup"' "$topo_json" \
   || fail "$topo_json has no mac_lookup cell"
 
+agg_line=$(grep '"aggregate_profile"' "$topo_json") \
+  || fail "$topo_json has no aggregate_profile cell"
+stations=$(field "$agg_line" stations)
+bps=$(field "$agg_line" bytes_per_station)
+bups=$(field "$agg_line" build_us_per_station)
+agg_sent=$(field "$agg_line" pings_sent)
+agg_answered=$(field "$agg_line" pings_answered)
+[ -n "$stations" ] && [ -n "$bps" ] && [ -n "$bups" ] \
+  && [ -n "$agg_sent" ] && [ -n "$agg_answered" ] \
+  || fail "could not parse aggregate_profile from: $agg_line"
+# Matches kMaxBytesPerStation / kMaxBuildUsPerStation in
+# bench/macro_topology.cpp. bytes_per_station reads 0 when the platform
+# hides RSS; the build-time bound still holds there.
+min_stations=1000000
+max_bps=1024
+max_bups=6.0
+if ! awk -v n="$stations" -v min="$min_stations" 'BEGIN { exit !(n >= min) }'; then
+  fail "station-scale cell shrank: $stations stations (floor: $min_stations)"
+fi
+if ! awk -v b="$bps" -v max="$max_bps" 'BEGIN { exit !(b == 0 || b <= max) }'; then
+  fail "station memory regressed: $bps bytes/station (limit: $max_bps, per-object model: 1433)"
+fi
+if ! awk -v b="$bups" -v max="$max_bups" 'BEGIN { exit !(b <= max) }'; then
+  fail "station build time regressed: $bups us/station (limit: $max_bups, per-object model: 16.2)"
+fi
+if [ "$agg_sent" -eq 0 ] || [ "$agg_answered" -ne "$agg_sent" ]; then
+  fail "aggregate workload lost pings: $agg_answered/$agg_sent answered"
+fi
+
 echo "check_bench_smoke: OK (batch_insert + timed_run cells present;" \
   "flood profile at $epb events and $ipb inserts/broadcast for $receivers receivers;" \
   "egress hop at $ipf inserts/flood on $ports ports;" \
-  "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present)"
+  "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present;" \
+  "$stations stations at $bps B and $bups us each, $agg_answered/$agg_sent pings)"

@@ -60,6 +60,8 @@ std::optional<netsim::Scheduler::TimedEntry> OutputPort::prepare(
 
 netsim::Scheduler& OutputPort::scheduler() const { return *table_->scheduler_; }
 
+netsim::Nic& OutputPort::nic() const { return *table_->entry(id_).nic; }
+
 // --------------------------------------------------------------- PortTable
 
 PortId PortTable::add_interface(netsim::Nic& nic) {

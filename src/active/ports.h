@@ -106,6 +106,11 @@ class OutputPort {
   /// The scheduler a claimed completion event must be issued on.
   [[nodiscard]] netsim::Scheduler& scheduler() const;
 
+  /// The interface's NIC: the TxBatch egress path registers it as the
+  /// claimant of a prepared completion so the scheduled run's handle can
+  /// be reported back (Nic::note_run) for in-place run extension.
+  [[nodiscard]] netsim::Nic& nic() const;
+
  private:
   friend class PortTable;
   OutputPort(PortTable& table, PortId id) : table_(&table), id_(id) {}

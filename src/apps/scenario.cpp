@@ -5,7 +5,18 @@
 #include <chrono>
 #include <map>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
 #include "src/apps/deployer.h"
+#include "src/stack/arp.h"
+#include "src/stack/icmp.h"
+#include "src/stack/ipv4.h"
+#include "src/util/rng.h"
 #include "src/util/string_util.h"
 
 namespace ab::apps {
@@ -450,6 +461,190 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   }
 }
 
+void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
+  const netsim::Topology& shape = ctx.topo.shape;
+  netsim::Scheduler& sched = ctx.net.scheduler();
+  const std::size_t host_count = ctx.topo.hosts.size();
+  if (host_count == 0) {
+    sched.run_for(ctx.options.traffic_window);
+    return;
+  }
+
+  // Host ordinals per LAN (shape.hosts is lan-major, but derive it rather
+  // than assume).
+  std::vector<std::vector<std::size_t>> by_lan(shape.lans.size());
+  for (std::size_t h = 0; h < host_count; ++h) {
+    by_lan[static_cast<std::size_t>(shape.hosts[h].lan)].push_back(h);
+  }
+
+  // Generator NICs attach FIRST, in both modes: LAN membership (and so
+  // every delivery walk) must be identical whether or not they transmit.
+  std::vector<netsim::Nic*> generators(shape.lans.size(), nullptr);
+  for (std::size_t l = 0; l < shape.lans.size(); ++l) {
+    generators[l] =
+        &ctx.net.add_nic(result.label + ".agg" + std::to_string(l), *shape.lans[l]);
+  }
+
+  // ---- talkers: the LAN's first K ordinals stay fully materialized ----
+  const std::size_t talkers_per_lan =
+      options_.talkers_per_lan > 0
+          ? static_cast<std::size_t>(options_.talkers_per_lan)
+          : 0;
+  std::vector<std::size_t> talkers;  // lan-major
+  for (const std::vector<std::size_t>& lan_hosts : by_lan) {
+    for (std::size_t k = 0; k < std::min(talkers_per_lan, lan_hosts.size()); ++k) {
+      talkers.push_back(lan_hosts[k]);
+    }
+  }
+
+  // Talker pings: each talker pings the next (lan-major order crosses
+  // LANs), so bridges learn every talker and half of each exchange rides
+  // directed forwarding -- flood+pings at talker scale, not station scale.
+  int answered = 0;
+  if (talkers.size() >= 2) {
+    for (std::size_t i = 0; i < talkers.size(); ++i) {
+      stack::HostStack& src = *ctx.topo.hosts[talkers[i]];
+      stack::HostStack& dst = *ctx.topo.hosts[talkers[(i + 1) % talkers.size()]];
+      src.set_echo_handler(
+          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
+      src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
+      ++result.pings_sent;
+    }
+  }
+
+  // ---- flood burst from a probe on lan0 ----
+  if (options_.probe_broadcasts > 0) {
+    netsim::Nic& probe = ctx.net.add_nic(result.label + ".probe", *shape.lans[0]);
+    std::vector<ether::WireFrame> burst;
+    burst.reserve(static_cast<std::size_t>(options_.probe_broadcasts));
+    for (int i = 0; i < options_.probe_broadcasts; ++i) {
+      burst.emplace_back(ether::Frame::ethernet2(
+          ether::MacAddress::broadcast(), probe.mac(),
+          ether::EtherType::kExperimental, {static_cast<std::uint8_t>(i)}));
+    }
+    probe.transmit_burst(burst);
+  }
+
+  // ---- one ttcp stream between the first talkers of two LANs ----
+  std::unique_ptr<TtcpSink> sink;
+  std::unique_ptr<TtcpSender> sender;
+  std::string stream_label;
+  if (options_.ttcp_bytes > 0) {
+    std::size_t lan_a = shape.lans.size();
+    std::size_t lan_b = shape.lans.size();
+    for (std::size_t l = 0; l < by_lan.size(); ++l) {
+      if (by_lan[l].empty()) continue;
+      if (lan_a == shape.lans.size()) {
+        lan_a = l;
+      } else if (lan_b == shape.lans.size()) {
+        lan_b = l;
+        break;
+      }
+    }
+    if (lan_b == shape.lans.size()) lan_b = lan_a;  // single populated LAN
+    if (lan_a != shape.lans.size() &&
+        (lan_a != lan_b || by_lan[lan_a].size() >= 2)) {
+      const std::size_t src = by_lan[lan_a][0];
+      const std::size_t dst = lan_a == lan_b ? by_lan[lan_a][1] : by_lan[lan_b][0];
+      stack::HostStack& sender_host = *ctx.topo.hosts[src];
+      stack::HostStack& sink_host = *ctx.topo.hosts[dst];
+      stream_label = shape.hosts[src].name + " -> " + shape.hosts[dst].name;
+      sink = std::make_unique<TtcpSink>(sched, sink_host, 5001);
+      TtcpConfig cfg;
+      cfg.destination = sink_host.ip();
+      cfg.port = 5001;
+      cfg.write_size = options_.write_size;
+      cfg.total_bytes = options_.ttcp_bytes;
+      sender = std::make_unique<TtcpSender>(sender_host, cfg);
+      sender->start();
+    }
+  }
+
+  // ---- aggregate background: seeded sample of each LAN's idle stations ----
+  // Each sampled station "speaks" twice: an ARP who-has for the LAN's
+  // first talker (the talker caches the station and replies), then an
+  // echo request half a gap later (the talker answers from that cached
+  // mapping). Frames are pre-encoded in the station's name; who clocks
+  // them out is the mode switch.
+  util::Rng rng(options_.seed);
+  std::vector<std::size_t> sampled;
+  for (std::size_t l = 0; l < by_lan.size(); ++l) {
+    const std::vector<std::size_t>& lan_hosts = by_lan[l];
+    if (lan_hosts.size() <= talkers_per_lan || options_.background_per_lan <= 0 ||
+        talkers_per_lan == 0) {
+      continue;
+    }
+    std::vector<std::size_t> idle(lan_hosts.begin() +
+                                      static_cast<std::ptrdiff_t>(talkers_per_lan),
+                                  lan_hosts.end());
+    const std::size_t want = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.background_per_lan), idle.size());
+    // Partial Fisher-Yates: the first `want` entries become the sample.
+    for (std::size_t j = 0; j < want; ++j) {
+      const std::size_t pick = j + rng.index(idle.size() - j);
+      std::swap(idle[j], idle[pick]);
+    }
+
+    stack::HostStack& talker = *ctx.topo.hosts[lan_hosts[0]];
+    const stack::Ipv4Addr talker_ip = talker.ip();
+    const ether::MacAddress talker_mac = talker.nic().mac();
+    for (std::size_t j = 0; j < want; ++j) {
+      stack::HostStack& station = *ctx.topo.hosts[idle[j]];
+      sampled.push_back(idle[j]);
+      const ether::MacAddress st_mac = station.nic().mac();
+      const stack::Ipv4Addr st_ip = station.ip();
+      netsim::Nic* tx_nic =
+          options_.materialize_background ? &station.nic() : generators[l];
+
+      const stack::ArpPacket arp =
+          stack::ArpPacket::request(st_mac, st_ip, talker_ip);
+      const ether::WireFrame arp_frame(ether::Frame::ethernet2(
+          ether::MacAddress::broadcast(), st_mac, ether::EtherType::kArp,
+          arp.encode()));
+
+      stack::IcmpEcho echo;
+      echo.type = stack::IcmpType::kEchoRequest;
+      echo.id = static_cast<std::uint16_t>(l);
+      echo.seq = static_cast<std::uint16_t>(j);
+      stack::Ipv4Header h;
+      h.protocol = static_cast<std::uint8_t>(stack::IpProto::kIcmp);
+      h.src = st_ip;
+      h.dst = talker_ip;
+      h.identification = static_cast<std::uint16_t>(j + 1);
+      const ether::WireFrame echo_frame(ether::Frame::ethernet2(
+          talker_mac, st_mac, ether::EtherType::kIpv4, h.encode(echo.encode())));
+
+      const netsim::Duration at =
+          options_.background_start + options_.background_gap * static_cast<int>(j);
+      sched.schedule_after(at, [tx_nic, arp_frame] { tx_nic->transmit(arp_frame); });
+      sched.schedule_after(at + options_.background_gap / 2,
+                           [tx_nic, echo_frame] { tx_nic->transmit(echo_frame); });
+      ++result.pings_sent;
+    }
+  }
+
+  sched.run_for(ctx.options.traffic_window);
+
+  result.pings_answered = answered;
+  for (std::size_t ordinal : sampled) {
+    result.pings_answered += static_cast<int>(
+        ctx.topo.hosts[ordinal]->stats().echo_replies_received);
+  }
+  if (sender && sink) {
+    StreamResult sr;
+    sr.label = std::move(stream_label);
+    sr.bytes_sent = sender->bytes_issued();
+    sr.bytes_received = sink->bytes_received();
+    sr.datagrams = sink->datagrams_received();
+    sr.goodput_mbps = sink->throughput_mbps();
+    sr.loss_fraction =
+        sr.bytes_sent > 0
+            ? 1.0 - static_cast<double>(sr.bytes_received) / sr.bytes_sent
+            : 0.0;
+    result.streams.push_back(std::move(sr));
+  }
+}
+
 namespace {
 
 /// BFS stage of every bridge from `start_lan` over the bridge/LAN
@@ -616,6 +811,37 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 // ---------------------------------------------------------------------------
 // TopologySweep
 
+namespace {
+
+/// Current resident set in bytes (/proc/self/statm); 0 where unsupported.
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident_pages * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+/// Process-lifetime peak RSS in bytes; 0 where unsupported.
+std::uint64_t peak_rss_bytes_now() {
+#if defined(__linux__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // ru_maxrss is KiB
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
 SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
   FloodPingWorkload flood;
   return run_cell(spec, flood);
@@ -625,11 +851,22 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
                                     Workload& workload) {
   const auto wall_start = std::chrono::steady_clock::now();
 
+  const std::uint64_t rss_before = current_rss_bytes();
   netsim::Network net;
   bridge::BridgedTopology topo =
       bridge::build_topology(net, spec, options_.node_config, options_.build);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  const std::uint64_t rss_after = current_rss_bytes();
 
   SweepResult r;
+  r.build_ms = build_ms;
+  if (rss_after > rss_before && !topo.hosts.empty()) {
+    r.bytes_per_station = static_cast<double>(rss_after - rss_before) /
+                          static_cast<double>(topo.hosts.size());
+  }
   r.spec = spec;
   r.label = spec.label();
   r.workload = std::string(workload.name());
@@ -663,6 +900,7 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
           .count();
   r.events_per_sec = r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
                                         : 0.0;
+  r.peak_rss_bytes = peak_rss_bytes_now();
   return r;
 }
 
@@ -739,7 +977,8 @@ std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
         "\"pings_sent\": %d, \"pings_answered\": %d, \"events\": %llu, "
         "\"heap_inserts\": %llu, \"scheduled_entries\": %llu, "
         "\"insert_reduction\": %.2f, "
-        "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f",
+        "\"virtual_seconds\": %.3f, \"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
+        "\"build_ms\": %.2f, \"peak_rss_bytes\": %llu, \"bytes_per_station\": %.1f",
         c.label.c_str(), std::string(to_string(c.spec.shape)).c_str(),
         c.workload.c_str(), c.bridges,
         c.lans, c.hosts, c.stp_converged ? "true" : "false", c.blocked_ports,
@@ -749,7 +988,8 @@ std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
         static_cast<unsigned long long>(c.heap_inserts),
         static_cast<unsigned long long>(c.scheduled_entries), c.insert_reduction(),
         c.virtual_seconds, c.wall_seconds,
-        c.events_per_sec);
+        c.events_per_sec, c.build_ms,
+        static_cast<unsigned long long>(c.peak_rss_bytes), c.bytes_per_station);
     if (!c.streams.empty()) {
       out += util::format(",\n   \"goodput_mbps_total\": %.2f, \"streams\": [",
                           c.total_goodput_mbps());

@@ -83,7 +83,10 @@ std::size_t ForwardingPlane::flood(const ether::WireFrame& frame,
     // serializing (or with a backlog) take the frame through their FIFO
     // queue as before.
     if (auto claimed = p.out->prepare(frame)) {
-      tx_batch_.add(std::move(*claimed));
+      // Registering the claimant lets flush() report the run handle back,
+      // so a saturated port's NEXT flood frame extends that run in place
+      // (send() below attempts the extension inside Nic::transmit).
+      tx_batch_.add(p.out->nic(), std::move(*claimed));
       scheduler = &p.out->scheduler();
       ++sent;
       stats_.tx_frames += 1;

@@ -13,7 +13,7 @@ void MacTable::grow(std::size_t for_size) {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(capacity, Slot{});
   used_ = size_;
-  cached_key_ = kEmptyKey;
+  reset_dest_cache();
   for (Slot& s : old) {
     if (s.key == kEmptyKey || s.key == kTombstoneKey) continue;
     std::size_t i = slot_index(s.key);
@@ -65,11 +65,12 @@ std::optional<active::PortId> MacTable::lookup(ether::MacAddress dst,
   // it, so no live entry can carry it); without this guard the probe
   // would "find" the first empty slot and return its default port.
   if (key == kEmptyKey) return std::nullopt;
-  // Last-destination fast path: re-validate the cached slot (learn and
-  // expire move or retire slots, and they reset the cache; a matching key
-  // in the cached slot is always the live entry).
-  if (key == cached_key_ && slots_[cached_slot_].key == key) {
-    const Slot& s = slots_[cached_slot_];
+  // Destination-cache fast path: re-validate the way's cached slot (learn
+  // and expire move or retire slots, and they reset the cache; a matching
+  // key in the cached slot is always the live entry).
+  const std::size_t way = static_cast<std::size_t>(key) & cache_mask_;
+  if (key == cached_keys_[way] && slots_[cached_slots_[way]].key == key) {
+    const Slot& s = slots_[cached_slots_[way]];
     if (now - s.learned > horizon()) return std::nullopt;  // stale
     return s.port;
   }
@@ -77,8 +78,8 @@ std::optional<active::PortId> MacTable::lookup(ether::MacAddress dst,
   while (true) {
     const Slot& s = slots_[i];
     if (s.key == key) {
-      cached_key_ = key;
-      cached_slot_ = i;
+      cached_keys_[way] = key;
+      cached_slots_[way] = i;
       if (now - s.learned > horizon()) return std::nullopt;  // stale
       return s.port;
     }
@@ -100,7 +101,7 @@ std::size_t MacTable::expire(netsim::TimePoint now) {
   size_ -= removed;
   // A sweep that removed nothing moved no slot: keep the hot cache (the
   // common steady state -- the periodic sweep must not defeat it).
-  if (removed > 0) cached_key_ = kEmptyKey;
+  if (removed > 0) reset_dest_cache();
   if (size_ == 0 && used_ != 0) {
     // Nothing live: every slot is empty or tombstone, so probe chains are
     // moot -- reset to a clean array instead of carrying the tombstones.
@@ -114,7 +115,7 @@ void MacTable::clear() {
   slots_.clear();
   size_ = 0;
   used_ = 0;
-  cached_key_ = kEmptyKey;
+  reset_dest_cache();
 }
 
 std::vector<MacTable::Entry> MacTable::entries() const {

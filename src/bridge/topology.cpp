@@ -110,21 +110,24 @@ BridgedTopology build_topology(netsim::Network& net, const netsim::TopologySpec&
     built.bridges.push_back(std::move(node));
   }
 
+  built.hosts.reserve(built.shape.hosts.size());
   for (std::size_t ordinal = 0; ordinal < built.shape.hosts.size(); ++ordinal) {
     const netsim::Topology::HostAttach& h = built.shape.hosts[ordinal];
     stack::HostConfig cfg;
     cfg.ip = topology_host_ip(ordinal);
-    // Sized to the handful of peers a sweep workload makes each station
-    // resolve, NOT to the station count: a per-host reserve proportional
-    // to total hosts would make topology memory quadratic (measured
-    // ~200 MB of empty buckets on a 5000-station star).
-    cfg.arp_cache_reserve = std::min<std::size_t>(built.shape.hosts.size(), 32);
+    // No eager ARP reserve: the flat cache grows on a station's FIRST
+    // resolution, so the (vast) idle majority of a big cell pay nothing.
+    // An earlier per-host reserve proportional to hosts made topology
+    // memory quadratic (~200 MB of empty buckets on a 5000-station star).
     if (options.host_cost_model) cfg.tx_cost = netsim::CostModel::linux_host();
-    auto host = std::make_unique<stack::HostStack>(
-        net.scheduler(),
-        net.add_nic(h.name, *built.shape.lans[static_cast<std::size_t>(h.lan)]), cfg);
+    // NIC first, stack second, per station: arena teardown then runs the
+    // stack's destructor before its NIC's.
+    netsim::Nic& nic = net.add_nic(
+        built.arena, h.name, *built.shape.lans[static_cast<std::size_t>(h.lan)]);
+    stack::HostStack* host =
+        built.arena.create<stack::HostStack>(net.scheduler(), nic, cfg);
     host->nic().set_tx_queue_limit(options.host_tx_queue_limit);
-    built.hosts.push_back(std::move(host));
+    built.hosts.push_back(host);
   }
   return built;
 }

@@ -50,10 +50,21 @@ struct TopologyBuildOptions {
 /// A built topology: the netsim wiring plan plus the assembled nodes.
 /// Bridges and hosts are positionally aligned with shape.node_ports /
 /// shape.hosts.
+///
+/// Station state (each host's NIC + HostStack) lives in `arena`, not in
+/// per-object heap nodes: a million-station cell is a few thousand slab
+/// allocations instead of two million, teardown is a slab walk, and each
+/// station's NIC and stack are contiguous. `hosts` holds arena pointers,
+/// which are stable for the topology's lifetime (moving the struct moves
+/// slab ownership, never the slabs). Bridges stay individually owned --
+/// there are orders of magnitude fewer of them and they own rich state.
 struct BridgedTopology {
   netsim::Topology shape;
   std::vector<std::unique_ptr<BridgeNode>> bridges;
-  std::vector<std::unique_ptr<stack::HostStack>> hosts;
+  /// Owns every per-station object; destroyed after `hosts` (declaration
+  /// order), running HostStack/Nic destructors in reverse creation order.
+  netsim::Arena arena;
+  std::vector<stack::HostStack*> hosts;  ///< arena-backed, creation order
 
   /// Bridge at node position `i` (aligned with shape.node_ports).
   [[nodiscard]] BridgeNode& bridge(std::size_t i) { return *bridges[i]; }

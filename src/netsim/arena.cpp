@@ -1,0 +1,92 @@
+#include "src/netsim/arena.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ab::netsim {
+
+Arena::Arena(std::size_t slab_bytes) : slab_bytes_(slab_bytes) {
+  if (slab_bytes_ == 0) throw std::invalid_argument("Arena: zero slab size");
+}
+
+Arena::~Arena() { reset(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : slab_bytes_(other.slab_bytes_),
+      slabs_(std::move(other.slabs_)),
+      finalizers_(std::move(other.finalizers_)),
+      objects_(other.objects_) {
+  other.slabs_.clear();
+  other.finalizers_.clear();
+  other.objects_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    reset();
+    slab_bytes_ = other.slab_bytes_;
+    slabs_ = std::move(other.slabs_);
+    finalizers_ = std::move(other.finalizers_);
+    objects_ = other.objects_;
+    other.slabs_.clear();
+    other.finalizers_.clear();
+    other.objects_ = 0;
+  }
+  return *this;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("Arena: alignment must be a power of two");
+  }
+  // Align against the actual slab address, so over-aligned types work no
+  // matter how operator new aligned the slab base.
+  if (!slabs_.empty()) {
+    Slab& slab = slabs_.back();
+    const auto base = reinterpret_cast<std::uintptr_t>(slab.data);
+    const std::uintptr_t aligned = (base + slab.used + (align - 1)) & ~(align - 1);
+    const std::size_t offset = static_cast<std::size_t>(aligned - base);
+    if (offset + bytes <= slab.size) {
+      slab.used = offset + bytes;
+      return slab.data + offset;
+    }
+  }
+  // New slab: the default granularity, or a dedicated slab for an
+  // oversized (or over-aligned) request.
+  const std::size_t need = bytes + align;
+  const std::size_t size = need > slab_bytes_ ? need : slab_bytes_;
+  auto* data = static_cast<std::byte*>(::operator new(size));
+  slabs_.push_back(Slab{data, size, 0});
+  Slab& slab = slabs_.back();
+  const auto base = reinterpret_cast<std::uintptr_t>(slab.data);
+  const std::uintptr_t aligned = (base + (align - 1)) & ~(align - 1);
+  const std::size_t offset = static_cast<std::size_t>(aligned - base);
+  slab.used = offset + bytes;
+  return slab.data + offset;
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s;
+  s.slabs = slabs_.size();
+  s.objects = objects_;
+  for (const Slab& slab : slabs_) {
+    s.bytes_reserved += slab.size;
+    s.bytes_used += slab.used;
+  }
+  return s;
+}
+
+void Arena::reset() {
+  // Reverse creation order, exactly what a container of unique_ptrs
+  // destroyed back to front would have produced.
+  for (auto it = finalizers_.rbegin(); it != finalizers_.rend(); ++it) {
+    it->destroy(it->object);
+  }
+  finalizers_.clear();
+  for (Slab& slab : slabs_) ::operator delete(slab.data);
+  slabs_.clear();
+  objects_ = 0;
+}
+
+}  // namespace ab::netsim

@@ -41,6 +41,7 @@ std::uint32_t LanSegment::acquire_run() {
 
 void LanSegment::release_run(std::uint32_t index) {
   runs_[index].receivers.clear();  // keeps capacity for the next broadcast
+  runs_[index].frame = ether::WireFrame();  // drop the parked wire buffer
   runs_[index].next_free = free_run_;
   free_run_ = index;
 }
@@ -58,7 +59,7 @@ void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   Nic* sole = nullptr;
   std::uint32_t run = kNoRun;
   for (Nic* nic : nics_) {
-    if (nic == sender) continue;
+    if (nic == nullptr || nic == sender) continue;  // tombstone or sender
     if (config_.loss > 0 && rng_.chance(config_.loss)) {
       stats_.frames_lost += 1;
       continue;
@@ -92,6 +93,39 @@ void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   }
 }
 
+std::uint32_t LanSegment::prepare_broadcast(const ether::WireFrame& frame,
+                                            const Nic* sender) {
+  stats_.frames_carried += 1;
+  stats_.bytes_carried += frame.wire_size();
+  if (tap_) tap_(scheduler_->now(), sender, frame.wire());
+
+  // Same snapshot discipline as broadcast() -- loss draws in attach order,
+  // so seeded loss sequences are identical whichever transmit path carried
+  // the frame -- but the delivery event belongs to the caller's burst run,
+  // so nothing is scheduled here and the frame parks in the run itself
+  // (the shared burst slot has no room for a per-frame capture). No
+  // sole-receiver shortcut: the run IS the frame's storage.
+  std::uint32_t run = kNoRun;
+  for (Nic* nic : nics_) {
+    if (nic == nullptr || nic == sender) continue;  // tombstone or sender
+    if (config_.loss > 0 && rng_.chance(config_.loss)) {
+      stats_.frames_lost += 1;
+      continue;
+    }
+    if (run == kNoRun) run = acquire_run();
+    runs_[run].receivers.push_back(nic);
+  }
+  if (run != kNoRun) runs_[run].frame = frame;
+  return run;
+}
+
+void LanSegment::deliver_prepared(std::uint32_t index) {
+  // Move the frame out first: a receiver's handler can broadcast
+  // synchronously and grow runs_, invalidating references into it.
+  ether::WireFrame frame = std::move(runs_[index].frame);
+  deliver_run(index, frame);
+}
+
 void LanSegment::deliver_run(std::uint32_t index, const ether::WireFrame& frame) {
   // Indexed access throughout: a handler could conceivably inject another
   // broadcast synchronously and grow runs_ under us.
@@ -111,14 +145,34 @@ void LanSegment::deliver_run(std::uint32_t index, const ether::WireFrame& frame)
 }
 
 void LanSegment::attach_nic(Nic& nic) {
-  if (!still_attached(&nic)) nics_.push_back(&nic);
+  // Nic::attach detaches from any previous segment first, so `nic` cannot
+  // already be in the list -- attaching a million stations is a million
+  // push_backs, not a million membership scans.
+  nic.lan_index_ = nics_.size();
+  nics_.push_back(&nic);
 }
 
 void LanSegment::detach_nic(Nic& nic) {
-  const auto it = std::remove(nics_.begin(), nics_.end(), &nic);
-  if (it == nics_.end()) return;
-  nics_.erase(it, nics_.end());
+  // Tombstone via the NIC's back-index: O(1), and attach order (which the
+  // loss-draw sequence is keyed to) is preserved for the survivors. An
+  // ordered erase here would make a million-station teardown quadratic.
+  const std::size_t i = nic.lan_index_;
+  if (i >= nics_.size() || nics_[i] != &nic) return;
+  nics_[i] = nullptr;
+  dead_nics_ += 1;
   detach_epoch_ += 1;  // in-flight runs fall back to membership checks
+  if (dead_nics_ * 2 > nics_.size()) compact_nics();
+}
+
+void LanSegment::compact_nics() {
+  std::size_t w = 0;
+  for (Nic* nic : nics_) {
+    if (nic == nullptr) continue;
+    nic->lan_index_ = w;
+    nics_[w++] = nic;
+  }
+  nics_.resize(w);
+  dead_nics_ = 0;
 }
 
 }  // namespace ab::netsim

@@ -60,6 +60,8 @@ class LanSegment {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const LanConfig& config() const { return config_; }
   [[nodiscard]] const LanStats& stats() const { return stats_; }
+  /// Attach-ordered receiver list. May contain nullptr tombstones for
+  /// recently detached NICs (compacted away once they dominate).
   [[nodiscard]] const std::vector<Nic*>& attached() const { return nics_; }
 
   /// Time to clock `bytes` onto the wire at this segment's bit rate.
@@ -72,6 +74,26 @@ class LanSegment {
   /// frames with a null sender (delivered to everyone).
   void broadcast(const ether::WireFrame& frame, const Nic* sender);
 
+  /// Sentinel for "no receiver run": a prepared broadcast with no
+  /// surviving receivers, or a burst frame whose NIC detached in flight.
+  static constexpr std::uint32_t kNoPreparedRun = 0xFFFFFFFFu;
+
+  /// The split form of broadcast() for the burst transmit path: carries
+  /// the frame (stats, tap, loss draws and receiver snapshot exactly as
+  /// broadcast(), in attach order) but schedules NOTHING -- the caller
+  /// already holds a delivery slot in its burst's shared timed run and
+  /// fires deliver_prepared() from it, so a k-frame burst's k deliveries
+  /// cost one scheduler insert instead of k. Returns the run index to
+  /// deliver (the frame is parked in the run), or kNoPreparedRun when no
+  /// receiver survived (the delivery slot then no-ops).
+  [[nodiscard]] std::uint32_t prepare_broadcast(const ether::WireFrame& frame,
+                                                const Nic* sender);
+
+  /// Delivers a run parked by prepare_broadcast() and recycles it. Must be
+  /// called exactly once per prepared index, at transmit time +
+  /// propagation -- the burst's delivery run provides both.
+  void deliver_prepared(std::uint32_t index);
+
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
 
   // Nic::attach/detach call these.
@@ -79,16 +101,19 @@ class LanSegment {
   void detach_nic(Nic& nic);
 
  private:
-  static constexpr std::uint32_t kNoRun = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoRun = kNoPreparedRun;
 
   /// The receivers one in-flight broadcast will reach, snapshotted at
   /// transmit time. Runs are pooled (index-linked free list, receiver
   /// vectors keep their capacity) so steady-state fan-out allocates
   /// nothing. `detach_epoch` records the segment's detach counter at
   /// snapshot time: while it still matches, every receiver is trivially
-  /// attached and the walk skips the per-NIC membership check.
+  /// attached and the walk skips the per-NIC membership check. A run made
+  /// by prepare_broadcast() also parks the frame itself (its delivery slot
+  /// lives in a shared burst run with no room for a per-frame capture).
   struct ReceiverRun {
     std::vector<Nic*> receivers;
+    ether::WireFrame frame;
     std::uint64_t detach_epoch = 0;
     std::uint32_t next_free = kNoRun;
   };
@@ -101,12 +126,19 @@ class LanSegment {
   /// True while `nic` may still be delivered to (attached to this segment).
   /// Compares stored pointers only -- `nic` may point at a destroyed NIC.
   [[nodiscard]] bool still_attached(const Nic* nic) const;
+  /// Drops the nullptr tombstones, renumbering the survivors' back-indices.
+  /// Attach order (and so loss-draw order) is preserved.
+  void compact_nics();
 
   Scheduler* scheduler_;
   std::string name_;
   LanConfig config_;
   LanStats stats_;
+  /// Attach-ordered; a detach leaves a nullptr tombstone (O(1) via the
+  /// NIC's back-index) so a million-station teardown never pays a linear
+  /// erase per NIC. Compacted when tombstones dominate.
   std::vector<Nic*> nics_;
+  std::size_t dead_nics_ = 0;  ///< tombstones currently in nics_
   util::Rng rng_;
   FrameTap tap_;
   std::vector<ReceiverRun> runs_;

@@ -30,6 +30,14 @@ Nic& Network::add_nic(const std::string& name, LanSegment& segment,
   return nic;
 }
 
+Nic& Network::add_nic(Arena& arena, const std::string& name, LanSegment& segment) {
+  const std::uint32_t id = next_mac_id_++;
+  Nic* nic = arena.create<Nic>(scheduler_, name,
+                               ether::MacAddress::local(id >> 16, id & 0xFFFF));
+  nic->attach(segment);
+  return *nic;
+}
+
 LanSegment* Network::find_segment(const std::string& name) const {
   for (const auto& seg : segments_) {
     if (seg->name() == name) return seg.get();

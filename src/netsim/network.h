@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/netsim/arena.h"
 #include "src/netsim/lan.h"
 #include "src/netsim/nic.h"
 #include "src/netsim/scheduler.h"
@@ -49,6 +50,13 @@ class Network {
 
   /// Creates a NIC with an explicit MAC.
   Nic& add_nic(const std::string& name, LanSegment& segment, ether::MacAddress mac);
+
+  /// Arena-backed variant: the NIC lives in `arena` (contiguous with its
+  /// station's other state, freed by the arena) instead of the Network's
+  /// per-object list, but draws from the SAME MAC counter, so mixing
+  /// arena and individually-owned NICs never collides addresses. The
+  /// arena must not outlive this Network's scheduler.
+  Nic& add_nic(Arena& arena, const std::string& name, LanSegment& segment);
 
   /// Every segment created so far, in creation order.
   [[nodiscard]] const std::vector<std::unique_ptr<LanSegment>>& segments() const {

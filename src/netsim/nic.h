@@ -20,20 +20,30 @@
 // out's share of one port) drains as ONE monotone timed run -- the k
 // serialization completion times are cumulative and known upfront, so the
 // whole burst costs one scheduler insert where the self-rearming per-frame
-// chain cost k. Completion events still fire one per frame at the same
+// chain cost k. The k DELIVERIES ride a second shared timed run scheduled
+// alongside (each at its frame's completion + propagation): a completion
+// entry snapshots its receivers with LanSegment::prepare_broadcast and
+// deposits the run index into a slot vector the delivery entries read, so
+// a k-frame burst costs two inserts total where completion-then-broadcast
+// cost 1 + k. Completion and delivery events still fire at exactly the
 // times the chain produced; only the insert count changes. Pacing is
 // fixed when a completion is scheduled: EVERY completion (single-frame,
 // try_prepare claim, or burst entry) broadcasts only onto the segment it
 // was paced for -- a NIC detached (or reattached elsewhere) in flight
 // skips the pending broadcasts instead of delivering them at the wrong
-// rate. Frames queued mid-burst drain after the burst's last entry;
-// tx_frames/tx_bytes count at schedule time (admission to the wire), so
-// transmissions cut short by a detach keep their counts.
+// rate. Frames queued mid-burst drain after the burst's last entry --
+// UNLESS nothing else is queued and the frame's completion lands past the
+// run's tail, in which case transmit() appends it to the in-flight run
+// (Scheduler::try_extend_run): a saturated flood stays at one insert per
+// hop instead of re-entering the FIFO queue, with timing identical to the
+// queue-then-restart path. tx_frames/tx_bytes count at schedule time
+// (admission to the wire), so transmissions cut short by a detach keep
+// their counts.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -56,6 +66,35 @@ struct NicStats {
   std::uint64_t rx_bytes = 0;
   std::uint64_t rx_filtered = 0;  ///< address filter rejected
   std::uint64_t rx_bad = 0;       ///< FCS or framing errors
+};
+
+/// Minimal FIFO of wire frames over a lazily-allocated vector. An idle
+/// NIC's queue costs two words; std::deque here eagerly allocated its
+/// chunk map and first chunk (~600 heap bytes per NIC -- ruinous at a
+/// million idle stations). pop_front advances a head index and releases
+/// the frame's wire buffer immediately; storage resets when the queue
+/// drains and the dead prefix is compacted away when it dominates.
+class FrameFifo {
+ public:
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] ether::WireFrame& front() { return buf_[head_]; }
+  void push_back(ether::WireFrame frame) { buf_.push_back(std::move(frame)); }
+  void pop_front() {
+    buf_[head_] = ether::WireFrame();  // drop the wire buffer now
+    head_ += 1;
+    if (head_ == buf_.size()) {
+      buf_.clear();  // keeps capacity for the steady state
+      head_ = 0;
+    } else if (head_ >= 64 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<ether::WireFrame> buf_;
+  std::size_t head_ = 0;
 };
 
 /// One network interface. NICs are owned by Network and must outlive any
@@ -125,6 +164,15 @@ class Nic {
   /// counts drops.
   std::optional<Scheduler::TimedEntry> try_prepare(ether::WireFrame frame);
 
+  /// Records the run a try_prepare claim was scheduled into (TxBatch calls
+  /// this after flush), so a later transmit() on the saturated NIC can
+  /// extend that run instead of falling back to the FIFO queue. The run is
+  /// SHARED with the batch's other claimants, so this NIC never cancels it.
+  void note_run(BatchId id) {
+    run_id_ = id;
+    owns_run_ = false;
+  }
+
   /// Entry point for the segment's delivery events.
   void deliver(const ether::WireFrame& frame);
 
@@ -134,25 +182,52 @@ class Nic {
   [[nodiscard]] const NicStats& stats() const { return stats_; }
 
  private:
+  friend class LanSegment;  // maintains lan_index_ across attach/detach
+
   void start_transmitter();
 
   Scheduler* scheduler_;
   std::string name_;
   ether::MacAddress mac_;
   LanSegment* segment_ = nullptr;
+  /// This NIC's position in segment_'s attach list -- the back-index that
+  /// makes detach O(1) on a million-station segment. Owned by LanSegment.
+  std::size_t lan_index_ = 0;
   RxHandler rx_handler_;
   bool promiscuous_ = false;
-  std::deque<ether::WireFrame> tx_queue_;
+  FrameFifo tx_queue_;
   std::size_t tx_queue_limit_ = 512;
   bool transmitting_ = false;
   NicStats stats_;
-  /// Unfired frames of the scheduled burst run beyond the one currently
-  /// serializing. Counts toward the tx_queue_limit_ backlog (the chain
-  /// kept these frames in tx_queue_; the run holds them in the scheduler),
-  /// decremented as each non-final entry fires.
-  std::size_t run_backlog_ = 0;
+  /// Unfired entries of this NIC's in-flight transmit run, INCLUDING the
+  /// frame currently serializing (so occupancy charges run_remaining_ - 1
+  /// against tx_queue_limit_ -- the same backlog the per-frame chain kept
+  /// in the queue). Each completion entry decrements it; the entry that
+  /// takes it to zero restarts the transmitter, which makes appended
+  /// extension entries part of the same service period.
+  std::size_t run_remaining_ = 0;
+  /// Handle + tail completion time of the in-flight transmit run; a
+  /// transmit() on the saturated NIC appends past the tail via
+  /// Scheduler::try_extend_run. Stale handles fail the extension safely.
+  BatchId run_id_{};
+  TimePoint run_tail_time_{};
+  /// True when run_id_ names a run scheduled by and for this NIC alone
+  /// (start_transmitter's single or burst drain), which ~Nic cancels if
+  /// still pending -- its completion entries capture `this`. False for a
+  /// TxBatch run recorded via note_run(): that run carries OTHER ports'
+  /// completions too and must survive this NIC.
+  bool owns_run_ = false;
+  /// Receiver-run indices a burst's completion entries deposit (via
+  /// LanSegment::prepare_broadcast) for its delivery entries to read.
+  /// Shared: the delivery closures hold the vector alive after the next
+  /// burst replaces it. burst_cursor_ is the deposit position -- implicit
+  /// order works because every completion of a burst fires before the
+  /// next burst resets the vector.
+  std::shared_ptr<std::vector<std::uint32_t>> burst_slots_;
+  std::size_t burst_cursor_ = 0;
   /// Scratch for start_transmitter's burst drain (capacity reused).
   std::vector<Scheduler::TimedEntry> drain_scratch_;
+  std::vector<Scheduler::TimedEntry> delivery_scratch_;
 };
 
 /// Collects claimed transmissions (Nic::try_prepare) across the NICs of
@@ -164,7 +239,18 @@ class Nic {
 /// capacity across flushes, so steady-state floods allocate nothing.
 class TxBatch {
  public:
-  void add(Scheduler::TimedEntry entry) { entries_.push_back(std::move(entry)); }
+  void add(Scheduler::TimedEntry entry) {
+    entries_.push_back(std::move(entry));
+    claimants_.push_back(nullptr);
+  }
+
+  /// add() that also remembers whose transmitter the claim belongs to:
+  /// flush() hands the run's BatchId back to each claimant (note_run), so
+  /// a saturated port's next frame can extend the run in place.
+  void add(Nic& nic, Scheduler::TimedEntry entry) {
+    entries_.push_back(std::move(entry));
+    claimants_.push_back(&nic);
+  }
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -177,6 +263,7 @@ class TxBatch {
 
  private:
   std::vector<Scheduler::TimedEntry> entries_;
+  std::vector<Nic*> claimants_;  ///< parallel to entries_; null for add(entry)
 };
 
 }  // namespace ab::netsim

@@ -132,6 +132,40 @@ BatchId Scheduler::schedule_run_at(std::span<TimedEntry> entries) {
   return BatchId{(static_cast<std::uint64_t>(s.gen) << 32) | slot};
 }
 
+bool Scheduler::try_extend_run(BatchId id, TimedEntry entry) {
+  if (!entry.fn) throw std::invalid_argument("Scheduler: null callback in extend");
+  const std::uint32_t slot = id_slot(id.seq);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A finished or cancelled run has a bumped generation; from inside the
+  // run's own LAST entry the slot is already retired (pop_and_run frees it
+  // before that entry fires), so self-extension past the end safely fails
+  // into the caller's FIFO fallback.
+  if (s.gen != id_gen(id.seq)) return false;
+  Batch* b = s.batch.get();
+  if (b == nullptr || b->times.empty()) return false;  // single / same-time batch
+  if (entry.when < b->times.back()) return false;      // would break monotonicity
+  // From here the append always succeeds. Materialize per-entry orders on
+  // the first extension: the new entry is NOT consecutive with the run's
+  // original block (arbitrarily many events were admitted in between), so
+  // the implicit first_order + i rule no longer holds past the block.
+  if (b->orders.empty()) {
+    b->orders.reserve(b->entries.size() + 1);
+    for (std::size_t i = 0; i < b->entries.size(); ++i) {
+      b->orders.push_back(b->first_order + i);
+    }
+  }
+  b->entries.push_back(std::move(entry.fn));
+  // No clamp needed: every unfired time of a pending run is >= now(), and
+  // the appended time is >= times.back(). The heap key (the run's NEXT
+  // entry) is unchanged -- the tail only grew -- so no re-sift either.
+  b->times.push_back(entry.when);
+  b->orders.push_back(next_order_++);
+  pending_ += 1;
+  scheduled_ += 1;  // inserts_ unchanged: that is the whole point
+  return true;
+}
+
 void Scheduler::cancel(EventId id) {
   const std::uint32_t slot = id_slot(id.seq);
   if (slot >= slots_.size()) return;
@@ -241,7 +275,7 @@ bool Scheduler::pop_and_run() {
       // so a sift-down suffices.
       HeapEntry head = heap_[0];
       head.when = b.times[b.next];
-      head.order = b.first_order + b.next;
+      head.order = b.order_of(b.next);
       sift_down(0, head);
     }
   } else {

@@ -119,6 +119,18 @@ class Scheduler {
   /// returns the null BatchId; a null callback anywhere throws.
   BatchId schedule_run_at(std::span<TimedEntry> entries);
 
+  /// Appends `entry` to a still-pending TIMED run -- the saturated-
+  /// transmitter case where a frame arrives while a burst is in flight and
+  /// its completion time lands past the run's tail, so the run can absorb
+  /// it with NO new heap insert. The appended entry gets a fresh order
+  /// number (it was admitted after everything already in the run), so
+  /// interleaving with other same-time events is exactly what an
+  /// individual schedule_at at that moment would have produced. Returns
+  /// false with no side effects when the handle is stale (run finished or
+  /// cancelled), names a same-time batch or a single event, or
+  /// `entry.when` precedes the run's last time. A null callback throws.
+  bool try_extend_run(BatchId id, TimedEntry entry);
+
   /// Cancels a pending event in place. Cancelling an already-fired or
   /// unknown event is a harmless no-op (timers race with the traffic that
   /// restarts them) and leaves no bookkeeping behind.
@@ -188,7 +200,14 @@ class Scheduler {
     std::vector<TimePoint> times;  ///< empty: same-time run at the heap key
     std::uint64_t first_order = 0;
     std::size_t next = 0;
+    /// Per-entry order numbers; empty until the first try_extend_run
+    /// (entries admitted together are consecutive from first_order, so the
+    /// vector is materialized only when an extension breaks that run).
+    std::vector<std::uint64_t> orders;
     [[nodiscard]] std::size_t remaining() const { return entries.size() - next; }
+    [[nodiscard]] std::uint64_t order_of(std::size_t i) const {
+      return orders.empty() ? first_order + i : orders[i];
+    }
   };
 
   struct Slot {

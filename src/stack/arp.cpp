@@ -70,18 +70,61 @@ ArpPacket ArpPacket::make_reply(ether::MacAddress my_mac) const {
   return reply;
 }
 
+std::size_t ArpCache::find_slot(std::uint32_t key) const {
+  std::size_t slot = slot_of(key);
+  while (keys_[slot] != key && keys_[slot] != kEmptyKey) {
+    slot = (slot + 1) & (keys_.size() - 1);
+  }
+  return slot;
+}
+
+void ArpCache::grow(std::size_t for_entries) {
+  // Capacity for load factor <= 3/4, minimum 8 slots.
+  std::size_t capacity = 8;
+  while (capacity * 3 < for_entries * 4) capacity *= 2;
+  if (capacity <= keys_.size()) return;
+  std::vector<std::uint32_t> old_keys = std::move(keys_);
+  std::vector<Row> old_rows = std::move(rows_);
+  keys_.assign(capacity, kEmptyKey);
+  rows_.assign(capacity, Row{});
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyKey) continue;
+    const std::size_t slot = find_slot(old_keys[i]);
+    keys_[slot] = old_keys[i];
+    rows_[slot] = old_rows[i];
+  }
+}
+
+void ArpCache::reserve(std::size_t entries) { grow(entries); }
+
+void ArpCache::clear() {
+  // Keep the slot array (capacity is tiny and reusable); drop the entries.
+  std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+  size_ = 0;
+}
+
 void ArpCache::insert(Ipv4Addr ip, ether::MacAddress mac, netsim::TimePoint now) {
-  entries_[ip] = Entry{mac, now};
+  if (ip.is_zero()) return;  // 0.0.0.0 is the empty sentinel, never a station
+  if (keys_.empty() || (size_ + 1) * 4 > keys_.size() * 3) grow(size_ + 1);
+  const std::size_t slot = find_slot(ip.value());
+  if (keys_[slot] == kEmptyKey) {
+    keys_[slot] = ip.value();
+    size_ += 1;
+  }
+  rows_[slot] = Row{mac, now};
 }
 
 bool ArpCache::insert_unless_fresh(Ipv4Addr ip, ether::MacAddress mac,
                                    netsim::TimePoint now, netsim::Duration window) {
-  const auto it = entries_.find(ip);
-  if (it != entries_.end() && it->second.mac == mac &&
-      now - it->second.inserted < window) {
-    return false;  // flooded duplicate: keep the original insertion age
+  if (ip.is_zero()) return true;  // unmappable: nothing cached, nothing suppressed
+  if (!keys_.empty()) {
+    const std::size_t slot = find_slot(ip.value());
+    if (keys_[slot] == ip.value() && rows_[slot].mac == mac &&
+        now - rows_[slot].inserted < window) {
+      return false;  // flooded duplicate: keep the original insertion age
+    }
   }
-  entries_[ip] = Entry{mac, now};
+  insert(ip, mac, now);
   return true;
 }
 
@@ -99,12 +142,13 @@ bool ArpReplySuppressor::should_suppress(Ipv4Addr querier, netsim::TimePoint now
 
 std::optional<ether::MacAddress> ArpCache::lookup(Ipv4Addr ip,
                                                   netsim::TimePoint now) const {
-  const auto it = entries_.find(ip);
-  if (it == entries_.end()) return std::nullopt;
-  if (ttl_ != netsim::Duration::zero() && now - it->second.inserted > ttl_) {
+  if (keys_.empty() || ip.is_zero()) return std::nullopt;
+  const std::size_t slot = find_slot(ip.value());
+  if (keys_[slot] != ip.value()) return std::nullopt;
+  if (ttl_ != netsim::Duration::zero() && now - rows_[slot].inserted > ttl_) {
     return std::nullopt;
   }
-  return it->second.mac;
+  return rows_[slot].mac;
 }
 
 }  // namespace ab::stack

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/ether/mac_address.h"
 #include "src/netsim/time.h"
@@ -45,6 +46,17 @@ struct ArpPacket {
 };
 
 /// IP -> MAC cache with per-entry insertion timestamps and optional expiry.
+///
+/// Storage is structure-of-arrays open addressing -- a flat power-of-two
+/// key row (the raw IPv4 word; 0 is the empty sentinel, and 0.0.0.0 is
+/// never a valid station address) with parallel MAC and timestamp rows --
+/// instead of an unordered_map of nodes. A host's resolver then costs two
+/// small flat vectors that start EMPTY (an idle station's cache is a
+/// couple of pointers, which is what lets a million-station arena hold
+/// one per host), and a lookup is a linear probe over contiguous keys
+/// with no bucket chain to chase. There is no per-entry erase (the stack
+/// never needed one): stale entries are filtered by ttl at lookup and
+/// dropped wholesale by clear().
 class ArpCache {
  public:
   /// `ttl` of zero disables expiry.
@@ -63,22 +75,35 @@ class ArpCache {
   /// Pre-sizes the table for `entries` peers so resolution-heavy hosts
   /// don't rehash on the traffic path. Buckets are real memory: size to
   /// the peers this host will talk to, not the station population.
-  void reserve(std::size_t entries) { entries_.reserve(entries); }
+  void reserve(std::size_t entries);
 
   /// Lookup honoring expiry.
   [[nodiscard]] std::optional<ether::MacAddress> lookup(Ipv4Addr ip,
                                                         netsim::TimePoint now) const;
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void clear();
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kEmptyKey = 0;  ///< 0.0.0.0: never assigned
+
+  struct Row {
     ether::MacAddress mac;
     netsim::TimePoint inserted;
   };
+
+  [[nodiscard]] std::size_t slot_of(std::uint32_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B9u) >> 16) & (keys_.size() - 1);
+  }
+  /// Slot holding `key`, or the empty slot where it would go. Requires a
+  /// non-full table (growth keeps load <= 3/4).
+  [[nodiscard]] std::size_t find_slot(std::uint32_t key) const;
+  void grow(std::size_t for_entries);
+
   netsim::Duration ttl_;
-  std::unordered_map<Ipv4Addr, Entry> entries_;
+  std::vector<std::uint32_t> keys_;  ///< power-of-two; empty until first insert
+  std::vector<Row> rows_;            ///< parallel to keys_
+  std::size_t size_ = 0;
 };
 
 /// Per-querier suppression of flooded duplicate ARP requests: a flood

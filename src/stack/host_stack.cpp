@@ -22,16 +22,27 @@ HostStack::HostStack(netsim::Scheduler& scheduler, netsim::Nic& nic, HostConfig 
       [this](const ether::WireFrame& frame) { on_frame(frame.frame()); });
 }
 
+HostStack::ColdState& HostStack::cold() {
+  if (!cold_) cold_ = std::make_unique<ColdState>();
+  return *cold_;
+}
+
 void HostStack::bind_udp(std::uint16_t port, UdpHandler handler) {
   if (!handler) throw std::invalid_argument("HostStack: null UDP handler");
-  const auto [it, inserted] = udp_handlers_.emplace(port, std::move(handler));
+  const auto [it, inserted] = cold().udp_handlers.emplace(port, std::move(handler));
   (void)it;
   if (!inserted) {
     throw std::invalid_argument(util::format("UDP port %u already bound", port));
   }
 }
 
-void HostStack::unbind_udp(std::uint16_t port) { udp_handlers_.erase(port); }
+void HostStack::unbind_udp(std::uint16_t port) {
+  if (cold_) cold_->udp_handlers.erase(port);
+}
+
+void HostStack::set_echo_handler(EchoHandler handler) {
+  cold().echo_handler = std::move(handler);
+}
 
 void HostStack::send_udp(Ipv4Addr dst, std::uint16_t src_port, std::uint16_t dst_port,
                          util::ByteBuffer payload) {
@@ -95,7 +106,7 @@ void HostStack::transmit_ip_packet(Ipv4Addr dst, util::ByteBuffer packet) {
     return;
   }
   // Queue behind ARP resolution; start resolving if not already.
-  auto [it, inserted] = pending_arp_.try_emplace(dst);
+  auto [it, inserted] = cold().pending_arp.try_emplace(dst);
   it->second.queued_ip_packets.push_back(std::move(packet));
   if (inserted) send_arp_request(dst);
 }
@@ -109,7 +120,7 @@ void HostStack::transmit_ip_burst(Ipv4Addr dst, std::vector<util::ByteBuffer> pa
     transmit_frame_burst(*mac, ether::EtherType::kIpv4, std::move(packets));
     return;
   }
-  auto [it, inserted] = pending_arp_.try_emplace(dst);
+  auto [it, inserted] = cold().pending_arp.try_emplace(dst);
   for (util::ByteBuffer& packet : packets) {
     it->second.queued_ip_packets.push_back(std::move(packet));
   }
@@ -117,12 +128,13 @@ void HostStack::transmit_ip_burst(Ipv4Addr dst, std::vector<util::ByteBuffer> pa
 }
 
 void HostStack::send_arp_request(Ipv4Addr target) {
-  auto it = pending_arp_.find(target);
-  if (it == pending_arp_.end()) return;
+  if (!cold_) return;
+  auto it = cold_->pending_arp.find(target);
+  if (it == cold_->pending_arp.end()) return;
   if (it->second.tries >= config_.arp_max_tries) {
     stats_.unresolved_drops += it->second.queued_ip_packets.size();
     if (log_) log_->warn("arp", "gave up resolving " + target.to_string());
-    pending_arp_.erase(it);
+    cold_->pending_arp.erase(it);
     return;
   }
   it->second.tries += 1;
@@ -130,7 +142,7 @@ void HostStack::send_arp_request(Ipv4Addr target) {
   const ArpPacket req = ArpPacket::request(nic_->mac(), config_.ip, target);
   transmit_frame(ether::MacAddress::broadcast(), ether::EtherType::kArp, req.encode());
   scheduler_->schedule_after(config_.arp_retry, [this, target] {
-    if (pending_arp_.count(target) != 0) send_arp_request(target);
+    if (cold_ && cold_->pending_arp.count(target) != 0) send_arp_request(target);
   });
 }
 
@@ -196,11 +208,14 @@ void HostStack::handle_arp(util::ByteView payload) {
                                        config_.arp_dedupe_window)) {
       // Flush any traffic parked on this resolution -- as one burst, so a
       // write's worth of queued fragments costs one scheduler insert.
-      if (auto it = pending_arp_.find(arp.sender_ip); it != pending_arp_.end()) {
-        auto queued = std::move(it->second.queued_ip_packets);
-        pending_arp_.erase(it);
-        transmit_frame_burst(arp.sender_mac, ether::EtherType::kIpv4,
-                             std::move(queued));
+      if (cold_) {
+        if (auto it = cold_->pending_arp.find(arp.sender_ip);
+            it != cold_->pending_arp.end()) {
+          auto queued = std::move(it->second.queued_ip_packets);
+          cold_->pending_arp.erase(it);
+          transmit_frame_burst(arp.sender_mac, ether::EtherType::kIpv4,
+                               std::move(queued));
+        }
       }
     } else if (arp.op == ArpOp::kReply) {
       stats_.arp_duplicate_replies += 1;
@@ -211,8 +226,8 @@ void HostStack::handle_arp(util::ByteView payload) {
       // reply per window, keyed on when we last ANSWERED the sender (not
       // on the cache mapping, which a reply also refreshes). Genuine
       // retries arrive at arp_retry spacing, well past the window.
-      if (arp_reply_suppressor_.should_suppress(arp.sender_ip, now,
-                                                config_.arp_dedupe_window)) {
+      if (cold().arp_reply_suppressor.should_suppress(arp.sender_ip, now,
+                                                      config_.arp_dedupe_window)) {
         stats_.arp_duplicate_replies += 1;
         return;
       }
@@ -240,12 +255,14 @@ void HostStack::handle_ipv4(util::ByteView payload) {
 
 void HostStack::handle_reassembly(const Ipv4Header& header, util::ByteBuffer payload) {
   const ReassemblyKey key{header.src, header.identification, header.protocol};
-  auto [it, inserted] = reassemblies_.try_emplace(key);
+  auto [it, inserted] = cold().reassemblies.try_emplace(key);
   Reassembly& r = it->second;
   if (inserted) {
     r.started = scheduler_->now();
     scheduler_->schedule_after(config_.reassembly_timeout, [this, key] {
-      if (reassemblies_.erase(key) != 0) stats_.reassemblies_dropped += 1;
+      if (cold_ && cold_->reassemblies.erase(key) != 0) {
+        stats_.reassemblies_dropped += 1;
+      }
     });
   }
   const std::size_t offset = static_cast<std::size_t>(header.fragment_offset) * 8;
@@ -269,7 +286,7 @@ void HostStack::handle_reassembly(const Ipv4Header& header, util::ByteBuffer pay
   Ipv4Header h = header;
   h.more_fragments = false;
   h.fragment_offset = 0;
-  reassemblies_.erase(it);
+  cold_->reassemblies.erase(it);
   stats_.reassemblies_done += 1;
   deliver(h, whole);
 }
@@ -289,9 +306,9 @@ void HostStack::deliver(const Ipv4Header& header, util::ByteView payload) {
         }
       } else {
         stats_.echo_replies_received += 1;
-        if (echo_handler_) {
-          echo_handler_(EchoReply{header.src, echo->id, echo->seq,
-                                  std::move(echo->payload)});
+        if (cold_ && cold_->echo_handler) {
+          cold_->echo_handler(EchoReply{header.src, echo->id, echo->seq,
+                                        std::move(echo->payload)});
         }
       }
       return;
@@ -302,8 +319,9 @@ void HostStack::deliver(const Ipv4Header& header, util::ByteView payload) {
         stats_.rx_parse_errors += 1;
         return;
       }
-      const auto it = udp_handlers_.find(datagram->dst_port);
-      if (it != udp_handlers_.end()) {
+      if (!cold_) return;  // no socket ever bound: nothing listening
+      const auto it = cold_->udp_handlers.find(datagram->dst_port);
+      if (it != cold_->udp_handlers.end()) {
         stats_.udp_delivered += 1;
         it->second(header.src, datagram.value());
       }

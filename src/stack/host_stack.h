@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -104,7 +105,7 @@ class HostStack {
                 util::ByteBuffer payload);
 
   /// Receives every echo reply addressed to this host.
-  void set_echo_handler(EchoHandler handler) { echo_handler_ = std::move(handler); }
+  void set_echo_handler(EchoHandler handler);
 
   /// Sends an ICMP echo request (ping).
   void send_echo_request(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
@@ -126,6 +127,24 @@ class HostStack {
     std::size_t total_len = SIZE_MAX;               ///< known once last frag seen
     netsim::TimePoint started{};
   };
+
+  /// Everything a station only needs once it actively resolves, binds,
+  /// reassembles, or pings -- boxed so the million idle stations of a big
+  /// cell each cost one null pointer here instead of five empty
+  /// containers. Created on first use and never discarded (a station that
+  /// has spoken once is warm for the rest of the run).
+  struct ColdState {
+    std::unordered_map<Ipv4Addr, PendingArp> pending_arp;
+    /// Flooded duplicate copies of one request draw a single reply per
+    /// dedupe window (shared implementation with the netloader).
+    ArpReplySuppressor arp_reply_suppressor;
+    std::unordered_map<std::uint16_t, UdpHandler> udp_handlers;
+    std::map<ReassemblyKey, Reassembly> reassemblies;
+    EchoHandler echo_handler;
+  };
+
+  /// The cold box, materialized on first demand.
+  ColdState& cold();
 
   void on_frame(const ether::Frame& frame);
   void handle_arp(util::ByteView payload);
@@ -154,13 +173,7 @@ class HostStack {
   util::Logger* log_;
   netsim::ProcessingElement tx_pe_;
   ArpCache arp_cache_;
-  std::unordered_map<Ipv4Addr, PendingArp> pending_arp_;
-  /// Flooded duplicate copies of one request draw a single reply per
-  /// dedupe window (shared implementation with the netloader).
-  ArpReplySuppressor arp_reply_suppressor_;
-  std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
-  std::map<ReassemblyKey, Reassembly> reassemblies_;
-  EchoHandler echo_handler_;
+  std::unique_ptr<ColdState> cold_;  ///< null until the station first acts
   std::uint16_t next_ip_id_ = 1;
   HostStats stats_;
 };

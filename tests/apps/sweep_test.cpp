@@ -257,5 +257,79 @@ TEST(TopologySweep, StpOffMeasuresTheStorm) {
   EXPECT_GT(r.frames_carried, 100u);
 }
 
+netsim::TopologySpec small_star() {
+  netsim::TopologySpec spec;
+  spec.shape = netsim::TopologyShape::kStar;
+  spec.nodes = 2;       // hub + 2 leaves = 3 LANs
+  spec.hosts_per_lan = 8;
+  return spec;
+}
+
+AggregateHostWorkload::Options small_aggregate_options() {
+  AggregateHostWorkload::Options opts;
+  opts.talkers_per_lan = 2;
+  opts.background_per_lan = 4;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(AggregateHostWorkload, SameSeedSameCellIsBitIdentical) {
+  // The aggregate model samples its background stations by seed; a rerun
+  // of the identical cell must replay the identical simulation, counter
+  // for counter -- determinism is what makes the bench columns and the
+  // CI bounds meaningful.
+  const netsim::TopologySpec spec = small_star();
+  SweepResult runs[2];
+  for (SweepResult& r : runs) {
+    AggregateHostWorkload workload(small_aggregate_options());
+    TopologySweep sweep;
+    r = sweep.run_cell(spec, workload);
+  }
+  EXPECT_EQ(runs[0].frames_carried, runs[1].frames_carried);
+  EXPECT_EQ(runs[0].bytes_carried, runs[1].bytes_carried);
+  EXPECT_EQ(runs[0].events, runs[1].events);
+  EXPECT_EQ(runs[0].heap_inserts, runs[1].heap_inserts);
+  EXPECT_EQ(runs[0].scheduled_entries, runs[1].scheduled_entries);
+  EXPECT_EQ(runs[0].pings_sent, runs[1].pings_sent);
+  EXPECT_EQ(runs[0].pings_answered, runs[1].pings_answered);
+  EXPECT_GT(runs[0].frames_carried, 0u);
+  EXPECT_GT(runs[0].pings_answered, 0);
+}
+
+TEST(AggregateHostWorkload, MatchesTheMaterializedModelOnASmallCell) {
+  // The acceptance claim behind the million-station cell: replaying a
+  // background frame from the per-LAN generator NIC instead of the
+  // station's own NIC changes NOTHING the simulation can observe -- the
+  // frame carries the station's real MAC/IP, the generator is attached
+  // first in both modes (identical receiver walks), and the gap keeps the
+  // generator idle (no queueing skew). Same cell, same seed, both modes:
+  // every shared counter must match bit for bit.
+  const netsim::TopologySpec spec = small_star();
+  SweepResult by_mode[2];
+  for (int materialize = 0; materialize < 2; ++materialize) {
+    AggregateHostWorkload::Options opts = small_aggregate_options();
+    opts.materialize_background = materialize == 1;
+    AggregateHostWorkload workload(opts);
+    TopologySweep sweep;
+    by_mode[materialize] = sweep.run_cell(spec, workload);
+  }
+  const SweepResult& aggregate = by_mode[0];
+  const SweepResult& materialized = by_mode[1];
+  EXPECT_EQ(aggregate.frames_carried, materialized.frames_carried);
+  EXPECT_EQ(aggregate.bytes_carried, materialized.bytes_carried);
+  EXPECT_EQ(aggregate.frames_lost, materialized.frames_lost);
+  EXPECT_EQ(aggregate.events, materialized.events);
+  EXPECT_EQ(aggregate.heap_inserts, materialized.heap_inserts);
+  EXPECT_EQ(aggregate.scheduled_entries, materialized.scheduled_entries);
+  EXPECT_EQ(aggregate.pings_sent, materialized.pings_sent);
+  EXPECT_EQ(aggregate.pings_answered, materialized.pings_answered);
+  ASSERT_EQ(aggregate.streams.size(), materialized.streams.size());
+  for (std::size_t i = 0; i < aggregate.streams.size(); ++i) {
+    EXPECT_EQ(aggregate.streams[i].bytes_received, materialized.streams[i].bytes_received);
+  }
+  // And the background actually ran: every LAN's sampled stations pinged.
+  EXPECT_GT(aggregate.pings_answered, 0);
+}
+
 }  // namespace
 }  // namespace ab::apps

@@ -162,13 +162,15 @@ TEST(NicBurst, BurstDeliversBackToBackLikeSequentialTransmits) {
   EXPECT_EQ(t.a->stats().tx_frames, 4u);
 }
 
-TEST(NicBurst, BurstCostsOneSchedulerInsert) {
+TEST(NicBurst, BurstCostsTwoSchedulerInserts) {
+  // One timed run for the k transmit completions, one for the k paced
+  // deliveries -- two heap inserts total, however large the burst.
   TwoNics t;
   t.b->set_rx_handler([](const ether::WireFrame&) {});
   auto frames = burst_of(8, t.b->mac(), t.a->mac());
   const std::uint64_t before = t.net.scheduler().inserts();
   t.a->transmit_burst(frames);
-  EXPECT_EQ(t.net.scheduler().inserts() - before, 1u);
+  EXPECT_EQ(t.net.scheduler().inserts() - before, 2u);
   t.net.scheduler().run();
   EXPECT_EQ(t.b->stats().rx_frames, 8u);
 }
@@ -378,6 +380,63 @@ TEST(TxBatch, FlushOfEmptyBatchIsANoOp) {
   TxBatch batch;
   EXPECT_EQ(batch.flush(net.scheduler()), BatchId{});
   EXPECT_TRUE(net.scheduler().empty());
+}
+
+TEST(Nic, RunExtensionTimingMatchesTheQueuedModel) {
+  // The saturated-transmit extension claims timing identity: a frame that
+  // extends the in-flight run must complete and deliver at EXACTLY the
+  // times the queue-then-restart path produces, saving one heap insert
+  // and nothing else. Run the same scenario twice -- the control disables
+  // extension by staling the run handle (note_run(BatchId{}), the state a
+  // claim has before TxBatch reports back), forcing the FIFO fallback.
+  struct Out {
+    std::vector<Duration> delivered_at;
+    std::uint64_t inserts = 0;
+    std::uint64_t scheduled = 0;
+  };
+  auto drive = [](bool stale_handle) {
+    Out out;
+    Network net;
+    LanSegment& lan = net.add_segment("lan");
+    Nic& tx = net.add_nic("tx", lan);
+    Nic& rx = net.add_nic("rx", lan);
+    rx.set_rx_handler([&](const ether::WireFrame&) {
+      out.delivered_at.push_back(net.scheduler().now().time_since_epoch());
+    });
+    tx.transmit(to(rx.mac(), tx.mac(), 1000));
+    if (stale_handle) tx.note_run(BatchId{});
+    // Offer the second frame mid-serialization of the first: transmitter
+    // busy, queue empty -- the extension case.
+    net.scheduler().schedule_after(microseconds(20), [&] {
+      tx.transmit(to(rx.mac(), tx.mac(), 600));
+    });
+    net.scheduler().run();
+    out.inserts = net.scheduler().inserts();
+    out.scheduled = net.scheduler().scheduled();
+    return out;
+  };
+  const Out extended = drive(false);
+  const Out queued = drive(true);
+
+  ASSERT_EQ(extended.delivered_at.size(), 2u);
+  ASSERT_EQ(queued.delivered_at.size(), 2u);
+  EXPECT_EQ(extended.delivered_at, queued.delivered_at);
+  // Identical event programs, one fewer heap insert on the extension side
+  // (the queued model restarts the transmitter with a fresh run).
+  EXPECT_EQ(extended.scheduled, queued.scheduled);
+  EXPECT_EQ(extended.inserts + 1, queued.inserts);
+
+  // And both match the analytic FIFO model: back-to-back serialization
+  // from t=0, each delivery one propagation later.
+  Network probe_net;
+  LanSegment& probe = probe_net.add_segment("probe");
+  const Duration ser1 =
+      probe.serialization_delay(ether::WireFrame(to({}, {}, 1000)).wire_size());
+  const Duration ser2 =
+      probe.serialization_delay(ether::WireFrame(to({}, {}, 600)).wire_size());
+  const Duration prop = probe.config().propagation;
+  EXPECT_EQ(extended.delivered_at[0], ser1 + prop);
+  EXPECT_EQ(extended.delivered_at[1], ser1 + ser2 + prop);
 }
 
 }  // namespace

@@ -712,5 +712,166 @@ TEST(SchedulerBatch, ManyRunsInterleavedWithCancelsKeepPendingExact) {
   EXPECT_TRUE(s.empty());
 }
 
+// ---------------------------------------------------------------------------
+// try_extend_run: appending to an in-flight timed run
+
+Scheduler::TimedEntry labelled_entry(std::vector<int>& order, int label, int ms) {
+  Scheduler::TimedEntry e;
+  e.when = TimePoint{} + milliseconds(ms);
+  e.fn = [&order, label] { order.push_back(label); };
+  return e;
+}
+
+TEST(SchedulerTimedRunExtend, AppendsPastTheTailWithNoNewInsert) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2, 3});
+  const BatchId id = s.schedule_run_at(entries);
+  const std::uint64_t inserts_before = s.inserts();
+  EXPECT_TRUE(s.try_extend_run(id, labelled_entry(order, 3, 4)));
+  EXPECT_EQ(s.inserts(), inserts_before);  // the run absorbed it
+  EXPECT_EQ(s.pending(), 4u);
+  EXPECT_EQ(s.scheduled(), 4u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(4));
+}
+
+TEST(SchedulerTimedRunExtend, ExtensionInterleavesLikeAFreshSchedule) {
+  // A single event scheduled between the run and its extension, at the
+  // extension's own timestamp, must fire BEFORE the extension -- the
+  // appended entry is "newer" and takes a later order number.
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2});
+  const BatchId id = s.schedule_run_at(entries);
+  s.schedule_at(TimePoint{} + milliseconds(5), [&order] { order.push_back(-1); });
+  EXPECT_TRUE(s.try_extend_run(id, labelled_entry(order, 2, 5)));
+  s.schedule_at(TimePoint{} + milliseconds(5), [&order] { order.push_back(-2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, -1, 2, -2}));
+}
+
+TEST(SchedulerTimedRunExtend, ExtensionFromInsideTheRunRespectsRetirement) {
+  // pop_and_run retires the slot BEFORE the run's last entry fires, so a
+  // self-extension from inside that entry is already stale and must fail
+  // -- that is what sends the NIC's saturated-transmit path to its FIFO
+  // fallback (its run_remaining_ guard is 0 by then). From any EARLIER
+  // entry the run is still live and the extension lands.
+  Scheduler s;
+  std::vector<int> order;
+  BatchId id{};
+  std::vector<Scheduler::TimedEntry> entries;
+  Scheduler::TimedEntry e0;
+  e0.when = TimePoint{} + milliseconds(1);
+  e0.fn = [&] {
+    order.push_back(0);
+    EXPECT_TRUE(s.try_extend_run(id, labelled_entry(order, 1, 3)));
+  };
+  entries.push_back(std::move(e0));
+  Scheduler::TimedEntry e9;
+  e9.when = TimePoint{} + milliseconds(2);
+  e9.fn = [&] { order.push_back(9); };
+  entries.push_back(std::move(e9));
+  id = s.schedule_run_at(entries);
+  s.run();
+  // The 3ms extension appended from the 1ms entry fired as the run's tail.
+  EXPECT_EQ(order, (std::vector<int>{0, 9, 1}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(3));
+
+  // Same shape, one entry: extending from inside the run's LAST entry
+  // finds the stamp already stale and reports false, leaving the clock
+  // and the order log untouched by the rejected entry.
+  std::vector<int> solo;
+  BatchId solo_id{};
+  std::vector<Scheduler::TimedEntry> solo_entries;
+  Scheduler::TimedEntry last;
+  last.when = TimePoint{} + milliseconds(10);
+  last.fn = [&] {
+    solo.push_back(0);
+    EXPECT_FALSE(s.try_extend_run(solo_id, labelled_entry(solo, 1, 30)));
+  };
+  solo_entries.push_back(std::move(last));
+  solo_id = s.schedule_run_at(solo_entries);
+  s.run();
+  EXPECT_EQ(solo, (std::vector<int>{0}));
+  EXPECT_EQ(s.now().time_since_epoch(), milliseconds(10));
+}
+
+TEST(SchedulerTimedRunExtend, StaleIdRejected) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1});
+  const BatchId id = s.schedule_run_at(entries);
+  s.run();  // the run fires and retires; the stamp goes stale
+  EXPECT_FALSE(s.try_extend_run(id, labelled_entry(order, 9, 5)));
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.try_extend_run(BatchId{}, labelled_entry(order, 9, 5)));
+}
+
+TEST(SchedulerTimedRunExtend, CancelledRunRejected) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1, 2});
+  const BatchId id = s.schedule_run_at(entries);
+  s.cancel(id);
+  EXPECT_FALSE(s.try_extend_run(id, labelled_entry(order, 9, 5)));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTimedRunExtend, SameTimeBatchRejected) {
+  // Only TIMED runs extend: a same-time batch has no per-entry times to
+  // append to.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<Scheduler::Callback> fns;
+  fns.emplace_back([&order] { order.push_back(0); });
+  const BatchId id = s.schedule_batch_at(TimePoint{} + milliseconds(1), fns);
+  EXPECT_FALSE(s.try_extend_run(id, labelled_entry(order, 9, 5)));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+}
+
+TEST(SchedulerTimedRunExtend, NonMonotoneExtensionRejected) {
+  // An entry before the run's tail time cannot be absorbed (the run's
+  // heap key would lie); the caller falls back to a normal schedule.
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {2, 6});
+  const BatchId id = s.schedule_run_at(entries);
+  EXPECT_FALSE(s.try_extend_run(id, labelled_entry(order, 9, 4)));
+  EXPECT_EQ(s.pending(), 2u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SchedulerTimedRunExtend, NullCallbackThrows) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1});
+  const BatchId id = s.schedule_run_at(entries);
+  Scheduler::TimedEntry null_entry;
+  null_entry.when = TimePoint{} + milliseconds(2);
+  EXPECT_THROW(s.try_extend_run(id, std::move(null_entry)),
+               std::invalid_argument);
+  EXPECT_EQ(s.pending(), 1u);  // nothing was admitted
+}
+
+TEST(SchedulerTimedRunExtend, RepeatedExtensionsKeepFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  auto entries = labelled_run(order, 0, {1});
+  const BatchId id = s.schedule_run_at(entries);
+  const std::uint64_t inserts_before = s.inserts();
+  for (int i = 1; i <= 16; ++i) {
+    EXPECT_TRUE(s.try_extend_run(id, labelled_entry(order, i, 1 + i)));
+  }
+  EXPECT_EQ(s.inserts(), inserts_before);
+  s.run();
+  std::vector<int> expect;
+  for (int i = 0; i <= 16; ++i) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
 }  // namespace
 }  // namespace ab::netsim
