@@ -1,0 +1,160 @@
+// Parallel scaling bench for the sharded simulation core.
+//
+// One star cell, five runs: the legacy single-Network baseline, then the
+// sharded path (8 regions) at 1, 2, 4 and 8 worker threads. Before any
+// timing claim is written out the bench asserts the sharded runs are
+// bit-identical across thread counts -- frames, bytes, events, heap
+// inserts -- because a speedup that changes the answer is not a speedup.
+//
+// Output: BENCH_parallel.json in the working directory. Each run stays on
+// one line: scripts/check_bench_smoke.sh greps them. Speedups are relative
+// to the sharded 1-thread run (same code path, only the worker count
+// varies); hardware_concurrency is recorded so the smoke check can skip
+// the scaling bound on starved containers.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/scenario.h"
+
+namespace {
+
+struct RunRow {
+  std::string run;   // "legacy" or "sharded-t<N>"
+  int threads = 1;
+  int shard_regions = 0;
+  ab::apps::SweepResult result;
+};
+
+bool counters_match(const ab::apps::SweepResult& a,
+                    const ab::apps::SweepResult& b) {
+  return a.frames_carried == b.frames_carried &&
+         a.bytes_carried == b.bytes_carried &&
+         a.frames_lost == b.frames_lost && a.mac_entries == b.mac_entries &&
+         a.pings_sent == b.pings_sent &&
+         a.pings_answered == b.pings_answered && a.events == b.events &&
+         a.heap_inserts == b.heap_inserts &&
+         a.scheduled_entries == b.scheduled_entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  ab::netsim::TopologySpec spec;
+  spec.shape = ab::netsim::TopologyShape::kStar;
+  spec.nodes = 8;
+  spec.hosts_per_lan = smoke ? 4 : 16;
+  const std::string cell =
+      "star-" + std::to_string(spec.nodes) + "x" +
+      std::to_string(spec.hosts_per_lan);
+
+  std::vector<RunRow> rows;
+
+  {
+    RunRow row;
+    row.run = "legacy";
+    ab::apps::TopologySweep sweep;  // single Network, one scheduler
+    row.result = sweep.run_cell(spec);
+    rows.push_back(std::move(row));
+  }
+  for (const int threads : {1, 2, 4, 8}) {
+    RunRow row;
+    row.run = "sharded-t" + std::to_string(threads);
+    row.threads = threads;
+    row.shard_regions = 8;
+    ab::apps::SweepOptions opts;
+    opts.shard_regions = row.shard_regions;
+    opts.threads = threads;
+    ab::apps::TopologySweep sweep(opts);
+    row.result = sweep.run_cell(spec);
+    rows.push_back(std::move(row));
+  }
+
+  // Determinism gate: every sharded run must agree with the sharded
+  // 1-thread run on every counter, scheduler internals included.
+  const ab::apps::SweepResult& sharded_1t = rows[1].result;
+  bool deterministic = true;
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    if (!counters_match(rows[i].result, sharded_1t)) {
+      deterministic = false;
+      std::fprintf(stderr, "FAIL: %s diverges from sharded-t1\n",
+                   rows[i].run.c_str());
+    }
+  }
+  // And the sharded runs must carry the oracle's traffic (star cells are
+  // tie-free, so even frame counts match the legacy path exactly).
+  const ab::apps::SweepResult& legacy = rows[0].result;
+  if (sharded_1t.frames_carried != legacy.frames_carried ||
+      sharded_1t.bytes_carried != legacy.bytes_carried ||
+      sharded_1t.pings_answered != legacy.pings_answered) {
+    deterministic = false;
+    std::fprintf(stderr, "FAIL: sharded traffic diverges from legacy\n");
+  }
+
+  const double base_eps = sharded_1t.events_per_sec;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("parallel scaling: %s  (hardware_concurrency=%u)\n",
+              cell.c_str(), hw);
+  std::printf("%-12s %7s %7s %12s %10s %12s %8s\n", "run", "threads",
+              "regions", "events", "wall_s", "events/s", "speedup");
+  for (const RunRow& row : rows) {
+    const double speedup =
+        (row.shard_regions > 0 && base_eps > 0.0)
+            ? row.result.events_per_sec / base_eps
+            : 1.0;
+    std::printf("%-12s %7d %7d %12llu %10.3f %12.0f %8.2f\n",
+                row.run.c_str(), row.threads, row.shard_regions,
+                static_cast<unsigned long long>(row.result.events),
+                row.result.wall_seconds, row.result.events_per_sec, speedup);
+  }
+  std::printf("deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"experiment\": \"parallel_scaling\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"cell\": \"%s\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"deterministic\": %s,\n"
+               "  \"runs\": [\n",
+               smoke ? "true" : "false", cell.c_str(), hw,
+               deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& row = rows[i];
+    const double speedup =
+        (row.shard_regions > 0 && base_eps > 0.0)
+            ? row.result.events_per_sec / base_eps
+            : 1.0;
+    std::fprintf(f,
+                 "    {\"run\": \"%s\", \"threads\": %d, "
+                 "\"shard_regions\": %d, \"events\": %llu, "
+                 "\"frames_carried\": %llu, \"bytes_carried\": %llu, "
+                 "\"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
+                 "\"speedup_vs_1t\": %.3f}%s\n",
+                 row.run.c_str(), row.threads, row.shard_regions,
+                 static_cast<unsigned long long>(row.result.events),
+                 static_cast<unsigned long long>(row.result.frames_carried),
+                 static_cast<unsigned long long>(row.result.bytes_carried),
+                 row.result.wall_seconds, row.result.events_per_sec, speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_parallel.json\n");
+
+  return deterministic ? 0 : 1;
+}

@@ -17,6 +17,16 @@ cmake -B build-asan -S . -DAB_SANITIZE=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
 
+echo "== TSan build + sharded-core tests =="
+# ThreadSanitizer over everything that touches the parallel core: the
+# mailbox/runner unit tests, the sharded-vs-oracle property tests, and the
+# inject_remote segment tests. The full suite under TSan is slow and the
+# rest of the code is single-threaded; the filter keeps this section tight.
+cmake -B build-tsan -S . -DAB_TSAN=ON
+cmake --build build-tsan -j
+(cd build-tsan && ctest --output-on-failure -j \
+  -R 'RelayRing|ShardChannel|Shard\.|ParallelRunner|ParallelSweep|InjectRemote')
+
 echo "== datapath accounting =="
 (cd build && ./micro_datapath --benchmark_filter='Fanout' && cat BENCH_datapath.json) || true
 
@@ -29,12 +39,17 @@ cmake --build build-release -j
 # over the acceptance cells, plus the flood-dominated star profile the
 # bench guard below asserts on.
 (cd build-release && ./macro_topology --smoke && cat BENCH_topology.json)
+# parallel_scaling --smoke runs the sharded star cell at 1/2/4/8 worker
+# threads and exits non-zero if any thread count changes any counter.
+(cd build-release && ./parallel_scaling --smoke && cat BENCH_parallel.json)
 # Guards: the batch-insert and timed-run cells exist, the flood profile
 # stays at O(1) delivery events per broadcast per segment, the transmit
 # hops (NIC burst drain, bridge egress TxBatch, fragmented write through
 # the processing element) stay at O(1) scheduler inserts per hop, and the
 # million-station cell stays inside its per-station memory and build-time
-# budgets with every ping answered.
+# budgets with every ping answered. Plus the sharded-core guards: the
+# scaling runs are deterministic across thread counts, and the 4-thread
+# speedup holds 2.0x when the runner actually has >= 4 hardware threads.
 ./scripts/check_bench_smoke.sh build-release
 (cd build-release && ./ablation_spanning_tree && ./ablation_learning \
   && ./fig9_ping_latency && ./table1_protocol_transition) > /dev/null

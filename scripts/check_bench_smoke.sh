@@ -31,6 +31,13 @@
 #      model's (1433 B, 16.2 us), so a regression toward per-station heap
 #      objects or quadratic attach fails here even if the cell still
 #      completes.
+#   7. BENCH_parallel.json (the sharded-core scaling bench) must carry the
+#      legacy run plus all four sharded thread counts, report the bench's
+#      own bit-identity verdict as deterministic, and agree here too:
+#      events and frames_carried equal across every sharded run. The
+#      4-thread speedup must reach 2.0x -- but ONLY when the runner has
+#      >= 4 hardware threads; starved CI containers (1 vCPU) skip the
+#      bound with an explicit note rather than fake it.
 #
 # Usage: scripts/check_bench_smoke.sh [build-dir]   (default: build-release)
 set -euo pipefail
@@ -39,6 +46,7 @@ cd "$(dirname "$0")/.."
 build_dir="${1:-build-release}"
 sched_json="$build_dir/BENCH_scheduler.json"
 topo_json="$build_dir/BENCH_topology.json"
+par_json="$build_dir/BENCH_parallel.json"
 
 fail() {
   echo "check_bench_smoke: $1" >&2
@@ -52,6 +60,7 @@ field() {
 
 [ -f "$sched_json" ] || fail "missing $sched_json (run micro_scheduler first)"
 [ -f "$topo_json" ] || fail "missing $topo_json (run macro_topology first)"
+[ -f "$par_json" ] || fail "missing $par_json (run parallel_scaling first)"
 
 grep -q '"batch_insert"' "$sched_json" \
   || fail "$sched_json has no batch_insert cell"
@@ -141,8 +150,51 @@ if [ "$agg_sent" -eq 0 ] || [ "$agg_answered" -ne "$agg_sent" ]; then
   fail "aggregate workload lost pings: $agg_answered/$agg_sent answered"
 fi
 
+# --- BENCH_parallel.json: sharded-core determinism + scaling -------------
+
+grep -q '"run": "legacy"' "$par_json" \
+  || fail "$par_json has no legacy baseline run"
+grep -q '"deterministic": true' "$par_json" \
+  || fail "$par_json: bench reported non-deterministic sharded runs"
+
+hw=$(field "$(grep '"hardware_concurrency"' "$par_json")" hardware_concurrency)
+[ -n "$hw" ] || fail "could not parse hardware_concurrency from $par_json"
+
+# Cross-check the bench's verdict: every sharded run line must agree on
+# events and frames_carried with sharded-t1.
+t1_line=$(grep '"run": "sharded-t1"' "$par_json") \
+  || fail "$par_json has no sharded-t1 run"
+t1_events=$(field "$t1_line" events)
+t1_frames=$(field "$t1_line" frames_carried)
+[ -n "$t1_events" ] && [ -n "$t1_frames" ] \
+  || fail "could not parse sharded-t1 from: $t1_line"
+for t in 2 4 8; do
+  line=$(grep "\"run\": \"sharded-t$t\"" "$par_json") \
+    || fail "$par_json has no sharded-t$t run"
+  ev=$(field "$line" events)
+  fr=$(field "$line" frames_carried)
+  if [ "$ev" != "$t1_events" ] || [ "$fr" != "$t1_frames" ]; then
+    fail "sharded-t$t diverges from sharded-t1: events $ev vs $t1_events, frames $fr vs $t1_frames"
+  fi
+done
+
+# The scaling bound is only meaningful with real cores under the workers.
+min_speedup=2.0
+t4_speedup=$(field "$(grep '"run": "sharded-t4"' "$par_json")" speedup_vs_1t)
+[ -n "$t4_speedup" ] || fail "could not parse sharded-t4 speedup from $par_json"
+if [ "$hw" -ge 4 ]; then
+  if ! awk -v s="$t4_speedup" -v min="$min_speedup" \
+       'BEGIN { exit !(s >= min) }'; then
+    fail "4-thread sharded speedup regressed: ${t4_speedup}x (floor: ${min_speedup}x on $hw hardware threads)"
+  fi
+  parallel_note="4-thread speedup ${t4_speedup}x on $hw hardware threads"
+else
+  parallel_note="4-thread speedup bound SKIPPED ($hw hardware thread(s) < 4; measured ${t4_speedup}x)"
+fi
+
 echo "check_bench_smoke: OK (batch_insert + timed_run cells present;" \
   "flood profile at $epb events and $ipb inserts/broadcast for $receivers receivers;" \
   "egress hop at $ipf inserts/flood on $ports ports;" \
   "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present;" \
-  "$stations stations at $bps B and $bups us each, $agg_answered/$agg_sent pings)"
+  "$stations stations at $bps B and $bups us each, $agg_answered/$agg_sent pings;" \
+  "sharded runs deterministic, $parallel_note)"

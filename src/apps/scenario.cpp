@@ -4,12 +4,16 @@
 #include <charconv>
 #include <chrono>
 #include <map>
+#include <stdexcept>
+#include <thread>
 
 #if defined(__linux__)
 #include <sys/resource.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #endif
 
 #include "src/apps/deployer.h"
@@ -305,6 +309,69 @@ util::Expected<std::string, std::string> ScenarioRunner::run_text(
 }
 
 // ---------------------------------------------------------------------------
+// WorkloadContext: one surface over the single-Network and sharded modes.
+
+std::size_t WorkloadContext::host_count() const {
+  return is_sharded() ? sharded->hosts.size() : single_topo->hosts.size();
+}
+
+stack::HostStack& WorkloadContext::host(std::size_t i) const {
+  return is_sharded() ? *sharded->hosts[i] : *single_topo->hosts[i];
+}
+
+const netsim::Topology::HostAttach& WorkloadContext::host_attach(
+    std::size_t i) const {
+  return is_sharded() ? sharded->host_attach[i] : single_topo->shape.hosts[i];
+}
+
+std::size_t WorkloadContext::lan_count() const {
+  return is_sharded() ? sharded->lan_count() : single_topo->shape.lans.size();
+}
+
+std::size_t WorkloadContext::lan_attached_count(std::size_t l) const {
+  return is_sharded() ? sharded->lan_attached(l)
+                      : single_topo->shape.lans[l]->attached().size();
+}
+
+netsim::Nic& WorkloadContext::add_station_nic(const std::string& name,
+                                              std::size_t l) const {
+  if (!is_sharded()) return single_net->add_nic(name, *single_topo->shape.lans[l]);
+  auto& region =
+      *sharded->regions[static_cast<std::size_t>(sharded->plan.lan_owner[l])];
+  const std::uint32_t id = sharded->next_mac_id++;
+  return region.net.add_nic(name, *region.replicas[l],
+                            ether::MacAddress::local(id >> 16, id & 0xFFFF));
+}
+
+void WorkloadContext::advance(netsim::Duration d) const {
+  if (is_sharded()) {
+    runner->run_for(d);
+  } else {
+    single_net->scheduler().run_for(d);
+  }
+}
+
+namespace {
+
+[[noreturn]] void require_single_network() {
+  throw std::logic_error(
+      "this workload drives the global Network directly and only supports "
+      "single-Network cells (SweepOptions::threads == 1, shard_regions == 0)");
+}
+
+}  // namespace
+
+netsim::Network& WorkloadContext::net() const {
+  if (is_sharded()) require_single_network();
+  return *single_net;
+}
+
+bridge::BridgedTopology& WorkloadContext::topo() const {
+  if (is_sharded()) require_single_network();
+  return *single_topo;
+}
+
+// ---------------------------------------------------------------------------
 // Workloads
 
 double SweepResult::total_goodput_mbps() const {
@@ -331,8 +398,7 @@ void FloodPingWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   // without STP this measures the storm; with STP it measures the pruned
   // flood.
   if (ctx.options.probe_broadcasts > 0) {
-    auto& probe =
-        ctx.net.add_nic(result.label + ".probe", *ctx.topo.shape.lans[0]);
+    netsim::Nic& probe = ctx.add_station_nic(result.label + ".probe", 0);
     for (int i = 0; i < ctx.options.probe_broadcasts; ++i) {
       probe.transmit(ether::Frame::ethernet2(
           ether::MacAddress::broadcast(), probe.mac(), ether::EtherType::kExperimental,
@@ -343,26 +409,32 @@ void FloodPingWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   // Learning: every host pings its successor, so the bridges learn every
   // host location and the second half of each exchange rides directed
   // forwarding.
-  int answered = 0;
-  if (ctx.options.neighbor_pings && ctx.topo.hosts.size() >= 2) {
-    for (std::size_t i = 0; i < ctx.topo.hosts.size(); ++i) {
-      stack::HostStack& src = *ctx.topo.hosts[i];
-      stack::HostStack& dst = *ctx.topo.hosts[(i + 1) % ctx.topo.hosts.size()];
+  //
+  // One reply slot per host, not a shared counter: in a sharded cell each
+  // handler fires on its host's shard thread, and disjoint slots are the
+  // whole synchronization story (the runner's barriers publish them).
+  const std::size_t hosts = ctx.host_count();
+  std::vector<int> answered(hosts, 0);
+  if (ctx.options.neighbor_pings && hosts >= 2) {
+    for (std::size_t i = 0; i < hosts; ++i) {
+      stack::HostStack& src = ctx.host(i);
+      stack::HostStack& dst = ctx.host((i + 1) % hosts);
+      int* slot = &answered[i];
       src.set_echo_handler(
-          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
+          [slot](const stack::HostStack::EchoReply&) { ++*slot; });
       src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
       ++result.pings_sent;
     }
   }
 
-  ctx.net.scheduler().run_for(ctx.options.traffic_window);
-  result.pings_answered = answered;
+  ctx.advance(ctx.options.traffic_window);
+  for (const int slot : answered) result.pings_answered += slot;
 }
 
 void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
-  const std::size_t host_count = ctx.topo.hosts.size();
+  const std::size_t host_count = ctx.host_count();
   if (host_count < 2 || options_.streams < 1) {
-    ctx.net.scheduler().run_for(ctx.options.traffic_window);
+    ctx.advance(ctx.options.traffic_window);
     return;
   }
 
@@ -380,14 +452,14 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   std::vector<std::size_t> spoke_hosts;
   if (options_.placement == Placement::kHubTargeted) {
     int hub_lan = 0;
-    for (std::size_t l = 1; l < ctx.topo.shape.lans.size(); ++l) {
-      if (ctx.topo.shape.lans[l]->attached().size() >
-          ctx.topo.shape.lans[static_cast<std::size_t>(hub_lan)]->attached().size()) {
+    for (std::size_t l = 1; l < ctx.lan_count(); ++l) {
+      if (ctx.lan_attached_count(l) >
+          ctx.lan_attached_count(static_cast<std::size_t>(hub_lan))) {
         hub_lan = static_cast<int>(l);
       }
     }
     for (std::size_t h = 0; h < host_count; ++h) {
-      if (ctx.topo.shape.hosts[h].lan == hub_lan) {
+      if (ctx.host_attach(h).lan == hub_lan) {
         hub_hosts.push_back(h);
       } else {
         spoke_hosts.push_back(h);
@@ -425,14 +497,18 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
       }
     }
     if (dst == src) dst = (dst + 1) % host_count;
-    stack::HostStack& sender_host = *ctx.topo.hosts[src];
-    stack::HostStack& sink_host = *ctx.topo.hosts[dst];
+    stack::HostStack& sender_host = ctx.host(src);
+    stack::HostStack& sink_host = ctx.host(dst);
 
     Stream stream;
-    stream.label = ctx.topo.shape.hosts[src].name + " -> " +
-                   ctx.topo.shape.hosts[dst].name;
+    stream.label = ctx.host_attach(src).name + " -> " + ctx.host_attach(dst).name;
     const std::uint16_t port = static_cast<std::uint16_t>(5001 + s);
-    stream.sink = std::make_unique<TtcpSink>(ctx.net.scheduler(), sink_host, port);
+    // Sink timing reads the SINK's clock, and the staggered start must fire
+    // on the SENDER's scheduler -- per-host clocks, never a global one, so
+    // the placement works unchanged when those hosts sit on different
+    // shards.
+    stream.sink =
+        std::make_unique<TtcpSink>(sink_host.scheduler(), sink_host, port);
     TtcpConfig cfg;
     cfg.destination = sink_host.ip();
     cfg.port = port;
@@ -440,11 +516,12 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
     cfg.total_bytes = options_.bytes_per_stream;
     stream.sender = std::make_unique<TtcpSender>(sender_host, cfg);
     TtcpSender* raw = stream.sender.get();
-    ctx.net.scheduler().schedule_after(options_.stagger * s, [raw] { raw->start(); });
+    sender_host.scheduler().schedule_after(options_.stagger * s,
+                                           [raw] { raw->start(); });
     live.push_back(std::move(stream));
   }
 
-  ctx.net.scheduler().run_for(ctx.options.traffic_window);
+  ctx.advance(ctx.options.traffic_window);
 
   for (const Stream& stream : live) {
     StreamResult sr;
@@ -462,9 +539,13 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 }
 
 void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
-  const netsim::Topology& shape = ctx.topo.shape;
-  netsim::Scheduler& sched = ctx.net.scheduler();
-  const std::size_t host_count = ctx.topo.hosts.size();
+  // Single-Network only (throws on a sharded cell): the per-LAN generator
+  // NICs replay frames for stations across the whole cell from one clock.
+  netsim::Network& net = ctx.net();
+  bridge::BridgedTopology& topo = ctx.topo();
+  const netsim::Topology& shape = topo.shape;
+  netsim::Scheduler& sched = net.scheduler();
+  const std::size_t host_count = topo.hosts.size();
   if (host_count == 0) {
     sched.run_for(ctx.options.traffic_window);
     return;
@@ -482,7 +563,7 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   std::vector<netsim::Nic*> generators(shape.lans.size(), nullptr);
   for (std::size_t l = 0; l < shape.lans.size(); ++l) {
     generators[l] =
-        &ctx.net.add_nic(result.label + ".agg" + std::to_string(l), *shape.lans[l]);
+        &net.add_nic(result.label + ".agg" + std::to_string(l), *shape.lans[l]);
   }
 
   // ---- talkers: the LAN's first K ordinals stay fully materialized ----
@@ -503,8 +584,8 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   int answered = 0;
   if (talkers.size() >= 2) {
     for (std::size_t i = 0; i < talkers.size(); ++i) {
-      stack::HostStack& src = *ctx.topo.hosts[talkers[i]];
-      stack::HostStack& dst = *ctx.topo.hosts[talkers[(i + 1) % talkers.size()]];
+      stack::HostStack& src = *topo.hosts[talkers[i]];
+      stack::HostStack& dst = *topo.hosts[talkers[(i + 1) % talkers.size()]];
       src.set_echo_handler(
           [&answered](const stack::HostStack::EchoReply&) { ++answered; });
       src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
@@ -514,7 +595,7 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 
   // ---- flood burst from a probe on lan0 ----
   if (options_.probe_broadcasts > 0) {
-    netsim::Nic& probe = ctx.net.add_nic(result.label + ".probe", *shape.lans[0]);
+    netsim::Nic& probe = net.add_nic(result.label + ".probe", *shape.lans[0]);
     std::vector<ether::WireFrame> burst;
     burst.reserve(static_cast<std::size_t>(options_.probe_broadcasts));
     for (int i = 0; i < options_.probe_broadcasts; ++i) {
@@ -546,8 +627,8 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
         (lan_a != lan_b || by_lan[lan_a].size() >= 2)) {
       const std::size_t src = by_lan[lan_a][0];
       const std::size_t dst = lan_a == lan_b ? by_lan[lan_a][1] : by_lan[lan_b][0];
-      stack::HostStack& sender_host = *ctx.topo.hosts[src];
-      stack::HostStack& sink_host = *ctx.topo.hosts[dst];
+      stack::HostStack& sender_host = *topo.hosts[src];
+      stack::HostStack& sink_host = *topo.hosts[dst];
       stream_label = shape.hosts[src].name + " -> " + shape.hosts[dst].name;
       sink = std::make_unique<TtcpSink>(sched, sink_host, 5001);
       TtcpConfig cfg;
@@ -585,11 +666,11 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
       std::swap(idle[j], idle[pick]);
     }
 
-    stack::HostStack& talker = *ctx.topo.hosts[lan_hosts[0]];
+    stack::HostStack& talker = *topo.hosts[lan_hosts[0]];
     const stack::Ipv4Addr talker_ip = talker.ip();
     const ether::MacAddress talker_mac = talker.nic().mac();
     for (std::size_t j = 0; j < want; ++j) {
-      stack::HostStack& station = *ctx.topo.hosts[idle[j]];
+      stack::HostStack& station = *topo.hosts[idle[j]];
       sampled.push_back(idle[j]);
       const ether::MacAddress st_mac = station.nic().mac();
       const stack::Ipv4Addr st_ip = station.ip();
@@ -628,7 +709,7 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   result.pings_answered = answered;
   for (std::size_t ordinal : sampled) {
     result.pings_answered += static_cast<int>(
-        ctx.topo.hosts[ordinal]->stats().echo_replies_received);
+        topo.hosts[ordinal]->stats().echo_replies_received);
   }
   if (sender && sink) {
     StreamResult sr;
@@ -693,13 +774,17 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
         "RolloutWorkload: SweepOptions::build.netloader must be set so the "
         "bridges run network loaders");
   }
+  // Single-Network only (throws on a sharded cell): the deployer walks the
+  // whole bridge set from one admin station on one clock.
+  netsim::Network& net = ctx.net();
+  bridge::BridgedTopology& topo = ctx.topo();
 
   // The administrator station, on lan0 like the paper's console host.
   stack::HostConfig admin_cfg;
   admin_cfg.ip = bridge::topology_admin_ip(0);
-  stack::HostStack admin(ctx.net.scheduler(),
-                         ctx.net.add_nic(result.label + ".admin",
-                                         *ctx.topo.shape.lans[0]),
+  stack::HostStack admin(net.scheduler(),
+                         net.add_nic(result.label + ".admin",
+                                         *topo.shape.lans[0]),
                          admin_cfg);
   admin.nic().set_tx_queue_limit(1 << 20);
 
@@ -707,19 +792,19 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   // crossing every stage while the rollout runs.
   std::vector<std::unique_ptr<PingApp>> pings;
   const double window_secs = netsim::to_seconds(ctx.options.traffic_window);
-  if (ctx.topo.hosts.size() >= 2) {
+  if (topo.hosts.size() >= 2) {
     const std::size_t pairs =
-        std::min<std::size_t>(ctx.topo.hosts.size(),
+        std::min<std::size_t>(topo.hosts.size(),
                               static_cast<std::size_t>(options_.max_background_pairs));
     const int count = std::max(
         1, static_cast<int>(window_secs /
                             netsim::to_seconds(options_.ping_interval)) -
                1);
     for (std::size_t i = 0; i < pairs; ++i) {
-      stack::HostStack& src = *ctx.topo.hosts[i];
-      stack::HostStack& dst = *ctx.topo.hosts[(i + 1) % ctx.topo.hosts.size()];
+      stack::HostStack& src = *topo.hosts[i];
+      stack::HostStack& dst = *topo.hosts[(i + 1) % topo.hosts.size()];
       auto app = std::make_unique<PingApp>(
-          ctx.net.scheduler(), src, dst.ip(),
+          net.scheduler(), src, dst.ip(),
           static_cast<std::uint16_t>(0x200 + i));
       app->run(count, 64, options_.ping_interval);
       result.pings_sent += count;
@@ -728,8 +813,8 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   }
 
   // The deployment plan: every bridge, nearest stage first.
-  const std::vector<int> stages = rollout_stages(ctx.topo.shape, 0);
-  std::vector<std::size_t> order(ctx.topo.bridges.size());
+  const std::vector<int> stages = rollout_stages(topo.shape, 0);
+  std::vector<std::size_t> order(topo.bridges.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return stages[a] < stages[b];
@@ -742,13 +827,13 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   std::map<stack::Ipv4Addr, std::size_t> bridge_of;  // loader IP -> bridge index
   for (const std::size_t b : order) {
     DeployStep step;
-    step.node = *ctx.topo.bridges[b]->config().loader_ip;
+    step.node = *topo.bridges[b]->config().loader_ip;
     step.image = image;
     plan.push_back(std::move(step));
-    bridge_of[*ctx.topo.bridges[b]->config().loader_ip] = b;
+    bridge_of[*topo.bridges[b]->config().loader_ip] = b;
   }
 
-  Deployer deployer(ctx.net.scheduler(), admin);
+  Deployer deployer(net.scheduler(), admin);
   bool plan_done = false;
   std::vector<std::size_t> step_bridge;  // bridge index per rollout entry
   deployer.deploy(
@@ -758,17 +843,17 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
         // Snapshot the bridge the moment its new generation took over.
         const std::size_t b = bridge_of.at(step.node);
         RolloutStepResult rs;
-        rs.bridge = ctx.topo.shape.node_names[b];
+        rs.bridge = topo.shape.node_names[b];
         rs.stage = stages[b];
         rs.ok = step.ok;
         rs.attempts = step.attempts;
         rs.load_ms = netsim::to_millis(step.load_time());
-        rs.frames_before_load = ctx.topo.bridges[b]->plane().stats().received;
+        rs.frames_before_load = topo.bridges[b]->plane().stats().received;
         result.rollout.push_back(std::move(rs));
         step_bridge.push_back(b);
       });
 
-  ctx.net.scheduler().run_for(ctx.options.traffic_window);
+  net.scheduler().run_for(ctx.options.traffic_window);
 
   // A plan that outlasted the traffic window (lossy links, long retry
   // backoffs) must not read as success: record the bridges never reached
@@ -779,7 +864,7 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
           std::find(step_bridge.begin(), step_bridge.end(), b) != step_bridge.end();
       if (!seen) {
         RolloutStepResult rs;
-        rs.bridge = ctx.topo.shape.node_names[b];
+        rs.bridge = topo.shape.node_names[b];
         rs.stage = stages[b];
         rs.ok = false;
         result.rollout.push_back(std::move(rs));
@@ -791,7 +876,7 @@ void RolloutWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   // Close the books: what each new generation processed after taking over.
   for (std::size_t i = 0; i < result.rollout.size(); ++i) {
     RolloutStepResult& rs = result.rollout[i];
-    auto& node = *ctx.topo.bridges[step_bridge[i]];
+    auto& node = *topo.bridges[step_bridge[i]];
     if (auto* monitor = dynamic_cast<bridge::MonitorSwitchlet*>(
             node.node().loader().find(options_.image))) {
       rs.frames_after_load = monitor->report().frames;
@@ -849,6 +934,14 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec) {
 
 SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
                                     Workload& workload) {
+  if (options_.shard_regions >= 1 || options_.threads > 1) {
+    return run_cell_sharded(spec, workload);
+  }
+  return run_cell_single(spec, workload);
+}
+
+SweepResult TopologySweep::run_cell_single(const netsim::TopologySpec& spec,
+                                           Workload& workload) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   const std::uint64_t rss_before = current_rss_bytes();
@@ -880,7 +973,9 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
   net.scheduler().run_for(options_.convergence_window);
   r.stp_converged = topo.stp_converged();
 
-  WorkloadContext ctx{net, topo, options_};
+  WorkloadContext ctx{options_};
+  ctx.single_net = &net;
+  ctx.single_topo = &topo;
   workload.run(ctx, r);
 
   r.blocked_ports = topo.count_gates(bridge::PortGate::kBlocked);
@@ -904,6 +999,73 @@ SweepResult TopologySweep::run_cell(const netsim::TopologySpec& spec,
   return r;
 }
 
+SweepResult TopologySweep::run_cell_sharded(const netsim::TopologySpec& spec,
+                                            Workload& workload) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const std::uint64_t rss_before = current_rss_bytes();
+  const int regions =
+      options_.shard_regions >= 1 ? options_.shard_regions : options_.threads;
+  bridge::ShardedTopology topo = bridge::build_sharded_topology(
+      spec, regions, options_.node_config, options_.build);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  const std::uint64_t rss_after = current_rss_bytes();
+
+  netsim::ParallelRunner::Options run_options;
+  run_options.threads = options_.threads;
+  run_options.lookahead = topo.plan.lookahead;
+  netsim::ParallelRunner runner(topo.shard_handles(), run_options);
+
+  SweepResult r;
+  r.build_ms = build_ms;
+  if (rss_after > rss_before && !topo.hosts.empty()) {
+    r.bytes_per_station = static_cast<double>(rss_after - rss_before) /
+                          static_cast<double>(topo.hosts.size());
+  }
+  r.spec = spec;
+  r.label = spec.label();
+  r.workload = std::string(workload.name());
+  r.bridges = static_cast<int>(topo.bridges.size());
+  r.lans = static_cast<int>(topo.lan_count());
+  r.hosts = static_cast<int>(topo.hosts.size());
+  for (bridge::BridgeNode* b : topo.bridges) {
+    r.ports += static_cast<int>(b->plane().bridge_ports().size());
+  }
+
+  runner.run_for(options_.convergence_window);
+  r.stp_converged = topo.stp_converged();
+
+  WorkloadContext ctx{options_};
+  ctx.sharded = &topo;
+  ctx.runner = &runner;
+  workload.run(ctx, r);
+
+  r.blocked_ports = topo.count_gates(bridge::PortGate::kBlocked);
+  r.forwarding_ports = topo.count_gates(bridge::PortGate::kForwarding);
+  r.mac_entries = topo.mac_entries();
+  for (std::size_t l = 0; l < topo.lan_count(); ++l) {
+    const netsim::LanStats stats = topo.lan_stats(l);
+    r.frames_carried += stats.frames_carried;
+    r.bytes_carried += stats.bytes_carried;
+    r.frames_lost += stats.frames_lost;
+  }
+  r.events = topo.events();
+  r.heap_inserts = topo.heap_inserts();
+  r.scheduled_entries = topo.scheduled_entries();
+  r.virtual_seconds =
+      netsim::to_seconds(topo.regions.front()->net.now().time_since_epoch());
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  r.events_per_sec = r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
+                                        : 0.0;
+  r.peak_rss_bytes = peak_rss_bytes_now();
+  return r;
+}
+
 std::vector<SweepResult> TopologySweep::run_grid(
     const std::vector<netsim::TopologySpec>& grid) {
   FloodPingWorkload flood;
@@ -912,12 +1074,205 @@ std::vector<SweepResult> TopologySweep::run_grid(
 
 std::vector<SweepResult> TopologySweep::run_grid(
     const std::vector<netsim::TopologySpec>& grid, Workload& workload) {
+#if defined(__linux__)
+  if (options_.fork_cells && grid.size() > 1) {
+    return run_grid_forked(grid, workload);
+  }
+#endif
   std::vector<SweepResult> cells;
   cells.reserve(grid.size());
   for (const netsim::TopologySpec& spec : grid) {
     cells.push_back(run_cell(spec, workload));
   }
   return cells;
+}
+
+#if defined(__linux__)
+namespace {
+
+// ---- fork-per-cell result shuttle ----
+// The child serializes every measured field over its pipe; the parent
+// reattaches what it already knows (spec, label, workload). Labels go last
+// on their lines because they contain spaces.
+
+void write_result(std::FILE* f, const SweepResult& r) {
+  std::fprintf(
+      f,
+      "cell %d %d %d %d %d %d %d %llu %llu %llu %zu %d %d %llu %llu %llu "
+      "%.17g %.17g %.17g %.17g %llu %.17g\n",
+      r.bridges, r.lans, r.hosts, r.ports, r.stp_converged ? 1 : 0,
+      r.blocked_ports, r.forwarding_ports,
+      static_cast<unsigned long long>(r.frames_carried),
+      static_cast<unsigned long long>(r.bytes_carried),
+      static_cast<unsigned long long>(r.frames_lost), r.mac_entries, r.pings_sent,
+      r.pings_answered, static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.heap_inserts),
+      static_cast<unsigned long long>(r.scheduled_entries), r.virtual_seconds,
+      r.wall_seconds, r.events_per_sec, r.build_ms,
+      static_cast<unsigned long long>(r.peak_rss_bytes), r.bytes_per_station);
+  std::fprintf(f, "streams %zu\n", r.streams.size());
+  for (const StreamResult& s : r.streams) {
+    std::fprintf(f, "%zu %zu %zu %.17g %.17g %s\n", s.bytes_sent, s.bytes_received,
+                 s.datagrams, s.goodput_mbps, s.loss_fraction, s.label.c_str());
+  }
+  std::fprintf(f, "rollout %zu\n", r.rollout.size());
+  for (const RolloutStepResult& s : r.rollout) {
+    std::fprintf(f, "%d %d %d %.17g %llu %llu %llu %s\n", s.stage, s.ok ? 1 : 0,
+                 s.attempts, s.load_ms,
+                 static_cast<unsigned long long>(s.frames_before_load),
+                 static_cast<unsigned long long>(s.frames_after_load),
+                 static_cast<unsigned long long>(s.bytes_pushed), s.bridge.c_str());
+  }
+}
+
+/// Reads the rest of the line (after the numeric prefix) as a label.
+std::string read_label(std::FILE* f) {
+  std::string label;
+  int c = std::fgetc(f);
+  if (c == ' ') c = std::fgetc(f);  // the separator before the label
+  while (c != EOF && c != '\n') {
+    label.push_back(static_cast<char>(c));
+    c = std::fgetc(f);
+  }
+  return label;
+}
+
+bool read_result(std::FILE* f, SweepResult& r) {
+  int stp = 0;
+  unsigned long long frames = 0, bytes = 0, lost = 0, events = 0, inserts = 0,
+                     scheduled = 0, rss = 0;
+  if (std::fscanf(f,
+                  " cell %d %d %d %d %d %d %d %llu %llu %llu %zu %d %d %llu "
+                  "%llu %llu %lg %lg %lg %lg %llu %lg",
+                  &r.bridges, &r.lans, &r.hosts, &r.ports, &stp, &r.blocked_ports,
+                  &r.forwarding_ports, &frames, &bytes, &lost, &r.mac_entries,
+                  &r.pings_sent, &r.pings_answered, &events, &inserts, &scheduled,
+                  &r.virtual_seconds, &r.wall_seconds, &r.events_per_sec,
+                  &r.build_ms, &rss, &r.bytes_per_station) != 22) {
+    return false;
+  }
+  r.stp_converged = stp != 0;
+  r.frames_carried = frames;
+  r.bytes_carried = bytes;
+  r.frames_lost = lost;
+  r.events = events;
+  r.heap_inserts = inserts;
+  r.scheduled_entries = scheduled;
+  r.peak_rss_bytes = rss;
+
+  std::size_t count = 0;
+  if (std::fscanf(f, " streams %zu", &count) != 1) return false;
+  r.streams.resize(count);
+  for (StreamResult& s : r.streams) {
+    if (std::fscanf(f, " %zu %zu %zu %lg %lg", &s.bytes_sent, &s.bytes_received,
+                    &s.datagrams, &s.goodput_mbps, &s.loss_fraction) != 5) {
+      return false;
+    }
+    s.label = read_label(f);
+  }
+  if (std::fscanf(f, " rollout %zu", &count) != 1) return false;
+  r.rollout.resize(count);
+  for (RolloutStepResult& s : r.rollout) {
+    int ok = 0;
+    unsigned long long before = 0, after = 0, pushed = 0;
+    if (std::fscanf(f, " %d %d %d %lg %llu %llu %llu", &s.stage, &ok, &s.attempts,
+                    &s.load_ms, &before, &after, &pushed) != 7) {
+      return false;
+    }
+    s.ok = ok != 0;
+    s.frames_before_load = before;
+    s.frames_after_load = after;
+    s.bytes_pushed = pushed;
+    s.bridge = read_label(f);
+  }
+  return true;
+}
+
+}  // namespace
+#endif  // __linux__
+
+std::vector<SweepResult> TopologySweep::run_grid_forked(
+    const std::vector<netsim::TopologySpec>& grid, Workload& workload) {
+#if !defined(__linux__)
+  std::vector<SweepResult> cells;
+  cells.reserve(grid.size());
+  for (const netsim::TopologySpec& spec : grid) {
+    cells.push_back(run_cell(spec, workload));
+  }
+  return cells;
+#else
+  const int cap = std::max(
+      1, options_.max_parallel_cells > 0
+             ? options_.max_parallel_cells
+             : static_cast<int>(std::thread::hardware_concurrency()));
+
+  struct Child {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Child> children(grid.size());
+
+  const auto spawn = [&](std::size_t i) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      throw std::runtime_error("run_grid: pipe() failed");
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      throw std::runtime_error("run_grid: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: a fresh address space, so this cell's getrusage peak and
+      // page residency are ITS OWN -- bytes_per_station no longer reads 0
+      // because some earlier, bigger cell already touched the pages.
+      close(fds[0]);
+      int status = 0;
+      std::FILE* out = fdopen(fds[1], "w");
+      try {
+        const SweepResult r = run_cell(grid[i], workload);
+        if (out != nullptr) {
+          write_result(out, r);
+          std::fflush(out);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "run_grid cell %zu: %s\n", i, e.what());
+        status = 1;
+      }
+      if (out != nullptr) std::fclose(out);
+      _exit(status);
+    }
+    close(fds[1]);
+    children[i] = Child{pid, fds[0]};
+  };
+
+  std::vector<SweepResult> cells(grid.size());
+  std::size_t spawned = 0;
+  for (std::size_t reaped = 0; reaped < grid.size(); ++reaped) {
+    while (spawned < grid.size() &&
+           spawned - reaped < static_cast<std::size_t>(cap)) {
+      spawn(spawned++);
+    }
+    // Read the oldest child to EOF (younger siblings keep running; a child
+    // that outgrows the pipe buffer simply blocks until its turn).
+    Child& child = children[reaped];
+    std::FILE* in = fdopen(child.fd, "r");
+    const bool parsed = in != nullptr && read_result(in, cells[reaped]);
+    if (in != nullptr) std::fclose(in);
+    int status = 0;
+    waitpid(child.pid, &status, 0);
+    const bool exited_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!parsed || !exited_ok) {
+      throw std::runtime_error("run_grid: forked cell " +
+                               grid[reaped].label() + " failed");
+    }
+    cells[reaped].spec = grid[reaped];
+    cells[reaped].label = grid[reaped].label();
+    cells[reaped].workload = std::string(workload.name());
+  }
+  return cells;
+#endif
 }
 
 std::vector<netsim::TopologySpec> TopologySweep::make_grid(

@@ -24,9 +24,10 @@
 //    public:
 //     std::string_view name() const override { return "jitter"; }
 //     void run(WorkloadContext& ctx, SweepResult& r) override {
-//       // 1. place apps on ctx.topo.hosts / ctx.topo.bridges;
-//       // 2. drive traffic: ctx.net.scheduler().run_for(
-//       //        ctx.options.traffic_window);
+//       // 1. place apps on ctx.host(i) (schedule per-host work on
+//       //    ctx.host(i).scheduler() -- in a sharded cell each shard has
+//       //    its own clock);
+//       // 2. drive traffic: ctx.advance(ctx.options.traffic_window);
 //       // 3. record what you measured into `r` (reuse streams/rollout or
 //       //    the core counters).
 //     }
@@ -61,8 +62,10 @@
 #include "src/apps/ping.h"
 #include "src/apps/ttcp.h"
 #include "src/bridge/bridge_node.h"
+#include "src/bridge/sharded_topology.h"
 #include "src/bridge/topology.h"
 #include "src/netsim/network.h"
+#include "src/netsim/parallel_runner.h"
 #include "src/netsim/pcap.h"
 #include "src/stack/host_stack.h"
 #include "src/util/result.h"
@@ -214,16 +217,72 @@ struct SweepOptions {
   int probe_broadcasts = 10;
   /// Every host pings its successor host (learning + directed workload).
   bool neighbor_pings = true;
+  /// Worker threads driving a sharded cell. 1 (the default) with
+  /// shard_regions == 0 keeps the original single-Network path.
+  int threads = 1;
+  /// Regions for the sharded build: 0 derives it from `threads`, >= 1
+  /// forces the sharded path with exactly that many regions (1 region is
+  /// the sharded machinery on a single scheduler -- the parity baseline
+  /// the seed-stability test pins against the legacy path).
+  int shard_regions = 0;
+  /// run_grid: build and measure each cell in its OWN forked worker
+  /// process (Linux only; elsewhere it falls back to in-process cells).
+  /// Besides the wall-clock win, per-cell processes give every cell a
+  /// fresh getrusage peak and untouched pages, so peak_rss_bytes and
+  /// bytes_per_station measure THAT cell instead of whichever earlier
+  /// cell in the process was biggest.
+  bool fork_cells = false;
+  /// Concurrent forked cells (0: hardware concurrency).
+  int max_parallel_cells = 0;
   bridge::BridgeNodeConfig node_config;
   bridge::TopologyBuildOptions build;
 };
 
 /// Everything a Workload may touch while driving one built, converged
 /// cell. Owned by run_cell; valid only for the duration of Workload::run.
+///
+/// The context abstracts over the two execution modes -- a single-Network
+/// cell (one scheduler) and a sharded cell (one scheduler per region,
+/// advanced by a ParallelRunner). Mode-agnostic workloads use the unified
+/// views below and advance() and run identically, bit for bit, in both
+/// modes; single-mode workloads grab net()/topo() and throw when handed a
+/// sharded cell.
 struct WorkloadContext {
-  netsim::Network& net;
-  bridge::BridgedTopology& topo;
   const SweepOptions& options;
+
+  // Exactly one mode is populated by run_cell.
+  netsim::Network* single_net = nullptr;
+  bridge::BridgedTopology* single_topo = nullptr;
+  bridge::ShardedTopology* sharded = nullptr;
+  netsim::ParallelRunner* runner = nullptr;
+
+  [[nodiscard]] bool is_sharded() const { return sharded != nullptr; }
+
+  // ---- mode-agnostic views ----
+  [[nodiscard]] std::size_t host_count() const;
+  /// Host at global attachment ordinal `i` (oracle order in both modes).
+  [[nodiscard]] stack::HostStack& host(std::size_t i) const;
+  /// Where host ordinal `i` attaches (global plan, both modes).
+  [[nodiscard]] const netsim::Topology::HostAttach& host_attach(std::size_t i) const;
+  [[nodiscard]] std::size_t lan_count() const;
+  /// NICs attached to global LAN `l` (summed over replicas when sharded).
+  [[nodiscard]] std::size_t lan_attached_count(std::size_t l) const;
+  /// Creates a workload-owned station NIC on global LAN `l` (the owning
+  /// region's replica when sharded). MAC assignment continues the cell's
+  /// global counter, so sharded and single-Network cells stay
+  /// address-identical.
+  [[nodiscard]] netsim::Nic& add_station_nic(const std::string& name,
+                                             std::size_t l) const;
+  /// Advances virtual time: the single scheduler, or every shard in
+  /// conservative lockstep windows.
+  void advance(netsim::Duration d) const;
+
+  // ---- single-Network-only accessors ----
+  /// Throws std::logic_error when the cell is sharded: workloads that
+  /// reach for the global Network/topology (aggregate generators, staged
+  /// rollouts) have not been taught shard ownership yet.
+  [[nodiscard]] netsim::Network& net() const;
+  [[nodiscard]] bridge::BridgedTopology& topo() const;
 };
 
 /// A traffic pattern the sweep drives over each built topology. Implement
@@ -240,14 +299,19 @@ class Workload {
 
   /// Drive traffic over a built topology (already converged for
   /// options.convergence_window) and fill the workload fields of `result`.
-  /// The implementation advances ctx.net.scheduler() itself.
+  /// The implementation advances virtual time itself via ctx.advance().
   ///
-  /// Lifetime contract: run_cell never advances the scheduler after run()
+  /// Lifetime contract: run_cell never advances the schedulers after run()
   /// returns, so apps owned by the workload (senders, deployers, extra
   /// hosts) may live on run()'s stack even if their timers are still
   /// queued when it returns. A workload that itself runs other workloads
-  /// (or otherwise advances the scheduler after inner apps are destroyed)
+  /// (or otherwise advances the schedulers after inner apps are destroyed)
   /// must cancel or outlive those apps' pending callbacks.
+  ///
+  /// Sharded cells: during ctx.advance() each host's callbacks run on its
+  /// shard's worker thread. Place per-host state so no two hosts on
+  /// different shards share a mutable location (e.g. one counter slot per
+  /// host, summed after advance() -- see FloodPingWorkload).
   virtual void run(WorkloadContext& ctx, SweepResult& result) = 0;
 };
 
@@ -423,6 +487,16 @@ class TopologySweep {
   [[nodiscard]] static std::string format_json(const std::vector<SweepResult>& cells);
 
  private:
+  /// The original path: one Network, one scheduler.
+  [[nodiscard]] SweepResult run_cell_single(const netsim::TopologySpec& spec,
+                                            Workload& workload);
+  /// The sharded path: per-region Networks under a ParallelRunner.
+  [[nodiscard]] SweepResult run_cell_sharded(const netsim::TopologySpec& spec,
+                                             Workload& workload);
+  /// Fork-per-cell grid executor (Linux; see SweepOptions::fork_cells).
+  [[nodiscard]] std::vector<SweepResult> run_grid_forked(
+      const std::vector<netsim::TopologySpec>& grid, Workload& workload);
+
   SweepOptions options_;
 };
 

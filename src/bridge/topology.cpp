@@ -1,6 +1,7 @@
 #include "src/bridge/topology.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -8,9 +9,23 @@
 
 namespace ab::bridge {
 
-int BridgedTopology::count_gates(PortGate gate) const {
+namespace {
+
+/// Raw-pointer view of a BridgedTopology's owned bridges, for the
+/// span-based aggregate helpers shared with the sharded builder.
+std::vector<BridgeNode*> bridge_view(
+    const std::vector<std::unique_ptr<BridgeNode>>& owned) {
+  std::vector<BridgeNode*> view;
+  view.reserve(owned.size());
+  for (const auto& b : owned) view.push_back(b.get());
+  return view;
+}
+
+}  // namespace
+
+int count_gates(std::span<BridgeNode* const> bridges, PortGate gate) {
   int count = 0;
-  for (const auto& b : bridges) {
+  for (BridgeNode* b : bridges) {
     for (const auto& p : b->plane().bridge_ports()) {
       if (p.gate == gate) ++count;
     }
@@ -18,17 +33,17 @@ int BridgedTopology::count_gates(PortGate gate) const {
   return count;
 }
 
-std::vector<StpEngine*> BridgedTopology::stp_engines() const {
+std::vector<StpEngine*> stp_engines(std::span<BridgeNode* const> bridges) {
   std::vector<StpEngine*> engines;
-  for (const auto& b : bridges) {
+  for (BridgeNode* b : bridges) {
     auto* stp = dynamic_cast<StpSwitchlet*>(b->node().loader().find("stp.ieee"));
     if (stp != nullptr && stp->engine() != nullptr) engines.push_back(stp->engine());
   }
   return engines;
 }
 
-bool BridgedTopology::stp_converged() const {
-  const std::vector<StpEngine*> engines = stp_engines();
+bool stp_converged(std::span<BridgeNode* const> bridges) {
+  const std::vector<StpEngine*> engines = stp_engines(bridges);
   if (engines.empty()) return false;
   int roots = 0;
   for (StpEngine* e : engines) {
@@ -43,14 +58,30 @@ bool BridgedTopology::stp_converged() const {
   return roots == 1;
 }
 
-std::size_t BridgedTopology::mac_entries() const {
+std::size_t mac_entries(std::span<BridgeNode* const> bridges) {
   std::size_t total = 0;
-  for (const auto& b : bridges) {
+  for (BridgeNode* b : bridges) {
     auto* learning =
         dynamic_cast<LearningBridgeSwitchlet*>(b->node().loader().find("bridge.learning"));
     if (learning != nullptr) total += learning->table().size();
   }
   return total;
+}
+
+int BridgedTopology::count_gates(PortGate gate) const {
+  return bridge::count_gates(bridge_view(bridges), gate);
+}
+
+std::vector<StpEngine*> BridgedTopology::stp_engines() const {
+  return bridge::stp_engines(bridge_view(bridges));
+}
+
+bool BridgedTopology::stp_converged() const {
+  return bridge::stp_converged(bridge_view(bridges));
+}
+
+std::size_t BridgedTopology::mac_entries() const {
+  return bridge::mac_entries(bridge_view(bridges));
 }
 
 namespace {
@@ -130,6 +161,59 @@ BridgedTopology build_topology(netsim::Network& net, const netsim::TopologySpec&
     built.hosts.push_back(host);
   }
   return built;
+}
+
+RegionPlan partition_regions(const netsim::Topology& shape, int regions) {
+  const int nodes = static_cast<int>(shape.node_ports.size());
+  RegionPlan plan;
+  plan.regions = std::clamp(regions, 1, std::max(nodes, 1));
+  plan.node_region.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    // Contiguous blocks whose sizes differ by at most one: node i lands in
+    // region i*R/N. Contiguity keeps line/ring/tree cuts to O(regions)
+    // segments instead of scattering every inter-bridge link.
+    plan.node_region[static_cast<std::size_t>(i)] =
+        static_cast<int>(static_cast<long long>(i) * plan.regions / nodes);
+  }
+
+  std::map<const netsim::LanSegment*, std::size_t> lan_index;
+  for (std::size_t l = 0; l < shape.lans.size(); ++l) lan_index[shape.lans[l]] = l;
+
+  plan.lan_regions.assign(shape.lans.size(), {});
+  plan.lan_owner.assign(shape.lans.size(), 0);
+  // Lowest-numbered attached node per LAN; `nodes` = none attached yet.
+  std::vector<int> owner_node(shape.lans.size(), nodes);
+  for (int i = 0; i < nodes; ++i) {
+    for (netsim::LanSegment* seg : shape.node_ports[static_cast<std::size_t>(i)]) {
+      const std::size_t l = lan_index.at(seg);
+      std::vector<int>& rs = plan.lan_regions[l];
+      const int r = plan.node_region[static_cast<std::size_t>(i)];
+      if (std::find(rs.begin(), rs.end(), r) == rs.end()) rs.push_back(r);
+      owner_node[l] = std::min(owner_node[l], i);
+    }
+  }
+
+  for (std::size_t l = 0; l < shape.lans.size(); ++l) {
+    std::vector<int>& rs = plan.lan_regions[l];
+    std::sort(rs.begin(), rs.end());
+    plan.lan_owner[l] =
+        owner_node[l] == nodes
+            ? 0  // every generated shape attaches each LAN, but stay safe
+            : plan.node_region[static_cast<std::size_t>(owner_node[l])];
+    if (rs.empty()) rs.push_back(plan.lan_owner[l]);
+    if (rs.size() > 1) {
+      const netsim::Duration prop = shape.lans[l]->config().propagation;
+      if (prop <= netsim::Duration::zero()) {
+        throw std::invalid_argument(
+            "partition_regions: cut segment " + shape.lans[l]->name() +
+            " has zero propagation delay -- the conservative window needs "
+            "lookahead >= 1ns on every cross-region link");
+      }
+      plan.lookahead = plan.cut_lans == 0 ? prop : std::min(plan.lookahead, prop);
+      plan.cut_lans += 1;
+    }
+  }
+  return plan;
 }
 
 }  // namespace ab::bridge

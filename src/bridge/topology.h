@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/bridge/bridge_node.h"
@@ -94,5 +95,48 @@ struct BridgedTopology {
                                              const netsim::TopologySpec& spec,
                                              BridgeNodeConfig node_config = {},
                                              TopologyBuildOptions options = {});
+
+// ---------------------------------------------------------------------------
+// Aggregate views over any bridge set (a BridgedTopology's, or a sharded
+// cell's global bridge list).
+
+[[nodiscard]] int count_gates(std::span<BridgeNode* const> bridges, PortGate gate);
+[[nodiscard]] std::vector<StpEngine*> stp_engines(std::span<BridgeNode* const> bridges);
+[[nodiscard]] bool stp_converged(std::span<BridgeNode* const> bridges);
+[[nodiscard]] std::size_t mac_entries(std::span<BridgeNode* const> bridges);
+
+// ---------------------------------------------------------------------------
+// Region partitioning for the sharded parallel core. A REGION is a
+// contiguous block of node positions plus every LAN owned by one of its
+// nodes; a LAN whose attached nodes span several regions is a CUT segment
+// (it gets one replica per region at build time, bridged by the relay
+// mailboxes). Ownership rule: a LAN belongs to the region of the
+// lowest-numbered node attached to it, and every planned host on that LAN
+// lives in the owning region.
+
+struct RegionPlan {
+  int regions = 1;
+  /// Region of each node position (contiguous blocks, non-decreasing).
+  std::vector<int> node_region;
+  /// Owning region of each LAN (global lan index order).
+  std::vector<int> lan_owner;
+  /// Per LAN: the sorted set of regions with at least one attached node.
+  /// Size 1 for an internal LAN, >= 2 for a cut segment.
+  std::vector<std::vector<int>> lan_regions;
+  /// Conservative lookahead: the minimum propagation delay over every cut
+  /// segment (zero when nothing is cut). Strictly positive whenever
+  /// cut_lans > 0 -- partition_regions rejects a zero-propagation cut.
+  netsim::Duration lookahead{};
+  /// Number of cut segments.
+  int cut_lans = 0;
+
+  [[nodiscard]] bool cut(std::size_t lan) const { return lan_regions[lan].size() > 1; }
+};
+
+/// Partitions `shape` into `regions` contiguous node blocks (clamped to
+/// [1, nodes]) and identifies the cross-region (cut) segments. Throws
+/// std::invalid_argument if a cut segment has non-positive propagation
+/// delay -- the conservative window contract needs lookahead >= 1ns.
+[[nodiscard]] RegionPlan partition_regions(const netsim::Topology& shape, int regions);
 
 }  // namespace ab::bridge

@@ -148,7 +148,12 @@ util::Expected<Frame, std::string> Frame::decode(util::ByteView wire) {
 }
 
 DatapathCounters& datapath_counters() {
-  static DatapathCounters counters;
+  // Thread-local: sharded cells encode/decode frames from several shard
+  // worker threads at once. Each thread accumulates into its own instance
+  // (no contention, no torn increments); the single-threaded benches and
+  // tests that reset-and-read the counters all run on one thread and see
+  // exactly the process-wide totals they always did.
+  thread_local DatapathCounters counters;
   return counters;
 }
 

@@ -1,6 +1,7 @@
 #include "src/netsim/lan.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -32,30 +33,33 @@ std::uint32_t LanSegment::acquire_run() {
     free_run_ = runs_[index].next_free;
     runs_[index].next_free = kNoRun;
     runs_[index].detach_epoch = detach_epoch_;
+    runs_[index].compact_epoch = compact_epoch_;
+    runs_[index].live = true;
     return index;
   }
   runs_.emplace_back();
   runs_.back().detach_epoch = detach_epoch_;
+  runs_.back().compact_epoch = compact_epoch_;
+  runs_.back().live = true;
   return static_cast<std::uint32_t>(runs_.size() - 1);
 }
 
 void LanSegment::release_run(std::uint32_t index) {
+  assert(runs_[index].live && "double release of a receiver run");
+  runs_[index].live = false;
   runs_[index].receivers.clear();  // keeps capacity for the next broadcast
   runs_[index].frame = ether::WireFrame();  // drop the parked wire buffer
   runs_[index].next_free = free_run_;
   free_run_ = index;
 }
 
-void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
-  stats_.frames_carried += 1;
-  stats_.bytes_carried += frame.wire_size();
-  if (tap_) tap_(scheduler_->now(), sender, frame.wire());
-
+std::uint32_t LanSegment::snapshot_run(const Nic* sender, Nic** sole_out) {
   // Snapshot the receiver set now -- loss draws stay in attach order, so
-  // seeded loss sequences match the old per-receiver-event core exactly --
-  // and deliver the whole segment with ONE scheduled event that walks the
-  // snapshot. Every receiver shares the same WireFrame: one buffer, one
-  // (lazy) decode, one FCS check.
+  // seeded loss sequences match the old per-receiver-event core exactly.
+  // With `sole_out`, a single surviving receiver is deposited there instead
+  // of paying for a run (the point-to-point inter-bridge case); callers
+  // whose delivery slot has no per-frame capture room pass nullptr and
+  // always get a run.
   Nic* sole = nullptr;
   std::uint32_t run = kNoRun;
   for (Nic* nic : nics_) {
@@ -65,16 +69,33 @@ void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
       continue;
     }
     if (run == kNoRun) {
-      if (sole == nullptr) {
+      if (sole_out != nullptr && sole == nullptr) {
         sole = nic;
         continue;
       }
       run = acquire_run();
-      runs_[run].receivers.push_back(sole);
-      sole = nullptr;
+      if (sole != nullptr) {
+        runs_[run].receivers.push_back(sole);
+        sole = nullptr;
+      }
     }
     runs_[run].receivers.push_back(nic);
   }
+  if (sole_out != nullptr) *sole_out = sole;
+  return run;
+}
+
+void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
+  stats_.frames_carried += 1;
+  stats_.bytes_carried += frame.wire_size();
+  if (tap_) tap_(scheduler_->now(), sender, frame.wire());
+  if (relay_) relay_(scheduler_->now(), sender, frame.wire());
+
+  // One scheduled event delivers the whole segment by walking the
+  // snapshot. Every receiver shares the same WireFrame: one buffer, one
+  // (lazy) decode, one FCS check.
+  Nic* sole = nullptr;
+  const std::uint32_t run = snapshot_run(sender, &sole);
 
   if (sole != nullptr) {
     // Single receiver (the point-to-point inter-bridge case): skip the run
@@ -98,6 +119,7 @@ std::uint32_t LanSegment::prepare_broadcast(const ether::WireFrame& frame,
   stats_.frames_carried += 1;
   stats_.bytes_carried += frame.wire_size();
   if (tap_) tap_(scheduler_->now(), sender, frame.wire());
+  if (relay_) relay_(scheduler_->now(), sender, frame.wire());
 
   // Same snapshot discipline as broadcast() -- loss draws in attach order,
   // so seeded loss sequences are identical whichever transmit path carried
@@ -105,21 +127,42 @@ std::uint32_t LanSegment::prepare_broadcast(const ether::WireFrame& frame,
   // so nothing is scheduled here and the frame parks in the run itself
   // (the shared burst slot has no room for a per-frame capture). No
   // sole-receiver shortcut: the run IS the frame's storage.
-  std::uint32_t run = kNoRun;
-  for (Nic* nic : nics_) {
-    if (nic == nullptr || nic == sender) continue;  // tombstone or sender
-    if (config_.loss > 0 && rng_.chance(config_.loss)) {
-      stats_.frames_lost += 1;
-      continue;
-    }
-    if (run == kNoRun) run = acquire_run();
-    runs_[run].receivers.push_back(nic);
-  }
+  const std::uint32_t run = snapshot_run(sender, nullptr);
   if (run != kNoRun) runs_[run].frame = frame;
   return run;
 }
 
+void LanSegment::inject_remote(const ether::WireFrame& frame, TimePoint deliver_at) {
+  // The conservative window ends at least one lookahead short of any
+  // cross-shard frame's delivery time, so a drained frame is always still
+  // in this shard's future.
+  assert(deliver_at >= scheduler_->now() &&
+         "cross-shard frame arrived in this shard's past: window too wide");
+  // No frames_carried/bytes_carried, no tap, no relay: the owning replica
+  // counted, traced, and relayed this frame once at transmit time. Local
+  // loss draws (this replica's own rng, its own attach order) still count
+  // frames_lost here. No sender to exclude -- the transmitting NIC is
+  // attached to the producer's replica, never to this one.
+  Nic* sole = nullptr;
+  const std::uint32_t run = snapshot_run(/*sender=*/nullptr, &sole);
+
+  if (sole != nullptr) {
+    Nic* receiver = sole;
+    scheduler_->schedule_at(deliver_at, [this, receiver, frame] {
+      if (!still_attached(receiver)) return;
+      receiver->deliver(frame);
+    });
+  } else if (run != kNoRun) {
+    const std::uint32_t index = run;
+    scheduler_->schedule_at(deliver_at, [this, index, frame] {
+      deliver_run(index, frame);
+    });
+  }
+}
+
 void LanSegment::deliver_prepared(std::uint32_t index) {
+  assert(index < runs_.size() && runs_[index].live &&
+         "deliver_prepared on a released or never-prepared run");
   // Move the frame out first: a receiver's handler can broadcast
   // synchronously and grow runs_, invalidating references into it.
   ether::WireFrame frame = std::move(runs_[index].frame);
@@ -127,6 +170,7 @@ void LanSegment::deliver_prepared(std::uint32_t index) {
 }
 
 void LanSegment::deliver_run(std::uint32_t index, const ether::WireFrame& frame) {
+  assert(runs_[index].live && "delivering a released receiver run");
   // Indexed access throughout: a handler could conceivably inject another
   // broadcast synchronously and grow runs_ under us.
   for (std::size_t i = 0; i < runs_[index].receivers.size(); ++i) {
@@ -136,8 +180,17 @@ void LanSegment::deliver_run(std::uint32_t index, const ether::WireFrame& frame)
     // may even have been destroyed; still_attached compares pointers
     // without dereferencing). While no detach has happened since the
     // snapshot, membership is implied and the walk stays O(1) per NIC.
-    if (runs_[index].detach_epoch != detach_epoch_ && !still_attached(receiver)) {
-      continue;
+    if (runs_[index].detach_epoch != detach_epoch_) {
+      if (!still_attached(receiver)) continue;
+    } else {
+      // Compaction only ever runs off a detach, which bumps detach_epoch_
+      // -- so an epoch match means the snapshot's pointers are exactly the
+      // live attach list. If compaction ever grows another trigger (e.g.
+      // shard teardown draining a finished neighbor's mailbox into a
+      // partially torn-down replica) this catches the stale-slot
+      // dereference instead of corrupting memory.
+      assert(runs_[index].compact_epoch == compact_epoch_ &&
+             "nics_ compacted without a detach epoch bump: snapshot stale");
     }
     receiver->deliver(frame);
   }
@@ -173,6 +226,7 @@ void LanSegment::compact_nics() {
   }
   nics_.resize(w);
   dead_nics_ = 0;
+  compact_epoch_ += 1;  // in-flight snapshots must not trust their slots
 }
 
 }  // namespace ab::netsim

@@ -96,6 +96,25 @@ class LanSegment {
 
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
 
+  /// Second observer, reserved for the sharded runner: on a CUT segment the
+  /// owning region's replica relays every transmitted frame (same wire
+  /// bytes, same timestamp as the tap) into the cross-shard mailboxes.
+  /// Kept separate from the frame tap so traces and storm detectors still
+  /// compose with sharding.
+  void set_relay(FrameTap relay) { relay_ = std::move(relay); }
+
+  /// Remote-origin delivery for a cut segment's non-owning replicas: wraps
+  /// the relayed wire bytes arriving from another shard's mailbox and
+  /// carries them to every locally attached NIC at absolute time
+  /// `deliver_at` (transmit time + propagation, computed producer-side).
+  /// Counts NO frames_carried/bytes_carried -- the owning replica already
+  /// counted the frame once -- but local loss draws still count
+  /// frames_lost here. No sender exclusion: the sender's NIC lives in the
+  /// producer's replica, never in this one. The conservative window
+  /// guarantees deliver_at is still in this shard's future at drain time
+  /// (asserted).
+  void inject_remote(const ether::WireFrame& frame, TimePoint deliver_at);
+
   // Nic::attach/detach call these.
   void attach_nic(Nic& nic);
   void detach_nic(Nic& nic);
@@ -115,11 +134,27 @@ class LanSegment {
     std::vector<Nic*> receivers;
     ether::WireFrame frame;
     std::uint64_t detach_epoch = 0;
+    /// Segment's compaction counter at snapshot time. deliver_run's
+    /// no-detach fast path asserts this still matches: a compaction that
+    /// renumbered (or dropped) slots without bumping detach_epoch_ would
+    /// otherwise let the walk dereference stale receiver pointers -- the
+    /// shard-teardown hazard where a mailbox drain delivers into a replica
+    /// whose NICs were detached and compacted after the snapshot.
+    std::uint64_t compact_epoch = 0;
+    /// True from acquire to release: guards against delivering or
+    /// releasing a run index that is already back on the free list.
+    bool live = false;
     std::uint32_t next_free = kNoRun;
   };
 
   [[nodiscard]] std::uint32_t acquire_run();
   void release_run(std::uint32_t index);
+  /// Shared snapshot walk for broadcast / prepare_broadcast / inject_remote:
+  /// loss draws in attach order, `sender` and tombstones excluded. Returns
+  /// the acquired run (kNoRun when empty); with a non-null `sole_out` a
+  /// single surviving receiver is deposited there instead of paying for a
+  /// run.
+  [[nodiscard]] std::uint32_t snapshot_run(const Nic* sender, Nic** sole_out);
   /// Fires one delivery event: walks the run, delivering to every receiver
   /// still attached, then recycles the run.
   void deliver_run(std::uint32_t index, const ether::WireFrame& frame);
@@ -141,9 +176,11 @@ class LanSegment {
   std::size_t dead_nics_ = 0;  ///< tombstones currently in nics_
   util::Rng rng_;
   FrameTap tap_;
+  FrameTap relay_;  ///< cross-shard mailbox hook; see set_relay()
   std::vector<ReceiverRun> runs_;
   std::uint32_t free_run_ = kNoRun;
-  std::uint64_t detach_epoch_ = 0;  ///< bumped by every detach_nic
+  std::uint64_t detach_epoch_ = 0;   ///< bumped by every detach_nic
+  std::uint64_t compact_epoch_ = 0;  ///< bumped by every compact_nics
 };
 
 }  // namespace ab::netsim

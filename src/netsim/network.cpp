@@ -32,8 +32,12 @@ Nic& Network::add_nic(const std::string& name, LanSegment& segment,
 
 Nic& Network::add_nic(Arena& arena, const std::string& name, LanSegment& segment) {
   const std::uint32_t id = next_mac_id_++;
-  Nic* nic = arena.create<Nic>(scheduler_, name,
-                               ether::MacAddress::local(id >> 16, id & 0xFFFF));
+  return add_nic(arena, name, segment, ether::MacAddress::local(id >> 16, id & 0xFFFF));
+}
+
+Nic& Network::add_nic(Arena& arena, const std::string& name, LanSegment& segment,
+                      ether::MacAddress mac) {
+  Nic* nic = arena.create<Nic>(scheduler_, name, mac);
   nic->attach(segment);
   return *nic;
 }

@@ -58,6 +58,13 @@ class Network {
   /// arena must not outlive this Network's scheduler.
   Nic& add_nic(Arena& arena, const std::string& name, LanSegment& segment);
 
+  /// Arena-backed variant with an explicit MAC. The sharded topology
+  /// builder assigns MACs from GLOBAL creation ordinals (not this
+  /// Network's counter), so a cell split across per-shard Networks is
+  /// address-identical to the same cell built in one Network.
+  Nic& add_nic(Arena& arena, const std::string& name, LanSegment& segment,
+               ether::MacAddress mac);
+
   /// Every segment created so far, in creation order.
   [[nodiscard]] const std::vector<std::unique_ptr<LanSegment>>& segments() const {
     return segments_;

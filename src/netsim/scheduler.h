@@ -156,6 +156,13 @@ class Scheduler {
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+  /// Timestamp of the earliest pending event -- the shard horizon the
+  /// parallel runner's conservative window computation reads between
+  /// rounds. TimePoint::max() when the queue is empty (an idle shard
+  /// never constrains its neighbors).
+  [[nodiscard]] TimePoint peek_next_time() const {
+    return heap_.empty() ? TimePoint::max() : heap_.front().when;
+  }
   /// Exact count of unfired events; every unfired entry of a batch run
   /// counts individually (a run is k events, not one).
   [[nodiscard]] std::size_t pending() const { return pending_; }

@@ -93,6 +93,10 @@ class HostStack {
 
   [[nodiscard]] Ipv4Addr ip() const { return config_.ip; }
   [[nodiscard]] netsim::Nic& nic() { return *nic_; }
+  /// The scheduler this host runs on. In a sharded cell each shard has its
+  /// own scheduler, so workloads must schedule per-host work HERE, never on
+  /// a global clock.
+  [[nodiscard]] netsim::Scheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] const HostStats& stats() const { return stats_; }
   [[nodiscard]] netsim::ProcessingElement& tx_element() { return tx_pe_; }
 

@@ -196,6 +196,108 @@ TEST(LanSegment, BroadcastSchedulesOneDeliveryEventPerSegment) {
   EXPECT_EQ(net.scheduler().executed() - before, 2u);
 }
 
+TEST(LanSegment, InjectRemoteDeliversAtGivenTimeWithoutCountingCarried) {
+  // Cross-shard injection: the producing replica counted/taped/relayed the
+  // frame at transmit time, so this replica only delivers -- at exactly the
+  // producer-computed time, to every attached NIC (no sender to exclude).
+  Network net;
+  LanSegment& lan = net.add_segment("replica");
+  Nic& a = net.add_nic("a", lan);
+  Nic& b = net.add_nic("b", lan);
+  int a_got = 0, b_got = 0;
+  TimePoint at_a{};
+  a.set_rx_handler([&](const ether::WireFrame&) { ++a_got; at_a = net.now(); });
+  b.set_rx_handler([&](const ether::WireFrame&) { ++b_got; });
+
+  bool relayed = false;
+  lan.set_relay([&](TimePoint, const Nic*, util::ByteView) { relayed = true; });
+
+  const ether::WireFrame frame(test_frame(ether::MacAddress::broadcast(),
+                                          ether::MacAddress::local(9, 9)));
+  lan.inject_remote(frame, TimePoint(microseconds(40)));
+  net.scheduler().run();
+
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(at_a, TimePoint(microseconds(40)));
+  EXPECT_EQ(lan.stats().frames_carried, 0u);
+  EXPECT_EQ(lan.stats().bytes_carried, 0u);
+  // A re-relay here would echo the frame back across the cut forever.
+  EXPECT_FALSE(relayed);
+}
+
+TEST(LanSegment, InjectRemoteDrawsThisReplicasOwnLoss) {
+  // Local loss draws still apply to remote frames: this replica's rng,
+  // this replica's attach order -- and losses count here, because the
+  // producer could not know which consumer-side receivers drop.
+  Network net;
+  LanConfig cfg;
+  cfg.loss = 1.0;
+  LanSegment& lan = net.add_segment("lossy-replica", cfg);
+  Nic& rx = net.add_nic("rx", lan);
+  int got = 0;
+  rx.set_rx_handler([&](const ether::WireFrame&) { ++got; });
+
+  const ether::WireFrame frame(test_frame(ether::MacAddress::broadcast(),
+                                          ether::MacAddress::local(9, 9)));
+  lan.inject_remote(frame, TimePoint(microseconds(10)));
+  net.scheduler().run();
+
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(lan.stats().frames_lost, 1u);
+  EXPECT_EQ(lan.stats().frames_carried, 0u);
+}
+
+TEST(LanSegment, InjectRemoteSurvivesDetachDrivenCompactionMidFlight) {
+  // Shard-teardown regression: a frame drained from a neighbor's mailbox is
+  // in flight (snapshot taken) when enough NICs detach -- and are DESTROYED
+  // -- to trigger tombstone compaction, which reshuffles nics_ under the
+  // snapshot's slot indices. The walk must fall back to membership checks
+  // (detach epoch changed) and deliver only to survivors, never touching a
+  // compacted-away slot or a dead NIC.
+  Network net;
+  LanSegment& lan = net.add_segment("replica");
+  Nic& survivor = net.add_nic("survivor", lan);
+  int got = 0;
+  survivor.set_rx_handler([&](const ether::WireFrame&) { ++got; });
+
+  std::vector<std::unique_ptr<Nic>> doomed;
+  for (int i = 0; i < 3; ++i) {
+    doomed.push_back(std::make_unique<Nic>(
+        net.scheduler(), "doomed" + std::to_string(i),
+        ether::MacAddress{{2, 0, 0, 0, 0, static_cast<std::uint8_t>(0x50 + i)}}));
+    doomed.back()->attach(lan);
+  }
+
+  const ether::WireFrame frame(test_frame(ether::MacAddress::broadcast(),
+                                          ether::MacAddress::local(9, 9)));
+  lan.inject_remote(frame, TimePoint(microseconds(25)));
+  // 3 of 4 slots tombstone: the third detach tips dead*2 > size and
+  // compacts, bumping both epochs while the run is still scheduled.
+  doomed.clear();
+  net.scheduler().run();
+
+  EXPECT_EQ(got, 1);
+}
+
+TEST(LanSegment, InjectRemoteSoleReceiverDetachMidFlightIsSafe) {
+  // Single-receiver fast path of inject_remote: the one receiver detaches
+  // before the delivery event fires; nothing must be delivered or touched.
+  Network net;
+  LanSegment& lan = net.add_segment("replica");
+  Nic& rx = net.add_nic("rx", lan);
+  int got = 0;
+  rx.set_rx_handler([&](const ether::WireFrame&) { ++got; });
+
+  const ether::WireFrame frame(test_frame(ether::MacAddress::broadcast(),
+                                          ether::MacAddress::local(9, 9)));
+  lan.inject_remote(frame, TimePoint(microseconds(15)));
+  rx.detach();
+  net.scheduler().run();
+
+  EXPECT_EQ(got, 0);
+}
+
 TEST(FrameTrace, RecordsCarriedFrames) {
   Network net;
   LanSegment& lan = net.add_segment("lan1");
