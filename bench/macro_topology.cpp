@@ -47,13 +47,18 @@
 // -- 1,125,000 arena-backed stations -- under the aggregate workload and
 // pins per-station build time and memory in BENCH_topology.json's
 // aggregate_profile; check_bench_smoke.sh enforces the bounds.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/apps/scenario.h"
+#include "src/apps/ttcp.h"
+#include "src/bridge/bridge_node.h"
 #include "src/bridge/forwarding.h"
 #include "src/bridge/learning.h"
 #include "src/stack/host_stack.h"
@@ -383,6 +388,95 @@ MacLookupProfile run_mac_lookup_profile(std::size_t entries, std::size_t lookups
 }
 
 /// The three acceptance cells every workload section must cover.
+/// TCP incast: N senders, each on its own leaf LAN, converge through one
+/// (ideal-cost) bridge onto a single hub-attached sink, with the aggregate
+/// offered load paced at 2x the hub link -- the congestion case the UDP
+/// ttcp grid cannot express, because only TCP turns overload into a
+/// shared-bottleneck allocation (fixed 64 KB windows against rising
+/// queueing delay; retransmits if queues do overflow) instead of silent
+/// loss. The cell asserts every byte is eventually delivered (TCP's
+/// reliability contract) and that goodput stays within a constant factor
+/// of fair share; check_bench_smoke.sh re-checks the bounds from the JSON.
+struct TcpIncastProfile {
+  int senders = 0;
+  double link_mbps = 0.0;
+  double offered_mbps = 0.0;       ///< aggregate across all senders
+  double goodput_mbps = 0.0;       ///< sink-side, first to last byte
+  double fair_share_mbps = 0.0;    ///< link / senders
+  double min_stream_mbps = 0.0;    ///< slowest connection over the window
+  std::uint64_t retransmits = 0;   ///< summed over all senders
+  std::uint64_t bytes_expected = 0;
+  std::uint64_t bytes_received = 0;
+  std::size_t connections = 0;
+};
+
+TcpIncastProfile run_tcp_incast_profile(int senders, std::size_t bytes_each) {
+  netsim::Network net;
+  netsim::LanSegment& hub = net.add_segment("hub");
+  const double link_bps = 100e6;  // LanConfig default: 100 Mbps Fast Ethernet
+
+  bridge::BridgeNodeConfig bcfg;
+  bcfg.name = "incast-bridge";
+  bcfg.cost = netsim::CostModel::ideal();  // the LINK is the bottleneck
+  bridge::BridgeNode bridge(net.scheduler(), bcfg);
+  bridge.add_port(net.add_nic("b-hub", hub));
+
+  stack::HostConfig sink_cfg;
+  sink_cfg.ip = stack::Ipv4Addr(10, 0, 0, 100);
+  stack::HostStack sink_host(net.scheduler(), net.add_nic("sink", hub), sink_cfg);
+  apps::TcpTtcpSink sink(net.scheduler(), sink_host, 5001);
+
+  // Each sender paced at 2*link/N: aggregate offered load is twice what
+  // the hub link can carry, so the hub-port queue fills and TCP's windows
+  // must arbitrate the bottleneck.
+  const double per_sender_bps = 2.0 * link_bps / senders;
+  std::vector<std::unique_ptr<stack::HostStack>> hosts;
+  std::vector<std::unique_ptr<apps::TcpTtcpSender>> streams;
+  for (int i = 0; i < senders; ++i) {
+    netsim::LanSegment& leaf = net.add_segment("leaf" + std::to_string(i));
+    bridge.add_port(net.add_nic("b-leaf" + std::to_string(i), leaf));
+    stack::HostConfig hc;
+    hc.ip = stack::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(1 + i));
+    hosts.push_back(std::make_unique<stack::HostStack>(
+        net.scheduler(), net.add_nic("snd" + std::to_string(i), leaf), hc));
+    apps::TtcpConfig cfg;
+    cfg.destination = sink_host.ip();
+    cfg.port = 5001;
+    cfg.write_size = 8192;
+    cfg.total_bytes = bytes_each;
+    streams.push_back(
+        std::make_unique<apps::TcpTtcpSender>(*hosts.back(), cfg, per_sender_bps));
+  }
+  // No spanning tree (single bridge, no loops): ports forward immediately.
+  bridge.load_dumb();
+  bridge.load_learning();
+  for (auto& s : streams) s->start();
+  net.scheduler().run_for(netsim::seconds(120));
+
+  TcpIncastProfile p;
+  p.senders = senders;
+  p.link_mbps = link_bps / 1e6;
+  p.offered_mbps = per_sender_bps * senders / 1e6;
+  p.fair_share_mbps = link_bps / senders / 1e6;
+  p.goodput_mbps = sink.throughput_mbps();
+  p.bytes_expected = static_cast<std::uint64_t>(bytes_each) * senders;
+  p.bytes_received = sink.bytes_received();
+  p.connections = sink.connections_accepted();
+  for (const auto& s : streams) {
+    if (s->started()) p.retransmits += s->socket().stats().retransmits;
+  }
+  const double window_s = netsim::to_seconds(sink.last_at() - sink.first_at());
+  if (window_s > 0) {
+    double min_bytes = static_cast<double>(bytes_each);
+    for (const stack::TcpSocket* c : sink.connections()) {
+      min_bytes = std::min(min_bytes,
+                           static_cast<double>(c->stats().bytes_received));
+    }
+    p.min_stream_mbps = min_bytes * 8.0 / window_s / 1e6;
+  }
+  return p;
+}
+
 std::vector<netsim::TopologySpec> acceptance_cells() {
   std::vector<netsim::TopologySpec> grid;
   grid.push_back(spec_of(netsim::TopologyShape::kRing, 32, 4));
@@ -554,6 +648,34 @@ int main(int argc, char** argv) {
       sweep.run_grid(hub_grid, hub_ttcp);
   std::printf("\n%s", apps::TopologySweep::format_table(hub_cells).c_str());
 
+  // ---- TCP incast onto a hub sink -----------------------------------------
+  const TcpIncastProfile incast =
+      run_tcp_incast_profile(8, smoke ? 256 * 1024 : 1024 * 1024);
+  std::printf(
+      "\ntcp incast: %d senders offering %.0f Mb/s onto a %.0f Mb/s hub link "
+      "-> %.1f Mb/s goodput (fair share %.1f, slowest stream %.1f), "
+      "%llu retransmits, %llu/%llu bytes delivered on %zu connections\n",
+      incast.senders, incast.offered_mbps, incast.link_mbps,
+      incast.goodput_mbps, incast.fair_share_mbps, incast.min_stream_mbps,
+      static_cast<unsigned long long>(incast.retransmits),
+      static_cast<unsigned long long>(incast.bytes_received),
+      static_cast<unsigned long long>(incast.bytes_expected),
+      incast.connections);
+  // Reliability is exact (every offered byte delivered); the goodput bounds
+  // are loose constant factors that only an incast COLLAPSE (RTO
+  // synchronization serializing the streams) can break. Mirrored in
+  // scripts/check_bench_smoke.sh.
+  const bool incast_ok =
+      incast.connections == static_cast<std::size_t>(incast.senders) &&
+      incast.bytes_received == incast.bytes_expected &&
+      incast.goodput_mbps >= incast.link_mbps / 4.0 &&
+      incast.min_stream_mbps >= incast.fair_share_mbps / 8.0;
+  if (!incast_ok) {
+    std::fprintf(stderr,
+                 "tcp incast cell regressed (lost bytes, missing "
+                 "connections, or goodput collapse) -- investigate\n");
+  }
+
   // ---- staged switchlet rollout -------------------------------------------
   apps::SweepOptions rollout_opts;
   rollout_opts.build.netloader = true;
@@ -657,6 +779,11 @@ int main(int argc, char** argv) {
                "\"build_ms\": %.2f, \"build_us_per_station\": %.3f, "
                "\"peak_rss_bytes\": %llu, \"bytes_per_station\": %.1f, "
                "\"pings_sent\": %d, \"pings_answered\": %d},\n"
+               "  \"tcp_incast\": {\"senders\": %d, \"link_mbps\": %.1f, "
+               "\"offered_mbps\": %.1f, \"goodput_mbps\": %.2f, "
+               "\"fair_share_mbps\": %.2f, \"min_stream_mbps\": %.2f, "
+               "\"retransmits\": %llu, \"bytes_expected\": %llu, "
+               "\"bytes_received\": %llu, \"connections\": %zu},\n"
                "  \"cells\": %s,\n"
                "  \"ttcp_streams\": %s,\n"
                "  \"ttcp_hub\": %s,\n"
@@ -686,7 +813,13 @@ int main(int argc, char** argv) {
                build_us_per_station,
                static_cast<unsigned long long>(station.peak_rss_bytes),
                station.bytes_per_station, station.pings_sent,
-               station.pings_answered,
+               station.pings_answered, incast.senders, incast.link_mbps,
+               incast.offered_mbps, incast.goodput_mbps,
+               incast.fair_share_mbps, incast.min_stream_mbps,
+               static_cast<unsigned long long>(incast.retransmits),
+               static_cast<unsigned long long>(incast.bytes_expected),
+               static_cast<unsigned long long>(incast.bytes_received),
+               incast.connections,
                apps::TopologySweep::format_json(cells).c_str(),
                apps::TopologySweep::format_json(ttcp_cells).c_str(),
                apps::TopologySweep::format_json(hub_cells).c_str(),
@@ -695,7 +828,7 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote BENCH_topology.json\n");
   return headline.stp_converged && rollouts_ok && flood_ok && egress_ok &&
-                 write_ok && mac.hits_agree && station_ok
+                 write_ok && mac.hits_agree && station_ok && incast_ok
              ? 0
              : 1;
 }

@@ -13,19 +13,26 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo "== ASan/UBSan build + ctest =="
+# Includes the fuzz suites (codec_fuzz_test plus the TCP segment/option
+# parser sweeps in tcp_segment_fuzz): random and mutated wire bytes under
+# the sanitizers, where an over-read is a failure even when it would not
+# crash a plain build.
 cmake -B build-asan -S . -DAB_SANITIZE=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
 
 echo "== TSan build + sharded-core tests =="
 # ThreadSanitizer over everything that touches the parallel core: the
-# mailbox/runner unit tests, the sharded-vs-oracle property tests, and the
-# inject_remote segment tests. The full suite under TSan is slow and the
-# rest of the code is single-threaded; the filter keeps this section tight.
+# mailbox/runner unit tests, the sharded-vs-oracle property tests, the
+# inject_remote segment tests, and the TCP suites (socket timers run on
+# per-shard schedulers, so the conformance + host-stack tests must stay
+# clean when the sharded workers are racing). The full suite under TSan is
+# slow and the rest of the code is single-threaded; the filter keeps this
+# section tight.
 cmake -B build-tsan -S . -DAB_TSAN=ON
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j \
-  -R 'RelayRing|ShardChannel|Shard\.|ParallelRunner|ParallelSweep|InjectRemote')
+  -R 'RelayRing|ShardChannel|Shard\.|ParallelRunner|ParallelSweep|InjectRemote|Tcp')
 
 echo "== datapath accounting =="
 (cd build && ./micro_datapath --benchmark_filter='Fanout' && cat BENCH_datapath.json) || true

@@ -31,7 +31,12 @@
 #      model's (1433 B, 16.2 us), so a regression toward per-station heap
 #      objects or quadratic attach fails here even if the cell still
 #      completes.
-#   7. BENCH_parallel.json (the sharded-core scaling bench) must carry the
+#   7. tcp_incast: N TCP senders offering 2x the hub link must deliver
+#      every byte (TCP's reliability contract under queue-overflow drops)
+#      and keep aggregate goodput >= link/4 with the slowest stream >=
+#      fair_share/8 -- loose constant factors that only an incast collapse
+#      (RTO synchronization serializing the streams) can break.
+#   8. BENCH_parallel.json (the sharded-core scaling bench) must carry the
 #      legacy run plus all four sharded thread counts, report the bench's
 #      own bit-identity verdict as deterministic, and agree here too:
 #      events and frames_carried equal across every sharded run. The
@@ -150,6 +155,38 @@ if [ "$agg_sent" -eq 0 ] || [ "$agg_answered" -ne "$agg_sent" ]; then
   fail "aggregate workload lost pings: $agg_answered/$agg_sent answered"
 fi
 
+# --- tcp_incast: reliability + goodput under 2x offered load -------------
+
+incast_line=$(grep '"tcp_incast"' "$topo_json") \
+  || fail "$topo_json has no tcp_incast cell"
+inc_senders=$(field "$incast_line" senders)
+inc_link=$(field "$incast_line" link_mbps)
+inc_goodput=$(field "$incast_line" goodput_mbps)
+inc_fair=$(field "$incast_line" fair_share_mbps)
+inc_min=$(field "$incast_line" min_stream_mbps)
+inc_expected=$(field "$incast_line" bytes_expected)
+inc_received=$(field "$incast_line" bytes_received)
+inc_conns=$(field "$incast_line" connections)
+[ -n "$inc_senders" ] && [ -n "$inc_link" ] && [ -n "$inc_goodput" ] \
+  && [ -n "$inc_fair" ] && [ -n "$inc_min" ] && [ -n "$inc_expected" ] \
+  && [ -n "$inc_received" ] && [ -n "$inc_conns" ] \
+  || fail "could not parse tcp_incast from: $incast_line"
+if [ "$inc_conns" -ne "$inc_senders" ]; then
+  fail "tcp incast accepted $inc_conns/$inc_senders connections"
+fi
+if [ "$inc_received" != "$inc_expected" ]; then
+  fail "tcp incast lost bytes: $inc_received/$inc_expected delivered"
+fi
+# Matches the incast_ok bounds in bench/macro_topology.cpp: goodput within
+# a constant factor of the link, slowest stream within a constant factor
+# of fair share. Only an incast collapse breaks these.
+if ! awk -v g="$inc_goodput" -v l="$inc_link" 'BEGIN { exit !(g >= l / 4.0) }'; then
+  fail "tcp incast goodput collapsed: $inc_goodput Mb/s on a $inc_link Mb/s link (floor: link/4)"
+fi
+if ! awk -v m="$inc_min" -v f="$inc_fair" 'BEGIN { exit !(m >= f / 8.0) }'; then
+  fail "tcp incast starved a stream: slowest $inc_min Mb/s vs fair share $inc_fair Mb/s (floor: fair/8)"
+fi
+
 # --- BENCH_parallel.json: sharded-core determinism + scaling -------------
 
 grep -q '"run": "legacy"' "$par_json" \
@@ -197,4 +234,5 @@ echo "check_bench_smoke: OK (batch_insert + timed_run cells present;" \
   "egress hop at $ipf inserts/flood on $ports ports;" \
   "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present;" \
   "$stations stations at $bps B and $bups us each, $agg_answered/$agg_sent pings;" \
+  "tcp incast $inc_goodput Mb/s goodput, slowest stream $inc_min Mb/s, all bytes delivered;" \
   "sharded runs deterministic, $parallel_note)"

@@ -442,6 +442,8 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
     std::string label;
     std::unique_ptr<TtcpSink> sink;
     std::unique_ptr<TtcpSender> sender;
+    std::unique_ptr<TcpTtcpSink> tcp_sink;
+    std::unique_ptr<TcpTtcpSender> tcp_sender;
   };
   std::vector<Stream> live;
 
@@ -507,17 +509,27 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
     // on the SENDER's scheduler -- per-host clocks, never a global one, so
     // the placement works unchanged when those hosts sit on different
     // shards.
-    stream.sink =
-        std::make_unique<TtcpSink>(sink_host.scheduler(), sink_host, port);
     TtcpConfig cfg;
     cfg.destination = sink_host.ip();
     cfg.port = port;
     cfg.write_size = options_.write_size;
     cfg.total_bytes = options_.bytes_per_stream;
-    stream.sender = std::make_unique<TtcpSender>(sender_host, cfg);
-    TtcpSender* raw = stream.sender.get();
-    sender_host.scheduler().schedule_after(options_.stagger * s,
-                                           [raw] { raw->start(); });
+    if (options_.transport == Transport::kTcp) {
+      stream.tcp_sink = std::make_unique<TcpTtcpSink>(sink_host.scheduler(),
+                                                      sink_host, port);
+      stream.tcp_sender = std::make_unique<TcpTtcpSender>(
+          sender_host, cfg, options_.offered_rate_bps);
+      TcpTtcpSender* raw = stream.tcp_sender.get();
+      sender_host.scheduler().schedule_after(options_.stagger * s,
+                                             [raw] { raw->start(); });
+    } else {
+      stream.sink =
+          std::make_unique<TtcpSink>(sink_host.scheduler(), sink_host, port);
+      stream.sender = std::make_unique<TtcpSender>(sender_host, cfg);
+      TtcpSender* raw = stream.sender.get();
+      sender_host.scheduler().schedule_after(options_.stagger * s,
+                                             [raw] { raw->start(); });
+    }
     live.push_back(std::move(stream));
   }
 
@@ -526,10 +538,24 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   for (const Stream& stream : live) {
     StreamResult sr;
     sr.label = stream.label;
-    sr.bytes_sent = stream.sender->bytes_issued();
-    sr.bytes_received = stream.sink->bytes_received();
-    sr.datagrams = stream.sink->datagrams_received();
-    sr.goodput_mbps = stream.sink->throughput_mbps();
+    if (stream.tcp_sender != nullptr) {
+      sr.bytes_sent = stream.tcp_sender->bytes_issued();
+      sr.bytes_received = stream.tcp_sink->bytes_received();
+      sr.goodput_mbps = stream.tcp_sink->throughput_mbps();
+      if (!stream.tcp_sink->connections().empty()) {
+        sr.datagrams = static_cast<std::size_t>(
+            stream.tcp_sink->connections().front()->stats().segments_received);
+      }
+      if (stream.tcp_sender->started()) {
+        sr.retransmits = stream.tcp_sender->socket().stats().retransmits;
+        sr.cwnd_final = stream.tcp_sender->socket().cwnd();
+      }
+    } else {
+      sr.bytes_sent = stream.sender->bytes_issued();
+      sr.bytes_received = stream.sink->bytes_received();
+      sr.datagrams = stream.sink->datagrams_received();
+      sr.goodput_mbps = stream.sink->throughput_mbps();
+    }
     sr.loss_fraction =
         sr.bytes_sent > 0
             ? 1.0 - static_cast<double>(sr.bytes_received) / sr.bytes_sent
@@ -1112,8 +1138,10 @@ void write_result(std::FILE* f, const SweepResult& r) {
       static_cast<unsigned long long>(r.peak_rss_bytes), r.bytes_per_station);
   std::fprintf(f, "streams %zu\n", r.streams.size());
   for (const StreamResult& s : r.streams) {
-    std::fprintf(f, "%zu %zu %zu %.17g %.17g %s\n", s.bytes_sent, s.bytes_received,
-                 s.datagrams, s.goodput_mbps, s.loss_fraction, s.label.c_str());
+    std::fprintf(f, "%zu %zu %zu %.17g %.17g %llu %llu %s\n", s.bytes_sent,
+                 s.bytes_received, s.datagrams, s.goodput_mbps, s.loss_fraction,
+                 static_cast<unsigned long long>(s.retransmits),
+                 static_cast<unsigned long long>(s.cwnd_final), s.label.c_str());
   }
   std::fprintf(f, "rollout %zu\n", r.rollout.size());
   for (const RolloutStepResult& s : r.rollout) {
@@ -1164,10 +1192,14 @@ bool read_result(std::FILE* f, SweepResult& r) {
   if (std::fscanf(f, " streams %zu", &count) != 1) return false;
   r.streams.resize(count);
   for (StreamResult& s : r.streams) {
-    if (std::fscanf(f, " %zu %zu %zu %lg %lg", &s.bytes_sent, &s.bytes_received,
-                    &s.datagrams, &s.goodput_mbps, &s.loss_fraction) != 5) {
+    unsigned long long retransmits = 0, cwnd_final = 0;
+    if (std::fscanf(f, " %zu %zu %zu %lg %lg %llu %llu", &s.bytes_sent,
+                    &s.bytes_received, &s.datagrams, &s.goodput_mbps,
+                    &s.loss_fraction, &retransmits, &cwnd_final) != 7) {
       return false;
     }
+    s.retransmits = retransmits;
+    s.cwnd_final = cwnd_final;
     s.label = read_label(f);
   }
   if (std::fscanf(f, " rollout %zu", &count) != 1) return false;
@@ -1352,9 +1384,12 @@ std::string TopologySweep::format_json(const std::vector<SweepResult>& cells) {
         const StreamResult& sr = c.streams[s];
         out += util::format(
             "\n    {\"stream\": \"%s\", \"bytes_sent\": %zu, \"bytes_received\": %zu, "
-            "\"datagrams\": %zu, \"goodput_mbps\": %.2f, \"loss_fraction\": %.4f}%s",
+            "\"datagrams\": %zu, \"goodput_mbps\": %.2f, \"loss_fraction\": %.4f, "
+            "\"retransmits\": %llu, \"cwnd_final\": %llu}%s",
             sr.label.c_str(), sr.bytes_sent, sr.bytes_received, sr.datagrams,
             sr.goodput_mbps, sr.loss_fraction,
+            static_cast<unsigned long long>(sr.retransmits),
+            static_cast<unsigned long long>(sr.cwnd_final),
             s + 1 < c.streams.size() ? "," : "]");
       }
     }

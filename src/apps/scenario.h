@@ -129,9 +129,13 @@ struct StreamResult {
   std::string label;              ///< "host3_0 -> host9_1"
   std::size_t bytes_sent = 0;     ///< payload bytes the sender issued
   std::size_t bytes_received = 0; ///< payload bytes the sink completed
-  std::size_t datagrams = 0;      ///< datagrams the sink reassembled
+  /// UDP: datagrams the sink reassembled. TCP: segments the sink's
+  /// connection received.
+  std::size_t datagrams = 0;
   double goodput_mbps = 0.0;      ///< sink goodput, first to last byte
   double loss_fraction = 0.0;     ///< 1 - received/sent
+  std::uint64_t retransmits = 0;  ///< TCP only: sender retransmissions
+  std::uint64_t cwnd_final = 0;   ///< TCP only: sender cwnd at cell end
 };
 
 /// One bridge's outcome in a staged switchlet rollout.
@@ -347,6 +351,12 @@ class TtcpStreamWorkload final : public Workload {
     kAllPairs,
   };
 
+  /// Which transport carries the streams.
+  enum class Transport {
+    kUdp,  ///< the paper's original blast (loss shows as missing datagrams)
+    kTcp,  ///< real connections (loss shows as retransmits + cwnd cuts)
+  };
+
   struct Options {
     int streams = 4;                       ///< concurrent sender/sink pairs
     std::size_t bytes_per_stream = 256 * 1024;
@@ -354,6 +364,11 @@ class TtcpStreamWorkload final : public Workload {
     /// Successive streams start this far apart (ARP staggering).
     netsim::Duration stagger = netsim::milliseconds(10);
     Placement placement = Placement::kPaired;
+    Transport transport = Transport::kUdp;
+    /// kTcp only: application write pacing per stream in bits/s (the
+    /// offered-load knob of the incast bench); 0 queues the whole stream
+    /// at connect time and lets the congestion window clock the wire.
+    double offered_rate_bps = 0.0;
   };
 
   TtcpStreamWorkload() = default;

@@ -31,6 +31,60 @@ void TtcpSender::start() {
   }
 }
 
+TcpTtcpSender::TcpTtcpSender(stack::HostStack& host, TtcpConfig config,
+                             double offered_rate_bps, std::uint16_t src_port,
+                             stack::TcpConfig tcp_config)
+    : host_(&host),
+      config_(config),
+      offered_rate_bps_(offered_rate_bps),
+      src_port_(src_port),
+      tcp_config_(tcp_config) {
+  if (config_.write_size == 0) throw std::invalid_argument("ttcp: zero write size");
+  if (config_.destination.is_zero()) {
+    throw std::invalid_argument("ttcp: zero destination");
+  }
+  if (offered_rate_bps_ < 0) {
+    throw std::invalid_argument("ttcp: negative offered rate");
+  }
+}
+
+void TcpTtcpSender::start() {
+  socket_ = &host_->tcp_connect(config_.destination, config_.port, src_port_,
+                                tcp_config_);
+  if (offered_rate_bps_ > 0) {
+    // Paced: one write per interval on the host's OWN scheduler, so the
+    // pacing clock shards with the host.
+    socket_->set_on_established([this] { write_next(); });
+  } else {
+    // Unpaced: queue the whole stream now (the socket buffers across the
+    // handshake) and half-close; the FIN rides out with the last data.
+    while (bytes_issued_ < config_.total_bytes) write_next();
+    socket_->set_on_established([this] { socket_->close(); });
+  }
+}
+
+void TcpTtcpSender::write_next() {
+  const std::size_t chunk =
+      std::min(config_.write_size, config_.total_bytes - bytes_issued_);
+  util::ByteBuffer payload(chunk);
+  for (std::size_t i = 0; i < chunk; ++i) {
+    payload[i] = static_cast<std::uint8_t>(seq_ + i);
+  }
+  socket_->send(payload);
+  bytes_issued_ += chunk;
+  writes_issued_ += 1;
+  ++seq_;
+  if (offered_rate_bps_ <= 0) return;
+  if (bytes_issued_ >= config_.total_bytes) {
+    socket_->close();
+    return;
+  }
+  const double seconds = static_cast<double>(chunk) * 8.0 / offered_rate_bps_;
+  host_->scheduler().schedule_after(
+      netsim::Duration(static_cast<std::int64_t>(seconds * 1e9)),
+      [this] { write_next(); });
+}
+
 TtcpSink::TtcpSink(netsim::Scheduler& scheduler, stack::HostStack& host,
                    std::uint16_t port)
     : scheduler_(&scheduler) {
@@ -56,6 +110,31 @@ double TtcpSink::datagrams_per_second() const {
   if (!saw_any_ || last_at_ <= first_at_) return 0.0;
   const double seconds = netsim::to_seconds(last_at_ - first_at_);
   return static_cast<double>(datagrams_received_) / seconds;
+}
+
+TcpTtcpSink::TcpTtcpSink(netsim::Scheduler& scheduler, stack::HostStack& host,
+                         std::uint16_t port, stack::TcpConfig tcp_config)
+    : scheduler_(&scheduler) {
+  host.tcp_listen(port, [this](stack::TcpSocket& socket) {
+    connections_.push_back(&socket);
+    socket.set_receive_handler([this](util::ByteView data) {
+      const netsim::TimePoint now = scheduler_->now();
+      if (!saw_any_) {
+        saw_any_ = true;
+        first_at_ = now;
+      }
+      last_at_ = now;
+      bytes_received_ += data.size();
+    });
+    // Close our half as soon as the peer finishes: LAST_ACK -> CLOSED.
+    socket.set_on_peer_fin([&socket] { socket.close(); });
+  }, tcp_config);
+}
+
+double TcpTtcpSink::throughput_mbps() const {
+  if (!saw_any_ || last_at_ <= first_at_) return 0.0;
+  const double seconds = netsim::to_seconds(last_at_ - first_at_);
+  return static_cast<double>(bytes_received_) * 8.0 / seconds / 1e6;
 }
 
 }  // namespace ab::apps

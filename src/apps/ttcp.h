@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/netsim/scheduler.h"
 #include "src/stack/host_stack.h"
+#include "src/stack/tcp.h"
 
 namespace ab::apps {
 
@@ -43,6 +45,47 @@ class TtcpSender {
   std::size_t bytes_issued_ = 0;
 };
 
+/// TCP flavor of the sender: opens a real connection (src/stack/tcp.h),
+/// streams `total_bytes` through it in `write_size` application writes,
+/// and closes, so saturation shows up as congestion behavior (retransmits,
+/// cwnd) instead of raw datagram loss. With `offered_rate_bps` > 0 the
+/// application paces one write per interval on the host's own scheduler
+/// (shard-safe; the incast bench's offered-load knob); 0 queues everything
+/// at connect time and lets the congestion window clock the wire.
+class TcpTtcpSender {
+ public:
+  TcpTtcpSender(stack::HostStack& host, TtcpConfig config,
+                double offered_rate_bps = 0.0, std::uint16_t src_port = 5000,
+                stack::TcpConfig tcp_config = {});
+
+  void start();
+
+  [[nodiscard]] std::size_t bytes_issued() const { return bytes_issued_; }
+  [[nodiscard]] std::size_t writes_issued() const { return writes_issued_; }
+  /// True once start() has opened the connection (a staggered start may
+  /// never fire inside a short traffic window).
+  [[nodiscard]] bool started() const { return socket_ != nullptr; }
+  /// The underlying connection (valid after start()): retransmit counters,
+  /// cwnd, state.
+  [[nodiscard]] const stack::TcpSocket& socket() const { return *socket_; }
+  [[nodiscard]] bool finished() const {
+    return socket_ != nullptr && socket_->state() == stack::TcpState::kClosed;
+  }
+
+ private:
+  void write_next();
+
+  stack::HostStack* host_;
+  TtcpConfig config_;
+  double offered_rate_bps_;
+  std::uint16_t src_port_;
+  stack::TcpConfig tcp_config_;
+  stack::TcpSocket* socket_ = nullptr;
+  std::size_t writes_issued_ = 0;
+  std::size_t bytes_issued_ = 0;
+  std::uint32_t seq_ = 0;
+};
+
 /// Receiving side. Binds the UDP port and accumulates timing.
 class TtcpSink {
  public:
@@ -64,6 +107,38 @@ class TtcpSink {
   netsim::Scheduler* scheduler_;
   std::size_t bytes_received_ = 0;
   std::size_t datagrams_received_ = 0;
+  netsim::TimePoint first_at_{};
+  netsim::TimePoint last_at_{};
+  bool saw_any_ = false;
+};
+
+/// TCP flavor of the sink: listens on `port`, accepts every connection
+/// (N-to-1 for the incast cell), counts in-order delivered bytes across
+/// all of them, and closes each connection when its peer's FIN arrives.
+class TcpTtcpSink {
+ public:
+  TcpTtcpSink(netsim::Scheduler& scheduler, stack::HostStack& host,
+              std::uint16_t port, stack::TcpConfig tcp_config = {});
+
+  [[nodiscard]] std::size_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] std::size_t connections_accepted() const {
+    return connections_.size();
+  }
+  /// Accepted connections, in accept order (per-stream stats for benches).
+  [[nodiscard]] const std::vector<const stack::TcpSocket*>& connections() const {
+    return connections_;
+  }
+  [[nodiscard]] netsim::TimePoint first_at() const { return first_at_; }
+  [[nodiscard]] netsim::TimePoint last_at() const { return last_at_; }
+
+  /// Goodput in Mb/s between the first and last delivered byte, across all
+  /// accepted connections.
+  [[nodiscard]] double throughput_mbps() const;
+
+ private:
+  netsim::Scheduler* scheduler_;
+  std::vector<const stack::TcpSocket*> connections_;
+  std::size_t bytes_received_ = 0;
   netsim::TimePoint first_at_{};
   netsim::TimePoint last_at_{};
   bool saw_any_ = false;

@@ -90,6 +90,10 @@ void LanSegment::broadcast(const ether::WireFrame& frame, const Nic* sender) {
   stats_.bytes_carried += frame.wire_size();
   if (tap_) tap_(scheduler_->now(), sender, frame.wire());
   if (relay_) relay_(scheduler_->now(), sender, frame.wire());
+  if (drop_filter_ && drop_filter_(scheduler_->now(), sender, frame.wire())) {
+    stats_.frames_dropped_by_filter += 1;
+    return;  // before any loss draw: the seeded sequence is untouched
+  }
 
   // One scheduled event delivers the whole segment by walking the
   // snapshot. Every receiver shares the same WireFrame: one buffer, one
@@ -120,6 +124,10 @@ std::uint32_t LanSegment::prepare_broadcast(const ether::WireFrame& frame,
   stats_.bytes_carried += frame.wire_size();
   if (tap_) tap_(scheduler_->now(), sender, frame.wire());
   if (relay_) relay_(scheduler_->now(), sender, frame.wire());
+  if (drop_filter_ && drop_filter_(scheduler_->now(), sender, frame.wire())) {
+    stats_.frames_dropped_by_filter += 1;
+    return kNoPreparedRun;  // the caller's delivery slot no-ops
+  }
 
   // Same snapshot discipline as broadcast() -- loss draws in attach order,
   // so seeded loss sequences are identical whichever transmit path carried
@@ -142,7 +150,13 @@ void LanSegment::inject_remote(const ether::WireFrame& frame, TimePoint deliver_
   // counted, traced, and relayed this frame once at transmit time. Local
   // loss draws (this replica's own rng, its own attach order) still count
   // frames_lost here. No sender to exclude -- the transmitting NIC is
-  // attached to the producer's replica, never to this one.
+  // attached to the producer's replica, never to this one. Scripted drops
+  // apply per replica, like the loss model.
+  if (drop_filter_ && drop_filter_(scheduler_->now(), /*sender=*/nullptr,
+                                   frame.wire())) {
+    stats_.frames_dropped_by_filter += 1;
+    return;
+  }
   Nic* sole = nullptr;
   const std::uint32_t run = snapshot_run(/*sender=*/nullptr, &sole);
 

@@ -46,6 +46,8 @@ struct LanStats {
   std::uint64_t frames_carried = 0;
   std::uint64_t bytes_carried = 0;
   std::uint64_t frames_lost = 0;  ///< receiver-side drops from the loss model
+  /// Whole-frame drops scripted via set_drop_filter (conformance suites).
+  std::uint64_t frames_dropped_by_filter = 0;
 };
 
 /// A shared broadcast medium. Attach NICs with Nic::attach().
@@ -95,6 +97,17 @@ class LanSegment {
   void deliver_prepared(std::uint32_t index);
 
   void set_frame_tap(FrameTap tap) { tap_ = std::move(tap); }
+
+  /// Scripted per-frame drop hook for the loss-schedule conformance
+  /// suites: consulted once per transmitted frame (after the tap and the
+  /// relay, before the receiver snapshot); returning true drops the frame
+  /// for EVERY receiver, counted in frames_dropped_by_filter. The filter
+  /// runs before any loss draw, so scripting drops never perturbs the
+  /// seeded per-receiver loss sequence -- deterministic tests use it with
+  /// LanConfig::loss == 0 to drop exactly the frames a scenario names.
+  using DropFilter =
+      std::function<bool(TimePoint, const Nic* sender, util::ByteView wire)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
   /// Second observer, reserved for the sharded runner: on a CUT segment the
   /// owning region's replica relays every transmitted frame (same wire
@@ -177,6 +190,7 @@ class LanSegment {
   util::Rng rng_;
   FrameTap tap_;
   FrameTap relay_;  ///< cross-shard mailbox hook; see set_relay()
+  DropFilter drop_filter_;  ///< scripted drops; see set_drop_filter()
   std::vector<ReceiverRun> runs_;
   std::uint32_t free_run_ = kNoRun;
   std::uint64_t detach_epoch_ = 0;   ///< bumped by every detach_nic

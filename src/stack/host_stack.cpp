@@ -40,6 +40,42 @@ void HostStack::unbind_udp(std::uint16_t port) {
   if (cold_) cold_->udp_handlers.erase(port);
 }
 
+TcpSocket& HostStack::make_tcp_socket(const TcpKey& key, TcpConfig config) {
+  auto socket = std::make_unique<TcpSocket>(
+      *scheduler_, config_.ip, key.local_port, key.remote_ip, key.remote_port,
+      config, [this](Ipv4Addr dst, util::ByteBuffer tcp_bytes) {
+        send_ipv4(IpProto::kTcp, dst, tcp_bytes);
+      });
+  auto [it, inserted] = cold().tcp_sockets.emplace(key, std::move(socket));
+  if (!inserted) {
+    throw std::invalid_argument(util::format(
+        "TCP connection %u -> %s:%u already exists", key.local_port,
+        key.remote_ip.to_string().c_str(), key.remote_port));
+  }
+  return *it->second;
+}
+
+TcpSocket& HostStack::tcp_connect(Ipv4Addr dst, std::uint16_t dst_port,
+                                  std::uint16_t src_port, TcpConfig config) {
+  TcpSocket& socket = make_tcp_socket(TcpKey{src_port, dst, dst_port}, config);
+  socket.connect();
+  return socket;
+}
+
+void HostStack::tcp_listen(std::uint16_t port, TcpAcceptHandler on_accept,
+                           TcpConfig config) {
+  const auto [it, inserted] = cold().tcp_listeners.emplace(
+      port, TcpListener{std::move(on_accept), config});
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument(util::format("TCP port %u already listening", port));
+  }
+}
+
+void HostStack::tcp_unlisten(std::uint16_t port) {
+  if (cold_) cold_->tcp_listeners.erase(port);
+}
+
 void HostStack::set_echo_handler(EchoHandler handler) {
   cold().echo_handler = std::move(handler);
 }
@@ -311,6 +347,39 @@ void HostStack::deliver(const Ipv4Header& header, util::ByteView payload) {
                                         std::move(echo->payload)});
         }
       }
+      return;
+    }
+    case IpProto::kTcp: {
+      auto segment = decode_tcp(header.src, header.dst, payload);
+      if (!segment) {
+        stats_.rx_parse_errors += 1;
+        return;
+      }
+      if (!cold_) {  // no socket or listener was ever created
+        stats_.tcp_no_socket_drops += 1;
+        return;
+      }
+      const TcpKey key{segment->dst_port, header.src, segment->src_port};
+      if (const auto it = cold_->tcp_sockets.find(key);
+          it != cold_->tcp_sockets.end()) {
+        stats_.tcp_delivered += 1;
+        it->second->on_segment(segment.value());
+        return;
+      }
+      // No connection: an initial SYN may match a listener (passive open).
+      const auto listener = cold_->tcp_listeners.find(segment->dst_port);
+      if (listener != cold_->tcp_listeners.end() &&
+          segment->has(TcpSegment::kSyn) && !segment->has(TcpSegment::kAck) &&
+          !segment->has(TcpSegment::kRst)) {
+        stats_.tcp_delivered += 1;
+        TcpSocket& socket = make_tcp_socket(key, listener->second.config);
+        socket.listen();
+        // Accept runs before the SYN so handlers see every event.
+        if (listener->second.on_accept) listener->second.on_accept(socket);
+        socket.on_segment(segment.value());
+        return;
+      }
+      stats_.tcp_no_socket_drops += 1;
       return;
     }
     case IpProto::kUdp: {

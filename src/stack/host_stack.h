@@ -23,6 +23,7 @@
 #include "src/stack/arp.h"
 #include "src/stack/icmp.h"
 #include "src/stack/ipv4.h"
+#include "src/stack/tcp.h"
 #include "src/stack/udp.h"
 #include "src/util/log.h"
 
@@ -68,6 +69,9 @@ struct HostStats {
   std::uint64_t reassemblies_done = 0;
   std::uint64_t reassemblies_dropped = 0;
   std::uint64_t udp_delivered = 0;
+  std::uint64_t tcp_delivered = 0;  ///< segments handed to a socket (incl. accepts)
+  /// TCP segments for which no connection or listener existed (dropped).
+  std::uint64_t tcp_no_socket_drops = 0;
   std::uint64_t echo_requests_answered = 0;
   std::uint64_t echo_replies_received = 0;
   std::uint64_t rx_parse_errors = 0;
@@ -108,6 +112,24 @@ class HostStack {
   void send_udp(Ipv4Addr dst, std::uint16_t src_port, std::uint16_t dst_port,
                 util::ByteBuffer payload);
 
+  /// A connection accepted by tcp_listen. The socket is owned by this host;
+  /// set handlers inside the callback (it runs before the SYN is processed,
+  /// so no event can be missed).
+  using TcpAcceptHandler = std::function<void(TcpSocket&)>;
+
+  /// Opens an active TCP connection from `src_port` to dst:dst_port and
+  /// returns the socket (owned by this host for its lifetime; stats remain
+  /// readable after close). Throws std::invalid_argument if a connection
+  /// with the same (src_port, dst, dst_port) key already exists.
+  TcpSocket& tcp_connect(Ipv4Addr dst, std::uint16_t dst_port,
+                         std::uint16_t src_port, TcpConfig config = {});
+  /// Listens for TCP connections on `port`: each inbound SYN creates a
+  /// socket and invokes `on_accept`. Throws std::invalid_argument if the
+  /// port is already listening.
+  void tcp_listen(std::uint16_t port, TcpAcceptHandler on_accept,
+                  TcpConfig config = {});
+  void tcp_unlisten(std::uint16_t port);
+
   /// Receives every echo reply addressed to this host.
   void set_echo_handler(EchoHandler handler);
 
@@ -137,18 +159,38 @@ class HostStack {
   /// cell each cost one null pointer here instead of five empty
   /// containers. Created on first use and never discarded (a station that
   /// has spoken once is warm for the rest of the run).
+  /// Demux key for one TCP connection.
+  struct TcpKey {
+    std::uint16_t local_port = 0;
+    Ipv4Addr remote_ip;
+    std::uint16_t remote_port = 0;
+    friend auto operator<=>(const TcpKey&, const TcpKey&) = default;
+  };
+  struct TcpListener {
+    TcpAcceptHandler on_accept;
+    TcpConfig config;
+  };
+
   struct ColdState {
     std::unordered_map<Ipv4Addr, PendingArp> pending_arp;
     /// Flooded duplicate copies of one request draw a single reply per
     /// dedupe window (shared implementation with the netloader).
     ArpReplySuppressor arp_reply_suppressor;
     std::unordered_map<std::uint16_t, UdpHandler> udp_handlers;
+    /// Connections live here for the host's lifetime so workloads can read
+    /// final stats after teardown; runs are cell-scoped, so closed sockets
+    /// are cheap residue, not a leak.
+    std::map<TcpKey, std::unique_ptr<TcpSocket>> tcp_sockets;
+    std::unordered_map<std::uint16_t, TcpListener> tcp_listeners;
     std::map<ReassemblyKey, Reassembly> reassemblies;
     EchoHandler echo_handler;
   };
 
   /// The cold box, materialized on first demand.
   ColdState& cold();
+
+  /// Creates and registers a socket for `key` (must not exist yet).
+  TcpSocket& make_tcp_socket(const TcpKey& key, TcpConfig config);
 
   void on_frame(const ether::Frame& frame);
   void handle_arp(util::ByteView payload);

@@ -24,6 +24,7 @@ namespace ab::stack {
 /// IP protocol numbers used by this stack.
 enum class IpProto : std::uint8_t {
   kIcmp = 1,
+  kTcp = 6,
   kUdp = 17,
 };
 

@@ -43,6 +43,8 @@ void expect_observables_equal(const SweepResult& a, const SweepResult& b,
     EXPECT_EQ(a.streams[i].bytes_sent, b.streams[i].bytes_sent) << what;
     EXPECT_EQ(a.streams[i].bytes_received, b.streams[i].bytes_received) << what;
     EXPECT_EQ(a.streams[i].datagrams, b.streams[i].datagrams) << what;
+    EXPECT_EQ(a.streams[i].retransmits, b.streams[i].retransmits) << what;
+    EXPECT_EQ(a.streams[i].cwnd_final, b.streams[i].cwnd_final) << what;
   }
 }
 
@@ -104,6 +106,65 @@ TEST(ParallelSweep, ShardedTtcpStreamsMatchOracle) {
     const SweepResult sharded = sweep.run_cell(spec, ttcp);
     expect_observables_equal(sharded, oracle,
                              "ttcp threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelSweep, ShardedTcpStreamsMatchOracleBitIdentically) {
+  // TCP adds timers (RTO, TIME_WAIT) and feedback loops (cwnd clocks the
+  // wire) on top of the UDP streams above, all running on per-host
+  // schedulers. The sharded runs must still be a pure function of the
+  // cell: frames, bytes, goodput, retransmit counters and the final
+  // congestion window identical at every thread count and to the oracle.
+  const netsim::TopologySpec spec = star_cell();
+
+  TtcpStreamWorkload::Options wopts;
+  wopts.streams = 2;
+  wopts.bytes_per_stream = 32 * 1024;
+  wopts.transport = TtcpStreamWorkload::Transport::kTcp;
+
+  TtcpStreamWorkload oracle_ttcp(wopts);
+  TopologySweep oracle_sweep;
+  const SweepResult oracle = oracle_sweep.run_cell(spec, oracle_ttcp);
+  ASSERT_EQ(oracle.streams.size(), 2u);
+  for (const StreamResult& s : oracle.streams) {
+    ASSERT_EQ(s.bytes_sent, 32u * 1024u) << s.label;
+    ASSERT_EQ(s.bytes_received, s.bytes_sent) << s.label;  // lossless LANs
+    ASSERT_EQ(s.retransmits, 0u) << s.label;
+    ASSERT_GT(s.datagrams, 0u) << s.label;   // segments the sink received
+    ASSERT_GT(s.cwnd_final, 0u) << s.label;  // connection really ran TCP
+    ASSERT_GT(s.goodput_mbps, 0.0) << s.label;
+  }
+
+  SweepResult reference;  // the threads=1 sharded run
+  for (const int threads : {1, 2, 4, 8}) {
+    SweepOptions opts;
+    opts.shard_regions = 2;
+    opts.threads = threads;
+    TtcpStreamWorkload ttcp(wopts);
+    TopologySweep sweep(opts);
+    const SweepResult sharded = sweep.run_cell(spec, ttcp);
+
+    expect_observables_equal(
+        sharded, oracle, "tcp threads=" + std::to_string(threads) + " vs oracle");
+    ASSERT_EQ(sharded.streams.size(), oracle.streams.size());
+    for (std::size_t i = 0; i < sharded.streams.size(); ++i) {
+      // goodput is a double computed from sink timestamps; bit-identity
+      // means EXACT equality, not near-equality.
+      EXPECT_EQ(sharded.streams[i].goodput_mbps, oracle.streams[i].goodput_mbps)
+          << sharded.streams[i].label << " threads=" << threads;
+    }
+    if (threads == 1) {
+      reference = sharded;
+    } else {
+      expect_observables_equal(sharded, reference,
+                               "tcp vs threads=1, threads=" +
+                                   std::to_string(threads));
+      EXPECT_EQ(sharded.events, reference.events) << "threads=" << threads;
+      EXPECT_EQ(sharded.heap_inserts, reference.heap_inserts)
+          << "threads=" << threads;
+      EXPECT_EQ(sharded.scheduled_entries, reference.scheduled_entries)
+          << "threads=" << threads;
+    }
   }
 }
 
@@ -211,19 +272,35 @@ TEST(ParallelSweep, ShardedRunsAreRepeatable) {
 TEST(ParallelSweep, SingleNetworkOnlyWorkloadsRejectShardedCells) {
   // Aggregate generators and staged rollouts reach for the global Network;
   // until they are taught shard ownership they must refuse loudly, not
-  // corrupt silently.
+  // corrupt silently. The message is pinned because it is the only thing a
+  // user sees when a sweep config quietly combined a single-Network
+  // workload with shard_regions > 0: it must name the workload's
+  // limitation AND the exact options to change.
   const netsim::TopologySpec spec = star_cell();
   SweepOptions opts;
   opts.shard_regions = 2;
   opts.build.netloader = true;  // what RolloutWorkload needs, so the throw
                                 // below is about sharding, not netloaders
+  const std::string expected =
+      "this workload drives the global Network directly and only supports "
+      "single-Network cells (SweepOptions::threads == 1, shard_regions == 0)";
 
   AggregateHostWorkload aggregate;
   TopologySweep sweep(opts);
-  EXPECT_THROW((void)sweep.run_cell(spec, aggregate), std::logic_error);
+  try {
+    (void)sweep.run_cell(spec, aggregate);
+    FAIL() << "AggregateHostWorkload must refuse a sharded cell";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(std::string(e.what()), expected) << "AggregateHostWorkload";
+  }
 
   RolloutWorkload rollout;
-  EXPECT_THROW((void)sweep.run_cell(spec, rollout), std::logic_error);
+  try {
+    (void)sweep.run_cell(spec, rollout);
+    FAIL() << "RolloutWorkload must refuse a sharded cell";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(std::string(e.what()), expected) << "RolloutWorkload";
+  }
 }
 
 TEST(ParallelSweep, ForkedGridMatchesInProcessGrid) {
