@@ -707,8 +707,15 @@ int main(int argc, char** argv) {
   apps::AggregateHostWorkload aggregate(agg_opts);
   std::vector<netsim::TopologySpec> station_grid;
   station_grid.push_back(spec_of(netsim::TopologyShape::kStar, 8, 125000));
+  // Fork the cell even though the grid has one entry: peak_rss_bytes and
+  // bytes_per_station are then measured in a child process that built ONLY
+  // this cell, not inherited from whatever the earlier grids above grew
+  // the parent's heap to. (Non-Linux falls back to in-process.)
+  apps::SweepOptions station_opts;
+  station_opts.fork_cells = true;
+  apps::TopologySweep station_sweep(station_opts);
   const std::vector<apps::SweepResult> station_cells =
-      sweep.run_grid(station_grid, aggregate);
+      station_sweep.run_grid(station_grid, aggregate);
   const apps::SweepResult& station = station_cells.front();
   std::printf("\n%s", apps::TopologySweep::format_table(station_cells).c_str());
   std::printf(

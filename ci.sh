@@ -32,7 +32,7 @@ echo "== TSan build + sharded-core tests =="
 cmake -B build-tsan -S . -DAB_TSAN=ON
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j \
-  -R 'RelayRing|ShardChannel|Shard\.|ParallelRunner|ParallelSweep|InjectRemote|Tcp')
+  -R 'RelayRing|ShardChannel|Shard\.|ParallelRunner|ParallelSweep|InjectRemote|Tcp|BridgeArena')
 
 echo "== datapath accounting =="
 (cd build && ./micro_datapath --benchmark_filter='Fanout' && cat BENCH_datapath.json) || true

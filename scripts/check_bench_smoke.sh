@@ -43,6 +43,15 @@
 #      4-thread speedup must reach 2.0x -- but ONLY when the runner has
 #      >= 4 hardware threads; starved CI containers (1 vCPU) skip the
 #      bound with an explicit note rather than fake it.
+#   9. aggregate_parallel (same file, "agg-" rows): the million-station
+#      cell through the sharded core. The partitioned aggregate workload
+#      must reproduce the legacy single-scheduler run bit-identically
+#      (frames, bytes, pings, MAC entries -- aggregate_matches_legacy from
+#      the bench, cross-checked on the rows here), every sharded thread
+#      count must agree with agg-sharded-t1 on events and frames, the
+#      4-thread speedup over SIM time (the serial build excluded) must
+#      reach 2.0x under the same hardware-thread guard as #8, and
+#      bytes_per_station must stay inside the same 1024 B budget as #6.
 #
 # Usage: scripts/check_bench_smoke.sh [build-dir]   (default: build-release)
 set -euo pipefail
@@ -229,10 +238,71 @@ else
   parallel_note="4-thread speedup bound SKIPPED ($hw hardware thread(s) < 4; measured ${t4_speedup}x)"
 fi
 
+# --- aggregate_parallel: the million-station cell, sharded ---------------
+
+grep -q '"aggregate_deterministic": true' "$par_json" \
+  || fail "$par_json: sharded aggregate runs diverge across thread counts"
+grep -q '"aggregate_matches_legacy": true' "$par_json" \
+  || fail "$par_json: sharded aggregate workload diverges from the legacy path"
+
+agg_legacy_line=$(grep '"run": "agg-legacy"' "$par_json") \
+  || fail "$par_json has no agg-legacy run"
+agg_t1_line=$(grep '"run": "agg-sharded-t1"' "$par_json") \
+  || fail "$par_json has no agg-sharded-t1 run"
+agg_t1_events=$(field "$agg_t1_line" events)
+agg_t1_frames=$(field "$agg_t1_line" frames_carried)
+[ -n "$agg_t1_events" ] && [ -n "$agg_t1_frames" ] \
+  || fail "could not parse agg-sharded-t1 from: $agg_t1_line"
+for t in 2 4 8; do
+  line=$(grep "\"run\": \"agg-sharded-t$t\"" "$par_json") \
+    || fail "$par_json has no agg-sharded-t$t run"
+  ev=$(field "$line" events)
+  fr=$(field "$line" frames_carried)
+  if [ "$ev" != "$agg_t1_events" ] || [ "$fr" != "$agg_t1_frames" ]; then
+    fail "agg-sharded-t$t diverges from agg-sharded-t1: events $ev vs $agg_t1_events, frames $fr vs $agg_t1_frames"
+  fi
+done
+
+# Cross-check the bench's bit-identity verdict on the observable rows: the
+# partitioned workload must carry the legacy run's exact traffic.
+for f in frames_carried bytes_carried pings_answered mac_entries \
+         stream_bytes_received; do
+  legacy_v=$(field "$agg_legacy_line" "$f")
+  t1_v=$(field "$agg_t1_line" "$f")
+  [ -n "$legacy_v" ] && [ -n "$t1_v" ] \
+    || fail "could not parse $f from aggregate rows"
+  if [ "$t1_v" != "$legacy_v" ]; then
+    fail "sharded aggregate $f diverges from legacy: $t1_v vs $legacy_v"
+  fi
+done
+
+# Same per-station memory budget as the aggregate_profile cell (#6);
+# 0 means the platform hides RSS, not a pass at 0 bytes.
+agg_bps=$(field "$agg_t1_line" bytes_per_station)
+[ -n "$agg_bps" ] || fail "could not parse aggregate bytes_per_station"
+if ! awk -v b="$agg_bps" -v max="$max_bps" 'BEGIN { exit !(b == 0 || b <= max) }'; then
+  fail "sharded aggregate station memory regressed: $agg_bps bytes/station (limit: $max_bps)"
+fi
+
+# Speedup over sim time (the bench already subtracts the serial build);
+# same hardware-thread guard as the flood cell's bound.
+agg_t4_speedup=$(field "$(grep '"run": "agg-sharded-t4"' "$par_json")" speedup_vs_1t)
+[ -n "$agg_t4_speedup" ] || fail "could not parse agg-sharded-t4 speedup from $par_json"
+if [ "$hw" -ge 4 ]; then
+  if ! awk -v s="$agg_t4_speedup" -v min="$min_speedup" \
+       'BEGIN { exit !(s >= min) }'; then
+    fail "4-thread aggregate speedup regressed: ${agg_t4_speedup}x (floor: ${min_speedup}x on $hw hardware threads)"
+  fi
+  aggregate_note="aggregate 4-thread speedup ${agg_t4_speedup}x"
+else
+  aggregate_note="aggregate 4-thread speedup bound SKIPPED ($hw hardware thread(s) < 4; measured ${agg_t4_speedup}x)"
+fi
+
 echo "check_bench_smoke: OK (batch_insert + timed_run cells present;" \
   "flood profile at $epb events and $ipb inserts/broadcast for $receivers receivers;" \
   "egress hop at $ipf inserts/flood on $ports ports;" \
   "ttcp write at $ipw inserts/write over $frags fragments; mac_lookup present;" \
   "$stations stations at $bps B and $bups us each, $agg_answered/$agg_sent pings;" \
   "tcp incast $inc_goodput Mb/s goodput, slowest stream $inc_min Mb/s, all bytes delivered;" \
-  "sharded runs deterministic, $parallel_note)"
+  "sharded runs deterministic, $parallel_note;" \
+  "sharded aggregate bit-identical to legacy at $agg_bps B/station, $aggregate_note)"

@@ -339,7 +339,11 @@ netsim::Nic& WorkloadContext::add_station_nic(const std::string& name,
   auto& region =
       *sharded->regions[static_cast<std::size_t>(sharded->plan.lan_owner[l])];
   const std::uint32_t id = sharded->next_mac_id++;
-  return region.net.add_nic(name, *region.replicas[l],
+  // Arena-owned, like every other NIC attached to the region's replica
+  // segments: the arena's reverse finalizer walk then detaches workload
+  // NICs while their segments are still alive. A Network-owned NIC here
+  // would outlive the arena and detach from a freed segment.
+  return region.net.add_nic(region.arena, name, *region.replicas[l],
                             ether::MacAddress::local(id >> 16, id & 0xFFFF));
 }
 
@@ -354,9 +358,7 @@ void WorkloadContext::advance(netsim::Duration d) const {
 namespace {
 
 [[noreturn]] void require_single_network() {
-  throw std::logic_error(
-      "this workload drives the global Network directly and only supports "
-      "single-Network cells (SweepOptions::threads == 1, shard_regions == 0)");
+  throw std::logic_error(kSingleNetworkOnlyMessage);
 }
 
 }  // namespace
@@ -565,31 +567,33 @@ void TtcpStreamWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 }
 
 void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
-  // Single-Network only (throws on a sharded cell): the per-LAN generator
-  // NICs replay frames for stations across the whole cell from one clock.
-  netsim::Network& net = ctx.net();
-  bridge::BridgedTopology& topo = ctx.topo();
-  const netsim::Topology& shape = topo.shape;
-  netsim::Scheduler& sched = net.scheduler();
-  const std::size_t host_count = topo.hosts.size();
+  // Mode-agnostic: everything below goes through the context's unified
+  // views, so the same code drives a single-Network cell and a sharded
+  // cell. Shard-safety discipline: per-host state is scheduled on that
+  // host's own clock (a LAN's hosts and its generator all live in the
+  // LAN's owning region), and counters are one slot per talker, summed
+  // after advance().
+  const std::size_t host_count = ctx.host_count();
+  const std::size_t lan_count = ctx.lan_count();
   if (host_count == 0) {
-    sched.run_for(ctx.options.traffic_window);
+    ctx.advance(ctx.options.traffic_window);
     return;
   }
 
-  // Host ordinals per LAN (shape.hosts is lan-major, but derive it rather
+  // Host ordinals per LAN (the plan is lan-major, but derive it rather
   // than assume).
-  std::vector<std::vector<std::size_t>> by_lan(shape.lans.size());
+  std::vector<std::vector<std::size_t>> by_lan(lan_count);
   for (std::size_t h = 0; h < host_count; ++h) {
-    by_lan[static_cast<std::size_t>(shape.hosts[h].lan)].push_back(h);
+    by_lan[static_cast<std::size_t>(ctx.host_attach(h).lan)].push_back(h);
   }
 
   // Generator NICs attach FIRST, in both modes: LAN membership (and so
   // every delivery walk) must be identical whether or not they transmit.
-  std::vector<netsim::Nic*> generators(shape.lans.size(), nullptr);
-  for (std::size_t l = 0; l < shape.lans.size(); ++l) {
-    generators[l] =
-        &net.add_nic(result.label + ".agg" + std::to_string(l), *shape.lans[l]);
+  // Global LAN order keeps the MAC counter's assignment identical to the
+  // oracle's; when sharded, each lands on its LAN's owning replica.
+  std::vector<netsim::Nic*> generators(lan_count, nullptr);
+  for (std::size_t l = 0; l < lan_count; ++l) {
+    generators[l] = &ctx.add_station_nic(result.label + ".agg" + std::to_string(l), l);
   }
 
   // ---- talkers: the LAN's first K ordinals stay fully materialized ----
@@ -607,13 +611,16 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   // Talker pings: each talker pings the next (lan-major order crosses
   // LANs), so bridges learn every talker and half of each exchange rides
   // directed forwarding -- flood+pings at talker scale, not station scale.
-  int answered = 0;
+  // One reply slot per talker (not a shared counter): each handler fires
+  // on its host's shard thread, and disjoint slots summed after advance()
+  // are the whole synchronization story.
+  std::vector<int> answered(talkers.size(), 0);
   if (talkers.size() >= 2) {
     for (std::size_t i = 0; i < talkers.size(); ++i) {
-      stack::HostStack& src = *topo.hosts[talkers[i]];
-      stack::HostStack& dst = *topo.hosts[talkers[(i + 1) % talkers.size()]];
-      src.set_echo_handler(
-          [&answered](const stack::HostStack::EchoReply&) { ++answered; });
+      stack::HostStack& src = ctx.host(talkers[i]);
+      stack::HostStack& dst = ctx.host(talkers[(i + 1) % talkers.size()]);
+      int* slot = &answered[i];
+      src.set_echo_handler([slot](const stack::HostStack::EchoReply&) { ++*slot; });
       src.send_echo_request(dst.ip(), 7, static_cast<std::uint16_t>(i), {});
       ++result.pings_sent;
     }
@@ -621,7 +628,7 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 
   // ---- flood burst from a probe on lan0 ----
   if (options_.probe_broadcasts > 0) {
-    netsim::Nic& probe = net.add_nic(result.label + ".probe", *shape.lans[0]);
+    netsim::Nic& probe = ctx.add_station_nic(result.label + ".probe", 0);
     std::vector<ether::WireFrame> burst;
     burst.reserve(static_cast<std::size_t>(options_.probe_broadcasts));
     for (int i = 0; i < options_.probe_broadcasts; ++i) {
@@ -637,26 +644,28 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
   std::unique_ptr<TtcpSender> sender;
   std::string stream_label;
   if (options_.ttcp_bytes > 0) {
-    std::size_t lan_a = shape.lans.size();
-    std::size_t lan_b = shape.lans.size();
+    std::size_t lan_a = lan_count;
+    std::size_t lan_b = lan_count;
     for (std::size_t l = 0; l < by_lan.size(); ++l) {
       if (by_lan[l].empty()) continue;
-      if (lan_a == shape.lans.size()) {
+      if (lan_a == lan_count) {
         lan_a = l;
-      } else if (lan_b == shape.lans.size()) {
+      } else if (lan_b == lan_count) {
         lan_b = l;
         break;
       }
     }
-    if (lan_b == shape.lans.size()) lan_b = lan_a;  // single populated LAN
-    if (lan_a != shape.lans.size() &&
-        (lan_a != lan_b || by_lan[lan_a].size() >= 2)) {
+    if (lan_b == lan_count) lan_b = lan_a;  // single populated LAN
+    if (lan_a != lan_count && (lan_a != lan_b || by_lan[lan_a].size() >= 2)) {
       const std::size_t src = by_lan[lan_a][0];
       const std::size_t dst = lan_a == lan_b ? by_lan[lan_a][1] : by_lan[lan_b][0];
-      stack::HostStack& sender_host = *topo.hosts[src];
-      stack::HostStack& sink_host = *topo.hosts[dst];
-      stream_label = shape.hosts[src].name + " -> " + shape.hosts[dst].name;
-      sink = std::make_unique<TtcpSink>(sched, sink_host, 5001);
+      stack::HostStack& sender_host = ctx.host(src);
+      stack::HostStack& sink_host = ctx.host(dst);
+      stream_label = ctx.host_attach(src).name + " -> " + ctx.host_attach(dst).name;
+      // Sink timing on the SINK's clock (its shard's scheduler when the
+      // endpoints live in different regions -- the stream then rides the
+      // cut LAN's mailboxes like any other cross-region frame).
+      sink = std::make_unique<TtcpSink>(sink_host.scheduler(), sink_host, 5001);
       TtcpConfig cfg;
       cfg.destination = sink_host.ip();
       cfg.port = 5001;
@@ -692,11 +701,11 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
       std::swap(idle[j], idle[pick]);
     }
 
-    stack::HostStack& talker = *topo.hosts[lan_hosts[0]];
+    stack::HostStack& talker = ctx.host(lan_hosts[0]);
     const stack::Ipv4Addr talker_ip = talker.ip();
     const ether::MacAddress talker_mac = talker.nic().mac();
     for (std::size_t j = 0; j < want; ++j) {
-      stack::HostStack& station = *topo.hosts[idle[j]];
+      stack::HostStack& station = ctx.host(idle[j]);
       sampled.push_back(idle[j]);
       const ether::MacAddress st_mac = station.nic().mac();
       const stack::Ipv4Addr st_ip = station.ip();
@@ -723,19 +732,23 @@ void AggregateHostWorkload::run(WorkloadContext& ctx, SweepResult& result) {
 
       const netsim::Duration at =
           options_.background_start + options_.background_gap * static_cast<int>(j);
-      sched.schedule_after(at, [tx_nic, arp_frame] { tx_nic->transmit(arp_frame); });
-      sched.schedule_after(at + options_.background_gap / 2,
+      // The station, its LAN's generator, and the LAN's talker all live in
+      // the LAN's owning region, so the station's clock is the right clock
+      // for either tx NIC.
+      netsim::Scheduler& clock = station.scheduler();
+      clock.schedule_after(at, [tx_nic, arp_frame] { tx_nic->transmit(arp_frame); });
+      clock.schedule_after(at + options_.background_gap / 2,
                            [tx_nic, echo_frame] { tx_nic->transmit(echo_frame); });
       ++result.pings_sent;
     }
   }
 
-  sched.run_for(ctx.options.traffic_window);
+  ctx.advance(ctx.options.traffic_window);
 
-  result.pings_answered = answered;
+  for (int slot : answered) result.pings_answered += slot;
   for (std::size_t ordinal : sampled) {
     result.pings_answered += static_cast<int>(
-        topo.hosts[ordinal]->stats().echo_replies_received);
+        ctx.host(ordinal).stats().echo_replies_received);
   }
   if (sender && sink) {
     StreamResult sr;
@@ -1101,7 +1114,10 @@ std::vector<SweepResult> TopologySweep::run_grid(
 std::vector<SweepResult> TopologySweep::run_grid(
     const std::vector<netsim::TopologySpec>& grid, Workload& workload) {
 #if defined(__linux__)
-  if (options_.fork_cells && grid.size() > 1) {
+  // Even a single-cell grid forks when asked: the point is per-cell RSS
+  // isolation (peak_rss_bytes measured in a child that built ONLY this
+  // cell), not just parallelism across cells.
+  if (options_.fork_cells && !grid.empty()) {
     return run_grid_forked(grid, workload);
   }
 #endif

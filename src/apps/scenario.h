@@ -282,12 +282,21 @@ struct WorkloadContext {
   void advance(netsim::Duration d) const;
 
   // ---- single-Network-only accessors ----
-  /// Throws std::logic_error when the cell is sharded: workloads that
-  /// reach for the global Network/topology (aggregate generators, staged
-  /// rollouts) have not been taught shard ownership yet.
+  /// Throws std::logic_error (kSingleNetworkOnlyMessage) when the cell is
+  /// sharded: workloads that reach for the global Network/topology (the
+  /// staged rollout's BFS deployment) have not been taught shard
+  /// ownership yet.
   [[nodiscard]] netsim::Network& net() const;
   [[nodiscard]] bridge::BridgedTopology& topo() const;
 };
+
+/// The exact refusal a single-Network-only workload throws on a sharded
+/// cell. Shared with the rollout-pin test so the wording changes in one
+/// place when a workload graduates to shard awareness (as the aggregate
+/// workload did).
+inline constexpr const char* kSingleNetworkOnlyMessage =
+    "this workload drives the global Network directly and only supports "
+    "single-Network cells (SweepOptions::threads == 1, shard_regions == 0)";
 
 /// A traffic pattern the sweep drives over each built topology. Implement
 /// run() to place apps, advance the scheduler through the traffic window,
@@ -400,6 +409,16 @@ class TtcpStreamWorkload final : public Workload {
 /// background_gap keeps the generator's transmitter idle between frames
 /// (no queueing skew). `materialize_background` flips to the reference
 /// model so tests can assert the equivalence on small cells.
+///
+/// Shard-aware: the workload runs mode-agnostically. The background
+/// sample is drawn from ONE seeded RNG walking LANs in global order (so
+/// sharded and single cells sample identical stations); each LAN's
+/// generator NIC is created on the LAN's owning region, and its replay is
+/// scheduled on that region's clock (any host of the LAN lives there).
+/// Talker pings use one answer slot per talker, and the cross-LAN ttcp
+/// stream rides the mailbox path when its endpoints land on different
+/// regions. On tie-free cells the sharded observables match the
+/// single-scheduler oracle bit for bit.
 class AggregateHostWorkload final : public Workload {
  public:
   struct Options {

@@ -10,7 +10,7 @@ void MacTable::grow(std::size_t for_size) {
   // runs stay short; rebuilding drops every tombstone.
   std::size_t capacity = 16;
   while (capacity < for_size * 2) capacity *= 2;
-  std::vector<Slot> old = std::move(slots_);
+  SlotVector old = std::move(slots_);
   slots_.assign(capacity, Slot{});
   used_ = size_;
   reset_dest_cache();
@@ -134,8 +134,11 @@ std::vector<MacTable::Entry> MacTable::entries() const {
 
 LearningBridgeSwitchlet::LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
                                                  netsim::Duration aging,
-                                                 netsim::Duration sweep_interval)
-    : plane_(std::move(plane)), table_(aging), sweep_interval_(sweep_interval) {
+                                                 netsim::Duration sweep_interval,
+                                                 netsim::Arena* mac_arena)
+    : plane_(std::move(plane)),
+      table_(aging, netsim::seconds(15), MacTable::kDefaultDestCacheWays, mac_arena),
+      sweep_interval_(sweep_interval) {
   if (!plane_) throw std::invalid_argument("LearningBridgeSwitchlet: null plane");
   if (sweep_interval_ <= netsim::Duration::zero()) {
     // aging/4, floored at 1 s, but never longer than the aging horizon

@@ -23,6 +23,7 @@
 
 #include "src/active/switchlet.h"
 #include "src/bridge/forwarding.h"
+#include "src/netsim/arena.h"
 #include "src/netsim/time.h"
 
 namespace ab::bridge {
@@ -64,10 +65,20 @@ class MacTable {
   static constexpr std::size_t kMaxDestCacheWays = 8;
 
   MacTable() : MacTable(netsim::seconds(300)) {}
+  /// `slab_arena` (optional) backs the slot array: growth allocates from
+  /// the arena instead of the heap (deallocation of a retired generation
+  /// is deferred to arena teardown -- bounded by geometric growth). The
+  /// arena must outlive the table's last learn(), and a sharded cell must
+  /// hand each bridge ITS region's arena: the table grows on the region's
+  /// worker thread mid-window.
   explicit MacTable(netsim::Duration aging,
                     netsim::Duration fast_aging = netsim::seconds(15),
-                    std::size_t dest_cache_ways = kDefaultDestCacheWays)
-      : aging_(aging), fast_aging_(fast_aging), cache_mask_(dest_cache_ways - 1) {
+                    std::size_t dest_cache_ways = kDefaultDestCacheWays,
+                    netsim::Arena* slab_arena = nullptr)
+      : aging_(aging),
+        fast_aging_(fast_aging),
+        slots_(netsim::ArenaAllocator<Slot>(slab_arena)),
+        cache_mask_(dest_cache_ways - 1) {
     if (dest_cache_ways == 0 || dest_cache_ways > kMaxDestCacheWays ||
         (dest_cache_ways & (dest_cache_ways - 1)) != 0) {
       throw std::invalid_argument("MacTable: dest_cache_ways must be a power "
@@ -110,6 +121,9 @@ class MacTable {
     active::PortId port = active::kNoPort;
     netsim::TimePoint learned{};
   };
+  /// Slot storage draws from the construction-time arena when one was
+  /// given (see the constructor), plain heap otherwise.
+  using SlotVector = std::vector<Slot, netsim::ArenaAllocator<Slot>>;
 
   [[nodiscard]] netsim::Duration horizon() const { return fast_ ? fast_aging_ : aging_; }
 
@@ -128,7 +142,7 @@ class MacTable {
   netsim::Duration aging_;
   netsim::Duration fast_aging_;
   bool fast_ = false;
-  std::vector<Slot> slots_;   ///< power-of-two; empty until the first learn
+  SlotVector slots_;          ///< power-of-two; empty until the first learn
   std::size_t size_ = 0;      ///< live entries
   std::size_t used_ = 0;      ///< live entries + tombstones
   /// Direct-mapped destination cache: per way, the slot the previous
@@ -159,9 +173,13 @@ class LearningBridgeSwitchlet final : public active::Switchlet {
   /// aging/4 clamped to [1s, aging]. (lookup() already ignores stale
   /// entries, but without the sweep a long simulation's table would keep
   /// every MAC it ever saw.)
+  /// `mac_arena` (optional) backs the MacTable's slot array -- the
+  /// topology builders pass their cell arena (per region when sharded) so
+  /// a thousand-bridge cell keeps no per-bridge heap tables.
   LearningBridgeSwitchlet(std::shared_ptr<ForwardingPlane> plane,
                           netsim::Duration aging = netsim::seconds(300),
-                          netsim::Duration sweep_interval = netsim::Duration::zero());
+                          netsim::Duration sweep_interval = netsim::Duration::zero(),
+                          netsim::Arena* mac_arena = nullptr);
   ~LearningBridgeSwitchlet() override;
 
   [[nodiscard]] std::string_view name() const override { return "bridge.learning"; }

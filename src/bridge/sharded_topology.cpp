@@ -108,7 +108,9 @@ ShardedTopology build_sharded_topology(const netsim::TopologySpec& spec,
     const netsim::LanConfig cfg = shape.lans[l]->config();
     for (const int r : plan.lan_regions[l]) {
       auto& region = *built.regions[static_cast<std::size_t>(r)];
-      region.replicas[l] = &region.net.add_segment(built.lan_names[l], cfg);
+      // Replicas are the region arena's FIRST creations, so every NIC that
+      // later attaches (bridge ports, stations) is finalized before them.
+      region.replicas[l] = &region.net.add_segment(region.arena, built.lan_names[l], cfg);
     }
   }
 
@@ -124,14 +126,15 @@ ShardedTopology build_sharded_topology(const netsim::TopologySpec& spec,
     auto& region = *built.regions[static_cast<std::size_t>(r)];
     BridgeNodeConfig cfg = node_config;
     cfg.name = shape.node_names[i];
+    cfg.arena = &region.arena;  // MAC tables grow on this region's thread
     if (options.netloader) cfg.loader_ip = topology_loader_ip(i);
     auto node = std::make_unique<BridgeNode>(region.net.scheduler(), std::move(cfg));
     int port = 0;
     for (netsim::LanSegment* seg : shape.node_ports[i]) {
       const std::size_t l = lan_of.at(seg);
       node->add_port(region.net.add_nic(
-          shape.node_names[i] + ".eth" + std::to_string(port++), *region.replicas[l],
-          next_mac()));
+          region.arena, shape.node_names[i] + ".eth" + std::to_string(port++),
+          *region.replicas[l], next_mac()));
     }
     if (options.dumb) node->load_dumb();
     if (options.learning) node->load_learning();

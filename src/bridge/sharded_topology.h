@@ -40,13 +40,19 @@ struct ShardedTopology {
   struct Region {
     netsim::Network net;
     netsim::Shard sync{net.scheduler()};
-    /// Per GLOBAL lan index: this region's replica of the segment, or
-    /// nullptr when the region has no presence there.
+    /// Owns EVERY per-object simulation state the region holds: its LAN
+    /// replicas, its bridges' port NICs and MAC-table slabs, and its
+    /// stations' NICs + HostStacks -- in creation order (segments, then
+    /// bridge ports, then stations), so the reverse finalizer walk
+    /// destroys NICs before the segments they detach from. Declared
+    /// before `bridges` so the BridgeNode shells (which reference port
+    /// NICs through their planes) are destroyed first. Only this region's
+    /// worker thread may allocate from it mid-window (MacTable growth).
+    netsim::Arena arena;
+    /// Per GLOBAL lan index: this region's replica of the segment
+    /// (arena-owned), or nullptr when the region has no presence there.
     std::vector<netsim::LanSegment*> replicas;
     std::vector<std::unique_ptr<BridgeNode>> bridges;  ///< local, node order
-    /// Owns this region's per-station state (NIC + HostStack), destroyed
-    /// after `hosts` (declaration order).
-    netsim::Arena arena;
     std::vector<stack::HostStack*> hosts;  ///< local, global-ordinal order
   };
 

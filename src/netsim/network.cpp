@@ -17,6 +17,16 @@ LanSegment& Network::add_segment(const std::string& name, LanConfig config) {
   return *segments_.back();
 }
 
+LanSegment& Network::add_segment(Arena& arena, const std::string& name,
+                                 LanConfig config) {
+  if (find_segment(name) != nullptr) {
+    throw std::invalid_argument("duplicate segment name: " + name);
+  }
+  LanSegment* seg = arena.create<LanSegment>(scheduler_, name, config);
+  arena_segments_.push_back(seg);
+  return *seg;
+}
+
 Nic& Network::add_nic(const std::string& name, LanSegment& segment) {
   const std::uint32_t id = next_mac_id_++;
   return add_nic(name, segment, ether::MacAddress::local(id >> 16, id & 0xFFFF));
@@ -45,6 +55,9 @@ Nic& Network::add_nic(Arena& arena, const std::string& name, LanSegment& segment
 LanSegment* Network::find_segment(const std::string& name) const {
   for (const auto& seg : segments_) {
     if (seg->name() == name) return seg.get();
+  }
+  for (LanSegment* seg : arena_segments_) {
+    if (seg->name() == name) return seg;
   }
   return nullptr;
 }

@@ -44,6 +44,15 @@ class Network {
   /// Creates a broadcast segment.
   LanSegment& add_segment(const std::string& name, LanConfig config = {});
 
+  /// Arena-backed variant: the segment lives in `arena` (alongside the
+  /// bridge port NICs and stations of its region in a sharded cell)
+  /// instead of the Network's per-object list. Names share one namespace
+  /// with owned segments, and find_segment sees both. Creation-order
+  /// discipline is the caller's: arena teardown destroys NICs created
+  /// AFTER a segment before the segment itself, which is the order the
+  /// detach-on-~Nic contract needs.
+  LanSegment& add_segment(Arena& arena, const std::string& name, LanConfig config = {});
+
   /// Creates a NIC with an automatically assigned locally-administered MAC
   /// and attaches it to `segment`.
   Nic& add_nic(const std::string& name, LanSegment& segment);
@@ -78,6 +87,9 @@ class Network {
  private:
   Scheduler scheduler_;
   std::vector<std::unique_ptr<LanSegment>> segments_;
+  /// Non-owning index of arena-backed segments (duplicate-name checks and
+  /// find_segment). Their storage belongs to the caller's arena.
+  std::vector<LanSegment*> arena_segments_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::uint32_t next_mac_id_ = 1;
 };

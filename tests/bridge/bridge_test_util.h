@@ -19,9 +19,13 @@ namespace ab::bridge::testing {
 ///   hostA -- lan0 -- [bridge0] -- lan1 -- hostB
 struct TwoLanFixture {
   netsim::Network net;
+  /// The whole build result stays alive: its arena owns the bridge's port
+  /// NICs (and MAC-table slabs), so plucking the BridgeNode out of a
+  /// temporary would leave it wired to freed NICs.
+  BridgedTopology topo;
   netsim::LanSegment* lan_a;
   netsim::LanSegment* lan_b;
-  std::unique_ptr<BridgeNode> bridge;
+  BridgeNode* bridge;
   std::unique_ptr<stack::HostStack> host_a;
   std::unique_ptr<stack::HostStack> host_b;
   netsim::FrameTrace trace;
@@ -32,12 +36,12 @@ struct TwoLanFixture {
     spec.nodes = 1;
     TopologyBuildOptions opts;
     opts.dumb = opts.learning = opts.stp = false;
-    auto built = build_topology(net, spec, std::move(cfg), opts);
-    lan_a = built.shape.lans[0];
-    lan_b = built.shape.lans[1];
+    topo = build_topology(net, spec, std::move(cfg), opts);
+    lan_a = topo.shape.lans[0];
+    lan_b = topo.shape.lans[1];
     trace.watch(*lan_a);
     trace.watch(*lan_b);
-    bridge = std::move(built.bridges[0]);
+    bridge = topo.bridges[0].get();
 
     // Hosts are wired by hand: the tests rely on these exact IPs.
     stack::HostConfig ha;
@@ -68,8 +72,11 @@ struct TwoLanFixture {
 /// Loops forever without spanning tree; converges loop-free with it.
 struct RingFixture {
   netsim::Network net;
+  /// Owns the bridges AND the arena holding their port NICs (see
+  /// TwoLanFixture); `bridges` below is just a raw view of it.
+  BridgedTopology topo;
   std::vector<netsim::LanSegment*> lans;
-  std::vector<std::unique_ptr<BridgeNode>> bridges;
+  std::vector<BridgeNode*> bridges;
   netsim::FrameTrace trace;
 
   explicit RingFixture(int n = 3, BridgeNodeConfig cfg = {}) {
@@ -78,10 +85,10 @@ struct RingFixture {
     spec.nodes = n;
     TopologyBuildOptions opts;
     opts.dumb = opts.learning = opts.stp = false;
-    auto built = build_topology(net, spec, std::move(cfg), opts);
-    lans = built.shape.lans;
+    topo = build_topology(net, spec, std::move(cfg), opts);
+    lans = topo.shape.lans;
     for (auto* lan : lans) trace.watch(*lan);
-    bridges = std::move(built.bridges);
+    for (auto& b : topo.bridges) bridges.push_back(b.get());
   }
 
   /// Count of ports in each gate state across all bridges.
